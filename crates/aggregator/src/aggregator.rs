@@ -1,0 +1,842 @@
+//! The aggregator unit.
+//!
+//! One aggregator per network (WAN in Fig. 1). It registers devices, hands
+//! out reporting slots, verifies reports against its own system-level
+//! measurement, seals verified records into the permissioned hash chain,
+//! liaises with other aggregators for roaming devices (temporary
+//! memberships, verification, forwarding) and bills the devices whose master
+//! membership it holds.
+
+use crate::billing::{BillingEngine, CollectionOrigin};
+use crate::membership::{MembershipError, MembershipRegistry};
+use crate::verify::{EntropyDetector, VerifierConfig, WindowVerdict, WindowVerifier};
+use rtem_chain::ledger::{LedgerEntry, MeteringLedger};
+use rtem_chain::sha256::Digest;
+use rtem_net::packet::{
+    AggregatorAddr, DeviceId, MeasurementRecord, MembershipKind, Packet, RejectReason,
+};
+use rtem_net::tdma::SlotTable;
+use rtem_sensors::energy::{Milliamps, Millivolts};
+use rtem_sensors::ina219::{Ina219Config, Ina219Model};
+use rtem_sim::rng::SimRng;
+use rtem_sim::time::SimTime;
+use rtem_sim::trace::TimeSeries;
+use std::collections::BTreeMap;
+
+/// Packets produced while handling an input.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct AggregatorOutput {
+    /// Packets to publish to devices in this aggregator's network.
+    pub to_devices: Vec<Packet>,
+    /// Packets to send to other aggregators over the backhaul.
+    pub to_aggregators: Vec<(AggregatorAddr, Packet)>,
+}
+
+impl AggregatorOutput {
+    fn merge(&mut self, other: AggregatorOutput) {
+        self.to_devices.extend(other.to_devices);
+        self.to_aggregators.extend(other.to_aggregators);
+    }
+}
+
+/// Configuration of an aggregator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggregatorConfig {
+    /// The aggregator's backhaul address.
+    pub address: AggregatorAddr,
+    /// Slot table handed out to registering devices.
+    pub slots: SlotTable,
+    /// Verification tolerances.
+    pub verifier: VerifierConfig,
+    /// Sensor model for the aggregator's own system-level measurement.
+    pub sensor: Ina219Config,
+    /// Flat billing price per mWh.
+    pub price_per_mwh: f64,
+}
+
+impl AggregatorConfig {
+    /// Configuration matching the paper's testbed Raspberry Pi aggregators.
+    pub fn testbed(address: AggregatorAddr) -> Self {
+        AggregatorConfig {
+            address,
+            slots: SlotTable::testbed(),
+            verifier: VerifierConfig::default(),
+            sensor: Ina219Config::testbed(),
+            price_per_mwh: 1.0,
+        }
+    }
+}
+
+/// The aggregator state machine.
+pub struct Aggregator {
+    address: AggregatorAddr,
+    registry: MembershipRegistry,
+    ledger: MeteringLedger,
+    verifier: WindowVerifier,
+    entropy: EntropyDetector,
+    billing: BillingEngine,
+    sensor: Ina219Model,
+    pending_temporary: BTreeMap<DeviceId, AggregatorAddr>,
+    // Traces for the evaluation figures.
+    network_series: TimeSeries,
+    reported_series: TimeSeries,
+    device_series: BTreeMap<DeviceId, TimeSeries>,
+    // Current verification window accumulators.
+    window_reported_sum_mas: f64,
+    window_measured: Vec<f64>,
+    window_started_at: SimTime,
+    verdicts: Vec<WindowVerdict>,
+    nacks_sent: u64,
+    reports_accepted: u64,
+}
+
+impl core::fmt::Debug for Aggregator {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Aggregator")
+            .field("address", &self.address)
+            .field("members", &self.registry.len())
+            .field("blocks", &self.ledger.chain().len())
+            .finish()
+    }
+}
+
+impl Aggregator {
+    /// Creates an aggregator from its configuration.
+    pub fn new(config: AggregatorConfig, rng: SimRng) -> Self {
+        let mut ledger = MeteringLedger::new(config.address.0, 0);
+        ledger.register_writer(config.address.0);
+        Aggregator {
+            address: config.address,
+            registry: MembershipRegistry::new(config.slots),
+            ledger,
+            verifier: WindowVerifier::new(config.verifier),
+            entropy: EntropyDetector::testbed(),
+            billing: BillingEngine::new(config.price_per_mwh, Millivolts::usb_bus()),
+            sensor: Ina219Model::new(config.sensor, rng.derive(0xA66)),
+            pending_temporary: BTreeMap::new(),
+            network_series: TimeSeries::new(format!("{} network current (mA)", config.address)),
+            reported_series: TimeSeries::new(format!("{} reported sum (mA)", config.address)),
+            device_series: BTreeMap::new(),
+            window_reported_sum_mas: 0.0,
+            window_measured: Vec::new(),
+            window_started_at: SimTime::ZERO,
+            verdicts: Vec::new(),
+            nacks_sent: 0,
+            reports_accepted: 0,
+        }
+    }
+
+    /// The aggregator's backhaul address.
+    pub fn address(&self) -> AggregatorAddr {
+        self.address
+    }
+
+    /// The membership registry.
+    pub fn registry(&self) -> &MembershipRegistry {
+        &self.registry
+    }
+
+    /// The tamper-evident ledger.
+    pub fn ledger(&self) -> &MeteringLedger {
+        &self.ledger
+    }
+
+    /// Mutable ledger access for the tamper-injection experiments.
+    pub fn ledger_mut_for_experiment(&mut self) -> &mut MeteringLedger {
+        &mut self.ledger
+    }
+
+    /// The consolidated billing engine (devices whose master membership this
+    /// aggregator holds).
+    pub fn billing(&self) -> &BillingEngine {
+        &self.billing
+    }
+
+    /// Per-window verification verdicts so far.
+    pub fn verdicts(&self) -> &[WindowVerdict] {
+        &self.verdicts
+    }
+
+    /// The entropy-based per-device detector.
+    pub fn entropy_detector(&self) -> &EntropyDetector {
+        &self.entropy
+    }
+
+    /// Time series of the aggregator's own network-level measurements.
+    pub fn network_series(&self) -> &TimeSeries {
+        &self.network_series
+    }
+
+    /// Time series of the per-report device sums received.
+    pub fn reported_series(&self) -> &TimeSeries {
+        &self.reported_series
+    }
+
+    /// Per-device consumption series as known to this aggregator (local
+    /// reports plus records forwarded from foreign networks) — the data
+    /// behind Fig. 6.
+    pub fn device_series(&self, device: DeviceId) -> Option<&TimeSeries> {
+        self.device_series.get(&device)
+    }
+
+    /// Number of Nacks sent (reports from non-members).
+    pub fn nacks_sent(&self) -> u64 {
+        self.nacks_sent
+    }
+
+    /// Number of consumption reports accepted.
+    pub fn reports_accepted(&self) -> u64 {
+        self.reports_accepted
+    }
+
+    /// Registers a device administratively (e.g. pre-provisioned at
+    /// manufacturing time). Normal registration goes through
+    /// [`handle_device_packet`](Self::handle_device_packet).
+    pub fn register_master(&mut self, device: DeviceId, now: SimTime) -> Result<u16, MembershipError> {
+        self.registry
+            .register(device, MembershipKind::Master, None, now)
+            .map(|m| m.slot)
+    }
+
+    /// Handles a packet published by a device in this aggregator's network.
+    pub fn handle_device_packet(&mut self, packet: &Packet, now: SimTime) -> AggregatorOutput {
+        match packet {
+            Packet::RegistrationRequest { device, master } => {
+                self.handle_registration(*device, *master, now)
+            }
+            Packet::ConsumptionReport {
+                device,
+                master,
+                records,
+            } => self.handle_report(*device, *master, records, now),
+            _ => AggregatorOutput::default(),
+        }
+    }
+
+    fn handle_registration(
+        &mut self,
+        device: DeviceId,
+        master: Option<AggregatorAddr>,
+        now: SimTime,
+    ) -> AggregatorOutput {
+        let mut out = AggregatorOutput::default();
+        if self.registry.is_blocked(device) {
+            out.to_devices.push(Packet::RegistrationReject {
+                device,
+                reason: RejectReason::Blocked,
+            });
+            return out;
+        }
+        match master {
+            // First registration, or the device's home network is this one.
+            None => {
+                out.merge(self.complete_registration(device, MembershipKind::Master, None, now));
+            }
+            Some(home) if home == self.address => {
+                out.merge(self.complete_registration(device, MembershipKind::Master, None, now));
+            }
+            // Roaming device: verify with its home aggregator first.
+            Some(home) => {
+                self.pending_temporary.insert(device, home);
+                out.to_aggregators.push((
+                    home,
+                    Packet::MembershipVerifyRequest {
+                        device,
+                        master: home,
+                        requester: self.address,
+                    },
+                ));
+            }
+        }
+        out
+    }
+
+    fn complete_registration(
+        &mut self,
+        device: DeviceId,
+        kind: MembershipKind,
+        home: Option<AggregatorAddr>,
+        now: SimTime,
+    ) -> AggregatorOutput {
+        let mut out = AggregatorOutput::default();
+        match self.registry.register(device, kind, home, now) {
+            Ok(membership) => out.to_devices.push(Packet::RegistrationAccept {
+                device,
+                address: self.address,
+                membership: kind,
+                slot: membership.slot,
+            }),
+            Err(MembershipError::NoFreeSlots) => out.to_devices.push(Packet::RegistrationReject {
+                device,
+                reason: RejectReason::NoFreeSlots,
+            }),
+            Err(MembershipError::Blocked(_)) => out.to_devices.push(Packet::RegistrationReject {
+                device,
+                reason: RejectReason::Blocked,
+            }),
+            Err(MembershipError::NotAMember(_)) => {}
+        }
+        out
+    }
+
+    fn handle_report(
+        &mut self,
+        device: DeviceId,
+        master: Option<AggregatorAddr>,
+        records: &[MeasurementRecord],
+        now: SimTime,
+    ) -> AggregatorOutput {
+        let mut out = AggregatorOutput::default();
+        let Some(membership) = self.registry.membership(device).copied() else {
+            // Not a member: negative acknowledgment (Fig. 3, sequence 2).
+            self.nacks_sent += 1;
+            out.to_devices.push(Packet::Nack { device });
+            return out;
+        };
+        if records.is_empty() {
+            return out;
+        }
+        self.reports_accepted += 1;
+        let billed_by = match membership.kind {
+            MembershipKind::Master => self.address,
+            MembershipKind::Temporary => membership.home.unwrap_or(self.address),
+        };
+        let last_sequence = records.iter().map(|r| r.sequence).max().unwrap_or(0);
+        let already_acked = membership.last_acked_sequence;
+
+        let mut report_sum_ma = 0.0;
+        for record in records {
+            // Ignore duplicates the device retransmitted before seeing our ack.
+            if already_acked.map_or(false, |acked| record.sequence <= acked) {
+                continue;
+            }
+            report_sum_ma += record.mean_current_ma();
+            self.entropy.observe(device, record.mean_current_ma());
+            self.stage_entry(device, billed_by, record);
+            let series = self
+                .device_series
+                .entry(device)
+                .or_insert_with(|| TimeSeries::new(format!("{device} @ {}", self.address)));
+            series.push(now, record.mean_current_ma());
+            match membership.kind {
+                MembershipKind::Master => {
+                    self.billing.bill_record(
+                        device,
+                        record.charge_uas,
+                        record.backfilled,
+                        CollectionOrigin::Home,
+                    );
+                }
+                MembershipKind::Temporary => {
+                    // Forward on behalf of the home network (cost centre).
+                }
+            }
+            self.window_reported_sum_mas += record.charge_mas();
+        }
+
+        // Forward roaming consumption to the home aggregator.
+        if membership.kind == MembershipKind::Temporary {
+            if let Some(home) = membership.home {
+                out.to_aggregators.push((
+                    home,
+                    Packet::ForwardedConsumption {
+                        device,
+                        collector: self.address,
+                        records: records.to_vec(),
+                    },
+                ));
+            }
+        }
+        let _ = master;
+        if report_sum_ma > 0.0 || !records.is_empty() {
+            self.reported_series.push(now, report_sum_ma);
+        }
+        self.registry.note_ack(device, last_sequence);
+        out.to_devices.push(Packet::Ack {
+            device,
+            through_sequence: last_sequence,
+        });
+        out
+    }
+
+    fn stage_entry(&mut self, device: DeviceId, billed_by: AggregatorAddr, record: &MeasurementRecord) {
+        self.ledger.stage(LedgerEntry {
+            device_id: device.0,
+            collected_by: self.address.0,
+            billed_by: billed_by.0,
+            sequence: record.sequence,
+            interval_start_us: record.interval_start_us,
+            interval_end_us: record.interval_end_us,
+            charge_uas: record.charge_uas,
+            backfilled: record.backfilled,
+        });
+    }
+
+    /// Handles a packet arriving over the aggregator backhaul.
+    pub fn handle_backhaul(
+        &mut self,
+        from: AggregatorAddr,
+        packet: &Packet,
+        now: SimTime,
+    ) -> AggregatorOutput {
+        let mut out = AggregatorOutput::default();
+        match packet {
+            Packet::MembershipVerifyRequest {
+                device, requester, ..
+            } => {
+                // We are the claimed home network: vouch for the device only
+                // if we hold (and have not revoked) its master membership.
+                let accepted = self
+                    .registry
+                    .membership(*device)
+                    .map_or(false, |m| m.kind == MembershipKind::Master)
+                    && !self.registry.is_blocked(*device);
+                out.to_aggregators.push((
+                    *requester,
+                    Packet::MembershipVerifyResponse {
+                        device: *device,
+                        accepted,
+                    },
+                ));
+            }
+            Packet::MembershipVerifyResponse { device, accepted } => {
+                if let Some(home) = self.pending_temporary.remove(device) {
+                    if *accepted {
+                        out.merge(self.complete_registration(
+                            *device,
+                            MembershipKind::Temporary,
+                            Some(home),
+                            now,
+                        ));
+                    } else {
+                        out.to_devices.push(Packet::RegistrationReject {
+                            device: *device,
+                            reason: RejectReason::MasterVerificationFailed,
+                        });
+                    }
+                }
+            }
+            Packet::ForwardedConsumption {
+                device,
+                collector,
+                records,
+            } => {
+                // We are the home network: bill the roaming consumption and
+                // commit it to our ledger as well.
+                for record in records {
+                    self.billing.bill_record(
+                        *device,
+                        record.charge_uas,
+                        record.backfilled,
+                        CollectionOrigin::Roaming {
+                            collector: *collector,
+                        },
+                    );
+                    self.stage_entry(*device, self.address, record);
+                    let series = self
+                        .device_series
+                        .entry(*device)
+                        .or_insert_with(|| TimeSeries::new(format!("{device} @ {}", self.address)));
+                    series.push(now, record.mean_current_ma());
+                }
+            }
+            Packet::TransferMembership { device, new_master } => {
+                // Ownership of the device moved to another network.
+                if *new_master != self.address {
+                    let _ = self.registry.remove(*device);
+                }
+            }
+            Packet::RemoveDevice { device } => {
+                let _ = self.registry.remove(*device);
+                self.registry.block(*device);
+            }
+            _ => {}
+        }
+        let _ = from;
+        out
+    }
+
+    /// Feeds the aggregator's own system-level measurement: `true_total` is
+    /// the ground-truth current entering the network (device loads plus
+    /// losses), which the aggregator observes through its own INA219.
+    pub fn observe_upstream(&mut self, now: SimTime, true_total: Milliamps) -> Milliamps {
+        let measured = self.sensor.measure(true_total);
+        self.network_series.push(now, measured.value());
+        self.window_measured.push(measured.value());
+        measured
+    }
+
+    /// Ends the current verification window: compares the devices' reported
+    /// consumption with the aggregator's own measurement, seals the verified
+    /// records into a ledger block and returns the verdict.
+    pub fn end_window(&mut self, now: SimTime) -> Option<WindowVerdict> {
+        let elapsed_s = now.saturating_duration_since(self.window_started_at).as_secs_f64();
+        let verdict = if self.window_measured.is_empty() || elapsed_s <= 0.0 {
+            None
+        } else {
+            let measured_mean: f64 =
+                self.window_measured.iter().sum::<f64>() / self.window_measured.len() as f64;
+            // Mean concurrent current reported by the devices over the
+            // window: total reported charge divided by the window length.
+            let reported_mean = self.window_reported_sum_mas / elapsed_s;
+            let verdict = self.verifier.check(
+                Milliamps::new(reported_mean.max(0.0)),
+                Milliamps::new(measured_mean.max(0.0)),
+            );
+            self.verdicts.push(verdict.clone());
+            Some(verdict)
+        };
+        self.window_reported_sum_mas = 0.0;
+        self.window_measured.clear();
+        self.window_started_at = now;
+        // Seal everything verified in this window into the chain.
+        let _ = self.ledger.commit_block(self.address.0, now.as_micros());
+        verdict
+    }
+
+    /// Head digest of the aggregator's ledger (published as the audit anchor).
+    pub fn ledger_anchor(&self) -> Digest {
+        self.ledger.chain().head_hash()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtem_sim::time::SimDuration;
+
+    fn aggregator(addr: u32) -> Aggregator {
+        Aggregator::new(
+            AggregatorConfig::testbed(AggregatorAddr(addr)),
+            SimRng::seed_from_u64(addr as u64),
+        )
+    }
+
+    fn record(device: DeviceId, seq: u64, current_ma: f64) -> MeasurementRecord {
+        MeasurementRecord {
+            device,
+            sequence: seq,
+            interval_start_us: seq * 100_000,
+            interval_end_us: (seq + 1) * 100_000,
+            mean_current_ua: (current_ma * 1000.0) as u64,
+            charge_uas: (current_ma * 100.0) as u64, // current * 0.1 s
+            backfilled: false,
+        }
+    }
+
+    #[test]
+    fn home_registration_accepts_and_assigns_slot() {
+        let mut agg = aggregator(1);
+        let out = agg.handle_device_packet(
+            &Packet::RegistrationRequest {
+                device: DeviceId(1),
+                master: None,
+            },
+            SimTime::ZERO,
+        );
+        assert_eq!(out.to_devices.len(), 1);
+        assert!(matches!(
+            out.to_devices[0],
+            Packet::RegistrationAccept {
+                membership: MembershipKind::Master,
+                ..
+            }
+        ));
+        assert!(agg.registry().is_member(DeviceId(1)));
+    }
+
+    #[test]
+    fn registration_rejected_when_full() {
+        let mut agg = Aggregator::new(
+            AggregatorConfig {
+                slots: SlotTable::new(SimDuration::from_millis(10), 1),
+                ..AggregatorConfig::testbed(AggregatorAddr(1))
+            },
+            SimRng::seed_from_u64(1),
+        );
+        agg.register_master(DeviceId(1), SimTime::ZERO).unwrap();
+        let out = agg.handle_device_packet(
+            &Packet::RegistrationRequest {
+                device: DeviceId(2),
+                master: None,
+            },
+            SimTime::ZERO,
+        );
+        assert!(matches!(
+            out.to_devices[0],
+            Packet::RegistrationReject {
+                reason: RejectReason::NoFreeSlots,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn report_from_member_is_acked_and_committed() {
+        let mut agg = aggregator(1);
+        agg.register_master(DeviceId(1), SimTime::ZERO).unwrap();
+        let out = agg.handle_device_packet(
+            &Packet::ConsumptionReport {
+                device: DeviceId(1),
+                master: Some(AggregatorAddr(1)),
+                records: vec![record(DeviceId(1), 0, 150.0), record(DeviceId(1), 1, 149.0)],
+            },
+            SimTime::from_millis(200),
+        );
+        assert!(matches!(
+            out.to_devices[0],
+            Packet::Ack {
+                through_sequence: 1,
+                ..
+            }
+        ));
+        assert_eq!(agg.reports_accepted(), 1);
+        agg.end_window(SimTime::from_secs(1));
+        assert_eq!(agg.ledger().account(1).unwrap().entries, 2);
+        assert!(agg.billing().bill(DeviceId(1)).is_some());
+        assert!(agg.device_series(DeviceId(1)).is_some());
+    }
+
+    #[test]
+    fn duplicate_records_are_not_double_billed() {
+        let mut agg = aggregator(1);
+        agg.register_master(DeviceId(1), SimTime::ZERO).unwrap();
+        let report = Packet::ConsumptionReport {
+            device: DeviceId(1),
+            master: Some(AggregatorAddr(1)),
+            records: vec![record(DeviceId(1), 0, 100.0)],
+        };
+        agg.handle_device_packet(&report, SimTime::from_millis(100));
+        // The device retransmits the same record (ack lost).
+        agg.handle_device_packet(&report, SimTime::from_millis(200));
+        agg.end_window(SimTime::from_secs(1));
+        assert_eq!(agg.ledger().account(1).unwrap().entries, 1);
+        assert_eq!(agg.billing().bill(DeviceId(1)).unwrap().records, 1);
+    }
+
+    #[test]
+    fn report_from_non_member_gets_nack() {
+        let mut agg = aggregator(2);
+        let out = agg.handle_device_packet(
+            &Packet::ConsumptionReport {
+                device: DeviceId(1),
+                master: Some(AggregatorAddr(1)),
+                records: vec![record(DeviceId(1), 5, 120.0)],
+            },
+            SimTime::from_secs(10),
+        );
+        assert_eq!(out.to_devices, vec![Packet::Nack { device: DeviceId(1) }]);
+        assert_eq!(agg.nacks_sent(), 1);
+    }
+
+    #[test]
+    fn temporary_registration_requires_home_verification() {
+        let mut home = aggregator(1);
+        let mut foreign = aggregator(2);
+        home.register_master(DeviceId(1), SimTime::ZERO).unwrap();
+
+        // Device asks the foreign aggregator for a temporary membership.
+        let out = foreign.handle_device_packet(
+            &Packet::RegistrationRequest {
+                device: DeviceId(1),
+                master: Some(AggregatorAddr(1)),
+            },
+            SimTime::from_secs(10),
+        );
+        assert!(out.to_devices.is_empty(), "no accept before verification");
+        let (to, verify) = &out.to_aggregators[0];
+        assert_eq!(*to, AggregatorAddr(1));
+
+        // Home aggregator vouches for the device.
+        let home_out = home.handle_backhaul(AggregatorAddr(2), verify, SimTime::from_secs(10));
+        let (back_to, response) = &home_out.to_aggregators[0];
+        assert_eq!(*back_to, AggregatorAddr(2));
+        assert!(matches!(
+            response,
+            Packet::MembershipVerifyResponse { accepted: true, .. }
+        ));
+
+        // Foreign aggregator completes the temporary registration.
+        let final_out = foreign.handle_backhaul(AggregatorAddr(1), response, SimTime::from_secs(10));
+        assert!(matches!(
+            final_out.to_devices[0],
+            Packet::RegistrationAccept {
+                membership: MembershipKind::Temporary,
+                ..
+            }
+        ));
+        assert!(foreign.registry().is_member(DeviceId(1)));
+    }
+
+    #[test]
+    fn unknown_device_fails_home_verification() {
+        let mut home = aggregator(1);
+        let mut foreign = aggregator(2);
+        let out = foreign.handle_device_packet(
+            &Packet::RegistrationRequest {
+                device: DeviceId(42),
+                master: Some(AggregatorAddr(1)),
+            },
+            SimTime::ZERO,
+        );
+        let (_, verify) = &out.to_aggregators[0];
+        let home_out = home.handle_backhaul(AggregatorAddr(2), verify, SimTime::ZERO);
+        let (_, response) = &home_out.to_aggregators[0];
+        assert!(matches!(
+            response,
+            Packet::MembershipVerifyResponse {
+                accepted: false,
+                ..
+            }
+        ));
+        let final_out = foreign.handle_backhaul(AggregatorAddr(1), response, SimTime::ZERO);
+        assert!(matches!(
+            final_out.to_devices[0],
+            Packet::RegistrationReject {
+                reason: RejectReason::MasterVerificationFailed,
+                ..
+            }
+        ));
+        assert!(!foreign.registry().is_member(DeviceId(42)));
+    }
+
+    #[test]
+    fn roaming_consumption_is_forwarded_and_billed_at_home() {
+        let mut home = aggregator(1);
+        let mut foreign = aggregator(2);
+        home.register_master(DeviceId(1), SimTime::ZERO).unwrap();
+        // Temporary membership at the foreign aggregator (administratively,
+        // skipping the verification round trip already covered above).
+        foreign
+            .registry
+            .register(
+                DeviceId(1),
+                MembershipKind::Temporary,
+                Some(AggregatorAddr(1)),
+                SimTime::from_secs(10),
+            )
+            .unwrap();
+
+        let out = foreign.handle_device_packet(
+            &Packet::ConsumptionReport {
+                device: DeviceId(1),
+                master: Some(AggregatorAddr(1)),
+                records: vec![record(DeviceId(1), 0, 200.0)],
+            },
+            SimTime::from_secs(11),
+        );
+        // Ack to the device plus a forward to the home aggregator.
+        assert!(matches!(out.to_devices[0], Packet::Ack { .. }));
+        let (to, forwarded) = &out.to_aggregators[0];
+        assert_eq!(*to, AggregatorAddr(1));
+
+        home.handle_backhaul(AggregatorAddr(2), forwarded, SimTime::from_secs(11));
+        let bill = home.billing().bill(DeviceId(1)).unwrap();
+        assert_eq!(bill.roaming_charge_uas, bill.charge_uas);
+        assert!(home.device_series(DeviceId(1)).is_some());
+        // The foreign aggregator does not bill the roaming device itself.
+        assert!(foreign.billing().bill(DeviceId(1)).is_none());
+    }
+
+    #[test]
+    fn remove_device_blocks_future_registration() {
+        let mut agg = aggregator(1);
+        agg.register_master(DeviceId(1), SimTime::ZERO).unwrap();
+        agg.handle_backhaul(
+            AggregatorAddr(1),
+            &Packet::RemoveDevice { device: DeviceId(1) },
+            SimTime::from_secs(1),
+        );
+        assert!(!agg.registry().is_member(DeviceId(1)));
+        let out = agg.handle_device_packet(
+            &Packet::RegistrationRequest {
+                device: DeviceId(1),
+                master: None,
+            },
+            SimTime::from_secs(2),
+        );
+        assert!(matches!(
+            out.to_devices[0],
+            Packet::RegistrationReject {
+                reason: RejectReason::Blocked,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn verification_window_flags_under_reporting() {
+        let mut agg = aggregator(1);
+        agg.register_master(DeviceId(1), SimTime::ZERO).unwrap();
+        // Device reports 100 mA over one second...
+        agg.handle_device_packet(
+            &Packet::ConsumptionReport {
+                device: DeviceId(1),
+                master: Some(AggregatorAddr(1)),
+                records: (0..10)
+                    .map(|i| MeasurementRecord {
+                        device: DeviceId(1),
+                        sequence: i,
+                        interval_start_us: i * 100_000,
+                        interval_end_us: (i + 1) * 100_000,
+                        mean_current_ua: 100_000,
+                        charge_uas: 10_000,
+                        backfilled: false,
+                    })
+                    .collect(),
+            },
+            SimTime::from_secs(1),
+        );
+        // ...but the aggregator's meter sees 250 mA flowing.
+        for i in 0..10 {
+            agg.observe_upstream(SimTime::from_millis(100 * i), Milliamps::new(250.0));
+        }
+        let verdict = agg.end_window(SimTime::from_secs(1)).unwrap();
+        assert!(verdict.anomalous);
+        // Honest window afterwards passes.
+        agg.handle_device_packet(
+            &Packet::ConsumptionReport {
+                device: DeviceId(1),
+                master: Some(AggregatorAddr(1)),
+                records: (10..20)
+                    .map(|i| MeasurementRecord {
+                        device: DeviceId(1),
+                        sequence: i,
+                        interval_start_us: i * 100_000,
+                        interval_end_us: (i + 1) * 100_000,
+                        mean_current_ua: 240_000,
+                        charge_uas: 24_000,
+                        backfilled: false,
+                    })
+                    .collect(),
+            },
+            SimTime::from_secs(2),
+        );
+        for i in 10..20 {
+            agg.observe_upstream(SimTime::from_millis(100 * i), Milliamps::new(250.0));
+        }
+        let verdict = agg.end_window(SimTime::from_secs(2)).unwrap();
+        assert!(!verdict.anomalous, "residual {}", verdict.residual_ma);
+    }
+
+    #[test]
+    fn ledger_audits_clean_after_operation() {
+        let mut agg = aggregator(1);
+        agg.register_master(DeviceId(1), SimTime::ZERO).unwrap();
+        for w in 0..5u64 {
+            agg.handle_device_packet(
+                &Packet::ConsumptionReport {
+                    device: DeviceId(1),
+                    master: Some(AggregatorAddr(1)),
+                    records: vec![record(DeviceId(1), w, 100.0)],
+                },
+                SimTime::from_secs(w + 1),
+            );
+            agg.observe_upstream(SimTime::from_secs(w + 1), Milliamps::new(105.0));
+            agg.end_window(SimTime::from_secs(w + 1));
+        }
+        let report = rtem_chain::audit::audit_chain(agg.ledger().chain(), Some(agg.ledger_anchor()));
+        assert!(report.is_clean());
+        assert!(agg.ledger().chain().len() >= 6);
+    }
+}

@@ -1,0 +1,180 @@
+//! Consolidated billing at the home aggregator.
+//!
+//! The home network "can continue billing the device for its consumption in
+//! the external network" (§II-C): records collected locally and records
+//! forwarded by foreign aggregators are consolidated into one per-device
+//! bill. Billing only covers time the device is electrically connected —
+//! transit (Idle in Fig. 6) is never billed because no records exist for it.
+
+use rtem_net::packet::{AggregatorAddr, DeviceId};
+use rtem_sensors::energy::{MilliampSeconds, MilliwattHours, Millivolts};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Where a billed record was collected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CollectionOrigin {
+    /// Collected by the home aggregator itself.
+    Home,
+    /// Collected by a foreign aggregator and forwarded over the backhaul.
+    Roaming {
+        /// The foreign aggregator that collected the records.
+        collector: AggregatorAddr,
+    },
+}
+
+/// Per-device billing state.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceBill {
+    /// Total charge billed, in microamp-seconds.
+    pub charge_uas: u64,
+    /// Charge collected while the device roamed in foreign networks.
+    pub roaming_charge_uas: u64,
+    /// Number of records billed.
+    pub records: u64,
+    /// Number of records that arrived via backfill (local storage).
+    pub backfilled_records: u64,
+    /// Accumulated cost in currency units.
+    pub cost: f64,
+}
+
+impl DeviceBill {
+    /// Billed energy at the given supply voltage.
+    pub fn energy_at(&self, supply: Millivolts) -> MilliwattHours {
+        MilliampSeconds::new(self.charge_uas as f64 / 1000.0).energy_at(supply)
+    }
+}
+
+/// Consolidated billing engine of one home aggregator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BillingEngine {
+    price_per_mwh: f64,
+    supply: Millivolts,
+    bills: BTreeMap<DeviceId, DeviceBill>,
+}
+
+impl BillingEngine {
+    /// Creates a billing engine with a flat price per mWh.
+    pub fn new(price_per_mwh: f64, supply: Millivolts) -> Self {
+        BillingEngine {
+            price_per_mwh,
+            supply,
+            bills: BTreeMap::new(),
+        }
+    }
+
+    /// Bills one verified record for `device`.
+    pub fn bill_record(
+        &mut self,
+        device: DeviceId,
+        charge_uas: u64,
+        backfilled: bool,
+        origin: CollectionOrigin,
+    ) {
+        let bill = self.bills.entry(device).or_default();
+        bill.charge_uas += charge_uas;
+        bill.records += 1;
+        if backfilled {
+            bill.backfilled_records += 1;
+        }
+        if let CollectionOrigin::Roaming { .. } = origin {
+            bill.roaming_charge_uas += charge_uas;
+        }
+        let energy = MilliampSeconds::new(charge_uas as f64 / 1000.0).energy_at(self.supply);
+        bill.cost += energy.value() * self.price_per_mwh;
+    }
+
+    /// The bill for `device`, if any records were billed.
+    pub fn bill(&self, device: DeviceId) -> Option<&DeviceBill> {
+        self.bills.get(&device)
+    }
+
+    /// Iterates over all bills.
+    pub fn iter(&self) -> impl Iterator<Item = (DeviceId, &DeviceBill)> {
+        self.bills.iter().map(|(d, b)| (*d, b))
+    }
+
+    /// Total billed energy across all devices.
+    pub fn total_energy(&self) -> MilliwattHours {
+        self.bills
+            .values()
+            .map(|b| b.energy_at(self.supply))
+            .sum()
+    }
+
+    /// Total billed cost across all devices.
+    pub fn total_cost(&self) -> f64 {
+        self.bills.values().map(|b| b.cost).sum()
+    }
+
+    /// Number of devices with at least one billed record.
+    pub fn device_count(&self) -> usize {
+        self.bills.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> BillingEngine {
+        BillingEngine::new(1.0, Millivolts::usb_bus())
+    }
+
+    #[test]
+    fn billing_accumulates_per_device() {
+        let mut e = engine();
+        e.bill_record(DeviceId(1), 10_000, false, CollectionOrigin::Home);
+        e.bill_record(DeviceId(1), 20_000, true, CollectionOrigin::Home);
+        e.bill_record(DeviceId(2), 5_000, false, CollectionOrigin::Home);
+        let b1 = e.bill(DeviceId(1)).unwrap();
+        assert_eq!(b1.charge_uas, 30_000);
+        assert_eq!(b1.records, 2);
+        assert_eq!(b1.backfilled_records, 1);
+        assert_eq!(b1.roaming_charge_uas, 0);
+        assert_eq!(e.bill(DeviceId(2)).unwrap().charge_uas, 5_000);
+        assert!(e.bill(DeviceId(3)).is_none());
+        assert_eq!(e.device_count(), 2);
+    }
+
+    #[test]
+    fn roaming_charge_tracked_separately() {
+        let mut e = engine();
+        e.bill_record(DeviceId(1), 10_000, false, CollectionOrigin::Home);
+        e.bill_record(
+            DeviceId(1),
+            40_000,
+            true,
+            CollectionOrigin::Roaming {
+                collector: AggregatorAddr(2),
+            },
+        );
+        let b = e.bill(DeviceId(1)).unwrap();
+        assert_eq!(b.charge_uas, 50_000);
+        assert_eq!(b.roaming_charge_uas, 40_000);
+    }
+
+    #[test]
+    fn cost_scales_with_energy_and_price() {
+        let mut cheap = BillingEngine::new(1.0, Millivolts::usb_bus());
+        let mut pricey = BillingEngine::new(3.0, Millivolts::usb_bus());
+        // 3.6e9 µA·s = 3600 mA·s = 1 mAh -> 5 mWh at 5 V.
+        cheap.bill_record(DeviceId(1), 3_600_000, false, CollectionOrigin::Home);
+        pricey.bill_record(DeviceId(1), 3_600_000, false, CollectionOrigin::Home);
+        let cheap_cost = cheap.bill(DeviceId(1)).unwrap().cost;
+        let pricey_cost = pricey.bill(DeviceId(1)).unwrap().cost;
+        assert!((pricey_cost / cheap_cost - 3.0).abs() < 1e-9);
+        assert!((cheap.total_energy().value() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn totals_sum_over_devices() {
+        let mut e = engine();
+        for i in 0..4u64 {
+            e.bill_record(DeviceId(i), 1_000, false, CollectionOrigin::Home);
+        }
+        assert_eq!(e.iter().count(), 4);
+        assert!(e.total_cost() > 0.0);
+        assert!(e.total_energy().value() > 0.0);
+    }
+}

@@ -1,0 +1,48 @@
+//! # rtem-aggregator — the trusted network aggregator
+//!
+//! Part of the `rtem` workspace reproducing *Real-Time Energy Monitoring in
+//! IoT-enabled Mobile Devices* (DATE 2020).
+//!
+//! Each WAN in the paper's architecture has one trusted aggregator
+//! (a Raspberry Pi on the testbed). It registers devices and assigns their
+//! reporting slots, verifies their reports against its own system-level
+//! measurement, stores verified records in the consensus-free hash chain,
+//! liaises with other aggregators for roaming devices, and bills the devices
+//! whose master membership it holds.
+//!
+//! * [`membership`] — master / temporary membership registry + slots.
+//! * [`verify`] — window verification against the complementary measurement
+//!   and the entropy-based per-device theft detector.
+//! * [`billing`] — consolidated per-device billing (home + roaming).
+//! * [`aggregator`] — the composed [`Aggregator`](aggregator::Aggregator).
+//!
+//! # Examples
+//!
+//! ```
+//! use rtem_aggregator::aggregator::{Aggregator, AggregatorConfig};
+//! use rtem_net::packet::{AggregatorAddr, DeviceId, Packet};
+//! use rtem_sim::prelude::*;
+//!
+//! let mut aggregator = Aggregator::new(
+//!     AggregatorConfig::testbed(AggregatorAddr(1)),
+//!     SimRng::seed_from_u64(1),
+//! );
+//! let out = aggregator.handle_device_packet(
+//!     &Packet::RegistrationRequest { device: DeviceId(1), master: None },
+//!     SimTime::ZERO,
+//! );
+//! assert!(matches!(out.to_devices[0], Packet::RegistrationAccept { .. }));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aggregator;
+pub mod billing;
+pub mod membership;
+pub mod verify;
+
+pub use aggregator::{Aggregator, AggregatorConfig, AggregatorOutput};
+pub use billing::{BillingEngine, CollectionOrigin, DeviceBill};
+pub use membership::{Membership, MembershipError, MembershipRegistry};
+pub use verify::{EntropyDetector, VerifierConfig, WindowVerdict, WindowVerifier};

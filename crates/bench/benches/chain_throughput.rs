@@ -1,0 +1,69 @@
+//! Criterion bench for the storage substrate: SHA-256 throughput, block
+//! sealing, full-chain verification and the tamper audit — the costs behind
+//! the paper's "creating the hash is not an expensive operation" claim.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rtem_chain::audit::audit_chain;
+use rtem_chain::chain::HashChain;
+use rtem_chain::ledger::{LedgerEntry, MeteringLedger};
+use rtem_chain::sha256::Sha256;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn entry(device: u64, seq: u64) -> LedgerEntry {
+    LedgerEntry {
+        device_id: device,
+        collected_by: 1,
+        billed_by: 1,
+        sequence: seq,
+        interval_start_us: seq * 100_000,
+        interval_end_us: (seq + 1) * 100_000,
+        charge_uas: 15_000,
+        backfilled: false,
+    }
+}
+
+fn bench_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chain_throughput");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(5));
+
+    let payload = vec![0xABu8; 4096];
+    group.throughput(Throughput::Bytes(payload.len() as u64));
+    group.bench_function("sha256_4kib", |b| {
+        b.iter(|| black_box(Sha256::digest(black_box(&payload))))
+    });
+    group.throughput(Throughput::Elements(1));
+
+    // Sealing one block with the records of one verification window
+    // (4 devices x 100 records, i.e. a 10 s window at Tmeasure = 100 ms).
+    group.bench_function("seal_block_400_records", |b| {
+        b.iter(|| {
+            let mut ledger = MeteringLedger::new(1, 0);
+            for device in 1..=4u64 {
+                for seq in 0..100 {
+                    ledger.stage(entry(device, seq));
+                }
+            }
+            black_box(ledger.commit_block(1, 1_000_000).unwrap())
+        })
+    });
+
+    for blocks in [100usize, 1000] {
+        let mut chain = HashChain::new(1, 0);
+        for i in 0..blocks {
+            let records = (0..40).map(|r| format!("b{i}r{r}").into_bytes()).collect();
+            chain.seal_block(1, (i as u64 + 1) * 1000, records).unwrap();
+        }
+        group.bench_with_input(BenchmarkId::new("verify_chain", blocks), &chain, |b, chain| {
+            b.iter(|| black_box(chain.verify().is_ok()))
+        });
+        group.bench_with_input(BenchmarkId::new("audit_chain", blocks), &chain, |b, chain| {
+            b.iter(|| black_box(audit_chain(chain, Some(chain.head_hash())).is_clean()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_chain);
+criterion_main!(benches);

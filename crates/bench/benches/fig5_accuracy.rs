@@ -1,0 +1,42 @@
+//! Criterion bench behind Fig. 5: cost of running the two-network testbed
+//! simulation (the decentralized-vs-centralized accuracy experiment) and of
+//! extracting the accuracy windows from it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rtem_core::metrics::accuracy_windows;
+use rtem_core::scenario::ScenarioBuilder;
+use rtem_sim::time::{SimDuration, SimTime};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_accuracy");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(8));
+
+    group.bench_function("simulate_testbed_30s", |b| {
+        b.iter(|| {
+            let mut world = ScenarioBuilder::paper_testbed(black_box(1)).build();
+            world.run_until(SimTime::from_secs(30));
+            black_box(world.metrics().total_ledger_entries())
+        })
+    });
+
+    let mut world = ScenarioBuilder::paper_testbed(2).build();
+    world.run_until(SimTime::from_secs(60));
+    group.bench_function("extract_accuracy_windows", |b| {
+        b.iter(|| {
+            let windows = accuracy_windows(
+                black_box(&world),
+                ScenarioBuilder::network_addr(0),
+                SimDuration::from_secs(10),
+                SimTime::from_secs(60),
+            );
+            black_box(windows.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion bench behind Fig. 6: cost of one full mobility experiment
+//! (home phase, transit, temporary-membership handshake, backfill and
+//! forwarding).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rtem_core::mobility::{run_mobility, MobilityConfig};
+use rtem_sim::time::{SimDuration, SimTime};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_mobility(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_mobility");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(10));
+
+    group.bench_function("mobility_run_short", |b| {
+        b.iter(|| {
+            let mut config = MobilityConfig::testbed(black_box(5));
+            config.unplug_at = SimTime::from_secs(20);
+            config.transit = SimDuration::from_secs(10);
+            config.settle = SimDuration::from_secs(30);
+            let outcome = run_mobility(&config);
+            black_box(outcome.thandshake_secs())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mobility);
+criterion_main!(benches);

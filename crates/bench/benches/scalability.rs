@@ -1,0 +1,40 @@
+//! Criterion bench for the scalability discussion (§II-A): simulation cost
+//! of one aggregator network as the device count grows towards (and past)
+//! the TDMA slot budget.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtem_core::scenario::{DeviceLoad, ScenarioBuilder};
+use rtem_sim::time::SimTime;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_scalability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scalability");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(8));
+
+    for devices in [2u32, 5, 10, 20] {
+        group.bench_with_input(
+            BenchmarkId::new("single_network_20s", devices),
+            &devices,
+            |b, &devices| {
+                b.iter(|| {
+                    let mut world = ScenarioBuilder::single_network(devices, 3)
+                        .with_load(DeviceLoad::ReportingOnly)
+                        .build();
+                    world.run_until(SimTime::from_secs(20));
+                    black_box(
+                        world
+                            .aggregator(ScenarioBuilder::network_addr(0))
+                            .unwrap()
+                            .reports_accepted(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scalability);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion bench for the sensing substrate: the INA219 measurement model,
+//! the load profiles and the grid-loss evaluation — the per-sample costs
+//! incurred 10 times per second per device in every experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rtem_sensors::energy::Milliamps;
+use rtem_sensors::grid::{Branch, GridNetwork};
+use rtem_sensors::ina219::{Ina219Config, Ina219Model};
+use rtem_sensors::profile::{ChargingProfile, LoadProfile, WifiBurstProfile};
+use rtem_sim::rng::SimRng;
+use rtem_sim::time::SimTime;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_sensor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sensor_model");
+    group.sample_size(30);
+    group.measurement_time(Duration::from_secs(4));
+
+    let mut sensor = Ina219Model::new(Ina219Config::testbed(), SimRng::seed_from_u64(1));
+    group.bench_function("ina219_measure", |b| {
+        b.iter(|| black_box(sensor.measure(Milliamps::new(black_box(182.5)))))
+    });
+
+    let mut charging = ChargingProfile::esp32_testbed(SimRng::seed_from_u64(2));
+    let mut wifi = WifiBurstProfile::esp32_reporting(SimRng::seed_from_u64(3));
+    let mut t = 0u64;
+    group.bench_function("charging_profile_sample", |b| {
+        b.iter(|| {
+            t += 100_000;
+            black_box(charging.current_at(SimTime::from_micros(t)))
+        })
+    });
+    group.bench_function("wifi_profile_sample", |b| {
+        b.iter(|| {
+            t += 100_000;
+            black_box(wifi.current_at(SimTime::from_micros(t)))
+        })
+    });
+
+    let mut grid = GridNetwork::new();
+    let branches: Vec<_> = (0..10).map(|_| grid.add_branch(Branch::default())).collect();
+    let loads: Vec<(_, Milliamps)> = branches
+        .iter()
+        .map(|&b| (b, Milliamps::new(150.0)))
+        .collect();
+    group.bench_function("grid_evaluate_10_branches", |b| {
+        b.iter(|| black_box(grid.evaluate(black_box(&loads)).upstream_total))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sensor);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Regenerates the **backhaul delay** claim of §III-B.b: "the data
+//! communication between aggregators does not incur much delay
+//! (1 millisecond) as the backhaul network is assumed to have high
+//! bandwidth." Measures the simulated one-way forwarding delay over many
+//! messages and mesh sizes.
+//!
+//! ```bash
+//! cargo run -p rtem-bench --bin backhaul_delay
+//! ```
+
+use rtem_net::backhaul::BackhaulMesh;
+use rtem_net::link::LinkConfig;
+use rtem_net::packet::{AggregatorAddr, DeviceId, MeasurementRecord, Packet};
+use rtem_sim::rng::SimRng;
+use rtem_sim::time::SimTime;
+
+fn forwarded_packet() -> Packet {
+    Packet::ForwardedConsumption {
+        device: DeviceId(1),
+        collector: AggregatorAddr(2),
+        records: vec![MeasurementRecord {
+            device: DeviceId(1),
+            sequence: 0,
+            interval_start_us: 0,
+            interval_end_us: 100_000,
+            mean_current_ua: 150_000,
+            charge_uas: 15_000,
+            backfilled: false,
+        }],
+    }
+}
+
+fn main() {
+    println!("# Aggregator-to-aggregator forwarding delay over the backhaul mesh");
+    println!("mesh_size,messages,mean_delay_ms,p99_delay_ms,max_delay_ms,mean_hops");
+    for mesh_size in [2u32, 4, 8, 16] {
+        let addrs: Vec<AggregatorAddr> = (1..=mesh_size).map(AggregatorAddr).collect();
+        let mut mesh = BackhaulMesh::full_mesh(
+            &addrs,
+            LinkConfig::backhaul(),
+            SimRng::seed_from_u64(u64::from(mesh_size)),
+        );
+        let messages = 1000;
+        let mut delays_ms = Vec::with_capacity(messages);
+        let mut hops_total = 0u64;
+        for i in 0..messages {
+            let from = addrs[i % addrs.len()];
+            let to = addrs[(i + 1) % addrs.len()];
+            let sent_at = SimTime::from_millis(i as u64 * 10);
+            mesh.send(from, to, forwarded_packet(), sent_at).unwrap();
+            for delivery in mesh.drain_due(SimTime::from_secs(1_000_000)) {
+                let delay = delivery.at.duration_since(sent_at);
+                delays_ms.push(delay.as_secs_f64() * 1000.0);
+                hops_total += u64::from(delivery.hops);
+            }
+        }
+        delays_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mean = delays_ms.iter().sum::<f64>() / delays_ms.len() as f64;
+        let p99 = delays_ms[(delays_ms.len() as f64 * 0.99) as usize - 1];
+        let max = *delays_ms.last().unwrap();
+        println!(
+            "{mesh_size},{},{mean:.3},{p99:.3},{max:.3},{:.2}",
+            delays_ms.len(),
+            hops_total as f64 / delays_ms.len() as f64
+        );
+    }
+    println!("\n# paper: ~1 ms forwarding delay assumed for the high-bandwidth backhaul");
+}

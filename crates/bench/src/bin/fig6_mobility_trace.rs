@@ -1,0 +1,75 @@
+//! Regenerates **Figure 6**: current consumption reported at Aggregator 1
+//! for a mobile device transiting from Network 1 to Network 2 — the local
+//! reporting phase, the idle transit gap, the Thandshake window with local
+//! buffering, and the backfilled data forwarded from Aggregator 2.
+//!
+//! ```bash
+//! cargo run -p rtem-bench --bin fig6_mobility_trace
+//! ```
+
+use rtem_bench::sparkline;
+use rtem_core::mobility::{run_mobility, MobilityConfig};
+use rtem_sim::time::{SimDuration, SimTime};
+
+fn main() {
+    let mut config = MobilityConfig::testbed(2020);
+    // The paper charges for an hour before the move; 90 s captures the same
+    // shape while keeping the harness quick. Adjust freely.
+    config.unplug_at = SimTime::from_secs(90);
+    config.transit = SimDuration::from_secs(25);
+    config.settle = SimDuration::from_secs(90);
+
+    println!("# Figure 6 — mobile device transiting from Network 1 to Network 2");
+    println!(
+        "# device {} unplugs at t = {:.0} s, transit (idle) {:.0} s, Tmeasure = 100 ms",
+        config.mobile_device,
+        config.unplug_at.as_secs_f64(),
+        config.transit.as_secs_f64()
+    );
+    let outcome = run_mobility(&config);
+
+    println!("\n## consumption of the device as seen by Aggregator 1 (home)");
+    println!("time_s,current_ma,phase");
+    let view = outcome.home_view.as_ref().expect("home trace exists");
+    let reconnect = outcome.reconnected_at.as_secs_f64();
+    let handshake_end = reconnect + outcome.thandshake_secs().unwrap_or(0.0);
+    let mut series = Vec::new();
+    for &(t, v) in &view.points {
+        let phase = if t < config.unplug_at.as_secs_f64() {
+            "home-network"
+        } else if t < handshake_end {
+            "idle/handshake"
+        } else {
+            "forwarded-from-network-2"
+        };
+        println!("{t:.1},{v:.1},{phase}");
+        series.push(v);
+    }
+    println!("\n# sparkline: {}", sparkline(&series, 80));
+
+    println!("\n## annotations (paper's callouts)");
+    println!(
+        "device disconnected from Network 1 : t = {:.1} s",
+        outcome.disconnected_at.as_secs_f64()
+    );
+    println!(
+        "device connected to Network 2      : t = {:.1} s",
+        outcome.reconnected_at.as_secs_f64()
+    );
+    if let Some(handshake) = outcome.handshake {
+        println!(
+            "Thandshake (temporary membership)  : {:.2} s  (scan {:.2} + assoc {:.2} + mqtt {:.2} + registration {:.2})",
+            handshake.total().as_secs_f64(),
+            handshake.scan.as_secs_f64(),
+            handshake.association.as_secs_f64(),
+            handshake.broker_connect.as_secs_f64(),
+            handshake.registration.as_secs_f64(),
+        );
+    }
+    println!(
+        "device data received from Network 2: {} backfilled records, {:.1} mA·s roamed charge",
+        outcome.backfilled_records,
+        outcome.roaming_charge_uas as f64 / 1000.0
+    );
+    println!("# paper: Thandshake ≈ 6 s average (5.5–6.5 s over 15 runs); idle span is never billed");
+}

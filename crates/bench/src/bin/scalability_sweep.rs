@@ -1,0 +1,37 @@
+//! Scalability of one aggregator: the paper notes that "with limited
+//! time-slots for communication, the number of devices connected to an
+//! aggregator is also limited" (§II-A). This harness sweeps the device count
+//! against the TDMA slot budget and reports how many register, how many
+//! reports flow, and the wall-clock cost of simulating the network.
+//!
+//! ```bash
+//! cargo run -p rtem-bench --bin scalability_sweep
+//! ```
+
+use rtem_core::scenario::{DeviceLoad, ScenarioBuilder};
+use rtem_sim::time::SimTime;
+use std::time::Instant;
+
+fn main() {
+    println!("# Devices contending for one aggregator with 10 reporting slots");
+    println!("devices,registered,reports_accepted,ledger_entries,sim_seconds,wall_ms");
+    for &devices in &[2u32, 4, 8, 10, 12, 16, 32] {
+        let started = Instant::now();
+        let mut world = ScenarioBuilder::single_network(devices, 777)
+            .with_load(DeviceLoad::ReportingOnly)
+            .build();
+        let horizon = SimTime::from_secs(30);
+        world.run_until(horizon);
+        let wall_ms = started.elapsed().as_millis();
+        let addr = ScenarioBuilder::network_addr(0);
+        let aggregator = world.aggregator(addr).expect("network exists");
+        println!(
+            "{devices},{},{},{},{},{wall_ms}",
+            aggregator.registry().len(),
+            aggregator.reports_accepted(),
+            aggregator.ledger().chain().total_records(),
+            horizon.as_secs_f64(),
+        );
+    }
+    println!("\n# registered saturates at the slot budget (10); excess devices are rejected");
+}

@@ -1,0 +1,215 @@
+//! Tamper auditing.
+//!
+//! The point of encapsulating consumption data in a hash chain is that
+//! storage-level manipulation is detectable (§II-A: "By encapsulating the
+//! consumption data into a blockchain, data storage is made tamper-proof").
+//! This module provides the auditor's side: walk a chain (optionally anchored
+//! to an externally published head digest), localize every inconsistency and
+//! classify it.
+
+use crate::chain::HashChain;
+use crate::sha256::Digest;
+use serde::{Deserialize, Serialize};
+
+/// Classification of a single audit finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FindingKind {
+    /// A block's stored records no longer match its header commitment
+    /// (a record was rewritten in place).
+    RecordMismatch,
+    /// A block's `previous` digest does not match its predecessor (a whole
+    /// block was replaced or re-sealed).
+    LinkBroken,
+    /// Block indices are not contiguous (a block was inserted or removed).
+    IndexGap,
+    /// A block's timestamp is older than its predecessor's.
+    TimeRegression,
+    /// The chain head does not match the externally published anchor.
+    AnchorMismatch,
+}
+
+/// One localized audit finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Finding {
+    /// Height of the offending block.
+    pub block_index: u64,
+    /// What kind of inconsistency was found.
+    pub kind: FindingKind,
+}
+
+/// The result of auditing a chain.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AuditReport {
+    /// Number of blocks examined.
+    pub blocks_examined: usize,
+    /// Number of records examined.
+    pub records_examined: usize,
+    /// All findings, in block order.
+    pub findings: Vec<Finding>,
+}
+
+impl AuditReport {
+    /// `true` when no inconsistency was found.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Height of the first inconsistent block, if any.
+    pub fn first_bad_block(&self) -> Option<u64> {
+        self.findings.first().map(|f| f.block_index)
+    }
+
+    /// Number of findings of a given kind.
+    pub fn count_of(&self, kind: FindingKind) -> usize {
+        self.findings.iter().filter(|f| f.kind == kind).count()
+    }
+}
+
+/// Audits a chain, optionally against an externally published head digest
+/// (`anchor`). Unlike [`HashChain::verify`], which stops at the first error,
+/// the audit continues and localizes every inconsistency, which is what an
+/// operator investigating a tampering incident needs.
+pub fn audit_chain(chain: &HashChain, anchor: Option<Digest>) -> AuditReport {
+    let mut findings = Vec::new();
+    let mut records = 0usize;
+    let mut previous: Option<(&crate::block::Block, u64)> = None;
+
+    for (i, block) in chain.iter().enumerate() {
+        records += block.record_count();
+        if block.header().index != i as u64 {
+            findings.push(Finding {
+                block_index: i as u64,
+                kind: FindingKind::IndexGap,
+            });
+        }
+        if !block.is_internally_consistent() {
+            findings.push(Finding {
+                block_index: i as u64,
+                kind: FindingKind::RecordMismatch,
+            });
+        }
+        if let Some((prev_block, _)) = previous {
+            if block.header().previous != prev_block.hash() {
+                findings.push(Finding {
+                    block_index: i as u64,
+                    kind: FindingKind::LinkBroken,
+                });
+            }
+            if block.header().timestamp_us < prev_block.header().timestamp_us {
+                findings.push(Finding {
+                    block_index: i as u64,
+                    kind: FindingKind::TimeRegression,
+                });
+            }
+        }
+        previous = Some((block, i as u64));
+    }
+
+    if let Some(anchor) = anchor {
+        if chain.head_hash() != anchor {
+            findings.push(Finding {
+                block_index: chain.head().header().index,
+                kind: FindingKind::AnchorMismatch,
+            });
+        }
+    }
+
+    AuditReport {
+        blocks_examined: chain.len(),
+        records_examined: records,
+        findings,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::Block;
+
+    fn chain_with_blocks(n: usize) -> HashChain {
+        let mut chain = HashChain::new(1, 0);
+        for i in 0..n {
+            let records = (0..4)
+                .map(|j| format!("b{i}-r{j}").into_bytes())
+                .collect();
+            chain.seal_block(1, (i as u64 + 1) * 1000, records).unwrap();
+        }
+        chain
+    }
+
+    #[test]
+    fn clean_chain_audits_clean() {
+        let chain = chain_with_blocks(5);
+        let report = audit_chain(&chain, Some(chain.head_hash()));
+        assert!(report.is_clean());
+        assert_eq!(report.blocks_examined, 6);
+        assert_eq!(report.records_examined, 20);
+        assert_eq!(report.first_bad_block(), None);
+    }
+
+    #[test]
+    fn record_tampering_is_localized() {
+        let mut chain = chain_with_blocks(5);
+        chain
+            .block_mut_for_experiment(3)
+            .unwrap()
+            .tamper_record_for_experiment(2, b"fraud".to_vec());
+        let report = audit_chain(&chain, None);
+        assert!(!report.is_clean());
+        assert_eq!(report.first_bad_block(), Some(3));
+        assert_eq!(report.count_of(FindingKind::RecordMismatch), 1);
+        assert_eq!(report.count_of(FindingKind::LinkBroken), 0);
+    }
+
+    #[test]
+    fn multiple_tampered_blocks_all_reported() {
+        let mut chain = chain_with_blocks(6);
+        for idx in [1u64, 4, 5] {
+            chain
+                .block_mut_for_experiment(idx)
+                .unwrap()
+                .tamper_record_for_experiment(0, b"x".to_vec());
+        }
+        let report = audit_chain(&chain, None);
+        assert_eq!(report.count_of(FindingKind::RecordMismatch), 3);
+        let blocks: Vec<u64> = report.findings.iter().map(|f| f.block_index).collect();
+        assert_eq!(blocks, vec![1, 4, 5]);
+    }
+
+    #[test]
+    fn resealed_block_breaks_the_link() {
+        let mut chain = chain_with_blocks(4);
+        // The attacker re-seals block 2 entirely (consistent on its own) but
+        // cannot update block 3's previous pointer.
+        let forged = Block::new(2, chain.block(1).unwrap().hash(), 1, 2_000, vec![b"forged".to_vec()]);
+        *chain.block_mut_for_experiment(2).unwrap() = forged;
+        let report = audit_chain(&chain, None);
+        assert!(!report.is_clean());
+        assert_eq!(report.count_of(FindingKind::LinkBroken), 1);
+        assert_eq!(
+            report.findings.iter().find(|f| f.kind == FindingKind::LinkBroken).unwrap().block_index,
+            3
+        );
+    }
+
+    #[test]
+    fn truncation_is_caught_by_the_anchor() {
+        let full = chain_with_blocks(5);
+        let anchor = full.head_hash();
+        // The attacker presents a shorter (but internally valid) chain.
+        let truncated = chain_with_blocks(3);
+        assert!(truncated.verify().is_ok());
+        let report = audit_chain(&truncated, Some(anchor));
+        assert!(!report.is_clean());
+        assert_eq!(report.count_of(FindingKind::AnchorMismatch), 1);
+    }
+
+    #[test]
+    fn audit_without_anchor_accepts_truncation() {
+        // Documents why publishing the head digest matters: without the
+        // anchor a truncated chain looks clean.
+        let truncated = chain_with_blocks(3);
+        let report = audit_chain(&truncated, None);
+        assert!(report.is_clean());
+    }
+}

@@ -1,0 +1,389 @@
+//! The append-only hash chain.
+//!
+//! "The blocks from all the aggregators are formed into a common permissioned
+//! blockchain. Blockchain is only used as a hashed data chain without any
+//! consensus" (§II-A). [`HashChain`] implements exactly that: an append-only
+//! sequence of [`Block`]s where each block commits to the previous block's
+//! header hash, writable only by registered (permissioned) writers.
+
+use crate::block::{Block, RecordBytes, WriterId};
+use crate::sha256::Digest;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned when appending to or verifying a chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChainError {
+    /// The writer is not in the permissioned set.
+    UnauthorizedWriter(WriterId),
+    /// The appended block's `previous` digest does not match the chain head.
+    BrokenLink {
+        /// Height at which the mismatch occurred.
+        at_index: u64,
+    },
+    /// The appended block's index is not `head + 1`.
+    BadIndex {
+        /// Expected block index.
+        expected: u64,
+        /// Index carried by the rejected block.
+        found: u64,
+    },
+    /// A block's timestamp is older than its predecessor's.
+    NonMonotonicTime {
+        /// Height at which time went backwards.
+        at_index: u64,
+    },
+    /// A block's stored records do not match its header commitment.
+    InconsistentBlock {
+        /// Height of the inconsistent block.
+        at_index: u64,
+    },
+}
+
+impl fmt::Display for ChainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChainError::UnauthorizedWriter(w) => write!(f, "writer {w} is not permissioned"),
+            ChainError::BrokenLink { at_index } => {
+                write!(f, "previous-hash link broken at block {at_index}")
+            }
+            ChainError::BadIndex { expected, found } => {
+                write!(f, "expected block index {expected}, found {found}")
+            }
+            ChainError::NonMonotonicTime { at_index } => {
+                write!(f, "timestamp went backwards at block {at_index}")
+            }
+            ChainError::InconsistentBlock { at_index } => {
+                write!(f, "records do not match header commitment at block {at_index}")
+            }
+        }
+    }
+}
+
+impl Error for ChainError {}
+
+/// A permissioned, consensus-free hash chain of measurement blocks.
+///
+/// # Examples
+///
+/// ```
+/// use rtem_chain::chain::HashChain;
+///
+/// let mut chain = HashChain::new(1, 0);
+/// chain.register_writer(2);
+/// chain.seal_block(2, 1_000_000, vec![b"record".to_vec()]).unwrap();
+/// assert_eq!(chain.len(), 2); // genesis + one sealed block
+/// assert!(chain.verify().is_ok());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HashChain {
+    blocks: Vec<Block>,
+    writers: BTreeSet<WriterId>,
+}
+
+impl HashChain {
+    /// Creates a chain with a genesis block written by `genesis_writer` at
+    /// `timestamp_us`. The genesis writer is automatically permissioned.
+    pub fn new(genesis_writer: WriterId, timestamp_us: u64) -> Self {
+        let mut writers = BTreeSet::new();
+        writers.insert(genesis_writer);
+        HashChain {
+            blocks: vec![Block::genesis(genesis_writer, timestamp_us)],
+            writers,
+        }
+    }
+
+    /// Adds a writer to the permissioned set.
+    pub fn register_writer(&mut self, writer: WriterId) {
+        self.writers.insert(writer);
+    }
+
+    /// Removes a writer from the permissioned set. Returns `true` if it was
+    /// present. Blocks it already wrote remain valid.
+    pub fn revoke_writer(&mut self, writer: WriterId) -> bool {
+        self.writers.remove(&writer)
+    }
+
+    /// Returns `true` if `writer` may seal blocks.
+    pub fn is_writer(&self, writer: WriterId) -> bool {
+        self.writers.contains(&writer)
+    }
+
+    /// Number of blocks, including genesis.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// A chain always has at least a genesis block.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The most recent block.
+    pub fn head(&self) -> &Block {
+        self.blocks.last().expect("chain always has genesis")
+    }
+
+    /// Digest of the chain head — publish this out-of-band to anchor audits.
+    pub fn head_hash(&self) -> Digest {
+        self.head().hash()
+    }
+
+    /// The block at `index`, if present.
+    pub fn block(&self, index: u64) -> Option<&Block> {
+        self.blocks.get(index as usize)
+    }
+
+    /// Iterates over all blocks in height order.
+    pub fn iter(&self) -> impl Iterator<Item = &Block> {
+        self.blocks.iter()
+    }
+
+    /// Total number of records committed across all blocks.
+    pub fn total_records(&self) -> usize {
+        self.blocks.iter().map(Block::record_count).sum()
+    }
+
+    /// Seals a new block over `records` and appends it.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `writer` is not permissioned or `timestamp_us` is older than
+    /// the head block's timestamp.
+    pub fn seal_block(
+        &mut self,
+        writer: WriterId,
+        timestamp_us: u64,
+        records: Vec<RecordBytes>,
+    ) -> Result<Digest, ChainError> {
+        if !self.writers.contains(&writer) {
+            return Err(ChainError::UnauthorizedWriter(writer));
+        }
+        let head = self.head();
+        if timestamp_us < head.header().timestamp_us {
+            return Err(ChainError::NonMonotonicTime {
+                at_index: head.header().index + 1,
+            });
+        }
+        let block = Block::new(
+            head.header().index + 1,
+            head.hash(),
+            writer,
+            timestamp_us,
+            records,
+        );
+        let hash = block.hash();
+        self.blocks.push(block);
+        Ok(hash)
+    }
+
+    /// Appends an externally constructed block (e.g. received from another
+    /// aggregator), validating linkage, index, writer and consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns the specific [`ChainError`] describing why the block was
+    /// rejected.
+    pub fn append_block(&mut self, block: Block) -> Result<Digest, ChainError> {
+        if !self.writers.contains(&block.header().writer) {
+            return Err(ChainError::UnauthorizedWriter(block.header().writer));
+        }
+        let head = self.head();
+        let expected_index = head.header().index + 1;
+        if block.header().index != expected_index {
+            return Err(ChainError::BadIndex {
+                expected: expected_index,
+                found: block.header().index,
+            });
+        }
+        if block.header().previous != head.hash() {
+            return Err(ChainError::BrokenLink {
+                at_index: block.header().index,
+            });
+        }
+        if block.header().timestamp_us < head.header().timestamp_us {
+            return Err(ChainError::NonMonotonicTime {
+                at_index: block.header().index,
+            });
+        }
+        if !block.is_internally_consistent() {
+            return Err(ChainError::InconsistentBlock {
+                at_index: block.header().index,
+            });
+        }
+        let hash = block.hash();
+        self.blocks.push(block);
+        Ok(hash)
+    }
+
+    /// Verifies the whole chain: internal consistency of every block,
+    /// hash linkage, index continuity and timestamp monotonicity.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found, scanning from genesis.
+    pub fn verify(&self) -> Result<(), ChainError> {
+        for (i, block) in self.blocks.iter().enumerate() {
+            if block.header().index != i as u64 {
+                return Err(ChainError::BadIndex {
+                    expected: i as u64,
+                    found: block.header().index,
+                });
+            }
+            if !block.is_internally_consistent() {
+                return Err(ChainError::InconsistentBlock { at_index: i as u64 });
+            }
+            if i > 0 {
+                let prev = &self.blocks[i - 1];
+                if block.header().previous != prev.hash() {
+                    return Err(ChainError::BrokenLink { at_index: i as u64 });
+                }
+                if block.header().timestamp_us < prev.header().timestamp_us {
+                    return Err(ChainError::NonMonotonicTime { at_index: i as u64 });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Fault injection for the tamper experiments: returns mutable access to
+    /// a block so a storage-level attacker can be simulated. Not part of the
+    /// normal API surface.
+    pub fn block_mut_for_experiment(&mut self, index: u64) -> Option<&mut Block> {
+        self.blocks.get_mut(index as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn records(tag: &str, n: usize) -> Vec<RecordBytes> {
+        (0..n).map(|i| format!("{tag}-{i}").into_bytes()).collect()
+    }
+
+    fn small_chain() -> HashChain {
+        let mut chain = HashChain::new(1, 0);
+        chain.register_writer(2);
+        chain.seal_block(1, 100, records("a", 3)).unwrap();
+        chain.seal_block(2, 200, records("b", 2)).unwrap();
+        chain.seal_block(1, 300, records("c", 4)).unwrap();
+        chain
+    }
+
+    #[test]
+    fn seal_and_verify() {
+        let chain = small_chain();
+        assert_eq!(chain.len(), 4);
+        assert_eq!(chain.total_records(), 9);
+        assert!(chain.verify().is_ok());
+        assert!(!chain.is_empty());
+    }
+
+    #[test]
+    fn unauthorized_writer_rejected() {
+        let mut chain = HashChain::new(1, 0);
+        assert_eq!(
+            chain.seal_block(9, 100, vec![]),
+            Err(ChainError::UnauthorizedWriter(9))
+        );
+        chain.register_writer(9);
+        assert!(chain.seal_block(9, 100, vec![]).is_ok());
+        assert!(chain.revoke_writer(9));
+        assert!(!chain.is_writer(9));
+        assert!(chain.seal_block(9, 200, vec![]).is_err());
+    }
+
+    #[test]
+    fn timestamps_must_not_go_backwards() {
+        let mut chain = HashChain::new(1, 1000);
+        assert_eq!(
+            chain.seal_block(1, 999, vec![]),
+            Err(ChainError::NonMonotonicTime { at_index: 1 })
+        );
+        assert!(chain.seal_block(1, 1000, vec![]).is_ok());
+    }
+
+    #[test]
+    fn append_external_block_happy_path() {
+        let mut chain = HashChain::new(1, 0);
+        chain.register_writer(2);
+        let block = Block::new(1, chain.head_hash(), 2, 50, records("x", 2));
+        assert!(chain.append_block(block).is_ok());
+        assert!(chain.verify().is_ok());
+    }
+
+    #[test]
+    fn append_rejects_bad_index_and_link() {
+        let mut chain = HashChain::new(1, 0);
+        let wrong_index = Block::new(5, chain.head_hash(), 1, 50, vec![]);
+        assert_eq!(
+            chain.append_block(wrong_index),
+            Err(ChainError::BadIndex {
+                expected: 1,
+                found: 5
+            })
+        );
+        let wrong_link = Block::new(1, Digest::ZERO, 1, 50, vec![]);
+        assert!(matches!(
+            chain.append_block(wrong_link),
+            Err(ChainError::BrokenLink { at_index: 1 })
+        ));
+    }
+
+    #[test]
+    fn append_rejects_inconsistent_block() {
+        let mut chain = HashChain::new(1, 0);
+        let mut block = Block::new(1, chain.head_hash(), 1, 50, records("x", 3));
+        block.tamper_record_for_experiment(0, b"evil".to_vec());
+        assert_eq!(
+            chain.append_block(block),
+            Err(ChainError::InconsistentBlock { at_index: 1 })
+        );
+    }
+
+    #[test]
+    fn verify_detects_record_tampering() {
+        let mut chain = small_chain();
+        chain
+            .block_mut_for_experiment(2)
+            .unwrap()
+            .tamper_record_for_experiment(1, b"fraud".to_vec());
+        assert_eq!(
+            chain.verify(),
+            Err(ChainError::InconsistentBlock { at_index: 2 })
+        );
+    }
+
+    #[test]
+    fn head_hash_tracks_latest_block() {
+        let mut chain = HashChain::new(1, 0);
+        let h0 = chain.head_hash();
+        chain.seal_block(1, 10, records("a", 1)).unwrap();
+        let h1 = chain.head_hash();
+        assert_ne!(h0, h1);
+        assert_eq!(chain.head().header().index, 1);
+        assert_eq!(chain.block(1).unwrap().hash(), h1);
+        assert!(chain.block(99).is_none());
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        assert!(ChainError::UnauthorizedWriter(3).to_string().contains("3"));
+        assert!(ChainError::BrokenLink { at_index: 2 }.to_string().contains("2"));
+        assert!(ChainError::BadIndex {
+            expected: 1,
+            found: 9
+        }
+        .to_string()
+        .contains("9"));
+        assert!(ChainError::NonMonotonicTime { at_index: 4 }
+            .to_string()
+            .contains("4"));
+        assert!(ChainError::InconsistentBlock { at_index: 5 }
+            .to_string()
+            .contains("5"));
+    }
+}

@@ -1,0 +1,59 @@
+//! # rtem-chain — tamper-evident storage substrate
+//!
+//! Part of the `rtem` workspace reproducing *Real-Time Energy Monitoring in
+//! IoT-enabled Mobile Devices* (DATE 2020).
+//!
+//! The paper stores verified consumption data in a permissioned blockchain
+//! "used as a hashed data chain without any consensus" (§II-A): the trusted
+//! aggregators validate reports against their system-level measurement, then
+//! seal them into blocks whose hashes chain together, making storage-level
+//! manipulation detectable. This crate implements that storage layer:
+//!
+//! * [`sha256`] — SHA-256 implemented from scratch (FIPS 180-4 vectors in the
+//!   tests) so no external crypto dependency is needed.
+//! * [`merkle`] — per-block Merkle commitment and inclusion proofs.
+//! * [`block`] — block headers, sealing and fault injection for experiments.
+//! * [`chain`] — the permissioned append-only [`HashChain`](chain::HashChain).
+//! * [`ledger`] — the typed [`MeteringLedger`](ledger::MeteringLedger) with
+//!   per-device accounts.
+//! * [`audit`] — tamper localization ([`audit_chain`](audit::audit_chain)).
+//!
+//! # Examples
+//!
+//! ```
+//! use rtem_chain::audit::audit_chain;
+//! use rtem_chain::ledger::{LedgerEntry, MeteringLedger};
+//!
+//! let mut ledger = MeteringLedger::new(1, 0);
+//! ledger.stage(LedgerEntry {
+//!     device_id: 1,
+//!     collected_by: 1,
+//!     billed_by: 1,
+//!     sequence: 0,
+//!     interval_start_us: 0,
+//!     interval_end_us: 100_000,
+//!     charge_uas: 15_000,
+//!     backfilled: false,
+//! });
+//! ledger.commit_block(1, 100_000).unwrap();
+//!
+//! let report = audit_chain(ledger.chain(), Some(ledger.chain().head_hash()));
+//! assert!(report.is_clean());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod block;
+pub mod chain;
+pub mod ledger;
+pub mod merkle;
+pub mod sha256;
+
+pub use audit::{audit_chain, AuditReport, Finding, FindingKind};
+pub use block::{Block, BlockHeader, RecordBytes, WriterId};
+pub use chain::{ChainError, HashChain};
+pub use ledger::{DeviceAccount, LedgerEntry, MeteringLedger};
+pub use merkle::{merkle_root, MerkleProof};
+pub use sha256::{Digest, Sha256};

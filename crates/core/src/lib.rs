@@ -1,0 +1,60 @@
+//! # rtem-core — the decentralized real-time energy-metering architecture
+//!
+//! Primary crate of the `rtem` workspace, a from-scratch reproduction of
+//! *Real-Time Energy Monitoring in IoT-enabled Mobile Devices*
+//! (Shivaraman et al., DATE 2020, arXiv:2004.14804).
+//!
+//! The paper proposes an architecture in which IoT-enabled devices meter
+//! their own consumption, report it to a trusted per-network aggregator,
+//! stay billable to their home network while charging elsewhere (device
+//! mobility), and have their data stored in a consensus-free permissioned
+//! hash chain. This crate assembles the substrate crates into that
+//! architecture and provides the experiment harnesses:
+//!
+//! * [`simulation`] — the [`World`](simulation::World): devices, aggregators,
+//!   grids, MQTT broker and backhaul driven by simulated time (the
+//!   replacement for the paper's hardware testbed).
+//! * [`scenario`] — builders for the paper's testbed topology and variants.
+//! * [`metrics`] — Fig. 5 accuracy windows, Thandshake statistics, run
+//!   summaries.
+//! * [`mobility`] — the Fig. 6 mobility experiment and the 15-run
+//!   Thandshake statistic.
+//! * [`centralized`] — the centralized-metering baseline.
+//! * [`consensus`] — device-level quorum consensus (future-work extension).
+//! * [`loadbalance`] — dynamic load balancing of mobile devices
+//!   (future-work extension).
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use rtem_core::scenario::ScenarioBuilder;
+//! use rtem_sim::time::SimTime;
+//!
+//! // Build the paper's two-network testbed and run it for a minute.
+//! let mut world = ScenarioBuilder::paper_testbed(42).build();
+//! world.run_until(SimTime::from_secs(60));
+//! let metrics = world.metrics();
+//! assert_eq!(metrics.networks.len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod centralized;
+pub mod consensus;
+pub mod loadbalance;
+pub mod metrics;
+pub mod mobility;
+pub mod scenario;
+pub mod simulation;
+
+pub use centralized::{CapabilityMatrix, CentralizedMeter, MeteringComparison};
+pub use consensus::{ConsensusError, QuorumConsensus, RoundOutcome, Vote};
+pub use loadbalance::{plan_balance, BalancePlan, NetworkLoad, Relocation};
+pub use metrics::{
+    accuracy_windows, device_trace, AccuracyWindow, DeviceTrace, HandshakeStats, NetworkSummary,
+    WorldMetrics,
+};
+pub use mobility::{run_mobility, thandshake_statistics, MobilityConfig, MobilityOutcome};
+pub use scenario::{DeviceLoad, ScenarioBuilder};
+pub use simulation::{World, WorldConfig};

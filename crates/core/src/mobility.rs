@@ -1,0 +1,203 @@
+//! The device-mobility experiment (Fig. 6 and the Thandshake statistics).
+//!
+//! A device charges in its home network (Network 1), is unplugged and moved
+//! (Idle — no consumption, nothing billed), then plugs into a foreign
+//! network (Network 2). There it is Nack'ed / verified / granted a temporary
+//! membership (Thandshake), transmits its live and locally stored
+//! consumption, and the foreign aggregator forwards everything to the home
+//! aggregator for consolidated billing.
+
+use crate::metrics::{device_trace, DeviceTrace, HandshakeStats};
+use crate::scenario::ScenarioBuilder;
+use rtem_device::network_mgmt::HandshakeBreakdown;
+use rtem_net::packet::{AggregatorAddr, DeviceId};
+use rtem_sim::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of one mobility run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MobilityConfig {
+    /// Scenario to build (normally the paper's two-network testbed).
+    pub scenario: ScenarioBuilder,
+    /// The device that moves (defaults to device 1 of network 0).
+    pub mobile_device: DeviceId,
+    /// Home network of the mobile device.
+    pub home: AggregatorAddr,
+    /// Destination network.
+    pub destination: AggregatorAddr,
+    /// When the device is unplugged from the home network.
+    pub unplug_at: SimTime,
+    /// How long the device is in transit (the Idle span in Fig. 6).
+    pub transit: SimDuration,
+    /// How long to keep simulating after the device re-plugs.
+    pub settle: SimDuration,
+}
+
+impl MobilityConfig {
+    /// The paper's configuration: one hour in the home network (scaled down
+    /// to 60 s of simulated charging by default to keep unit tests fast —
+    /// the bench harness uses the full hour), ~20 s of transit, then
+    /// reporting resumes in Network 2.
+    pub fn testbed(seed: u64) -> Self {
+        MobilityConfig {
+            scenario: ScenarioBuilder::paper_testbed(seed),
+            mobile_device: ScenarioBuilder::device_id(0, 0),
+            home: ScenarioBuilder::network_addr(0),
+            destination: ScenarioBuilder::network_addr(1),
+            unplug_at: SimTime::from_secs(60),
+            transit: SimDuration::from_secs(20),
+            settle: SimDuration::from_secs(60),
+        }
+    }
+}
+
+/// Result of one mobility run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MobilityOutcome {
+    /// The moving device.
+    pub device: DeviceId,
+    /// When the device left the home network.
+    pub disconnected_at: SimTime,
+    /// When the device plugged into the destination network.
+    pub reconnected_at: SimTime,
+    /// Thandshake: per-phase breakdown of the temporary registration.
+    pub handshake: Option<HandshakeBreakdown>,
+    /// The device's consumption trace as seen by the home aggregator
+    /// (local reports before the move, forwarded reports after — Fig. 6).
+    pub home_view: Option<DeviceTrace>,
+    /// The device's consumption trace as seen by the destination aggregator.
+    pub destination_view: Option<DeviceTrace>,
+    /// Charge billed by the home network for consumption in the foreign
+    /// network, in microamp-seconds.
+    pub roaming_charge_uas: u64,
+    /// Total charge billed by the home network, in microamp-seconds.
+    pub total_charge_uas: u64,
+    /// Number of records that arrived backfilled (buffered across the gap).
+    pub backfilled_records: u64,
+}
+
+impl MobilityOutcome {
+    /// Thandshake in seconds, if the handshake completed.
+    pub fn thandshake_secs(&self) -> Option<f64> {
+        self.handshake.map(|h| h.total().as_secs_f64())
+    }
+}
+
+/// Runs one mobility experiment.
+pub fn run_mobility(config: &MobilityConfig) -> MobilityOutcome {
+    let mut world = config.scenario.build();
+    let device = config.mobile_device;
+    let replug_at = config.unplug_at + config.transit;
+    let horizon = replug_at + config.settle;
+
+    world.schedule_unplug(config.unplug_at, device);
+    world.schedule_plug_in(replug_at, device, config.destination);
+    world.run_until(horizon);
+
+    let home_agg = world.aggregator(config.home).expect("home network exists");
+    let bill = home_agg.billing().bill(device);
+    MobilityOutcome {
+        device,
+        disconnected_at: config.unplug_at,
+        reconnected_at: replug_at,
+        handshake: world.device(device).and_then(|d| d.last_handshake()),
+        home_view: device_trace(&world, config.home, device),
+        destination_view: device_trace(&world, config.destination, device),
+        roaming_charge_uas: bill.map(|b| b.roaming_charge_uas).unwrap_or(0),
+        total_charge_uas: bill.map(|b| b.charge_uas).unwrap_or(0),
+        backfilled_records: bill.map(|b| b.backfilled_records).unwrap_or(0),
+    }
+}
+
+/// Runs the mobility experiment `runs` times with different seeds and returns
+/// the Thandshake statistics (the paper reports 15 runs: mean 6 s, range
+/// 5.5–6.5 s).
+pub fn thandshake_statistics(base_seed: u64, runs: usize) -> (Vec<MobilityOutcome>, Option<HandshakeStats>) {
+    let mut outcomes = Vec::with_capacity(runs);
+    for i in 0..runs {
+        let config = MobilityConfig::testbed(base_seed + i as u64);
+        outcomes.push(run_mobility(&config));
+    }
+    let breakdowns: Vec<HandshakeBreakdown> =
+        outcomes.iter().filter_map(|o| o.handshake).collect();
+    let stats = HandshakeStats::from_breakdowns(&breakdowns);
+    (outcomes, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config(seed: u64) -> MobilityConfig {
+        let mut config = MobilityConfig::testbed(seed);
+        // Shorter home phase keeps the unit test fast; behaviour is the same.
+        config.unplug_at = SimTime::from_secs(30);
+        config.transit = SimDuration::from_secs(10);
+        config.settle = SimDuration::from_secs(40);
+        config
+    }
+
+    #[test]
+    fn mobility_produces_temporary_membership_and_roaming_billing() {
+        let outcome = run_mobility(&quick_config(11));
+        assert!(outcome.handshake.is_some(), "handshake must complete");
+        assert!(
+            outcome.roaming_charge_uas > 0,
+            "home network must bill foreign consumption"
+        );
+        assert!(outcome.total_charge_uas > outcome.roaming_charge_uas);
+        assert!(outcome.backfilled_records > 0, "buffered records must arrive");
+    }
+
+    #[test]
+    fn thandshake_is_in_the_papers_band() {
+        let outcome = run_mobility(&quick_config(12));
+        let t = outcome.thandshake_secs().unwrap();
+        assert!((5.0..7.0).contains(&t), "Thandshake {t} s");
+    }
+
+    #[test]
+    fn home_view_covers_both_phases() {
+        let config = quick_config(13);
+        let outcome = run_mobility(&config);
+        let view = outcome.home_view.expect("home aggregator has the trace");
+        let before = view
+            .points
+            .iter()
+            .filter(|(t, _)| *t < config.unplug_at.as_secs_f64())
+            .count();
+        let after = view
+            .points
+            .iter()
+            .filter(|(t, _)| *t > outcome.reconnected_at.as_secs_f64())
+            .count();
+        assert!(before > 0, "reports before the move");
+        assert!(after > 0, "forwarded reports after the move");
+        // Nothing is billed during the transit gap.
+        let during = view
+            .points
+            .iter()
+            .filter(|(t, v)| {
+                *t > config.unplug_at.as_secs_f64()
+                    && *t < outcome.reconnected_at.as_secs_f64()
+                    && *v > 0.0
+            })
+            .count();
+        assert_eq!(during, 0, "no consumption reported while in transit");
+    }
+
+    #[test]
+    fn statistics_over_multiple_runs_match_the_paper() {
+        // 5 runs (instead of the paper's 15) keeps the test quick; the bench
+        // harness runs the full 15.
+        let mut durations = Vec::new();
+        for seed in 0..5u64 {
+            let outcome = run_mobility(&quick_config(100 + seed));
+            durations.push(outcome.thandshake_secs().unwrap());
+        }
+        let stats = HandshakeStats::from_durations(&durations);
+        assert!((5.3..6.7).contains(&stats.mean_s), "mean {}", stats.mean_s);
+        assert!(stats.min_s >= 5.0, "min {}", stats.min_s);
+        assert!(stats.max_s <= 7.0, "max {}", stats.max_s);
+    }
+}

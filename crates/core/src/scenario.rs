@@ -1,0 +1,208 @@
+//! Ready-made scenarios mirroring the paper's experimental setup.
+//!
+//! The testbed of §III-A has two networks, each with two ESP32 devices and
+//! one Raspberry Pi aggregator; devices report every 100 ms. The builders in
+//! this module construct [`World`]s with that shape (and parameterized
+//! variants used by the scalability and ablation experiments).
+
+use crate::simulation::{World, WorldConfig};
+use rtem_device::application::Tariff;
+use rtem_device::device::MeteringDevice;
+use rtem_device::middleware::DeviceConfig;
+use rtem_device::network_mgmt::HandshakeTiming;
+use rtem_net::packet::{AggregatorAddr, DeviceId};
+use rtem_net::rssi::Position;
+use rtem_sensors::ina219::Ina219Config;
+use rtem_sensors::profile::{ChargingProfile, CompositeProfile, WifiBurstProfile};
+use rtem_sim::prelude::*;
+
+/// Which load is attached to each generated device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceLoad {
+    /// An ESP32-class device charging a small battery while reporting.
+    EspCharging,
+    /// An e-scooter style fast charge.
+    EScooter,
+    /// Only the reporting firmware (idle device), the lightest load.
+    ReportingOnly,
+}
+
+/// Builder for testbed-like scenarios.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioBuilder {
+    /// Number of networks (aggregators).
+    pub networks: u32,
+    /// Devices initially plugged into each network.
+    pub devices_per_network: u32,
+    /// Load profile attached to every device.
+    pub load: DeviceLoad,
+    /// World configuration (Tmeasure, link quality, windows, seed).
+    pub world: WorldConfig,
+    /// Handshake timing used by the devices.
+    pub handshake: HandshakeTiming,
+    /// Sensor model used by the devices.
+    pub sensor: Ina219Config,
+}
+
+impl Default for ScenarioBuilder {
+    fn default() -> Self {
+        ScenarioBuilder {
+            networks: 2,
+            devices_per_network: 2,
+            load: DeviceLoad::EspCharging,
+            world: WorldConfig::default(),
+            handshake: HandshakeTiming::testbed(),
+            sensor: Ina219Config::testbed(),
+        }
+    }
+}
+
+impl ScenarioBuilder {
+    /// The paper's testbed: two networks, two charging devices each.
+    pub fn paper_testbed(seed: u64) -> Self {
+        ScenarioBuilder {
+            world: WorldConfig {
+                seed,
+                ..WorldConfig::default()
+            },
+            ..ScenarioBuilder::default()
+        }
+    }
+
+    /// A single network with `devices` devices (scalability sweeps).
+    pub fn single_network(devices: u32, seed: u64) -> Self {
+        ScenarioBuilder {
+            networks: 1,
+            devices_per_network: devices,
+            world: WorldConfig {
+                seed,
+                ..WorldConfig::default()
+            },
+            ..ScenarioBuilder::default()
+        }
+    }
+
+    /// Sets the per-device load.
+    pub fn with_load(mut self, load: DeviceLoad) -> Self {
+        self.load = load;
+        self
+    }
+
+    /// Sets the verification window length.
+    pub fn with_verification_window(mut self, window: SimDuration) -> Self {
+        self.world.verification_window = window;
+        self
+    }
+
+    /// Sets the device sensor model (e.g. [`Ina219Config::ideal`] for the
+    /// error-decomposition ablation).
+    pub fn with_sensor(mut self, sensor: Ina219Config) -> Self {
+        self.sensor = sensor;
+        self
+    }
+
+    /// Address of the `i`-th network (1-based in the paper's figures).
+    pub fn network_addr(i: u32) -> AggregatorAddr {
+        AggregatorAddr(i + 1)
+    }
+
+    /// Id of the `j`-th device of the `i`-th network.
+    pub fn device_id(network: u32, j: u32) -> DeviceId {
+        DeviceId(u64::from(network) * 100 + u64::from(j) + 1)
+    }
+
+    fn build_load(&self, rng: &SimRng, stream: u64) -> CompositeProfile {
+        let composite = CompositeProfile::new();
+        match self.load {
+            DeviceLoad::EspCharging => composite
+                .push(ChargingProfile::esp32_testbed(rng.derive(stream)))
+                .push(WifiBurstProfile::esp32_reporting(rng.derive(stream + 1))),
+            DeviceLoad::EScooter => composite
+                .push(ChargingProfile::e_scooter(rng.derive(stream)))
+                .push(WifiBurstProfile::esp32_reporting(rng.derive(stream + 1))),
+            DeviceLoad::ReportingOnly => {
+                composite.push(WifiBurstProfile::esp32_reporting(rng.derive(stream)))
+            }
+        }
+    }
+
+    /// Builds the world: networks placed 200 m apart, every device plugged
+    /// into its home network at t = 0.
+    pub fn build(&self) -> World {
+        let mut world = World::new(self.world.clone());
+        let rng = SimRng::seed_from_u64(self.world.seed ^ 0x5CEA_A210);
+        for n in 0..self.networks {
+            let addr = Self::network_addr(n);
+            world.add_network(addr, Position::new(200.0 * f64::from(n), 0.0));
+        }
+        for n in 0..self.networks {
+            let addr = Self::network_addr(n);
+            for j in 0..self.devices_per_network {
+                let id = Self::device_id(n, j);
+                let load = self.build_load(&rng, u64::from(n) * 1000 + u64::from(j) * 10);
+                let device = MeteringDevice::new(
+                    DeviceConfig::testbed(id),
+                    load,
+                    self.sensor,
+                    self.handshake,
+                    Tariff::default(),
+                    rng.derive(0xDE71CE + id.0),
+                );
+                world.add_device(device);
+                world.plug_in_now(id, addr);
+            }
+        }
+        world
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_testbed_has_expected_shape() {
+        let world = ScenarioBuilder::paper_testbed(7).build();
+        assert_eq!(world.network_addresses().len(), 2);
+        assert_eq!(world.device_ids().len(), 4);
+        for id in world.device_ids() {
+            assert!(world.device_network(id).is_some(), "device {id} plugged in");
+        }
+    }
+
+    #[test]
+    fn single_network_scales_device_count() {
+        let world = ScenarioBuilder::single_network(6, 1).build();
+        assert_eq!(world.network_addresses().len(), 1);
+        assert_eq!(world.device_ids().len(), 6);
+    }
+
+    #[test]
+    fn ids_are_unique_across_networks() {
+        let a = ScenarioBuilder::device_id(0, 0);
+        let b = ScenarioBuilder::device_id(1, 0);
+        let c = ScenarioBuilder::device_id(0, 1);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn builder_customization_applies() {
+        let builder = ScenarioBuilder::paper_testbed(1)
+            .with_load(DeviceLoad::ReportingOnly)
+            .with_verification_window(SimDuration::from_secs(5))
+            .with_sensor(Ina219Config::ideal());
+        assert_eq!(builder.load, DeviceLoad::ReportingOnly);
+        assert_eq!(builder.world.verification_window, SimDuration::from_secs(5));
+        assert_eq!(builder.sensor, Ina219Config::ideal());
+    }
+
+    #[test]
+    fn same_seed_builds_identical_initial_conditions() {
+        let a = ScenarioBuilder::paper_testbed(5).build();
+        let b = ScenarioBuilder::paper_testbed(5).build();
+        assert_eq!(a.device_ids(), b.device_ids());
+        assert_eq!(a.network_addresses(), b.network_addresses());
+    }
+}

@@ -1,0 +1,597 @@
+//! The simulated world: devices, aggregators, grids, broker and backhaul
+//! wired together and driven by the discrete-event scheduler.
+//!
+//! This is the substitute for the paper's physical testbed (Fig. 4): where
+//! the authors wire ESP32 boards, INA219 sensors and Raspberry Pis together,
+//! [`World`] wires [`MeteringDevice`]s, [`Aggregator`]s, a [`GridNetwork`]
+//! per WAN, an MQTT broker and the aggregator backhaul, and advances them
+//! with simulated time.
+
+use crate::metrics::WorldMetrics;
+use bytes::Bytes;
+use rtem_aggregator::aggregator::{Aggregator, AggregatorConfig};
+use rtem_device::device::MeteringDevice;
+use rtem_net::backhaul::BackhaulMesh;
+use rtem_net::broker::{ClientId, MqttBroker, QoS};
+use rtem_net::link::LinkConfig;
+use rtem_net::packet::{AggregatorAddr, DeviceId, Packet};
+use rtem_net::rssi::{PathLossModel, Position, RadioEnvironment};
+use rtem_sensors::grid::{Branch, BranchId, GridNetwork};
+use rtem_sim::prelude::*;
+use std::collections::BTreeMap;
+
+/// Events driving the world.
+#[derive(Debug, Clone, PartialEq)]
+enum WorldEvent {
+    /// A device's Tmeasure timer fired.
+    MeasureTick(DeviceId),
+    /// An aggregator samples its own system-level sensor.
+    UpstreamSample(AggregatorAddr),
+    /// An aggregator closes its verification window and seals a block.
+    WindowEnd(AggregatorAddr),
+    /// Drain the MQTT broker.
+    BrokerPoll,
+    /// Drain the backhaul mesh.
+    BackhaulPoll,
+    /// Scripted: plug a device into a network.
+    PlugIn {
+        device: DeviceId,
+        network: AggregatorAddr,
+    },
+    /// Scripted: unplug a device.
+    Unplug(DeviceId),
+    /// Scripted: the home network removes a device (loss / ownership change).
+    RemoveDevice {
+        device: DeviceId,
+        home: AggregatorAddr,
+    },
+}
+
+/// Static parameters of the world.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorldConfig {
+    /// Reporting interval of every device (Tmeasure).
+    pub t_measure: SimDuration,
+    /// Interval between the aggregator's own upstream samples.
+    pub upstream_sample_interval: SimDuration,
+    /// Length of one verification window (one sealed block per window).
+    pub verification_window: SimDuration,
+    /// Access-link quality between devices and their aggregator's broker.
+    pub wifi: LinkConfig,
+    /// Backhaul link quality between aggregators.
+    pub backhaul: LinkConfig,
+    /// Random seed for the whole world.
+    pub seed: u64,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        WorldConfig {
+            t_measure: SimDuration::from_millis(100),
+            upstream_sample_interval: SimDuration::from_millis(100),
+            verification_window: SimDuration::from_secs(10),
+            wifi: LinkConfig::wifi(),
+            backhaul: LinkConfig::backhaul(),
+            seed: 42,
+        }
+    }
+}
+
+struct NetworkSite {
+    aggregator: Aggregator,
+    grid: GridNetwork,
+    position: Position,
+    client: ClientId,
+}
+
+/// The composed simulation world.
+pub struct World {
+    config: WorldConfig,
+    scheduler: Scheduler<WorldEvent>,
+    devices: BTreeMap<DeviceId, MeteringDevice>,
+    device_clients: BTreeMap<DeviceId, ClientId>,
+    device_sites: BTreeMap<DeviceId, (AggregatorAddr, BranchId)>,
+    sites: BTreeMap<AggregatorAddr, NetworkSite>,
+    broker: MqttBroker,
+    backhaul: BackhaulMesh,
+    radio: RadioEnvironment,
+    rng: SimRng,
+}
+
+impl core::fmt::Debug for World {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("World")
+            .field("now", &self.now())
+            .field("devices", &self.devices.len())
+            .field("networks", &self.sites.len())
+            .finish()
+    }
+}
+
+fn device_client(device: DeviceId) -> ClientId {
+    ClientId(device.0)
+}
+
+fn aggregator_client(addr: AggregatorAddr) -> ClientId {
+    ClientId(1_000_000 + u64::from(addr.0))
+}
+
+fn uplink_topic(addr: AggregatorAddr) -> String {
+    format!("metering/agg-{}/uplink", addr.0)
+}
+
+fn downlink_topic(device: DeviceId) -> String {
+    format!("metering/dev-{}/downlink", device.0)
+}
+
+impl World {
+    /// Creates an empty world.
+    pub fn new(config: WorldConfig) -> Self {
+        let rng = SimRng::seed_from_u64(config.seed);
+        World {
+            scheduler: Scheduler::new(),
+            devices: BTreeMap::new(),
+            device_clients: BTreeMap::new(),
+            device_sites: BTreeMap::new(),
+            sites: BTreeMap::new(),
+            broker: MqttBroker::new(rng.derive(1)),
+            backhaul: BackhaulMesh::new(rng.derive(2)),
+            radio: RadioEnvironment::new(PathLossModel::default()),
+            rng,
+            config,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.scheduler.now()
+    }
+
+    /// The world configuration.
+    pub fn config(&self) -> &WorldConfig {
+        &self.config
+    }
+
+    /// Adds a network (aggregator + its grid) at `position`.
+    pub fn add_network(&mut self, addr: AggregatorAddr, position: Position) {
+        let aggregator = Aggregator::new(
+            AggregatorConfig::testbed(addr),
+            self.rng.derive(0xA000 + u64::from(addr.0)),
+        );
+        let client = aggregator_client(addr);
+        self.broker.connect(client, LinkConfig::ideal());
+        self.broker
+            .subscribe(client, &uplink_topic(addr))
+            .expect("aggregator subscription");
+        self.backhaul.join(addr);
+        for other in self.sites.keys().copied().collect::<Vec<_>>() {
+            self.backhaul.connect(addr, other, self.config.backhaul);
+        }
+        self.radio.place_aggregator(addr, position);
+        self.sites.insert(
+            addr,
+            NetworkSite {
+                aggregator,
+                grid: GridNetwork::new(),
+                position,
+                client,
+            },
+        );
+        // Periodic aggregator-side sampling and verification windows.
+        self.scheduler.schedule(
+            SimTime::ZERO + self.config.upstream_sample_interval,
+            WorldEvent::UpstreamSample(addr),
+        );
+        self.scheduler.schedule(
+            SimTime::ZERO + self.config.verification_window,
+            WorldEvent::WindowEnd(addr),
+        );
+    }
+
+    /// Adds a device to the world. The device is initially unplugged; use
+    /// [`plug_in_now`](Self::plug_in_now) or [`schedule_plug_in`](Self::schedule_plug_in)
+    /// to connect it to a network.
+    pub fn add_device(&mut self, mut device: MeteringDevice) {
+        let id = device.id();
+        device.boot(self.now());
+        let client = device_client(id);
+        self.broker.connect(client, self.config.wifi);
+        self.broker
+            .subscribe(client, &downlink_topic(id))
+            .expect("device subscription");
+        self.device_clients.insert(id, client);
+        self.devices.insert(id, device);
+        // Start the measurement timer.
+        self.scheduler.schedule(
+            self.now() + self.config.t_measure,
+            WorldEvent::MeasureTick(id),
+        );
+    }
+
+    /// Immediately plugs `device` into `network`'s grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device or the network does not exist.
+    pub fn plug_in_now(&mut self, device: DeviceId, network: AggregatorAddr) {
+        let now = self.now();
+        self.do_plug_in(device, network, now);
+    }
+
+    /// Schedules a plug-in at an absolute time.
+    pub fn schedule_plug_in(&mut self, at: SimTime, device: DeviceId, network: AggregatorAddr) {
+        self.scheduler
+            .schedule(at, WorldEvent::PlugIn { device, network });
+    }
+
+    /// Schedules an unplug at an absolute time.
+    pub fn schedule_unplug(&mut self, at: SimTime, device: DeviceId) {
+        self.scheduler.schedule(at, WorldEvent::Unplug(device));
+    }
+
+    /// Schedules the home network removing a device (sequence 3 of Fig. 3).
+    pub fn schedule_remove_device(&mut self, at: SimTime, device: DeviceId, home: AggregatorAddr) {
+        self.scheduler
+            .schedule(at, WorldEvent::RemoveDevice { device, home });
+    }
+
+    /// Runs the world until `horizon`.
+    pub fn run_until(&mut self, horizon: SimTime) {
+        // The scheduler needs the world's maps, so the loop lives here rather
+        // than in a closure passed to Scheduler::run_until.
+        loop {
+            let Some(next) = self.scheduler.queue_mut().peek_time() else {
+                break;
+            };
+            if next > horizon {
+                break;
+            }
+            let event = self.scheduler.queue_mut().pop().expect("peeked event");
+            self.dispatch(event.payload, event.at);
+        }
+    }
+
+    fn dispatch(&mut self, event: WorldEvent, now: SimTime) {
+        match event {
+            WorldEvent::MeasureTick(device_id) => {
+                self.handle_measure_tick(device_id, now);
+            }
+            WorldEvent::UpstreamSample(addr) => {
+                self.handle_upstream_sample(addr, now);
+            }
+            WorldEvent::WindowEnd(addr) => {
+                if let Some(site) = self.sites.get_mut(&addr) {
+                    site.aggregator.end_window(now);
+                }
+                self.scheduler.schedule(
+                    now + self.config.verification_window,
+                    WorldEvent::WindowEnd(addr),
+                );
+            }
+            WorldEvent::BrokerPoll => self.drain_broker(now),
+            WorldEvent::BackhaulPoll => self.drain_backhaul(now),
+            WorldEvent::PlugIn { device, network } => self.do_plug_in(device, network, now),
+            WorldEvent::Unplug(device) => self.do_unplug(device, now),
+            WorldEvent::RemoveDevice { device, home } => {
+                if let Some(site) = self.sites.get_mut(&home) {
+                    let out = site.aggregator.handle_backhaul(
+                        home,
+                        &Packet::RemoveDevice { device },
+                        now,
+                    );
+                    self.route_aggregator_output(home, out, now);
+                }
+            }
+        }
+    }
+
+    fn handle_measure_tick(&mut self, device_id: DeviceId, now: SimTime) {
+        let outbound = {
+            let Some(device) = self.devices.get_mut(&device_id) else {
+                return;
+            };
+            device.on_measure_tick(now, &self.radio)
+        };
+        for out in outbound {
+            self.publish_uplink(device_id, out.to, out.packet, now);
+        }
+        self.scheduler.schedule(
+            now + self.config.t_measure,
+            WorldEvent::MeasureTick(device_id),
+        );
+        self.arm_broker_poll(now);
+    }
+
+    fn handle_upstream_sample(&mut self, addr: AggregatorAddr, now: SimTime) {
+        // Ground truth: sum the true currents of devices plugged into this
+        // network's grid, evaluate the grid (losses) and let the aggregator's
+        // own sensor observe the upstream total.
+        let mut loads: Vec<(BranchId, rtem_sensors::energy::Milliamps)> = Vec::new();
+        for (&device_id, &(site_addr, branch)) in &self.device_sites {
+            if site_addr == addr {
+                if let Some(device) = self.devices.get_mut(&device_id) {
+                    loads.push((branch, device.true_grid_current(now)));
+                }
+            }
+        }
+        if let Some(site) = self.sites.get_mut(&addr) {
+            let snapshot = site.grid.evaluate(&loads);
+            site.aggregator.observe_upstream(now, snapshot.upstream_total);
+        }
+        self.scheduler.schedule(
+            now + self.config.upstream_sample_interval,
+            WorldEvent::UpstreamSample(addr),
+        );
+    }
+
+    fn do_plug_in(&mut self, device_id: DeviceId, network: AggregatorAddr, now: SimTime) {
+        assert!(self.devices.contains_key(&device_id), "unknown device");
+        // Remove from the previous grid, if any.
+        if let Some((old_addr, old_branch)) = self.device_sites.remove(&device_id) {
+            if let Some(old_site) = self.sites.get_mut(&old_addr) {
+                old_site.grid.remove_branch(old_branch);
+            }
+        }
+        let site = self.sites.get_mut(&network).expect("unknown network");
+        let branch = site.grid.add_branch(Branch::default());
+        let position = Position::new(site.position.x + 2.0, site.position.y + 1.0);
+        self.device_sites.insert(device_id, (network, branch));
+        let device = self.devices.get_mut(&device_id).expect("device exists");
+        device.plug_in(now, branch, position);
+    }
+
+    fn do_unplug(&mut self, device_id: DeviceId, now: SimTime) {
+        if let Some((addr, branch)) = self.device_sites.remove(&device_id) {
+            if let Some(site) = self.sites.get_mut(&addr) {
+                site.grid.remove_branch(branch);
+            }
+        }
+        if let Some(device) = self.devices.get_mut(&device_id) {
+            device.unplug(now);
+        }
+    }
+
+    fn publish_uplink(
+        &mut self,
+        device_id: DeviceId,
+        to: AggregatorAddr,
+        packet: Packet,
+        now: SimTime,
+    ) {
+        let client = self.device_clients[&device_id];
+        let payload = Bytes::from(packet.encode());
+        let _ = self
+            .broker
+            .publish(client, &uplink_topic(to), payload, QoS::AtLeastOnce, now);
+        self.arm_broker_poll(now);
+    }
+
+    fn publish_downlink(&mut self, from: AggregatorAddr, packet: Packet, now: SimTime) {
+        let Some(device) = packet.device() else {
+            return;
+        };
+        let site_client = self.sites[&from].client;
+        let payload = Bytes::from(packet.encode());
+        let _ = self.broker.publish(
+            site_client,
+            &downlink_topic(device),
+            payload,
+            QoS::AtLeastOnce,
+            now,
+        );
+        self.arm_broker_poll(now);
+    }
+
+    fn arm_broker_poll(&mut self, now: SimTime) {
+        if let Some(at) = self.broker.next_delivery_at() {
+            let at = if at <= now { now } else { at };
+            self.scheduler.schedule(at, WorldEvent::BrokerPoll);
+        }
+    }
+
+    fn arm_backhaul_poll(&mut self, now: SimTime) {
+        if let Some(at) = self.backhaul.next_delivery_at() {
+            let at = if at <= now { now } else { at };
+            self.scheduler.schedule(at, WorldEvent::BackhaulPoll);
+        }
+    }
+
+    fn drain_broker(&mut self, now: SimTime) {
+        let deliveries = self.broker.drain_due(now);
+        for delivery in deliveries {
+            let Ok(packet) = Packet::decode(&delivery.payload) else {
+                continue;
+            };
+            // Uplink to an aggregator?
+            if let Some((&addr, _)) = self
+                .sites
+                .iter()
+                .find(|(_, site)| site.client == delivery.to)
+            {
+                let out = {
+                    let site = self.sites.get_mut(&addr).expect("site exists");
+                    site.aggregator.handle_device_packet(&packet, now)
+                };
+                self.route_aggregator_output(addr, out, now);
+                continue;
+            }
+            // Downlink to a device?
+            if let Some((&device_id, _)) = self
+                .device_clients
+                .iter()
+                .find(|(_, &client)| client == delivery.to)
+            {
+                let outbound = {
+                    let device = self.devices.get_mut(&device_id).expect("device exists");
+                    device.on_packet(&packet, now)
+                };
+                for out in outbound {
+                    self.publish_uplink(device_id, out.to, out.packet, now);
+                }
+            }
+        }
+        self.arm_broker_poll(now);
+    }
+
+    fn drain_backhaul(&mut self, now: SimTime) {
+        let deliveries = self.backhaul.drain_due(now);
+        for delivery in deliveries {
+            let out = {
+                let Some(site) = self.sites.get_mut(&delivery.to) else {
+                    continue;
+                };
+                site.aggregator
+                    .handle_backhaul(delivery.from, &delivery.packet, now)
+            };
+            self.route_aggregator_output(delivery.to, out, now);
+        }
+        self.arm_backhaul_poll(now);
+    }
+
+    fn route_aggregator_output(
+        &mut self,
+        from: AggregatorAddr,
+        out: rtem_aggregator::aggregator::AggregatorOutput,
+        now: SimTime,
+    ) {
+        for packet in out.to_devices {
+            self.publish_downlink(from, packet, now);
+        }
+        for (to, packet) in out.to_aggregators {
+            let _ = self.backhaul.send(from, to, packet, now);
+        }
+        self.arm_backhaul_poll(now);
+        self.arm_broker_poll(now);
+    }
+
+    /// Shared access to an aggregator.
+    pub fn aggregator(&self, addr: AggregatorAddr) -> Option<&Aggregator> {
+        self.sites.get(&addr).map(|s| &s.aggregator)
+    }
+
+    /// Mutable access to an aggregator (used by the tamper experiments).
+    pub fn aggregator_mut(&mut self, addr: AggregatorAddr) -> Option<&mut Aggregator> {
+        self.sites.get_mut(&addr).map(|s| &mut s.aggregator)
+    }
+
+    /// Shared access to a device.
+    pub fn device(&self, id: DeviceId) -> Option<&MeteringDevice> {
+        self.devices.get(&id)
+    }
+
+    /// Network a device is currently plugged into, if any.
+    pub fn device_network(&self, id: DeviceId) -> Option<AggregatorAddr> {
+        self.device_sites.get(&id).map(|(addr, _)| *addr)
+    }
+
+    /// All aggregator addresses in the world.
+    pub fn network_addresses(&self) -> Vec<AggregatorAddr> {
+        self.sites.keys().copied().collect()
+    }
+
+    /// All device ids in the world.
+    pub fn device_ids(&self) -> Vec<DeviceId> {
+        self.devices.keys().copied().collect()
+    }
+
+    /// Collects the summary metrics of the run so far.
+    pub fn metrics(&self) -> WorldMetrics {
+        WorldMetrics::collect(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtem_device::device::MeteringDevice;
+    use rtem_sensors::profile::ConstantProfile;
+
+    fn two_network_world() -> World {
+        let mut world = World::new(WorldConfig {
+            verification_window: SimDuration::from_secs(5),
+            ..WorldConfig::default()
+        });
+        world.add_network(AggregatorAddr(1), Position::new(0.0, 0.0));
+        world.add_network(AggregatorAddr(2), Position::new(200.0, 0.0));
+        for i in 0..2u64 {
+            let device = MeteringDevice::testbed(
+                DeviceId(i + 1),
+                ConstantProfile::new(150.0),
+                SimRng::seed_from_u64(100 + i),
+            );
+            world.add_device(device);
+            world.plug_in_now(DeviceId(i + 1), AggregatorAddr(1));
+        }
+        world
+    }
+
+    #[test]
+    fn devices_register_and_report_through_the_broker() {
+        let mut world = two_network_world();
+        // Handshake (~6 s) plus some reporting time.
+        world.run_until(SimTime::from_secs(30));
+        let agg = world.aggregator(AggregatorAddr(1)).unwrap();
+        assert_eq!(agg.registry().len(), 2, "both devices registered");
+        assert!(agg.reports_accepted() > 10, "reports flowed");
+        assert!(agg.ledger().chain().len() > 2, "blocks were sealed");
+        for id in [1u64, 2] {
+            assert!(world.device(DeviceId(id)).unwrap().is_registered());
+            assert!(agg.ledger().account(id).unwrap().entries > 0);
+        }
+    }
+
+    #[test]
+    fn aggregator_measurement_exceeds_reported_sum() {
+        let mut world = two_network_world();
+        world.run_until(SimTime::from_secs(40));
+        let agg = world.aggregator(AggregatorAddr(1)).unwrap();
+        let measured = agg.network_series().stats().mean;
+        // Two devices at 150 mA: upstream must be above 300 mA (losses) but
+        // not wildly so.
+        assert!(measured > 300.0, "measured mean {measured}");
+        assert!(measured < 330.0, "measured mean {measured}");
+    }
+
+    #[test]
+    fn mobility_nack_then_temporary_membership() {
+        let mut world = two_network_world();
+        // Let device 1 settle in network 1, then move it to network 2.
+        world.schedule_unplug(SimTime::from_secs(30), DeviceId(1));
+        world.schedule_plug_in(SimTime::from_secs(50), DeviceId(1), AggregatorAddr(2));
+        world.run_until(SimTime::from_secs(90));
+
+        let device = world.device(DeviceId(1)).unwrap();
+        assert!(device.is_registered());
+        assert_eq!(device.master(), Some(AggregatorAddr(1)));
+        assert_eq!(world.device_network(DeviceId(1)), Some(AggregatorAddr(2)));
+        // The foreign aggregator holds a temporary membership...
+        let foreign = world.aggregator(AggregatorAddr(2)).unwrap();
+        assert!(foreign.registry().is_member(DeviceId(1)));
+        // ...and the home aggregator received forwarded (roaming) consumption.
+        let home = world.aggregator(AggregatorAddr(1)).unwrap();
+        let bill = home.billing().bill(DeviceId(1)).unwrap();
+        assert!(bill.roaming_charge_uas > 0, "roaming consumption billed at home");
+    }
+
+    #[test]
+    fn removed_device_cannot_rejoin() {
+        let mut world = two_network_world();
+        world.run_until(SimTime::from_secs(20));
+        world.schedule_remove_device(SimTime::from_secs(21), DeviceId(2), AggregatorAddr(1));
+        world.schedule_unplug(SimTime::from_secs(22), DeviceId(2));
+        world.schedule_plug_in(SimTime::from_secs(25), DeviceId(2), AggregatorAddr(1));
+        world.run_until(SimTime::from_secs(60));
+        let agg = world.aggregator(AggregatorAddr(1)).unwrap();
+        assert!(!agg.registry().is_member(DeviceId(2)));
+        assert!(!world.device(DeviceId(2)).unwrap().is_registered());
+    }
+
+    #[test]
+    fn world_accessors_are_consistent() {
+        let world = two_network_world();
+        assert_eq!(world.network_addresses().len(), 2);
+        assert_eq!(world.device_ids().len(), 2);
+        assert!(world.device(DeviceId(99)).is_none());
+        assert!(world.aggregator(AggregatorAddr(9)).is_none());
+    }
+}

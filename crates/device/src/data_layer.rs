@@ -1,0 +1,252 @@
+//! Data layer of the device stack (Fig. 2).
+//!
+//! "Data representation, security, and storage are the main features of the
+//! data layer. In the absence of network connectivity with the aggregator,
+//! raw consumption data is stored in the local storage until the connection
+//! is established." This module is that local store: a bounded FIFO of
+//! measurement records awaiting acknowledgment, plus an integrity digest so
+//! locally buffered data cannot be altered unnoticed before transmission.
+
+use rtem_chain::sha256::{Digest, Sha256};
+use rtem_net::packet::MeasurementRecord;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of pushing a record into the store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StoreOutcome {
+    /// The record was stored.
+    Stored,
+    /// The store was full; the oldest record was evicted to make room.
+    StoredEvictingOldest,
+}
+
+/// Bounded store-and-forward buffer for unacknowledged measurements.
+///
+/// # Examples
+///
+/// ```
+/// use rtem_device::data_layer::LocalStore;
+/// use rtem_net::packet::{DeviceId, MeasurementRecord};
+///
+/// let mut store = LocalStore::new(8);
+/// store.push(MeasurementRecord {
+///     device: DeviceId(1),
+///     sequence: 0,
+///     interval_start_us: 0,
+///     interval_end_us: 100_000,
+///     mean_current_ua: 120_000,
+///     charge_uas: 12_000,
+///     backfilled: false,
+/// });
+/// assert_eq!(store.len(), 1);
+/// let batch = store.drain_for_transmission(16);
+/// assert_eq!(batch.len(), 1);
+/// assert!(batch[0].backfilled, "retransmitted records are marked backfilled");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LocalStore {
+    capacity: usize,
+    records: Vec<MeasurementRecord>,
+    evicted: u64,
+    total_stored: u64,
+}
+
+impl LocalStore {
+    /// Creates a store holding at most `capacity` records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "local store capacity must be non-zero");
+        LocalStore {
+            capacity,
+            records: Vec::new(),
+            evicted: 0,
+            total_stored: 0,
+        }
+    }
+
+    /// Maximum number of records the store can hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of records currently buffered.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Returns `true` if nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Number of records dropped because the store overflowed.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Total number of records ever stored.
+    pub fn total_stored(&self) -> u64 {
+        self.total_stored
+    }
+
+    /// Buffers a record, evicting the oldest one if the store is full (the
+    /// newest data is the most valuable for billing continuity).
+    pub fn push(&mut self, record: MeasurementRecord) -> StoreOutcome {
+        self.total_stored += 1;
+        if self.records.len() == self.capacity {
+            self.records.remove(0);
+            self.evicted += 1;
+            self.records.push(record);
+            StoreOutcome::StoredEvictingOldest
+        } else {
+            self.records.push(record);
+            StoreOutcome::Stored
+        }
+    }
+
+    /// Removes up to `max` records (oldest first) for transmission, marking
+    /// each as backfilled. If the transmission later fails they must be
+    /// re-pushed by the caller.
+    pub fn drain_for_transmission(&mut self, max: usize) -> Vec<MeasurementRecord> {
+        let take = max.min(self.records.len());
+        self.records
+            .drain(..take)
+            .map(|mut r| {
+                r.backfilled = true;
+                r
+            })
+            .collect()
+    }
+
+    /// Returns the buffered records without removing them.
+    pub fn peek_all(&self) -> &[MeasurementRecord] {
+        &self.records
+    }
+
+    /// Drops every record with `sequence <= through_sequence` — called when
+    /// the aggregator acknowledges receipt.
+    pub fn acknowledge_through(&mut self, through_sequence: u64) -> usize {
+        let before = self.records.len();
+        self.records.retain(|r| r.sequence > through_sequence);
+        before - self.records.len()
+    }
+
+    /// Integrity digest over the buffered records (in order). The device
+    /// keeps this in non-volatile memory so that local tampering between
+    /// sampling and transmission is detectable.
+    pub fn integrity_digest(&self) -> Digest {
+        let mut hasher = Sha256::new();
+        for r in &self.records {
+            hasher.update(&r.canonical_bytes());
+        }
+        hasher.finalize()
+    }
+
+    /// Total charge buffered, in microamp-seconds.
+    pub fn buffered_charge_uas(&self) -> u64 {
+        self.records.iter().map(|r| r.charge_uas).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtem_net::packet::DeviceId;
+
+    fn record(seq: u64) -> MeasurementRecord {
+        MeasurementRecord {
+            device: DeviceId(1),
+            sequence: seq,
+            interval_start_us: seq * 100_000,
+            interval_end_us: (seq + 1) * 100_000,
+            mean_current_ua: 100_000,
+            charge_uas: 10_000,
+            backfilled: false,
+        }
+    }
+
+    #[test]
+    fn push_and_len() {
+        let mut s = LocalStore::new(4);
+        assert!(s.is_empty());
+        assert_eq!(s.push(record(0)), StoreOutcome::Stored);
+        assert_eq!(s.push(record(1)), StoreOutcome::Stored);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.total_stored(), 2);
+        assert_eq!(s.capacity(), 4);
+    }
+
+    #[test]
+    fn overflow_evicts_oldest() {
+        let mut s = LocalStore::new(3);
+        for i in 0..3 {
+            s.push(record(i));
+        }
+        assert_eq!(s.push(record(3)), StoreOutcome::StoredEvictingOldest);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.evicted(), 1);
+        let seqs: Vec<u64> = s.peek_all().iter().map(|r| r.sequence).collect();
+        assert_eq!(seqs, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn drain_marks_backfilled_and_preserves_order() {
+        let mut s = LocalStore::new(10);
+        for i in 0..5 {
+            s.push(record(i));
+        }
+        let batch = s.drain_for_transmission(3);
+        assert_eq!(batch.len(), 3);
+        assert!(batch.iter().all(|r| r.backfilled));
+        assert_eq!(batch[0].sequence, 0);
+        assert_eq!(batch[2].sequence, 2);
+        assert_eq!(s.len(), 2);
+        // Draining more than available just drains what is there.
+        let rest = s.drain_for_transmission(100);
+        assert_eq!(rest.len(), 2);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn acknowledge_removes_covered_records() {
+        let mut s = LocalStore::new(10);
+        for i in 0..6 {
+            s.push(record(i));
+        }
+        assert_eq!(s.acknowledge_through(3), 4);
+        let seqs: Vec<u64> = s.peek_all().iter().map(|r| r.sequence).collect();
+        assert_eq!(seqs, vec![4, 5]);
+        assert_eq!(s.acknowledge_through(100), 2);
+        assert!(s.is_empty());
+        assert_eq!(s.acknowledge_through(100), 0);
+    }
+
+    #[test]
+    fn integrity_digest_changes_with_content() {
+        let mut a = LocalStore::new(10);
+        let mut b = LocalStore::new(10);
+        a.push(record(0));
+        b.push(record(0));
+        assert_eq!(a.integrity_digest(), b.integrity_digest());
+        b.push(record(1));
+        assert_ne!(a.integrity_digest(), b.integrity_digest());
+    }
+
+    #[test]
+    fn buffered_charge_sums_records() {
+        let mut s = LocalStore::new(10);
+        for i in 0..4 {
+            s.push(record(i));
+        }
+        assert_eq!(s.buffered_charge_uas(), 40_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = LocalStore::new(0);
+    }
+}

@@ -1,0 +1,58 @@
+//! # rtem-device — the IoT-enabled metering device stack
+//!
+//! Part of the `rtem` workspace reproducing *Real-Time Energy Monitoring in
+//! IoT-enabled Mobile Devices* (DATE 2020).
+//!
+//! The paper's Fig. 2 describes the software architecture an IoT-enabled
+//! device needs for location-independent metering; this crate implements it
+//! layer by layer:
+//!
+//! * [`physical`] — load + INA219 sampling + plug state (bottom layer).
+//! * [`middleware`] — configuration, power states, health counters.
+//! * [`network_mgmt`] — the registration / mobility state machine of Fig. 3
+//!   including the Thandshake phase timing.
+//! * [`data_layer`] — bounded store-and-forward buffer with integrity digest.
+//! * [`application`] — billing estimate, demand prediction, remote management.
+//! * [`device`] — [`MeteringDevice`](device::MeteringDevice), the composition
+//!   driven by the simulation.
+//!
+//! # Examples
+//!
+//! ```
+//! use rtem_device::device::MeteringDevice;
+//! use rtem_net::packet::DeviceId;
+//! use rtem_net::rssi::{PathLossModel, Position, RadioEnvironment};
+//! use rtem_sensors::profile::ConstantProfile;
+//! use rtem_sim::prelude::*;
+//!
+//! let mut device = MeteringDevice::testbed(
+//!     DeviceId(1),
+//!     ConstantProfile::new(120.0),
+//!     SimRng::seed_from_u64(1),
+//! );
+//! device.boot(SimTime::ZERO);
+//! // Without a grid connection the device neither measures nor reports.
+//! let radio = RadioEnvironment::new(PathLossModel::deterministic());
+//! assert!(device
+//!     .on_measure_tick(SimTime::from_millis(100), &radio)
+//!     .is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod application;
+pub mod data_layer;
+pub mod device;
+pub mod middleware;
+pub mod network_mgmt;
+pub mod physical;
+
+pub use application::{BillingEstimator, DemandForecaster, ManagementCommand, ManagementResponse, Tariff};
+pub use data_layer::{LocalStore, StoreOutcome};
+pub use device::{MeteringDevice, Outbound};
+pub use middleware::{DeviceConfig, HealthCounters, Middleware, PowerState};
+pub use network_mgmt::{
+    HandshakeBreakdown, HandshakeTiming, NetCommand, NetEvent, NetState, NetworkManager,
+};
+pub use physical::{PhysicalLayer, PlugState, RawSample};

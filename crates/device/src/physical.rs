@@ -1,0 +1,269 @@
+//! Physical layer of the device stack (Fig. 2, bottom).
+//!
+//! "The bottom-most layer is the physical layer which comprises processors,
+//! device peripherals and sensors. This layer is responsible for physical
+//! connectivity, transmission of raw data ... and measurement of consumption
+//! through sensors." Here that means: the device's ground-truth load
+//! profile, its INA219, the electrical plug state (which grid branch it is
+//! connected to, if any) and the raw sampling routine.
+
+use rtem_net::packet::MeasurementRecord;
+use rtem_net::DeviceId;
+use rtem_sensors::energy::{EnergyAccumulator, Milliamps, Millivolts};
+use rtem_sensors::grid::BranchId;
+use rtem_sensors::ina219::Ina219Model;
+use rtem_sensors::profile::LoadProfile;
+use rtem_sim::time::SimTime;
+
+/// Electrical connection state of the device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlugState {
+    /// Not connected to any grid branch (in transit): draws no grid power.
+    Unplugged,
+    /// Connected to a branch of some network's grid.
+    Plugged {
+        /// Branch the device is connected to.
+        branch: BranchId,
+    },
+}
+
+/// One raw sample taken by the physical layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RawSample {
+    /// When the sample was taken (global simulation time).
+    pub at: SimTime,
+    /// Ground-truth current drawn at that instant.
+    pub true_current: Milliamps,
+    /// What the INA219 reported.
+    pub measured_current: Milliamps,
+}
+
+/// The physical layer: load + sensor + plug state + accumulation.
+pub struct PhysicalLayer {
+    device: DeviceId,
+    load: Box<dyn LoadProfile + Send>,
+    sensor: Ina219Model,
+    accumulator: EnergyAccumulator,
+    plug: PlugState,
+    last_sample_at: Option<SimTime>,
+    next_sequence: u64,
+    samples_taken: u64,
+}
+
+impl core::fmt::Debug for PhysicalLayer {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("PhysicalLayer")
+            .field("device", &self.device)
+            .field("plug", &self.plug)
+            .field("samples_taken", &self.samples_taken)
+            .finish()
+    }
+}
+
+impl PhysicalLayer {
+    /// Creates the physical layer for `device`.
+    pub fn new(
+        device: DeviceId,
+        load: impl LoadProfile + Send + 'static,
+        sensor: Ina219Model,
+        supply: Millivolts,
+    ) -> Self {
+        PhysicalLayer {
+            device,
+            load: Box::new(load),
+            sensor,
+            accumulator: EnergyAccumulator::new(supply),
+            plug: PlugState::Unplugged,
+            last_sample_at: None,
+            next_sequence: 0,
+            samples_taken: 0,
+        }
+    }
+
+    /// The owning device's id.
+    pub fn device(&self) -> DeviceId {
+        self.device
+    }
+
+    /// Current plug state.
+    pub fn plug_state(&self) -> PlugState {
+        self.plug
+    }
+
+    /// Returns `true` when the device is electrically connected.
+    pub fn is_plugged(&self) -> bool {
+        matches!(self.plug, PlugState::Plugged { .. })
+    }
+
+    /// Connects the device to a grid branch (e.g. the e-scooter starts
+    /// charging at a new location).
+    pub fn plug_in(&mut self, branch: BranchId) {
+        self.plug = PlugState::Plugged { branch };
+        // The measurement interval restarts at the new location.
+        self.last_sample_at = None;
+    }
+
+    /// Disconnects the device from the grid. Consumption stops (and so does
+    /// metering — the paper only bills while connected).
+    pub fn unplug(&mut self) {
+        self.plug = PlugState::Unplugged;
+        self.last_sample_at = None;
+    }
+
+    /// Ground-truth current the device draws from the grid at `now` — zero
+    /// when unplugged. This is what the grid model and the aggregator's
+    /// system-level sensor see.
+    pub fn true_grid_current(&mut self, now: SimTime) -> Milliamps {
+        match self.plug {
+            PlugState::Unplugged => Milliamps::ZERO,
+            PlugState::Plugged { .. } => self.load.current_at(now),
+        }
+    }
+
+    /// Takes one measurement: samples the sensor against the ground truth and
+    /// accumulates charge since the previous sample.
+    ///
+    /// Returns the raw sample, or `None` when the device is unplugged (no
+    /// consumption to meter).
+    pub fn sample(&mut self, now: SimTime) -> Option<RawSample> {
+        if !self.is_plugged() {
+            return None;
+        }
+        let true_current = self.load.current_at(now);
+        let measured = self.sensor.measure(true_current);
+        if let Some(prev) = self.last_sample_at {
+            let dt = now.saturating_duration_since(prev);
+            self.accumulator.add_sample(measured, dt);
+        }
+        self.last_sample_at = Some(now);
+        self.samples_taken += 1;
+        Some(RawSample {
+            at: now,
+            true_current,
+            measured_current: measured,
+        })
+    }
+
+    /// Builds a [`MeasurementRecord`] covering everything accumulated since
+    /// the previous record and resets the accumulator. `interval` is the
+    /// device-local time window the record covers.
+    pub fn build_record(
+        &mut self,
+        interval_start_us: u64,
+        interval_end_us: u64,
+        mean_current: Milliamps,
+        backfilled: bool,
+    ) -> MeasurementRecord {
+        let charge = self.accumulator.drain();
+        let record = MeasurementRecord {
+            device: self.device,
+            sequence: self.next_sequence,
+            interval_start_us,
+            interval_end_us,
+            mean_current_ua: (mean_current.clamp_non_negative().value() * 1000.0).round() as u64,
+            charge_uas: (charge.value().max(0.0) * 1000.0).round() as u64,
+            backfilled,
+        };
+        self.next_sequence += 1;
+        record
+    }
+
+    /// Number of raw samples taken so far.
+    pub fn samples_taken(&self) -> u64 {
+        self.samples_taken
+    }
+
+    /// Next sequence number that will be assigned to a record.
+    pub fn next_sequence(&self) -> u64 {
+        self.next_sequence
+    }
+
+    /// The sensor model (for error-bound queries).
+    pub fn sensor(&self) -> &Ina219Model {
+        &self.sensor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtem_sensors::ina219::Ina219Config;
+    use rtem_sensors::profile::ConstantProfile;
+    use rtem_sim::rng::SimRng;
+
+    fn layer(level_ma: f64) -> PhysicalLayer {
+        PhysicalLayer::new(
+            DeviceId(1),
+            ConstantProfile::new(level_ma),
+            Ina219Model::new(Ina219Config::ideal(), SimRng::seed_from_u64(1)),
+            Millivolts::usb_bus(),
+        )
+    }
+
+    #[test]
+    fn unplugged_device_draws_and_measures_nothing() {
+        let mut p = layer(100.0);
+        assert!(!p.is_plugged());
+        assert_eq!(p.true_grid_current(SimTime::ZERO), Milliamps::ZERO);
+        assert!(p.sample(SimTime::ZERO).is_none());
+        assert_eq!(p.samples_taken(), 0);
+    }
+
+    #[test]
+    fn plugged_device_samples_truth_with_ideal_sensor() {
+        let mut p = layer(150.0);
+        p.plug_in(BranchId(0));
+        assert!(p.is_plugged());
+        let s = p.sample(SimTime::from_millis(100)).unwrap();
+        assert_eq!(s.true_current.value(), 150.0);
+        assert_eq!(s.measured_current.value(), 150.0);
+        assert_eq!(p.samples_taken(), 1);
+    }
+
+    #[test]
+    fn accumulation_starts_after_first_sample() {
+        let mut p = layer(100.0);
+        p.plug_in(BranchId(0));
+        for i in 0..=10u64 {
+            p.sample(SimTime::from_millis(i * 100));
+        }
+        // 10 intervals of 100 ms at 100 mA = 100 mA * 1 s = 100 mA·s.
+        let record = p.build_record(0, 1_000_000, Milliamps::new(100.0), false);
+        assert_eq!(record.charge_uas, 100_000);
+        assert_eq!(record.sequence, 0);
+        assert_eq!(p.next_sequence(), 1);
+    }
+
+    #[test]
+    fn record_sequence_increments() {
+        let mut p = layer(10.0);
+        p.plug_in(BranchId(0));
+        let r0 = p.build_record(0, 1, Milliamps::new(1.0), false);
+        let r1 = p.build_record(1, 2, Milliamps::new(1.0), true);
+        assert_eq!(r0.sequence, 0);
+        assert_eq!(r1.sequence, 1);
+        assert!(r1.backfilled);
+    }
+
+    #[test]
+    fn unplug_resets_measurement_interval() {
+        let mut p = layer(100.0);
+        p.plug_in(BranchId(0));
+        p.sample(SimTime::from_secs(1));
+        p.unplug();
+        assert_eq!(p.true_grid_current(SimTime::from_secs(2)), Milliamps::ZERO);
+        p.plug_in(BranchId(1));
+        // First sample after re-plugging must not integrate across the gap.
+        p.sample(SimTime::from_secs(10));
+        let record = p.build_record(0, 1, Milliamps::new(100.0), false);
+        assert_eq!(record.charge_uas, 0, "gap must not be billed");
+    }
+
+    #[test]
+    fn mean_current_is_quantized_to_microamps() {
+        let mut p = layer(10.0);
+        p.plug_in(BranchId(0));
+        let r = p.build_record(0, 1, Milliamps::new(12.3456789), false);
+        assert_eq!(r.mean_current_ua, 12_346);
+    }
+}

@@ -1,0 +1,587 @@
+//! MQTT-style publish/subscribe broker.
+//!
+//! The paper transfers consumption data from devices to the aggregator over
+//! MQTT on Wi-Fi. This module models the part of MQTT the architecture
+//! relies on: named clients, hierarchical topics with `+`/`#` wildcards,
+//! QoS 0/1 publishes, and per-client link quality (latency, jitter, loss)
+//! applied to every delivery. Delivery is integrated with the discrete-event
+//! simulation by letting the caller drain messages that are due at the
+//! current simulated time.
+
+use crate::link::{LinkConfig, LinkModel, Transit};
+use bytes::Bytes;
+use rtem_sim::rng::SimRng;
+use rtem_sim::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, VecDeque};
+use std::error::Error;
+use std::fmt;
+
+/// Identifier of a broker client (a device or an aggregator endpoint).
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct ClientId(pub u64);
+
+impl fmt::Display for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "client-{}", self.0)
+    }
+}
+
+/// MQTT quality-of-service level (QoS 2 is not used by the architecture).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum QoS {
+    /// Fire and forget.
+    AtMostOnce,
+    /// Delivery is retried until the subscriber-side ack is observed.
+    AtLeastOnce,
+}
+
+/// Errors returned by broker operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BrokerError {
+    /// The referenced client has not connected.
+    UnknownClient(ClientId),
+    /// A topic or filter failed validation.
+    InvalidTopic(String),
+}
+
+impl fmt::Display for BrokerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BrokerError::UnknownClient(id) => write!(f, "unknown client {id}"),
+            BrokerError::InvalidTopic(t) => write!(f, "invalid topic '{t}'"),
+        }
+    }
+}
+
+impl Error for BrokerError {}
+
+/// A message delivered to a subscriber.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Delivery {
+    /// Subscriber receiving the message.
+    pub to: ClientId,
+    /// Publisher that sent it.
+    pub from: ClientId,
+    /// Topic the message was published on.
+    pub topic: String,
+    /// Message payload.
+    pub payload: Bytes,
+    /// Simulated time at which the subscriber receives the message.
+    pub at: SimTime,
+    /// Whether this delivery is a QoS-1 retransmission.
+    pub retransmission: bool,
+}
+
+#[derive(Debug, Clone)]
+struct PendingDelivery {
+    delivery: Delivery,
+}
+
+#[derive(Debug)]
+struct Client {
+    link: LinkModel,
+    subscriptions: Vec<String>,
+    connected: bool,
+}
+
+/// Validates a concrete topic (no wildcards allowed).
+fn validate_topic(topic: &str) -> Result<(), BrokerError> {
+    if topic.is_empty()
+        || topic.contains('+')
+        || topic.contains('#')
+        || topic.starts_with('/')
+        || topic.ends_with('/')
+    {
+        return Err(BrokerError::InvalidTopic(topic.to_string()));
+    }
+    Ok(())
+}
+
+/// Validates a subscription filter (wildcards allowed in MQTT positions).
+fn validate_filter(filter: &str) -> Result<(), BrokerError> {
+    if filter.is_empty() || filter.starts_with('/') || filter.ends_with('/') {
+        return Err(BrokerError::InvalidTopic(filter.to_string()));
+    }
+    let levels: Vec<&str> = filter.split('/').collect();
+    for (i, level) in levels.iter().enumerate() {
+        match *level {
+            "#" if i != levels.len() - 1 => {
+                return Err(BrokerError::InvalidTopic(filter.to_string()))
+            }
+            l if l.contains('#') && l != "#" => {
+                return Err(BrokerError::InvalidTopic(filter.to_string()))
+            }
+            l if l.contains('+') && l != "+" => {
+                return Err(BrokerError::InvalidTopic(filter.to_string()))
+            }
+            "" => return Err(BrokerError::InvalidTopic(filter.to_string())),
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+/// Returns `true` if `topic` matches the MQTT subscription `filter`.
+pub fn topic_matches(filter: &str, topic: &str) -> bool {
+    let mut filter_levels = filter.split('/');
+    let mut topic_levels = topic.split('/');
+    loop {
+        match (filter_levels.next(), topic_levels.next()) {
+            (Some("#"), _) => return true,
+            (Some("+"), Some(_)) => continue,
+            (Some(f), Some(t)) if f == t => continue,
+            (None, None) => return true,
+            _ => return false,
+        }
+    }
+}
+
+/// The simulated MQTT broker.
+///
+/// # Examples
+///
+/// ```
+/// use bytes::Bytes;
+/// use rtem_net::broker::{ClientId, MqttBroker, QoS};
+/// use rtem_net::link::LinkConfig;
+/// use rtem_sim::rng::SimRng;
+/// use rtem_sim::time::SimTime;
+///
+/// let mut broker = MqttBroker::new(SimRng::seed_from_u64(1));
+/// let device = ClientId(1);
+/// let aggregator = ClientId(100);
+/// broker.connect(device, LinkConfig::ideal());
+/// broker.connect(aggregator, LinkConfig::ideal());
+/// broker.subscribe(aggregator, "metering/+/report").unwrap();
+///
+/// broker
+///     .publish(device, "metering/dev-1/report", Bytes::from_static(b"10mA"),
+///              QoS::AtLeastOnce, SimTime::ZERO)
+///     .unwrap();
+/// let due = broker.drain_due(SimTime::from_secs(1));
+/// assert_eq!(due.len(), 1);
+/// assert_eq!(due[0].to, aggregator);
+/// ```
+#[derive(Debug)]
+pub struct MqttBroker {
+    clients: BTreeMap<ClientId, Client>,
+    rng: SimRng,
+    in_flight: VecDeque<PendingDelivery>,
+    published: u64,
+    delivered: u64,
+    dropped: u64,
+    max_retries: u32,
+}
+
+impl MqttBroker {
+    /// Creates a broker with its own RNG stream for link randomness.
+    pub fn new(rng: SimRng) -> Self {
+        MqttBroker {
+            clients: BTreeMap::new(),
+            rng,
+            in_flight: VecDeque::new(),
+            published: 0,
+            delivered: 0,
+            dropped: 0,
+            max_retries: 5,
+        }
+    }
+
+    /// Sets how many times a QoS-1 publish is retried over a lossy link
+    /// before the broker gives up (default 5).
+    pub fn set_max_retries(&mut self, retries: u32) {
+        self.max_retries = retries;
+    }
+
+    /// Connects a client with the given access-link quality. Reconnecting an
+    /// existing client keeps its subscriptions but replaces the link.
+    pub fn connect(&mut self, id: ClientId, link: LinkConfig) {
+        let link_model = LinkModel::new(link, self.rng.derive(id.0 ^ 0x6272_6f6b));
+        match self.clients.get_mut(&id) {
+            Some(client) => {
+                client.link = link_model;
+                client.connected = true;
+            }
+            None => {
+                self.clients.insert(
+                    id,
+                    Client {
+                        link: link_model,
+                        subscriptions: Vec::new(),
+                        connected: true,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Marks a client as disconnected. Its subscriptions are retained (MQTT
+    /// persistent session) but no deliveries are made until it reconnects.
+    pub fn disconnect(&mut self, id: ClientId) {
+        if let Some(client) = self.clients.get_mut(&id) {
+            client.connected = false;
+        }
+    }
+
+    /// Returns `true` if the client is currently connected.
+    pub fn is_connected(&self, id: ClientId) -> bool {
+        self.clients.get(&id).map_or(false, |c| c.connected)
+    }
+
+    /// Subscribes `id` to a topic filter.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the client is unknown or the filter is invalid.
+    pub fn subscribe(&mut self, id: ClientId, filter: &str) -> Result<(), BrokerError> {
+        validate_filter(filter)?;
+        let client = self
+            .clients
+            .get_mut(&id)
+            .ok_or(BrokerError::UnknownClient(id))?;
+        if !client.subscriptions.iter().any(|f| f == filter) {
+            client.subscriptions.push(filter.to_string());
+        }
+        Ok(())
+    }
+
+    /// Removes a subscription. Returns `true` if it existed.
+    pub fn unsubscribe(&mut self, id: ClientId, filter: &str) -> Result<bool, BrokerError> {
+        let client = self
+            .clients
+            .get_mut(&id)
+            .ok_or(BrokerError::UnknownClient(id))?;
+        let before = client.subscriptions.len();
+        client.subscriptions.retain(|f| f != filter);
+        Ok(client.subscriptions.len() != before)
+    }
+
+    /// Publishes a message at simulated time `now`.
+    ///
+    /// Matching subscribers each receive an independent delivery whose
+    /// arrival time is `now` plus their access-link delay. With
+    /// [`QoS::AtLeastOnce`] a delivery lost by the link model is retried
+    /// (modelling the PUBACK timeout) up to the configured retry budget;
+    /// retries add one extra link round trip each.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the publisher is unknown or the topic is invalid.
+    pub fn publish(
+        &mut self,
+        from: ClientId,
+        topic: &str,
+        payload: Bytes,
+        qos: QoS,
+        now: SimTime,
+    ) -> Result<usize, BrokerError> {
+        validate_topic(topic)?;
+        if !self.clients.contains_key(&from) {
+            return Err(BrokerError::UnknownClient(from));
+        }
+        self.published += 1;
+        let subscribers: Vec<ClientId> = self
+            .clients
+            .iter()
+            .filter(|(id, c)| {
+                **id != from
+                    && c.connected
+                    && c.subscriptions.iter().any(|f| topic_matches(f, topic))
+            })
+            .map(|(id, _)| *id)
+            .collect();
+
+        let mut scheduled = 0;
+        for to in subscribers {
+            let size = payload.len() + topic.len() + 8;
+            let mut attempt = 0u32;
+            let mut extra_delay = rtem_sim::time::SimDuration::ZERO;
+            let delivered = loop {
+                let client = self.clients.get_mut(&to).expect("subscriber exists");
+                match client.link.offer(size) {
+                    Transit::Delivered(d) => break Some((d + extra_delay, attempt > 0)),
+                    Transit::Lost => {
+                        if qos == QoS::AtMostOnce || attempt >= self.max_retries {
+                            break None;
+                        }
+                        // Model the PUBACK timeout before the retransmission.
+                        extra_delay += rtem_sim::time::SimDuration::from_millis(50);
+                        attempt += 1;
+                    }
+                }
+            };
+            match delivered {
+                Some((delay, retransmission)) => {
+                    self.in_flight.push_back(PendingDelivery {
+                        delivery: Delivery {
+                            to,
+                            from,
+                            topic: topic.to_string(),
+                            payload: payload.clone(),
+                            at: now + delay,
+                            retransmission,
+                        },
+                    });
+                    scheduled += 1;
+                }
+                None => self.dropped += 1,
+            }
+        }
+        Ok(scheduled)
+    }
+
+    /// Removes and returns every delivery due at or before `now`, ordered by
+    /// arrival time.
+    pub fn drain_due(&mut self, now: SimTime) -> Vec<Delivery> {
+        let mut due: Vec<Delivery> = Vec::new();
+        let mut remaining = VecDeque::with_capacity(self.in_flight.len());
+        while let Some(pending) = self.in_flight.pop_front() {
+            if pending.delivery.at <= now {
+                due.push(pending.delivery);
+            } else {
+                remaining.push_back(pending);
+            }
+        }
+        self.in_flight = remaining;
+        due.sort_by_key(|d| d.at);
+        self.delivered += due.len() as u64;
+        due
+    }
+
+    /// Earliest pending delivery time, if any (lets the simulation loop know
+    /// when to wake the broker).
+    pub fn next_delivery_at(&self) -> Option<SimTime> {
+        self.in_flight.iter().map(|p| p.delivery.at).min()
+    }
+
+    /// Number of messages accepted by `publish`.
+    pub fn published(&self) -> u64 {
+        self.published
+    }
+
+    /// Number of deliveries handed out by `drain_due`.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Number of deliveries abandoned after exhausting retries.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtem_sim::time::SimDuration;
+
+    fn broker() -> MqttBroker {
+        MqttBroker::new(SimRng::seed_from_u64(3))
+    }
+
+    #[test]
+    fn topic_matching_rules() {
+        assert!(topic_matches("a/b/c", "a/b/c"));
+        assert!(topic_matches("a/+/c", "a/b/c"));
+        assert!(topic_matches("a/#", "a/b/c"));
+        assert!(topic_matches("#", "anything/at/all"));
+        assert!(!topic_matches("a/b", "a/b/c"));
+        assert!(!topic_matches("a/+/c", "a/b/d"));
+        assert!(!topic_matches("a/b/c", "a/b"));
+    }
+
+    #[test]
+    fn publish_reaches_matching_subscriber() {
+        let mut b = broker();
+        b.connect(ClientId(1), LinkConfig::ideal());
+        b.connect(ClientId(2), LinkConfig::ideal());
+        b.subscribe(ClientId(2), "metering/+/report").unwrap();
+        let n = b
+            .publish(
+                ClientId(1),
+                "metering/dev-1/report",
+                Bytes::from_static(b"x"),
+                QoS::AtMostOnce,
+                SimTime::ZERO,
+            )
+            .unwrap();
+        assert_eq!(n, 1);
+        let due = b.drain_due(SimTime::from_secs(1));
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].to, ClientId(2));
+        assert_eq!(due[0].from, ClientId(1));
+        assert_eq!(b.delivered(), 1);
+    }
+
+    #[test]
+    fn publisher_does_not_receive_its_own_message() {
+        let mut b = broker();
+        b.connect(ClientId(1), LinkConfig::ideal());
+        b.subscribe(ClientId(1), "#").unwrap();
+        let n = b
+            .publish(ClientId(1), "t", Bytes::new(), QoS::AtMostOnce, SimTime::ZERO)
+            .unwrap();
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn non_matching_subscriber_gets_nothing() {
+        let mut b = broker();
+        b.connect(ClientId(1), LinkConfig::ideal());
+        b.connect(ClientId(2), LinkConfig::ideal());
+        b.subscribe(ClientId(2), "other/topic").unwrap();
+        let n = b
+            .publish(ClientId(1), "metering/x", Bytes::new(), QoS::AtMostOnce, SimTime::ZERO)
+            .unwrap();
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn disconnected_subscriber_is_skipped() {
+        let mut b = broker();
+        b.connect(ClientId(1), LinkConfig::ideal());
+        b.connect(ClientId(2), LinkConfig::ideal());
+        b.subscribe(ClientId(2), "#").unwrap();
+        b.disconnect(ClientId(2));
+        assert!(!b.is_connected(ClientId(2)));
+        let n = b
+            .publish(ClientId(1), "t", Bytes::new(), QoS::AtMostOnce, SimTime::ZERO)
+            .unwrap();
+        assert_eq!(n, 0);
+        // Reconnect keeps the subscription.
+        b.connect(ClientId(2), LinkConfig::ideal());
+        let n = b
+            .publish(ClientId(1), "t", Bytes::new(), QoS::AtMostOnce, SimTime::ZERO)
+            .unwrap();
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn deliveries_respect_link_latency() {
+        let mut b = broker();
+        b.connect(ClientId(1), LinkConfig::ideal());
+        let slow = LinkConfig {
+            base_latency: SimDuration::from_millis(10),
+            jitter: SimDuration::ZERO,
+            loss_probability: 0.0,
+            bandwidth_bps: None,
+        };
+        b.connect(ClientId(2), slow);
+        b.subscribe(ClientId(2), "#").unwrap();
+        b.publish(ClientId(1), "t", Bytes::new(), QoS::AtMostOnce, SimTime::ZERO)
+            .unwrap();
+        assert!(b.drain_due(SimTime::from_millis(5)).is_empty());
+        assert_eq!(b.next_delivery_at(), Some(SimTime::from_millis(10)));
+        let due = b.drain_due(SimTime::from_millis(10));
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].at, SimTime::from_millis(10));
+    }
+
+    #[test]
+    fn qos1_retries_on_lossy_link_qos0_does_not() {
+        let lossy = LinkConfig {
+            base_latency: SimDuration::from_millis(1),
+            jitter: SimDuration::ZERO,
+            loss_probability: 0.6,
+            bandwidth_bps: None,
+        };
+        let mut b = broker();
+        b.connect(ClientId(1), LinkConfig::ideal());
+        b.connect(ClientId(2), lossy);
+        b.subscribe(ClientId(2), "#").unwrap();
+        let mut qos1_delivered = 0;
+        let mut qos0_delivered = 0;
+        for i in 0..200 {
+            qos1_delivered += b
+                .publish(ClientId(1), "t", Bytes::new(), QoS::AtLeastOnce, SimTime::from_secs(i))
+                .unwrap();
+            qos0_delivered += b
+                .publish(ClientId(1), "t", Bytes::new(), QoS::AtMostOnce, SimTime::from_secs(i))
+                .unwrap();
+        }
+        assert!(qos1_delivered > qos0_delivered);
+        // With a 0.6 loss rate and 5 retries the per-publish failure
+        // probability is 0.6^6 ≈ 4.7 %, so ≈ 190/200 should get through.
+        assert!(qos1_delivered >= 175, "QoS1 should almost always deliver, got {qos1_delivered}");
+        assert!(b.dropped() > 0);
+    }
+
+    #[test]
+    fn retransmissions_are_flagged_and_delayed() {
+        let lossy = LinkConfig {
+            base_latency: SimDuration::from_millis(1),
+            jitter: SimDuration::ZERO,
+            loss_probability: 0.5,
+            bandwidth_bps: None,
+        };
+        let mut b = broker();
+        b.connect(ClientId(1), LinkConfig::ideal());
+        b.connect(ClientId(2), lossy);
+        b.subscribe(ClientId(2), "#").unwrap();
+        for i in 0..100 {
+            b.publish(ClientId(1), "t", Bytes::new(), QoS::AtLeastOnce, SimTime::from_secs(i))
+                .unwrap();
+        }
+        let due = b.drain_due(SimTime::from_secs(1000));
+        assert!(due.iter().any(|d| d.retransmission));
+        for d in due.iter().filter(|d| d.retransmission) {
+            // Retransmitted deliveries carry at least one 50 ms PUBACK timeout.
+            let offset_ms = (d.at.as_micros() % 1_000_000) / 1000;
+            assert!(offset_ms >= 51, "retransmission arrived too early: {offset_ms} ms");
+        }
+    }
+
+    #[test]
+    fn unknown_client_errors() {
+        let mut b = broker();
+        assert_eq!(
+            b.subscribe(ClientId(9), "t"),
+            Err(BrokerError::UnknownClient(ClientId(9)))
+        );
+        assert_eq!(
+            b.publish(ClientId(9), "t", Bytes::new(), QoS::AtMostOnce, SimTime::ZERO),
+            Err(BrokerError::UnknownClient(ClientId(9)))
+        );
+        assert!(b.unsubscribe(ClientId(9), "t").is_err());
+    }
+
+    #[test]
+    fn invalid_topics_and_filters_are_rejected() {
+        let mut b = broker();
+        b.connect(ClientId(1), LinkConfig::ideal());
+        assert!(matches!(
+            b.publish(ClientId(1), "a/+/b", Bytes::new(), QoS::AtMostOnce, SimTime::ZERO),
+            Err(BrokerError::InvalidTopic(_))
+        ));
+        assert!(matches!(
+            b.publish(ClientId(1), "", Bytes::new(), QoS::AtMostOnce, SimTime::ZERO),
+            Err(BrokerError::InvalidTopic(_))
+        ));
+        assert!(matches!(
+            b.subscribe(ClientId(1), "a/#/b"),
+            Err(BrokerError::InvalidTopic(_))
+        ));
+        assert!(matches!(
+            b.subscribe(ClientId(1), "a//b"),
+            Err(BrokerError::InvalidTopic(_))
+        ));
+        assert!(b.subscribe(ClientId(1), "a/+/b/#").is_ok());
+    }
+
+    #[test]
+    fn unsubscribe_stops_deliveries() {
+        let mut b = broker();
+        b.connect(ClientId(1), LinkConfig::ideal());
+        b.connect(ClientId(2), LinkConfig::ideal());
+        b.subscribe(ClientId(2), "t").unwrap();
+        assert!(b.unsubscribe(ClientId(2), "t").unwrap());
+        assert!(!b.unsubscribe(ClientId(2), "t").unwrap());
+        let n = b
+            .publish(ClientId(1), "t", Bytes::new(), QoS::AtMostOnce, SimTime::ZERO)
+            .unwrap();
+        assert_eq!(n, 0);
+    }
+}

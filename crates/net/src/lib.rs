@@ -1,0 +1,49 @@
+//! # rtem-net — simulated communication substrate
+//!
+//! Part of the `rtem` workspace reproducing *Real-Time Energy Monitoring in
+//! IoT-enabled Mobile Devices* (DATE 2020).
+//!
+//! The paper's devices report consumption over MQTT on Wi-Fi to a
+//! Raspberry Pi aggregator; aggregators talk to each other over a
+//! high-bandwidth backhaul and devices pick their aggregator by RSSI. This
+//! crate simulates that communication stack:
+//!
+//! * [`packet`] — the metering protocol messages of Fig. 3 and their binary
+//!   wire encoding.
+//! * [`link`] — per-hop latency / jitter / loss / bandwidth models.
+//! * [`rssi`] — log-distance path loss and the aggregator-discovery scan.
+//! * [`broker`] — an MQTT-style broker with topic wildcards and QoS 0/1.
+//! * [`tdma`] — the reporting slot table the aggregator hands out.
+//! * [`backhaul`] — the aggregator mesh with ~1 ms forwarding delay.
+//!
+//! # Examples
+//!
+//! ```
+//! use rtem_net::packet::{AggregatorAddr, DeviceId, Packet};
+//!
+//! let request = Packet::RegistrationRequest {
+//!     device: DeviceId(1),
+//!     master: Some(AggregatorAddr(1)),
+//! };
+//! let bytes = request.encode();
+//! assert_eq!(Packet::decode(&bytes).unwrap(), request);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backhaul;
+pub mod broker;
+pub mod link;
+pub mod packet;
+pub mod rssi;
+pub mod tdma;
+
+pub use backhaul::{BackhaulDelivery, BackhaulError, BackhaulMesh};
+pub use broker::{BrokerError, ClientId, Delivery, MqttBroker, QoS};
+pub use link::{LinkConfig, LinkModel, Transit};
+pub use packet::{
+    AggregatorAddr, DecodeError, DeviceId, MeasurementRecord, MembershipKind, Packet, RejectReason,
+};
+pub use rssi::{PathLossModel, Position, RadioEnvironment, ScanResult};
+pub use tdma::{SlotError, SlotTable};

@@ -1,0 +1,53 @@
+//! # rtem-sensors — sensing and electrical substrate
+//!
+//! Part of the `rtem` workspace reproducing *Real-Time Energy Monitoring in
+//! IoT-enabled Mobile Devices* (DATE 2020).
+//!
+//! The paper's testbed instruments every device and aggregator with an
+//! INA219 current sensor, drives real ESP32 boards as loads and measures the
+//! network feed through a physical electrical connection at the aggregator.
+//! This crate provides the simulated equivalents:
+//!
+//! * [`energy`] — strongly typed electrical quantities
+//!   ([`Milliamps`](energy::Milliamps), [`MilliwattHours`](energy::MilliwattHours), …)
+//!   and the [`EnergyAccumulator`](energy::EnergyAccumulator) a device uses
+//!   between reports.
+//! * [`profile`] — ground-truth load profiles (CC/CV charging, ESP32 Wi-Fi
+//!   duty cycles, composites) standing in for the physical devices.
+//! * [`ina219`] — the INA219 measurement model with the 0.5 mA offset error
+//!   the paper cites, gain error, quantization and noise.
+//! * [`grid`] — the star-topology electrical network with ohmic losses that
+//!   makes the aggregator-side measurement exceed the device sum (Fig. 5).
+//!
+//! # Examples
+//!
+//! ```
+//! use rtem_sensors::ina219::{Ina219Config, Ina219Model};
+//! use rtem_sensors::profile::{ChargingProfile, LoadProfile};
+//! use rtem_sim::prelude::*;
+//!
+//! let rng = SimRng::seed_from_u64(42);
+//! let mut load = ChargingProfile::esp32_testbed(rng.derive(1));
+//! let mut sensor = Ina219Model::new(Ina219Config::testbed(), rng.derive(2));
+//!
+//! let truth = load.current_at(SimTime::from_secs(30));
+//! let reading = sensor.measure(truth);
+//! // The sensor is accurate to within its worst-case error bound.
+//! assert!((reading.value() - truth.value()).abs() <= sensor.error_bound(truth).value() * 1.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod energy;
+pub mod grid;
+pub mod ina219;
+pub mod profile;
+
+pub use energy::{EnergyAccumulator, Milliamps, MilliampSeconds, MilliwattHours, Millivolts};
+pub use grid::{Branch, BranchId, GridNetwork, GridSnapshot};
+pub use ina219::{Ina219Config, Ina219Model, ShuntRange};
+pub use profile::{
+    ChargePhase, ChargingProfile, CompositeProfile, ConstantProfile, LoadProfile, ShiftedProfile,
+    WifiBurstProfile,
+};

@@ -1,0 +1,54 @@
+//! # rtem-sim — deterministic discrete-event simulation kernel
+//!
+//! Foundation crate of the `rtem` workspace, the reproduction of
+//! *Real-Time Energy Monitoring in IoT-enabled Mobile Devices* (DATE 2020).
+//!
+//! The paper evaluates its decentralized metering architecture on a hardware
+//! testbed (ESP32 devices, INA219 sensors, Raspberry Pi aggregators). This
+//! workspace replaces the testbed with a deterministic simulation; this crate
+//! provides the shared building blocks:
+//!
+//! * [`time`] — microsecond-resolution [`SimTime`](time::SimTime) /
+//!   [`SimDuration`](time::SimDuration).
+//! * [`event`] — the discrete-event queue with stable ordering.
+//! * [`scheduler`] — a run loop with horizon / budget stop conditions.
+//! * [`rng`] — seeded, reproducible random number generation.
+//! * [`rtc`] — DS3231-style real-time clock models (drift, offset, sync).
+//! * [`trace`] — time-series recording and aggregation used by the figures.
+//!
+//! # Examples
+//!
+//! ```
+//! use rtem_sim::prelude::*;
+//!
+//! let mut scheduler = Scheduler::new();
+//! scheduler.schedule(SimTime::from_millis(100), "sample");
+//! let reason = scheduler.run_until(SimTime::from_secs(1), |queue, event| {
+//!     // A device would take a measurement here and re-arm its timer.
+//!     if queue.now() < SimTime::from_millis(900) {
+//!         queue.schedule_after(SimDuration::from_millis(100), event.payload);
+//!     }
+//!     Flow::Continue
+//! });
+//! assert_eq!(reason, StopReason::QueueEmpty);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod rng;
+pub mod rtc;
+pub mod scheduler;
+pub mod time;
+pub mod trace;
+
+/// Convenient glob-import of the types almost every simulation needs.
+pub mod prelude {
+    pub use crate::event::{EventId, EventQueue, ScheduledEvent};
+    pub use crate::rng::SimRng;
+    pub use crate::rtc::{RtcConfig, RtcModel};
+    pub use crate::scheduler::{Flow, Scheduler, StopReason};
+    pub use crate::time::{SimDuration, SimTime};
+    pub use crate::trace::{Sample, SeriesStats, TimeSeries};
+}

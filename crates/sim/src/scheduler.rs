@@ -1,0 +1,215 @@
+//! A thin run-loop on top of [`EventQueue`](crate::event::EventQueue).
+//!
+//! Most simulations in this repository follow the same pattern: pop the next
+//! event, hand it to a dispatcher, let the dispatcher schedule follow-up
+//! events, repeat until a stop condition. [`Scheduler`] packages that loop,
+//! the stop conditions (time horizon and event budget) and progress counters.
+
+use crate::event::{EventId, EventQueue, ScheduledEvent};
+use crate::time::{SimDuration, SimTime};
+
+/// Why a [`Scheduler::run`] call returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The event queue drained completely.
+    QueueEmpty,
+    /// The configured time horizon was reached.
+    HorizonReached,
+    /// The configured maximum number of events was delivered.
+    EventBudgetExhausted,
+    /// The dispatcher asked to stop.
+    RequestedByHandler,
+}
+
+/// Control value a dispatcher returns after handling an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Flow {
+    /// Keep running.
+    #[default]
+    Continue,
+    /// Stop the run loop after this event.
+    Stop,
+}
+
+/// Event-driven run loop with a time horizon and an event budget.
+///
+/// # Examples
+///
+/// ```
+/// use rtem_sim::scheduler::{Flow, Scheduler};
+/// use rtem_sim::time::{SimDuration, SimTime};
+///
+/// let mut scheduler = Scheduler::new();
+/// scheduler.queue_mut().schedule(SimTime::from_secs(1), "tick");
+/// let reason = scheduler.run_until(SimTime::from_secs(10), |_queue, event| {
+///     assert_eq!(event.payload, "tick");
+///     Flow::Continue
+/// });
+/// assert_eq!(reason, rtem_sim::scheduler::StopReason::QueueEmpty);
+/// ```
+#[derive(Debug)]
+pub struct Scheduler<E> {
+    queue: EventQueue<E>,
+    max_events: Option<u64>,
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Scheduler<E> {
+    /// Creates a scheduler with an empty queue and no event budget.
+    pub fn new() -> Self {
+        Scheduler {
+            queue: EventQueue::new(),
+            max_events: None,
+        }
+    }
+
+    /// Limits the total number of events a subsequent run may deliver.
+    /// Mainly a safety net against accidental infinite self-rescheduling.
+    pub fn with_event_budget(mut self, max_events: u64) -> Self {
+        self.max_events = Some(max_events);
+        self
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Shared access to the underlying queue.
+    pub fn queue(&self) -> &EventQueue<E> {
+        &self.queue
+    }
+
+    /// Mutable access to the underlying queue (for initial event seeding).
+    pub fn queue_mut(&mut self) -> &mut EventQueue<E> {
+        &mut self.queue
+    }
+
+    /// Schedules an event at an absolute time.
+    pub fn schedule(&mut self, at: SimTime, payload: E) -> EventId {
+        self.queue.schedule(at, payload)
+    }
+
+    /// Schedules an event after a delay from the current time.
+    pub fn schedule_after(&mut self, delay: SimDuration, payload: E) -> EventId {
+        self.queue.schedule_after(delay, payload)
+    }
+
+    /// Runs until the queue drains, the horizon passes, the event budget is
+    /// exhausted, or the handler requests a stop.
+    ///
+    /// The handler receives the queue (to schedule follow-up events) and the
+    /// event being delivered.
+    pub fn run_until<F>(&mut self, horizon: SimTime, mut handler: F) -> StopReason
+    where
+        F: FnMut(&mut EventQueue<E>, ScheduledEvent<E>) -> Flow,
+    {
+        let start_delivered = self.queue.delivered();
+        loop {
+            if let Some(budget) = self.max_events {
+                if self.queue.delivered() - start_delivered >= budget {
+                    return StopReason::EventBudgetExhausted;
+                }
+            }
+            match self.queue.peek_time() {
+                None => return StopReason::QueueEmpty,
+                Some(t) if t > horizon => return StopReason::HorizonReached,
+                Some(_) => {}
+            }
+            let event = self.queue.pop().expect("peeked event must pop");
+            if handler(&mut self.queue, event) == Flow::Stop {
+                return StopReason::RequestedByHandler;
+            }
+        }
+    }
+
+    /// Runs until the queue is empty (or budget exhausted / stop requested).
+    pub fn run_to_completion<F>(&mut self, handler: F) -> StopReason
+    where
+        F: FnMut(&mut EventQueue<E>, ScheduledEvent<E>) -> Flow,
+    {
+        self.run_until(SimTime::from_micros(u64::MAX), handler)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    enum Ev {
+        Tick(u32),
+    }
+
+    #[test]
+    fn run_until_stops_at_horizon() {
+        let mut s = Scheduler::new();
+        for i in 0..10 {
+            s.schedule(SimTime::from_secs(i), Ev::Tick(i as u32));
+        }
+        let mut seen = 0;
+        let reason = s.run_until(SimTime::from_secs(4), |_, _| {
+            seen += 1;
+            Flow::Continue
+        });
+        assert_eq!(reason, StopReason::HorizonReached);
+        assert_eq!(seen, 5); // t = 0..=4
+        assert_eq!(s.now(), SimTime::from_secs(4));
+    }
+
+    #[test]
+    fn run_to_completion_drains_queue() {
+        let mut s = Scheduler::new();
+        s.schedule(SimTime::from_secs(1), Ev::Tick(1));
+        let reason = s.run_to_completion(|queue, ev| {
+            let Ev::Tick(n) = ev.payload;
+            if n < 5 {
+                queue.schedule_after(SimDuration::from_secs(1), Ev::Tick(n + 1));
+            }
+            Flow::Continue
+        });
+        assert_eq!(reason, StopReason::QueueEmpty);
+        assert_eq!(s.now(), SimTime::from_secs(5));
+        assert_eq!(s.queue().delivered(), 5);
+    }
+
+    #[test]
+    fn event_budget_limits_self_rescheduling() {
+        let mut s = Scheduler::new().with_event_budget(100);
+        s.schedule(SimTime::ZERO, Ev::Tick(0));
+        let reason = s.run_to_completion(|queue, _| {
+            queue.schedule_after(SimDuration::from_millis(1), Ev::Tick(0));
+            Flow::Continue
+        });
+        assert_eq!(reason, StopReason::EventBudgetExhausted);
+        assert_eq!(s.queue().delivered(), 100);
+    }
+
+    #[test]
+    fn handler_can_stop_the_loop() {
+        let mut s = Scheduler::new();
+        for i in 0..10 {
+            s.schedule(SimTime::from_secs(i), Ev::Tick(i as u32));
+        }
+        let reason = s.run_to_completion(|_, ev| match ev.payload {
+            Ev::Tick(3) => Flow::Stop,
+            _ => Flow::Continue,
+        });
+        assert_eq!(reason, StopReason::RequestedByHandler);
+        assert_eq!(s.now(), SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn empty_scheduler_reports_queue_empty() {
+        let mut s: Scheduler<Ev> = Scheduler::new();
+        assert_eq!(
+            s.run_until(SimTime::from_secs(1), |_, _| Flow::Continue),
+            StopReason::QueueEmpty
+        );
+    }
+}

@@ -1,0 +1,76 @@
+//! The Fig. 5 experiment as a runnable example: decentralized per-device
+//! metering versus the centralized (aggregator-side) measurement, printed as
+//! the stacked-bar data of the figure.
+//!
+//! ```bash
+//! cargo run --example centralized_vs_decentralized
+//! ```
+
+use rtem_core::centralized::{CapabilityMatrix, MeteringComparison};
+use rtem_core::metrics::accuracy_windows;
+use rtem_core::scenario::ScenarioBuilder;
+use rtem_sim::time::{SimDuration, SimTime};
+
+fn main() {
+    let mut world = ScenarioBuilder::paper_testbed(11).build();
+    let horizon = SimTime::from_secs(120);
+    println!("running the two-network testbed for {} s of simulated time...", 120);
+    world.run_until(horizon);
+
+    let window = SimDuration::from_secs(10);
+    println!("\nFig. 5 data for network 1 (per 10 s window):");
+    println!(
+        "{:>6} | {:>12} {:>12} | {:>14} | {:>8}",
+        "window", "device 1", "device 2", "aggregator", "gap"
+    );
+    println!("{}", "-".repeat(64));
+    let mut overheads = Vec::new();
+    for w in accuracy_windows(&world, ScenarioBuilder::network_addr(0), window, horizon) {
+        if w.devices_total_mas <= 0.0 || w.index < 2 {
+            continue;
+        }
+        let mut devices: Vec<f64> = w.per_device_mas.values().copied().collect();
+        devices.resize(2, 0.0);
+        let comparison = MeteringComparison {
+            decentralized_mas: w.devices_total_mas,
+            centralized_mas: w.aggregator_mas,
+        };
+        overheads.push(comparison.overhead_percent());
+        println!(
+            "{:>6} | {:>10.1}  {:>10.1}  | {:>12.1}   | {:>6.2}%",
+            w.index,
+            devices[0],
+            devices[1],
+            w.aggregator_mas,
+            comparison.overhead_percent()
+        );
+    }
+    if !overheads.is_empty() {
+        let min = overheads.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = overheads.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        println!(
+            "\naggregator reads {:.1}–{:.1}% above the device sum (paper: 0.9–8.2%),",
+            min, max
+        );
+        println!("driven by ohmic losses in the branches plus the 0.5 mA INA219 offset.");
+    }
+
+    println!("\ncapability comparison:");
+    let c = CapabilityMatrix::centralized();
+    let d = CapabilityMatrix::decentralized();
+    println!("{:<36} {:>12} {:>14}", "", "centralized", "decentralized");
+    println!(
+        "{:<36} {:>12} {:>14}",
+        "per-device attribution", c.per_device_attribution, d.per_device_attribution
+    );
+    println!(
+        "{:<36} {:>12} {:>14}",
+        "location-independent billing",
+        c.location_independent_billing,
+        d.location_independent_billing
+    );
+    println!(
+        "{:<36} {:>12} {:>14}",
+        "tamper-evident storage", c.tamper_evident_storage, d.tamper_evident_storage
+    );
+}

@@ -1,0 +1,129 @@
+//! Fleet billing: a larger deployment than the paper's testbed — one
+//! operator with eight mobile devices roaming over three networks — showing
+//! consolidated per-device billing, the load-balancing extension and the
+//! device-level consensus extension in one run.
+//!
+//! ```bash
+//! cargo run --example fleet_billing
+//! ```
+
+use rtem_core::consensus::{QuorumConsensus, Vote};
+use rtem_core::loadbalance::{plan_balance, NetworkLoad};
+use rtem_core::simulation::{World, WorldConfig};
+use rtem_device::device::MeteringDevice;
+use rtem_net::packet::{AggregatorAddr, DeviceId};
+use rtem_net::rssi::Position;
+use rtem_sensors::energy::Millivolts;
+use rtem_sensors::profile::ChargingProfile;
+use rtem_sim::prelude::*;
+
+fn main() {
+    let mut world = World::new(WorldConfig {
+        verification_window: SimDuration::from_secs(5),
+        seed: 99,
+        ..WorldConfig::default()
+    });
+    let networks: Vec<AggregatorAddr> = (1..=3).map(AggregatorAddr).collect();
+    for (i, &addr) in networks.iter().enumerate() {
+        world.add_network(addr, Position::new(300.0 * i as f64, 0.0));
+    }
+
+    // Eight e-scooters, all registered to network 1 as their home.
+    let fleet: Vec<DeviceId> = (1..=8).map(DeviceId).collect();
+    for &id in &fleet {
+        let rng = SimRng::seed_from_u64(1000 + id.0);
+        let device = MeteringDevice::testbed(id, ChargingProfile::e_scooter(rng.derive(1)), rng);
+        world.add_device(device);
+        world.plug_in_now(id, AggregatorAddr(1));
+    }
+
+    // After half a minute, five scooters ride off and recharge elsewhere.
+    for (i, &id) in fleet.iter().take(5).enumerate() {
+        let destination = networks[1 + i % 2];
+        world.schedule_unplug(SimTime::from_secs(30 + i as u64 * 5), id);
+        world.schedule_plug_in(SimTime::from_secs(55 + i as u64 * 5), id, destination);
+    }
+    world.run_until(SimTime::from_secs(180));
+
+    println!("== consolidated fleet bill at the home aggregator (network 1) ==");
+    let home = world.aggregator(AggregatorAddr(1)).expect("home network");
+    let mut total_cost = 0.0;
+    for (device, bill) in home.billing().iter() {
+        total_cost += bill.cost;
+        println!(
+            "  {}: {:>8.2} mWh ({:>5.1}% roamed), {} records",
+            device,
+            bill.energy_at(Millivolts::usb_bus()).value(),
+            if bill.charge_uas > 0 {
+                bill.roaming_charge_uas as f64 / bill.charge_uas as f64 * 100.0
+            } else {
+                0.0
+            },
+            bill.records
+        );
+    }
+    println!("  fleet total cost: {total_cost:.3} units");
+
+    println!("\n== load-balancing proposal (future-work extension) ==");
+    let loads: Vec<NetworkLoad> = world
+        .network_addresses()
+        .into_iter()
+        .map(|addr| {
+            let agg = world.aggregator(addr).expect("network");
+            let registered: Vec<DeviceId> = agg.registry().iter().map(|m| m.device).collect();
+            NetworkLoad {
+                network: addr,
+                slot_capacity: 10,
+                mobile: registered.clone(),
+                registered,
+                demand_ma: agg.network_series().stats().mean,
+            }
+        })
+        .collect();
+    for load in &loads {
+        println!(
+            "  {}: {}/{} slots used, mean demand {:.0} mA",
+            load.network,
+            load.registered.len(),
+            load.slot_capacity,
+            load.demand_ma
+        );
+    }
+    let plan = plan_balance(&loads);
+    println!(
+        "  plan: {} relocations, peak utilisation {:.0}% -> {:.0}%",
+        plan.relocations.len(),
+        plan.peak_utilisation_before * 100.0,
+        plan.peak_utilisation_after * 100.0
+    );
+    for r in &plan.relocations {
+        println!("    steer {} from {} to {}", r.device, r.from, r.to);
+    }
+
+    println!("\n== device-level consensus (future-work extension) ==");
+    let mut consensus = QuorumConsensus::majority(fleet.iter().copied());
+    let entries = home.ledger().all_entries();
+    let sample: Vec<Vec<u8>> = entries.iter().take(20).map(|e| e.to_bytes()).collect();
+    consensus
+        .propose(fleet[0], 1_000_000, sample)
+        .expect("proposal opens");
+    let mut outcome = None;
+    for &voter in fleet.iter().skip(1) {
+        match consensus.vote(voter, Vote::Approve) {
+            Ok(o) => {
+                outcome = Some(o);
+                if !matches!(o, rtem_core::consensus::RoundOutcome::Pending) {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    println!(
+        "  quorum {} of {} devices, outcome {:?}, messages per round {}",
+        consensus.quorum(),
+        fleet.len(),
+        outcome,
+        consensus.messages_per_round()
+    );
+}

@@ -1,0 +1,75 @@
+//! Quickstart: build the paper's two-network testbed, run it for a minute of
+//! simulated time, and print what each aggregator saw.
+//!
+//! ```bash
+//! cargo run --example quickstart
+//! ```
+
+use rtem_core::metrics::accuracy_windows;
+use rtem_core::scenario::ScenarioBuilder;
+use rtem_sim::time::{SimDuration, SimTime};
+
+fn main() {
+    // Two networks, two charging ESP32-class devices each, reporting every
+    // 100 ms — the testbed of §III-A.
+    let mut world = ScenarioBuilder::paper_testbed(42).build();
+
+    let horizon = SimTime::from_secs(60);
+    println!("running the testbed for {} of simulated time...", SimDuration::from_secs(60));
+    world.run_until(horizon);
+
+    let metrics = world.metrics();
+    println!("\n== network summaries ==");
+    for network in &metrics.networks {
+        println!(
+            "{}: {} members, {} reports accepted, {} blocks sealed, {} ledger entries, mean network current {:.1} mA",
+            network.network,
+            network.members,
+            network.reports_accepted,
+            network.blocks,
+            network.ledger_entries,
+            network.mean_network_current_ma,
+        );
+    }
+
+    if let Some(stats) = metrics.handshake_stats() {
+        println!(
+            "\nregistration handshakes: {} completed, mean {:.2} s (range {:.2}–{:.2} s)",
+            stats.count, stats.mean_s, stats.min_s, stats.max_s
+        );
+    }
+
+    println!("\n== decentralized vs aggregator measurement (10 s windows, network 1) ==");
+    println!("{:>6} {:>16} {:>16} {:>10}", "window", "devices (mA·s)", "aggregator (mA·s)", "gap %");
+    for window in accuracy_windows(
+        &world,
+        ScenarioBuilder::network_addr(0),
+        SimDuration::from_secs(10),
+        horizon,
+    ) {
+        if window.devices_total_mas > 0.0 {
+            println!(
+                "{:>6} {:>16.1} {:>16.1} {:>9.2}%",
+                window.index,
+                window.devices_total_mas,
+                window.aggregator_mas,
+                window.overhead_percent()
+            );
+        }
+    }
+
+    println!("\nper-device bills at the home aggregators:");
+    for addr in world.network_addresses() {
+        let aggregator = world.aggregator(addr).expect("network exists");
+        for (device, bill) in aggregator.billing().iter() {
+            println!(
+                "  {} billed by {}: {:.2} mWh ({} records, {} backfilled)",
+                device,
+                addr,
+                bill.energy_at(rtem_sensors::energy::Millivolts::usb_bus()).value(),
+                bill.records,
+                bill.backfilled_records
+            );
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Integration test: device mobility (Fig. 3 sequence 2/3, Fig. 6) — the
+//! core claim of the paper: consumption stays monitorable and billable to
+//! the home network while the device operates at a foreign grid-location.
+
+use rtem_core::mobility::{run_mobility, MobilityConfig};
+use rtem_core::scenario::ScenarioBuilder;
+use rtem_net::packet::MembershipKind;
+use rtem_sim::time::{SimDuration, SimTime};
+
+fn quick(seed: u64) -> MobilityConfig {
+    let mut config = MobilityConfig::testbed(seed);
+    config.unplug_at = SimTime::from_secs(30);
+    config.transit = SimDuration::from_secs(15);
+    config.settle = SimDuration::from_secs(45);
+    config
+}
+
+#[test]
+fn roaming_device_gets_temporary_membership_and_home_billing() {
+    let config = quick(201);
+    let outcome = run_mobility(&config);
+
+    let handshake = outcome.handshake.expect("temporary membership established");
+    assert_eq!(handshake.membership, MembershipKind::Temporary);
+    assert!(
+        (5.0..7.0).contains(&outcome.thandshake_secs().unwrap()),
+        "Thandshake {} s",
+        outcome.thandshake_secs().unwrap()
+    );
+    assert!(outcome.roaming_charge_uas > 0);
+    assert!(outcome.total_charge_uas >= outcome.roaming_charge_uas);
+}
+
+#[test]
+fn locally_buffered_data_is_backfilled_after_the_handshake() {
+    let outcome = run_mobility(&quick(202));
+    assert!(
+        outcome.backfilled_records > 0,
+        "records measured during the handshake must arrive as backfill"
+    );
+    // The destination aggregator saw the device too.
+    let dest = outcome.destination_view.expect("destination trace");
+    assert!(!dest.points.is_empty());
+}
+
+#[test]
+fn home_aggregator_sees_no_consumption_during_transit() {
+    let config = quick(203);
+    let outcome = run_mobility(&config);
+    let view = outcome.home_view.expect("home trace");
+    let transit_reports = view
+        .points
+        .iter()
+        .filter(|(t, _)| {
+            *t > config.unplug_at.as_secs_f64() + 1.0
+                && *t < outcome.reconnected_at.as_secs_f64()
+        })
+        .count();
+    assert_eq!(transit_reports, 0, "transit (idle) is never billed");
+}
+
+#[test]
+fn stationary_devices_are_unaffected_by_a_peers_move() {
+    let mut world = ScenarioBuilder::paper_testbed(204).build();
+    let mobile = ScenarioBuilder::device_id(0, 0);
+    let stationary = ScenarioBuilder::device_id(0, 1);
+    world.schedule_unplug(SimTime::from_secs(30), mobile);
+    world.schedule_plug_in(SimTime::from_secs(45), mobile, ScenarioBuilder::network_addr(1));
+    world.run_until(SimTime::from_secs(90));
+
+    let home = world.aggregator(ScenarioBuilder::network_addr(0)).unwrap();
+    // The stationary device keeps reporting throughout.
+    let stationary_entries = home.ledger().account(stationary.0).unwrap().entries;
+    assert!(stationary_entries > 400, "entries {stationary_entries}");
+    assert!(world.device(stationary).unwrap().is_registered());
+    // The home aggregator retains the mobile device's master membership.
+    assert_eq!(
+        home.registry().membership(mobile).unwrap().kind,
+        MembershipKind::Master
+    );
+}
+
+#[test]
+fn returning_home_reuses_the_master_membership() {
+    let mut world = ScenarioBuilder::paper_testbed(205).build();
+    let mobile = ScenarioBuilder::device_id(0, 0);
+    let home_addr = ScenarioBuilder::network_addr(0);
+    let away_addr = ScenarioBuilder::network_addr(1);
+    world.schedule_unplug(SimTime::from_secs(30), mobile);
+    world.schedule_plug_in(SimTime::from_secs(40), mobile, away_addr);
+    world.schedule_unplug(SimTime::from_secs(70), mobile);
+    world.schedule_plug_in(SimTime::from_secs(80), mobile, home_addr);
+    world.run_until(SimTime::from_secs(120));
+
+    let device = world.device(mobile).unwrap();
+    assert!(device.is_registered());
+    let (serving, kind, _) = device.registration().unwrap();
+    assert_eq!(serving, home_addr);
+    assert_eq!(kind, MembershipKind::Master);
+    // The temporary membership at the foreign aggregator was only ever
+    // temporary; the home one persists.
+    let home = world.aggregator(home_addr).unwrap();
+    assert_eq!(home.registry().membership(mobile).unwrap().kind, MembershipKind::Master);
+}

@@ -1,0 +1,176 @@
+//! Property-based tests over the core data structures and invariants:
+//! wire-format round trips, hash-chain tamper evidence, Merkle proofs,
+//! energy accounting, TDMA slot invariants and the RSSI scan.
+
+use proptest::prelude::*;
+use rtem_chain::chain::HashChain;
+use rtem_chain::ledger::LedgerEntry;
+use rtem_chain::merkle::{merkle_root, MerkleProof};
+use rtem_chain::sha256::Sha256;
+use rtem_net::packet::{AggregatorAddr, DeviceId, MeasurementRecord, Packet};
+use rtem_net::tdma::SlotTable;
+use rtem_sensors::energy::{EnergyAccumulator, Milliamps, Millivolts};
+use rtem_sim::rng::SimRng;
+use rtem_sim::time::{SimDuration, SimTime};
+use rtem_sim::trace::TimeSeries;
+
+fn record_strategy() -> impl Strategy<Value = MeasurementRecord> {
+    (
+        0u64..1000,
+        0u64..100_000,
+        0u64..10_000_000,
+        0u64..1_000_000,
+        0u64..10_000_000,
+        any::<bool>(),
+    )
+        .prop_map(|(device, seq, start, len, current, backfilled)| MeasurementRecord {
+            device: DeviceId(device),
+            sequence: seq,
+            interval_start_us: start,
+            interval_end_us: start + len,
+            mean_current_ua: current,
+            charge_uas: current / 10,
+            backfilled,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn consumption_report_round_trips(records in prop::collection::vec(record_strategy(), 0..20),
+                                       device in 0u64..1000,
+                                       master in prop::option::of(0u32..100)) {
+        let packet = Packet::ConsumptionReport {
+            device: DeviceId(device),
+            master: master.map(AggregatorAddr),
+            records,
+        };
+        let decoded = Packet::decode(&packet.encode()).unwrap();
+        prop_assert_eq!(decoded, packet);
+    }
+
+    #[test]
+    fn ledger_entry_round_trips(device in any::<u64>(), seq in any::<u64>(),
+                                charge in any::<u64>(), backfilled in any::<bool>()) {
+        let entry = LedgerEntry {
+            device_id: device,
+            collected_by: 1,
+            billed_by: 2,
+            sequence: seq,
+            interval_start_us: 0,
+            interval_end_us: 100_000,
+            charge_uas: charge,
+            backfilled,
+        };
+        prop_assert_eq!(LedgerEntry::from_bytes(&entry.to_bytes()), Some(entry));
+    }
+
+    #[test]
+    fn sha256_incremental_equals_one_shot(data in prop::collection::vec(any::<u8>(), 0..512),
+                                           split in 1usize..64) {
+        let one_shot = Sha256::digest(&data);
+        let mut hasher = Sha256::new();
+        for chunk in data.chunks(split) {
+            hasher.update(chunk);
+        }
+        prop_assert_eq!(hasher.finalize(), one_shot);
+    }
+
+    #[test]
+    fn merkle_proofs_verify_and_reject_forgeries(
+        leaves in prop::collection::vec(prop::collection::vec(any::<u8>(), 1..32), 1..16),
+        pick in any::<prop::sample::Index>()
+    ) {
+        let root = merkle_root(&leaves);
+        let index = pick.index(leaves.len());
+        let proof = MerkleProof::build(&leaves, index).unwrap();
+        prop_assert!(proof.verify(&leaves[index], &root));
+        // A different leaf value must not verify under the same proof.
+        let mut forged = leaves[index].clone();
+        forged.push(0xFF);
+        prop_assert!(!proof.verify(&forged, &root));
+    }
+
+    #[test]
+    fn chain_tampering_is_always_detected(
+        blocks in prop::collection::vec(prop::collection::vec(prop::collection::vec(any::<u8>(), 1..16), 1..6), 1..8),
+        victim_block in any::<prop::sample::Index>(),
+        victim_record in any::<prop::sample::Index>()
+    ) {
+        let mut chain = HashChain::new(1, 0);
+        for (i, records) in blocks.iter().enumerate() {
+            chain.seal_block(1, (i as u64 + 1) * 1000, records.clone()).unwrap();
+        }
+        prop_assert!(chain.verify().is_ok());
+        // Tamper with one record somewhere in the chain (skipping genesis).
+        let block_index = 1 + victim_block.index(blocks.len()) as u64;
+        let record_count = chain.block(block_index).unwrap().record_count();
+        let record_index = victim_record.index(record_count);
+        chain
+            .block_mut_for_experiment(block_index)
+            .unwrap()
+            .tamper_record_for_experiment(record_index, b"forged-value".to_vec());
+        prop_assert!(chain.verify().is_err(), "tampering must break verification");
+    }
+
+    #[test]
+    fn energy_accumulator_is_order_independent(samples in prop::collection::vec(0.0f64..500.0, 1..64)) {
+        let mut forward = EnergyAccumulator::new(Millivolts::usb_bus());
+        let mut reverse = EnergyAccumulator::new(Millivolts::usb_bus());
+        for &s in &samples {
+            forward.add_sample(Milliamps::new(s), SimDuration::from_millis(100));
+        }
+        for &s in samples.iter().rev() {
+            reverse.add_sample(Milliamps::new(s), SimDuration::from_millis(100));
+        }
+        prop_assert!((forward.charge().value() - reverse.charge().value()).abs() < 1e-6);
+        prop_assert!(forward.charge().value() >= 0.0);
+    }
+
+    #[test]
+    fn windowed_sums_conserve_total(values in prop::collection::vec(0.0f64..100.0, 1..200),
+                                    window_ms in 100u64..5_000) {
+        let series: TimeSeries = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (SimTime::from_millis(i as u64 * 100), v))
+            .collect();
+        let sums = series.windowed_sums(SimTime::ZERO, SimDuration::from_millis(window_ms));
+        let total: f64 = sums.iter().sum();
+        prop_assert!((total - series.sum()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn slot_assignments_are_unique(device_ids in prop::collection::btree_set(0u64..500, 1..10)) {
+        let mut table = SlotTable::testbed();
+        let mut assigned = Vec::new();
+        for &id in &device_ids {
+            assigned.push(table.assign(DeviceId(id)).unwrap());
+        }
+        let mut deduped = assigned.clone();
+        deduped.sort_unstable();
+        deduped.dedup();
+        prop_assert_eq!(deduped.len(), assigned.len(), "no two devices share a slot");
+        prop_assert_eq!(table.assigned_slots() as usize, device_ids.len());
+    }
+
+    #[test]
+    fn rng_streams_are_reproducible(seed in any::<u64>()) {
+        let mut a = SimRng::seed_from_u64(seed);
+        let mut b = SimRng::seed_from_u64(seed);
+        for _ in 0..32 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn uniform_samples_stay_in_bounds(seed in any::<u64>(), low in -1000.0f64..1000.0, width in 0.0f64..1000.0) {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let high = low + width;
+        for _ in 0..64 {
+            let x = rng.uniform(low, high);
+            prop_assert!(x >= low && x <= high);
+        }
+    }
+}
