@@ -192,7 +192,11 @@ impl Aggregator {
     /// Registers a device administratively (e.g. pre-provisioned at
     /// manufacturing time). Normal registration goes through
     /// [`handle_device_packet`](Self::handle_device_packet).
-    pub fn register_master(&mut self, device: DeviceId, now: SimTime) -> Result<u16, MembershipError> {
+    pub fn register_master(
+        &mut self,
+        device: DeviceId,
+        now: SimTime,
+    ) -> Result<u16, MembershipError> {
         self.registry
             .register(device, MembershipKind::Master, None, now)
             .map(|m| m.slot)
@@ -307,7 +311,7 @@ impl Aggregator {
         let mut report_sum_ma = 0.0;
         for record in records {
             // Ignore duplicates the device retransmitted before seeing our ack.
-            if already_acked.map_or(false, |acked| record.sequence <= acked) {
+            if already_acked.is_some_and(|acked| record.sequence <= acked) {
                 continue;
             }
             report_sum_ma += record.mean_current_ma();
@@ -359,7 +363,12 @@ impl Aggregator {
         out
     }
 
-    fn stage_entry(&mut self, device: DeviceId, billed_by: AggregatorAddr, record: &MeasurementRecord) {
+    fn stage_entry(
+        &mut self,
+        device: DeviceId,
+        billed_by: AggregatorAddr,
+        record: &MeasurementRecord,
+    ) {
         self.ledger.stage(LedgerEntry {
             device_id: device.0,
             collected_by: self.address.0,
@@ -389,7 +398,7 @@ impl Aggregator {
                 let accepted = self
                     .registry
                     .membership(*device)
-                    .map_or(false, |m| m.kind == MembershipKind::Master)
+                    .is_some_and(|m| m.kind == MembershipKind::Master)
                     && !self.registry.is_blocked(*device);
                 out.to_aggregators.push((
                     *requester,
@@ -440,12 +449,11 @@ impl Aggregator {
                     series.push(now, record.mean_current_ma());
                 }
             }
-            Packet::TransferMembership { device, new_master } => {
+            Packet::TransferMembership { device, new_master }
                 // Ownership of the device moved to another network.
-                if *new_master != self.address {
+                if *new_master != self.address => {
                     let _ = self.registry.remove(*device);
                 }
-            }
             Packet::RemoveDevice { device } => {
                 let _ = self.registry.remove(*device);
                 self.registry.block(*device);
@@ -470,7 +478,9 @@ impl Aggregator {
     /// consumption with the aggregator's own measurement, seals the verified
     /// records into a ledger block and returns the verdict.
     pub fn end_window(&mut self, now: SimTime) -> Option<WindowVerdict> {
-        let elapsed_s = now.saturating_duration_since(self.window_started_at).as_secs_f64();
+        let elapsed_s = now
+            .saturating_duration_since(self.window_started_at)
+            .as_secs_f64();
         let verdict = if self.window_measured.is_empty() || elapsed_s <= 0.0 {
             None
         } else {
@@ -625,7 +635,12 @@ mod tests {
             },
             SimTime::from_secs(10),
         );
-        assert_eq!(out.to_devices, vec![Packet::Nack { device: DeviceId(1) }]);
+        assert_eq!(
+            out.to_devices,
+            vec![Packet::Nack {
+                device: DeviceId(1)
+            }]
+        );
         assert_eq!(agg.nacks_sent(), 1);
     }
 
@@ -657,7 +672,8 @@ mod tests {
         ));
 
         // Foreign aggregator completes the temporary registration.
-        let final_out = foreign.handle_backhaul(AggregatorAddr(1), response, SimTime::from_secs(10));
+        let final_out =
+            foreign.handle_backhaul(AggregatorAddr(1), response, SimTime::from_secs(10));
         assert!(matches!(
             final_out.to_devices[0],
             Packet::RegistrationAccept {
@@ -744,7 +760,9 @@ mod tests {
         agg.register_master(DeviceId(1), SimTime::ZERO).unwrap();
         agg.handle_backhaul(
             AggregatorAddr(1),
-            &Packet::RemoveDevice { device: DeviceId(1) },
+            &Packet::RemoveDevice {
+                device: DeviceId(1),
+            },
             SimTime::from_secs(1),
         );
         assert!(!agg.registry().is_member(DeviceId(1)));
@@ -835,7 +853,8 @@ mod tests {
             agg.observe_upstream(SimTime::from_secs(w + 1), Milliamps::new(105.0));
             agg.end_window(SimTime::from_secs(w + 1));
         }
-        let report = rtem_chain::audit::audit_chain(agg.ledger().chain(), Some(agg.ledger_anchor()));
+        let report =
+            rtem_chain::audit::audit_chain(agg.ledger().chain(), Some(agg.ledger_anchor()));
         assert!(report.is_clean());
         assert!(agg.ledger().chain().len() >= 6);
     }

@@ -7,7 +7,7 @@
 //! transit (Idle in Fig. 6) is never billed because no records exist for it.
 
 use rtem_net::packet::{AggregatorAddr, DeviceId};
-use rtem_sensors::energy::{MilliampSeconds, MilliwattHours, Millivolts};
+use rtem_sensors::energy::{MilliampSeconds, Millivolts, MilliwattHours};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -41,7 +41,7 @@ pub struct DeviceBill {
 impl DeviceBill {
     /// Billed energy at the given supply voltage.
     pub fn energy_at(&self, supply: Millivolts) -> MilliwattHours {
-        MilliampSeconds::new(self.charge_uas as f64 / 1000.0).energy_at(supply)
+        MilliampSeconds::from_uas(self.charge_uas).energy_at(supply)
     }
 }
 
@@ -80,7 +80,7 @@ impl BillingEngine {
         if let CollectionOrigin::Roaming { .. } = origin {
             bill.roaming_charge_uas += charge_uas;
         }
-        let energy = MilliampSeconds::new(charge_uas as f64 / 1000.0).energy_at(self.supply);
+        let energy = MilliampSeconds::from_uas(charge_uas).energy_at(self.supply);
         bill.cost += energy.value() * self.price_per_mwh;
     }
 
@@ -96,10 +96,7 @@ impl BillingEngine {
 
     /// Total billed energy across all devices.
     pub fn total_energy(&self) -> MilliwattHours {
-        self.bills
-            .values()
-            .map(|b| b.energy_at(self.supply))
-            .sum()
+        self.bills.values().map(|b| b.energy_at(self.supply)).sum()
     }
 
     /// Total billed cost across all devices.

@@ -220,7 +220,12 @@ mod tests {
             .register(DeviceId(1), MembershipKind::Master, None, SimTime::ZERO)
             .unwrap();
         let second = r
-            .register(DeviceId(1), MembershipKind::Master, None, SimTime::from_secs(5))
+            .register(
+                DeviceId(1),
+                MembershipKind::Master,
+                None,
+                SimTime::from_secs(5),
+            )
             .unwrap();
         assert_eq!(first.slot, second.slot);
         assert_eq!(r.len(), 1);
@@ -246,7 +251,10 @@ mod tests {
         r.register(DeviceId(1), MembershipKind::Master, None, SimTime::ZERO)
             .unwrap();
         assert!(r.remove(DeviceId(1)).is_ok());
-        assert_eq!(r.remove(DeviceId(1)), Err(MembershipError::NotAMember(DeviceId(1))));
+        assert_eq!(
+            r.remove(DeviceId(1)),
+            Err(MembershipError::NotAMember(DeviceId(1)))
+        );
         assert!(r
             .register(DeviceId(2), MembershipKind::Master, None, SimTime::ZERO)
             .is_ok());
@@ -297,7 +305,10 @@ mod tests {
             .unwrap();
         r.note_ack(DeviceId(1), 5);
         r.note_ack(DeviceId(1), 3);
-        assert_eq!(r.membership(DeviceId(1)).unwrap().last_acked_sequence, Some(5));
+        assert_eq!(
+            r.membership(DeviceId(1)).unwrap().last_acked_sequence,
+            Some(5)
+        );
         // Unknown devices are ignored quietly.
         r.note_ack(DeviceId(9), 1);
     }

@@ -135,7 +135,10 @@ impl EntropyDetector {
     /// Panics if `bin_width_ma` is not positive or the windows are empty.
     pub fn new(bin_width_ma: f64, history_len: usize, recent_len: usize) -> Self {
         assert!(bin_width_ma > 0.0, "bin width must be positive");
-        assert!(history_len > 0 && recent_len > 0, "windows must be non-empty");
+        assert!(
+            history_len > 0 && recent_len > 0,
+            "windows must be non-empty"
+        );
         EntropyDetector {
             bin_width_ma,
             history_len,

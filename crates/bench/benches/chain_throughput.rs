@@ -55,12 +55,16 @@ fn bench_chain(c: &mut Criterion) {
             let records = (0..40).map(|r| format!("b{i}r{r}").into_bytes()).collect();
             chain.seal_block(1, (i as u64 + 1) * 1000, records).unwrap();
         }
-        group.bench_with_input(BenchmarkId::new("verify_chain", blocks), &chain, |b, chain| {
-            b.iter(|| black_box(chain.verify().is_ok()))
-        });
-        group.bench_with_input(BenchmarkId::new("audit_chain", blocks), &chain, |b, chain| {
-            b.iter(|| black_box(audit_chain(chain, Some(chain.head_hash())).is_clean()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("verify_chain", blocks),
+            &chain,
+            |b, chain| b.iter(|| black_box(chain.verify().is_ok())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("audit_chain", blocks),
+            &chain,
+            |b, chain| b.iter(|| black_box(audit_chain(chain, Some(chain.head_hash())).is_clean())),
+        );
     }
     group.finish();
 }

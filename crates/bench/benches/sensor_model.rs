@@ -39,7 +39,9 @@ fn bench_sensor(c: &mut Criterion) {
     });
 
     let mut grid = GridNetwork::new();
-    let branches: Vec<_> = (0..10).map(|_| grid.add_branch(Branch::default())).collect();
+    let branches: Vec<_> = (0..10)
+        .map(|_| grid.add_branch(Branch::default()))
+        .collect();
     let loads: Vec<(_, Milliamps)> = branches
         .iter()
         .map(|&b| (b, Milliamps::new(150.0)))

@@ -19,8 +19,12 @@ fn run(under_report_fraction: f64, seed: u64) -> (u64, u64, bool) {
         AggregatorConfig::testbed(AggregatorAddr(1)),
         SimRng::seed_from_u64(seed),
     );
-    aggregator.register_master(DeviceId(1), SimTime::ZERO).unwrap();
-    aggregator.register_master(DeviceId(2), SimTime::ZERO).unwrap();
+    aggregator
+        .register_master(DeviceId(1), SimTime::ZERO)
+        .unwrap();
+    aggregator
+        .register_master(DeviceId(2), SimTime::ZERO)
+        .unwrap();
     let mut rng = SimRng::seed_from_u64(seed ^ 0xF00D);
 
     let windows = 30u64;
@@ -29,9 +33,10 @@ fn run(under_report_fraction: f64, seed: u64) -> (u64, u64, bool) {
         let honest_true = 180.0 + rng.normal(0.0, 2.0);
         let cheater_true = 200.0 + rng.normal(0.0, 2.0);
         let cheater_reported = cheater_true * (1.0 - under_report_fraction);
-        for (idx, (device, reported)) in [(DeviceId(1), honest_true), (DeviceId(2), cheater_reported)]
-            .into_iter()
-            .enumerate()
+        for (idx, (device, reported)) in
+            [(DeviceId(1), honest_true), (DeviceId(2), cheater_reported)]
+                .into_iter()
+                .enumerate()
         {
             let records: Vec<MeasurementRecord> = (0..10)
                 .map(|_| {

@@ -35,11 +35,12 @@ fn main() {
 
     if !all_overheads.is_empty() {
         let min = all_overheads.iter().copied().fold(f64::INFINITY, f64::min);
-        let max = all_overheads.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let max = all_overheads
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
         let mean = all_overheads.iter().sum::<f64>() / all_overheads.len() as f64;
-        println!(
-            "\n# aggregator reads {min:.2}–{max:.2}% above the device sum (mean {mean:.2}%)"
-        );
+        println!("\n# aggregator reads {min:.2}–{max:.2}% above the device sum (mean {mean:.2}%)");
         println!("# paper reports 0.9–8.2%, attributed to ohmic losses + the 0.5 mA INA219 offset");
     }
 }

@@ -71,5 +71,7 @@ fn main() {
         outcome.backfilled_records,
         outcome.roaming_charge_uas as f64 / 1000.0
     );
-    println!("# paper: Thandshake ≈ 6 s average (5.5–6.5 s over 15 runs); idle span is never billed");
+    println!(
+        "# paper: Thandshake ≈ 6 s average (5.5–6.5 s over 15 runs); idle span is never billed"
+    );
 }

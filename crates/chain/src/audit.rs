@@ -129,9 +129,7 @@ mod tests {
     fn chain_with_blocks(n: usize) -> HashChain {
         let mut chain = HashChain::new(1, 0);
         for i in 0..n {
-            let records = (0..4)
-                .map(|j| format!("b{i}-r{j}").into_bytes())
-                .collect();
+            let records = (0..4).map(|j| format!("b{i}-r{j}").into_bytes()).collect();
             chain.seal_block(1, (i as u64 + 1) * 1000, records).unwrap();
         }
         chain
@@ -181,13 +179,24 @@ mod tests {
         let mut chain = chain_with_blocks(4);
         // The attacker re-seals block 2 entirely (consistent on its own) but
         // cannot update block 3's previous pointer.
-        let forged = Block::new(2, chain.block(1).unwrap().hash(), 1, 2_000, vec![b"forged".to_vec()]);
+        let forged = Block::new(
+            2,
+            chain.block(1).unwrap().hash(),
+            1,
+            2_000,
+            vec![b"forged".to_vec()],
+        );
         *chain.block_mut_for_experiment(2).unwrap() = forged;
         let report = audit_chain(&chain, None);
         assert!(!report.is_clean());
         assert_eq!(report.count_of(FindingKind::LinkBroken), 1);
         assert_eq!(
-            report.findings.iter().find(|f| f.kind == FindingKind::LinkBroken).unwrap().block_index,
+            report
+                .findings
+                .iter()
+                .find(|f| f.kind == FindingKind::LinkBroken)
+                .unwrap()
+                .block_index,
             3
         );
     }

@@ -56,7 +56,10 @@ impl fmt::Display for ChainError {
                 write!(f, "timestamp went backwards at block {at_index}")
             }
             ChainError::InconsistentBlock { at_index } => {
-                write!(f, "records do not match header commitment at block {at_index}")
+                write!(
+                    f,
+                    "records do not match header commitment at block {at_index}"
+                )
             }
         }
     }
@@ -372,7 +375,9 @@ mod tests {
     #[test]
     fn error_display_is_informative() {
         assert!(ChainError::UnauthorizedWriter(3).to_string().contains("3"));
-        assert!(ChainError::BrokenLink { at_index: 2 }.to_string().contains("2"));
+        assert!(ChainError::BrokenLink { at_index: 2 }
+            .to_string()
+            .contains("2"));
         assert!(ChainError::BadIndex {
             expected: 1,
             found: 9

@@ -219,7 +219,7 @@ impl MeteringLedger {
         recomputed.iter().all(|(id, total)| {
             self.accounts
                 .get(id)
-                .map_or(false, |acc| acc.total_charge_uas == *total)
+                .is_some_and(|acc| acc.total_charge_uas == *total)
         })
     }
 }

@@ -10,7 +10,9 @@ use core::fmt;
 use serde::{Deserialize, Serialize};
 
 /// A 256-bit digest.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
 pub struct Digest(pub [u8; 32]);
 
 impl Digest {
@@ -317,10 +319,7 @@ mod tests {
     #[test]
     fn zero_digest_is_all_zero() {
         assert_eq!(Digest::ZERO.as_bytes(), &[0u8; 32]);
-        assert_eq!(
-            Digest::ZERO.to_hex(),
-            "0".repeat(64)
-        );
+        assert_eq!(Digest::ZERO.to_hex(), "0".repeat(64));
     }
 
     #[test]

@@ -244,7 +244,10 @@ mod tests {
         consensus
             .propose(DeviceId(1), 1_000, vec![b"r1".to_vec()])
             .unwrap();
-        assert_eq!(consensus.vote(DeviceId(2), Vote::Approve).unwrap(), RoundOutcome::Pending);
+        assert_eq!(
+            consensus.vote(DeviceId(2), Vote::Approve).unwrap(),
+            RoundOutcome::Pending
+        );
         match consensus.vote(DeviceId(3), Vote::Approve).unwrap() {
             RoundOutcome::Committed { approvals, .. } => assert_eq!(approvals, 3),
             other => panic!("expected commit, got {other:?}"),
@@ -318,7 +321,11 @@ mod tests {
         let mut consensus = QuorumConsensus::new(validators(3), 2);
         for round in 0..10u64 {
             consensus
-                .propose(DeviceId(1), (round + 1) * 1_000, vec![format!("r{round}").into_bytes()])
+                .propose(
+                    DeviceId(1),
+                    (round + 1) * 1_000,
+                    vec![format!("r{round}").into_bytes()],
+                )
                 .unwrap();
             consensus.vote(DeviceId(2), Vote::Approve).unwrap();
         }
@@ -329,8 +336,14 @@ mod tests {
 
     #[test]
     fn message_cost_scales_with_validators() {
-        assert_eq!(QuorumConsensus::majority(validators(4)).messages_per_round(), 6);
-        assert_eq!(QuorumConsensus::majority(validators(10)).messages_per_round(), 18);
+        assert_eq!(
+            QuorumConsensus::majority(validators(4)).messages_per_round(),
+            6
+        );
+        assert_eq!(
+            QuorumConsensus::majority(validators(10)).messages_per_round(),
+            18
+        );
     }
 
     #[test]

@@ -48,13 +48,26 @@ pub mod mobility;
 pub mod scenario;
 pub mod simulation;
 
+// Superseded flat re-exports, kept for backwards compatibility only. The
+// supported public surface is the `rtem` facade crate: experiments are
+// declared as an `rtem::prelude::ScenarioSpec` and run through
+// `rtem::prelude::Experiment` instead of hand-assembling `ScenarioBuilder` /
+// `WorldConfig`; everything below stays reachable through the module paths
+// (`rtem::scenario`, `rtem::simulation`, ...).
+#[doc(hidden)]
 pub use centralized::{CapabilityMatrix, CentralizedMeter, MeteringComparison};
+#[doc(hidden)]
 pub use consensus::{ConsensusError, QuorumConsensus, RoundOutcome, Vote};
+#[doc(hidden)]
 pub use loadbalance::{plan_balance, BalancePlan, NetworkLoad, Relocation};
+#[doc(hidden)]
 pub use metrics::{
     accuracy_windows, device_trace, AccuracyWindow, DeviceTrace, HandshakeStats, NetworkSummary,
     WorldMetrics,
 };
+#[doc(hidden)]
 pub use mobility::{run_mobility, thandshake_statistics, MobilityConfig, MobilityOutcome};
+#[doc(hidden)]
 pub use scenario::{DeviceLoad, ScenarioBuilder};
+#[doc(hidden)]
 pub use simulation::{World, WorldConfig};

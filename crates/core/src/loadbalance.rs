@@ -77,10 +77,8 @@ pub fn plan_balance(loads: &[NetworkLoad]) -> BalancePlan {
         .iter()
         .map(|l| (l.network, l.registered.len()))
         .collect();
-    let capacity: BTreeMap<AggregatorAddr, u16> = loads
-        .iter()
-        .map(|l| (l.network, l.slot_capacity))
-        .collect();
+    let capacity: BTreeMap<AggregatorAddr, u16> =
+        loads.iter().map(|l| (l.network, l.slot_capacity)).collect();
     let mut movable: BTreeMap<AggregatorAddr, Vec<DeviceId>> = loads
         .iter()
         .map(|l| (l.network, l.mobile.clone()))
@@ -91,9 +89,7 @@ pub fn plan_balance(loads: &[NetworkLoad]) -> BalancePlan {
         occ[&addr] as f64 / cap
     };
     let peak = |occ: &BTreeMap<AggregatorAddr, usize>| -> f64 {
-        occ.keys()
-            .map(|&a| utilisation(occ, a))
-            .fold(0.0, f64::max)
+        occ.keys().map(|&a| utilisation(occ, a)).fold(0.0, f64::max)
     };
 
     let before = peak(&occupancy);

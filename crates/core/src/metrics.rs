@@ -221,16 +221,17 @@ pub struct DeviceTrace {
 }
 
 /// Extracts the consumption trace of `device` as seen by `network`.
-pub fn device_trace(world: &World, network: AggregatorAddr, device: DeviceId) -> Option<DeviceTrace> {
+pub fn device_trace(
+    world: &World,
+    network: AggregatorAddr,
+    device: DeviceId,
+) -> Option<DeviceTrace> {
     let aggregator = world.aggregator(network)?;
     let series = aggregator.device_series(device)?;
     Some(DeviceTrace {
         device,
         network,
-        points: series
-            .iter()
-            .map(|(t, v)| (t.as_secs_f64(), v))
-            .collect(),
+        points: series.iter().map(|(t, v)| (t.as_secs_f64(), v)).collect(),
     })
 }
 

@@ -112,14 +112,16 @@ pub fn run_mobility(config: &MobilityConfig) -> MobilityOutcome {
 /// Runs the mobility experiment `runs` times with different seeds and returns
 /// the Thandshake statistics (the paper reports 15 runs: mean 6 s, range
 /// 5.5–6.5 s).
-pub fn thandshake_statistics(base_seed: u64, runs: usize) -> (Vec<MobilityOutcome>, Option<HandshakeStats>) {
+pub fn thandshake_statistics(
+    base_seed: u64,
+    runs: usize,
+) -> (Vec<MobilityOutcome>, Option<HandshakeStats>) {
     let mut outcomes = Vec::with_capacity(runs);
     for i in 0..runs {
         let config = MobilityConfig::testbed(base_seed + i as u64);
         outcomes.push(run_mobility(&config));
     }
-    let breakdowns: Vec<HandshakeBreakdown> =
-        outcomes.iter().filter_map(|o| o.handshake).collect();
+    let breakdowns: Vec<HandshakeBreakdown> = outcomes.iter().filter_map(|o| o.handshake).collect();
     let stats = HandshakeStats::from_breakdowns(&breakdowns);
     (outcomes, stats)
 }
@@ -146,7 +148,10 @@ mod tests {
             "home network must bill foreign consumption"
         );
         assert!(outcome.total_charge_uas > outcome.roaming_charge_uas);
-        assert!(outcome.backfilled_records > 0, "buffered records must arrive");
+        assert!(
+            outcome.backfilled_records > 0,
+            "buffered records must arrive"
+        );
     }
 
     #[test]

@@ -8,7 +8,6 @@
 //! with simulated time.
 
 use crate::metrics::WorldMetrics;
-use bytes::Bytes;
 use rtem_aggregator::aggregator::{Aggregator, AggregatorConfig};
 use rtem_device::device::MeteringDevice;
 use rtem_net::backhaul::BackhaulMesh;
@@ -239,10 +238,7 @@ impl World {
     pub fn run_until(&mut self, horizon: SimTime) {
         // The scheduler needs the world's maps, so the loop lives here rather
         // than in a closure passed to Scheduler::run_until.
-        loop {
-            let Some(next) = self.scheduler.queue_mut().peek_time() else {
-                break;
-            };
+        while let Some(next) = self.scheduler.queue_mut().peek_time() {
             if next > horizon {
                 break;
             }
@@ -316,7 +312,8 @@ impl World {
         }
         if let Some(site) = self.sites.get_mut(&addr) {
             let snapshot = site.grid.evaluate(&loads);
-            site.aggregator.observe_upstream(now, snapshot.upstream_total);
+            site.aggregator
+                .observe_upstream(now, snapshot.upstream_total);
         }
         self.scheduler.schedule(
             now + self.config.upstream_sample_interval,
@@ -359,7 +356,7 @@ impl World {
         now: SimTime,
     ) {
         let client = self.device_clients[&device_id];
-        let payload = Bytes::from(packet.encode());
+        let payload = packet.encode();
         let _ = self
             .broker
             .publish(client, &uplink_topic(to), payload, QoS::AtLeastOnce, now);
@@ -371,7 +368,7 @@ impl World {
             return;
         };
         let site_client = self.sites[&from].client;
-        let payload = Bytes::from(packet.encode());
+        let payload = packet.encode();
         let _ = self.broker.publish(
             site_client,
             &downlink_topic(device),
@@ -570,7 +567,10 @@ mod tests {
         // ...and the home aggregator received forwarded (roaming) consumption.
         let home = world.aggregator(AggregatorAddr(1)).unwrap();
         let bill = home.billing().bill(DeviceId(1)).unwrap();
-        assert!(bill.roaming_charge_uas > 0, "roaming consumption billed at home");
+        assert!(
+            bill.roaming_charge_uas > 0,
+            "roaming consumption billed at home"
+        );
     }
 
     #[test]

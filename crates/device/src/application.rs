@@ -8,7 +8,7 @@
 //! and a small remote-management command set.
 
 use crate::middleware::{HealthCounters, PowerState};
-use rtem_sensors::energy::{MilliampSeconds, MilliwattHours, Millivolts};
+use rtem_sensors::energy::{MilliampSeconds, Millivolts, MilliwattHours};
 use rtem_sim::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
@@ -203,8 +203,14 @@ mod tests {
     #[test]
     fn time_of_use_tariff_switches_at_peak_window() {
         let t = Tariff::default();
-        assert_eq!(t.price_at(SimTime::from_secs(12 * 3600)), t.off_peak_price_per_mwh);
-        assert_eq!(t.price_at(SimTime::from_secs(19 * 3600)), t.peak_price_per_mwh);
+        assert_eq!(
+            t.price_at(SimTime::from_secs(12 * 3600)),
+            t.off_peak_price_per_mwh
+        );
+        assert_eq!(
+            t.price_at(SimTime::from_secs(19 * 3600)),
+            t.peak_price_per_mwh
+        );
         // Wraps around midnight on the second simulated day.
         assert_eq!(
             t.price_at(SimTime::from_secs(86_400 + 19 * 3600)),

@@ -21,7 +21,7 @@ use crate::physical::PhysicalLayer;
 use rtem_net::packet::{AggregatorAddr, MeasurementRecord, MembershipKind, Packet};
 use rtem_net::rssi::{Position, RadioEnvironment};
 use rtem_net::DeviceId;
-use rtem_sensors::energy::{Milliamps, MilliampSeconds, Millivolts};
+use rtem_sensors::energy::{MilliampSeconds, Milliamps, Millivolts};
 use rtem_sensors::grid::BranchId;
 use rtem_sensors::ina219::{Ina219Config, Ina219Model};
 use rtem_sensors::profile::LoadProfile;
@@ -100,7 +100,11 @@ impl MeteringDevice {
     }
 
     /// A device configured like the paper's testbed nodes.
-    pub fn testbed(device_id: DeviceId, load: impl LoadProfile + Send + 'static, rng: SimRng) -> Self {
+    pub fn testbed(
+        device_id: DeviceId,
+        load: impl LoadProfile + Send + 'static,
+        rng: SimRng,
+    ) -> Self {
         MeteringDevice::new(
             DeviceConfig::testbed(device_id),
             load,
@@ -260,7 +264,11 @@ impl MeteringDevice {
     }
 
     /// Executes a remote-management command.
-    pub fn handle_management(&mut self, command: ManagementCommand, now: SimTime) -> ManagementResponse {
+    pub fn handle_management(
+        &mut self,
+        command: ManagementCommand,
+        now: SimTime,
+    ) -> ManagementResponse {
         match command {
             ManagementCommand::QueryStatus => ManagementResponse::Status {
                 state: self.middleware.state(),
@@ -364,7 +372,7 @@ mod tests {
     fn register(device: &mut MeteringDevice, radio: &RadioEnvironment, start: SimTime) -> SimTime {
         let mut now = start;
         for _ in 0..200 {
-            now = now + SimDuration::from_millis(100);
+            now += SimDuration::from_millis(100);
             let out = device.on_measure_tick(now, radio);
             if out
                 .iter()
@@ -398,7 +406,11 @@ mod tests {
         let radio = radio();
         let mut d = test_device();
         d.boot(SimTime::ZERO);
-        d.plug_in(SimTime::from_millis(100), BranchId(0), Position::new(1.0, 0.0));
+        d.plug_in(
+            SimTime::from_millis(100),
+            BranchId(0),
+            Position::new(1.0, 0.0),
+        );
         let registered_at = register(&mut d, &radio, SimTime::from_millis(100));
         assert!(d.is_registered());
         assert_eq!(d.master(), Some(AggregatorAddr(1)));
@@ -408,7 +420,7 @@ mod tests {
         let mut reports = 0;
         let mut now = registered_at;
         for _ in 0..5 {
-            now = now + SimDuration::from_millis(100);
+            now += SimDuration::from_millis(100);
             let out = d.on_measure_tick(now, &radio);
             reports += out
                 .iter()
@@ -424,11 +436,15 @@ mod tests {
         let radio = radio();
         let mut d = test_device();
         d.boot(SimTime::ZERO);
-        d.plug_in(SimTime::from_millis(100), BranchId(0), Position::new(1.0, 0.0));
+        d.plug_in(
+            SimTime::from_millis(100),
+            BranchId(0),
+            Position::new(1.0, 0.0),
+        );
         let mut now = register(&mut d, &radio, SimTime::from_millis(100));
         let mut last_seq = 0;
         for _ in 0..5 {
-            now = now + SimDuration::from_millis(100);
+            now += SimDuration::from_millis(100);
             for o in d.on_measure_tick(now, &radio) {
                 if let Packet::ConsumptionReport { records, .. } = o.packet {
                     last_seq = records.last().map(|r| r.sequence).unwrap_or(last_seq);
@@ -452,13 +468,17 @@ mod tests {
         let radio = radio();
         let mut d = test_device();
         d.boot(SimTime::ZERO);
-        d.plug_in(SimTime::from_millis(100), BranchId(0), Position::new(1.0, 0.0));
+        d.plug_in(
+            SimTime::from_millis(100),
+            BranchId(0),
+            Position::new(1.0, 0.0),
+        );
         let mut now = register(&mut d, &radio, SimTime::from_millis(100));
         // Never ack; after a while the report carries old records marked
         // backfilled plus the fresh one.
         let mut saw_backfilled = false;
         for _ in 0..20 {
-            now = now + SimDuration::from_millis(100);
+            now += SimDuration::from_millis(100);
             for o in d.on_measure_tick(now, &radio) {
                 if let Packet::ConsumptionReport { records, .. } = &o.packet {
                     if records.iter().any(|r| r.backfilled) && records.iter().any(|r| !r.backfilled)
@@ -477,7 +497,11 @@ mod tests {
         let radio = radio();
         let mut d = test_device();
         d.boot(SimTime::ZERO);
-        d.plug_in(SimTime::from_millis(100), BranchId(0), Position::new(1.0, 0.0));
+        d.plug_in(
+            SimTime::from_millis(100),
+            BranchId(0),
+            Position::new(1.0, 0.0),
+        );
         let now = register(&mut d, &radio, SimTime::from_millis(100));
         // A foreign aggregator refuses the report.
         let out = d.on_packet(&Packet::Nack { device: d.id() }, now);
@@ -488,7 +512,11 @@ mod tests {
                 _ => None,
             })
             .expect("nack must trigger re-registration");
-        assert_eq!(reg, Some(AggregatorAddr(1)), "master address must be included");
+        assert_eq!(
+            reg,
+            Some(AggregatorAddr(1)),
+            "master address must be included"
+        );
         assert_eq!(d.counters().nacks_received, 1);
     }
 
@@ -497,7 +525,11 @@ mod tests {
         let radio = radio();
         let mut d = test_device();
         d.boot(SimTime::ZERO);
-        d.plug_in(SimTime::from_millis(100), BranchId(0), Position::new(1.0, 0.0));
+        d.plug_in(
+            SimTime::from_millis(100),
+            BranchId(0),
+            Position::new(1.0, 0.0),
+        );
         let now = register(&mut d, &radio, SimTime::from_millis(100));
         d.unplug(now);
         assert!(!d.is_registered());
@@ -512,10 +544,14 @@ mod tests {
         let radio = radio();
         let mut d = test_device();
         d.boot(SimTime::ZERO);
-        d.plug_in(SimTime::from_millis(100), BranchId(0), Position::new(1.0, 0.0));
+        d.plug_in(
+            SimTime::from_millis(100),
+            BranchId(0),
+            Position::new(1.0, 0.0),
+        );
         let mut now = register(&mut d, &radio, SimTime::from_millis(100));
         for _ in 0..50 {
-            now = now + SimDuration::from_millis(100);
+            now += SimDuration::from_millis(100);
             d.on_measure_tick(now, &radio);
         }
         assert!(d.billing().total_energy().value() > 0.0);
@@ -540,7 +576,10 @@ mod tests {
             ManagementResponse::Done
         );
         assert!(matches!(
-            d.handle_management(ManagementCommand::SetMeasureIntervalMs(0), SimTime::from_secs(7)),
+            d.handle_management(
+                ManagementCommand::SetMeasureIntervalMs(0),
+                SimTime::from_secs(7)
+            ),
             ManagementResponse::Rejected(_)
         ));
     }

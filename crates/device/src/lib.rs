@@ -48,7 +48,9 @@ pub mod middleware;
 pub mod network_mgmt;
 pub mod physical;
 
-pub use application::{BillingEstimator, DemandForecaster, ManagementCommand, ManagementResponse, Tariff};
+pub use application::{
+    BillingEstimator, DemandForecaster, ManagementCommand, ManagementResponse, Tariff,
+};
 pub use data_layer::{LocalStore, StoreOutcome};
 pub use device::{MeteringDevice, Outbound};
 pub use middleware::{DeviceConfig, HealthCounters, Middleware, PowerState};

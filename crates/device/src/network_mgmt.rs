@@ -288,9 +288,9 @@ impl NetworkManager {
     /// Brings the radio up and starts aggregator discovery at `now`
     /// (the device has just been plugged in at some grid-location).
     pub fn start_discovery(&mut self, now: SimTime) {
-        let scan_len = self
-            .timing
-            .jittered(self.timing.scan, self.timing.scan_jitter, &mut self.rng);
+        let scan_len =
+            self.timing
+                .jittered(self.timing.scan, self.timing.scan_jitter, &mut self.rng);
         self.handshake_started_at = Some(now);
         self.phase_started_at = now;
         self.scan_elapsed = SimDuration::ZERO;
@@ -422,7 +422,11 @@ impl NetworkManager {
     }
 
     /// Handles a packet addressed to this device.
-    pub fn handle_packet(&mut self, packet: &Packet, now: SimTime) -> (Vec<NetCommand>, Vec<NetEvent>) {
+    pub fn handle_packet(
+        &mut self,
+        packet: &Packet,
+        now: SimTime,
+    ) -> (Vec<NetCommand>, Vec<NetEvent>) {
         let mut commands = Vec::new();
         let mut events = Vec::new();
         match packet {
@@ -529,7 +533,7 @@ mod tests {
     ) -> (SimTime, AggregatorAddr) {
         let mut now = start;
         for _ in 0..100 {
-            now = now + SimDuration::from_millis(1);
+            now += SimDuration::from_millis(1);
             let (commands, _) = nm.poll(now, radio, Position::new(1.0, 0.0));
             if let Some(NetCommand::Send { to, packet }) = commands.first() {
                 if matches!(packet, Packet::RegistrationRequest { .. }) {
@@ -586,7 +590,7 @@ mod tests {
         let mut now = SimTime::ZERO;
         let mut seen_master = None;
         for _ in 0..100 {
-            now = now + SimDuration::from_millis(1);
+            now += SimDuration::from_millis(1);
             let (commands, _) = nm.poll(now, &radio, Position::new(1.0, 0.0));
             if let Some(NetCommand::Send {
                 packet: Packet::RegistrationRequest { master, .. },
@@ -611,7 +615,9 @@ mod tests {
             membership: MembershipKind::Master,
             slot: 0,
         };
-        let nack = Packet::Nack { device: DeviceId(7) };
+        let nack = Packet::Nack {
+            device: DeviceId(7),
+        };
         let (commands, events) = nm.handle_packet(&nack, SimTime::from_secs(10));
         assert!(events.contains(&NetEvent::NackReceived));
         match &commands[0] {
@@ -672,7 +678,7 @@ mod tests {
         nm.start_discovery(SimTime::ZERO);
         let (mut now, _) = drive_until_registration_request(&mut nm, &radio, SimTime::ZERO);
         for _ in 0..10 {
-            now = now + SimDuration::from_millis(60);
+            now += SimDuration::from_millis(60);
             nm.poll(now, &radio, Position::new(1.0, 0.0));
             if matches!(nm.state(), NetState::Scanning { .. }) {
                 return;
@@ -686,7 +692,11 @@ mod tests {
         let empty_radio = RadioEnvironment::new(PathLossModel::deterministic());
         let mut nm = manager();
         nm.start_discovery(SimTime::ZERO);
-        let (_, events) = nm.poll(SimTime::from_millis(10), &empty_radio, Position::new(0.0, 0.0));
+        let (_, events) = nm.poll(
+            SimTime::from_millis(10),
+            &empty_radio,
+            Position::new(0.0, 0.0),
+        );
         assert!(events.contains(&NetEvent::ScanFoundNothing));
         assert!(matches!(nm.state(), NetState::Scanning { .. }));
     }
@@ -742,7 +752,11 @@ mod tests {
         for _ in 0..100 {
             let total = timing.jittered(timing.scan, timing.scan_jitter, &mut rng)
                 + timing.jittered(timing.association, timing.association_jitter, &mut rng)
-                + timing.jittered(timing.broker_connect, timing.broker_connect_jitter, &mut rng);
+                + timing.jittered(
+                    timing.broker_connect,
+                    timing.broker_connect_jitter,
+                    &mut rng,
+                );
             let secs = total.as_secs_f64();
             assert!(
                 (5.2..6.6).contains(&secs),

@@ -346,8 +346,13 @@ mod tests {
     #[test]
     fn delivery_takes_about_one_millisecond() {
         let mut mesh = two_node_mesh();
-        mesh.send(AggregatorAddr(2), AggregatorAddr(1), verify_packet(), SimTime::ZERO)
-            .unwrap();
+        mesh.send(
+            AggregatorAddr(2),
+            AggregatorAddr(1),
+            verify_packet(),
+            SimTime::ZERO,
+        )
+        .unwrap();
         assert!(mesh.drain_due(SimTime::from_micros(900)).is_empty());
         let due = mesh.drain_due(SimTime::from_millis(2));
         assert_eq!(due.len(), 1);
@@ -370,12 +375,20 @@ mod tests {
             route,
             vec![AggregatorAddr(1), AggregatorAddr(2), AggregatorAddr(3)]
         );
-        mesh.send(AggregatorAddr(1), AggregatorAddr(3), verify_packet(), SimTime::ZERO)
-            .unwrap();
+        mesh.send(
+            AggregatorAddr(1),
+            AggregatorAddr(3),
+            verify_packet(),
+            SimTime::ZERO,
+        )
+        .unwrap();
         let due = mesh.drain_due(SimTime::from_secs(1));
         assert_eq!(due.len(), 1);
         assert_eq!(due[0].hops, 2);
-        assert!(due[0].at >= SimTime::from_millis(2), "two hops, two milliseconds");
+        assert!(
+            due[0].at >= SimTime::from_millis(2),
+            "two hops, two milliseconds"
+        );
     }
 
     #[test]
@@ -405,7 +418,12 @@ mod tests {
             Err(BackhaulError::UnknownAggregator(AggregatorAddr(9)))
         );
         assert!(mesh
-            .send(AggregatorAddr(9), AggregatorAddr(1), verify_packet(), SimTime::ZERO)
+            .send(
+                AggregatorAddr(9),
+                AggregatorAddr(1),
+                verify_packet(),
+                SimTime::ZERO
+            )
             .is_err());
     }
 
@@ -447,10 +465,20 @@ mod tests {
     fn next_delivery_at_reports_earliest() {
         let mut mesh = two_node_mesh();
         assert!(mesh.next_delivery_at().is_none());
-        mesh.send(AggregatorAddr(1), AggregatorAddr(2), verify_packet(), SimTime::from_secs(5))
-            .unwrap();
-        mesh.send(AggregatorAddr(1), AggregatorAddr(2), verify_packet(), SimTime::from_secs(1))
-            .unwrap();
+        mesh.send(
+            AggregatorAddr(1),
+            AggregatorAddr(2),
+            verify_packet(),
+            SimTime::from_secs(5),
+        )
+        .unwrap();
+        mesh.send(
+            AggregatorAddr(1),
+            AggregatorAddr(2),
+            verify_packet(),
+            SimTime::from_secs(1),
+        )
+        .unwrap();
         let next = mesh.next_delivery_at().unwrap();
         assert!(next < SimTime::from_secs(2));
     }

@@ -228,7 +228,7 @@ impl MqttBroker {
 
     /// Returns `true` if the client is currently connected.
     pub fn is_connected(&self, id: ClientId) -> bool {
-        self.clients.get(&id).map_or(false, |c| c.connected)
+        self.clients.get(&id).is_some_and(|c| c.connected)
     }
 
     /// Subscribes `id` to a topic filter.
@@ -422,7 +422,13 @@ mod tests {
         b.connect(ClientId(1), LinkConfig::ideal());
         b.subscribe(ClientId(1), "#").unwrap();
         let n = b
-            .publish(ClientId(1), "t", Bytes::new(), QoS::AtMostOnce, SimTime::ZERO)
+            .publish(
+                ClientId(1),
+                "t",
+                Bytes::new(),
+                QoS::AtMostOnce,
+                SimTime::ZERO,
+            )
             .unwrap();
         assert_eq!(n, 0);
     }
@@ -434,7 +440,13 @@ mod tests {
         b.connect(ClientId(2), LinkConfig::ideal());
         b.subscribe(ClientId(2), "other/topic").unwrap();
         let n = b
-            .publish(ClientId(1), "metering/x", Bytes::new(), QoS::AtMostOnce, SimTime::ZERO)
+            .publish(
+                ClientId(1),
+                "metering/x",
+                Bytes::new(),
+                QoS::AtMostOnce,
+                SimTime::ZERO,
+            )
             .unwrap();
         assert_eq!(n, 0);
     }
@@ -448,13 +460,25 @@ mod tests {
         b.disconnect(ClientId(2));
         assert!(!b.is_connected(ClientId(2)));
         let n = b
-            .publish(ClientId(1), "t", Bytes::new(), QoS::AtMostOnce, SimTime::ZERO)
+            .publish(
+                ClientId(1),
+                "t",
+                Bytes::new(),
+                QoS::AtMostOnce,
+                SimTime::ZERO,
+            )
             .unwrap();
         assert_eq!(n, 0);
         // Reconnect keeps the subscription.
         b.connect(ClientId(2), LinkConfig::ideal());
         let n = b
-            .publish(ClientId(1), "t", Bytes::new(), QoS::AtMostOnce, SimTime::ZERO)
+            .publish(
+                ClientId(1),
+                "t",
+                Bytes::new(),
+                QoS::AtMostOnce,
+                SimTime::ZERO,
+            )
             .unwrap();
         assert_eq!(n, 1);
     }
@@ -471,8 +495,14 @@ mod tests {
         };
         b.connect(ClientId(2), slow);
         b.subscribe(ClientId(2), "#").unwrap();
-        b.publish(ClientId(1), "t", Bytes::new(), QoS::AtMostOnce, SimTime::ZERO)
-            .unwrap();
+        b.publish(
+            ClientId(1),
+            "t",
+            Bytes::new(),
+            QoS::AtMostOnce,
+            SimTime::ZERO,
+        )
+        .unwrap();
         assert!(b.drain_due(SimTime::from_millis(5)).is_empty());
         assert_eq!(b.next_delivery_at(), Some(SimTime::from_millis(10)));
         let due = b.drain_due(SimTime::from_millis(10));
@@ -496,16 +526,31 @@ mod tests {
         let mut qos0_delivered = 0;
         for i in 0..200 {
             qos1_delivered += b
-                .publish(ClientId(1), "t", Bytes::new(), QoS::AtLeastOnce, SimTime::from_secs(i))
+                .publish(
+                    ClientId(1),
+                    "t",
+                    Bytes::new(),
+                    QoS::AtLeastOnce,
+                    SimTime::from_secs(i),
+                )
                 .unwrap();
             qos0_delivered += b
-                .publish(ClientId(1), "t", Bytes::new(), QoS::AtMostOnce, SimTime::from_secs(i))
+                .publish(
+                    ClientId(1),
+                    "t",
+                    Bytes::new(),
+                    QoS::AtMostOnce,
+                    SimTime::from_secs(i),
+                )
                 .unwrap();
         }
         assert!(qos1_delivered > qos0_delivered);
         // With a 0.6 loss rate and 5 retries the per-publish failure
         // probability is 0.6^6 ≈ 4.7 %, so ≈ 190/200 should get through.
-        assert!(qos1_delivered >= 175, "QoS1 should almost always deliver, got {qos1_delivered}");
+        assert!(
+            qos1_delivered >= 175,
+            "QoS1 should almost always deliver, got {qos1_delivered}"
+        );
         assert!(b.dropped() > 0);
     }
 
@@ -522,15 +567,24 @@ mod tests {
         b.connect(ClientId(2), lossy);
         b.subscribe(ClientId(2), "#").unwrap();
         for i in 0..100 {
-            b.publish(ClientId(1), "t", Bytes::new(), QoS::AtLeastOnce, SimTime::from_secs(i))
-                .unwrap();
+            b.publish(
+                ClientId(1),
+                "t",
+                Bytes::new(),
+                QoS::AtLeastOnce,
+                SimTime::from_secs(i),
+            )
+            .unwrap();
         }
         let due = b.drain_due(SimTime::from_secs(1000));
         assert!(due.iter().any(|d| d.retransmission));
         for d in due.iter().filter(|d| d.retransmission) {
             // Retransmitted deliveries carry at least one 50 ms PUBACK timeout.
             let offset_ms = (d.at.as_micros() % 1_000_000) / 1000;
-            assert!(offset_ms >= 51, "retransmission arrived too early: {offset_ms} ms");
+            assert!(
+                offset_ms >= 51,
+                "retransmission arrived too early: {offset_ms} ms"
+            );
         }
     }
 
@@ -542,7 +596,13 @@ mod tests {
             Err(BrokerError::UnknownClient(ClientId(9)))
         );
         assert_eq!(
-            b.publish(ClientId(9), "t", Bytes::new(), QoS::AtMostOnce, SimTime::ZERO),
+            b.publish(
+                ClientId(9),
+                "t",
+                Bytes::new(),
+                QoS::AtMostOnce,
+                SimTime::ZERO
+            ),
             Err(BrokerError::UnknownClient(ClientId(9)))
         );
         assert!(b.unsubscribe(ClientId(9), "t").is_err());
@@ -553,11 +613,23 @@ mod tests {
         let mut b = broker();
         b.connect(ClientId(1), LinkConfig::ideal());
         assert!(matches!(
-            b.publish(ClientId(1), "a/+/b", Bytes::new(), QoS::AtMostOnce, SimTime::ZERO),
+            b.publish(
+                ClientId(1),
+                "a/+/b",
+                Bytes::new(),
+                QoS::AtMostOnce,
+                SimTime::ZERO
+            ),
             Err(BrokerError::InvalidTopic(_))
         ));
         assert!(matches!(
-            b.publish(ClientId(1), "", Bytes::new(), QoS::AtMostOnce, SimTime::ZERO),
+            b.publish(
+                ClientId(1),
+                "",
+                Bytes::new(),
+                QoS::AtMostOnce,
+                SimTime::ZERO
+            ),
             Err(BrokerError::InvalidTopic(_))
         ));
         assert!(matches!(
@@ -580,7 +652,13 @@ mod tests {
         assert!(b.unsubscribe(ClientId(2), "t").unwrap());
         assert!(!b.unsubscribe(ClientId(2), "t").unwrap());
         let n = b
-            .publish(ClientId(1), "t", Bytes::new(), QoS::AtMostOnce, SimTime::ZERO)
+            .publish(
+                ClientId(1),
+                "t",
+                Bytes::new(),
+                QoS::AtMostOnce,
+                SimTime::ZERO,
+            )
             .unwrap();
         assert_eq!(n, 0);
     }

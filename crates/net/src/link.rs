@@ -240,7 +240,11 @@ mod tests {
         for _ in 0..20_000 {
             let _ = link.offer(64);
         }
-        assert!((link.loss_rate() - 0.2).abs() < 0.02, "rate {}", link.loss_rate());
+        assert!(
+            (link.loss_rate() - 0.2).abs() < 0.02,
+            "rate {}",
+            link.loss_rate()
+        );
         assert_eq!(link.offered(), 20_000);
     }
 

@@ -61,7 +61,10 @@ impl fmt::Display for DecodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DecodeError::Truncated { needed, available } => {
-                write!(f, "packet truncated: needed {needed} bytes, had {available}")
+                write!(
+                    f,
+                    "packet truncated: needed {needed} bytes, had {available}"
+                )
             }
             DecodeError::UnknownTag(tag) => write!(f, "unknown packet tag {tag:#04x}"),
             DecodeError::BadLength {
@@ -335,7 +338,9 @@ fn get_records(buf: &mut Bytes) -> Result<Vec<MeasurementRecord>, DecodeError> {
             remaining: buf.remaining(),
         });
     }
-    (0..count).map(|_| MeasurementRecord::decode_from(buf)).collect()
+    (0..count)
+        .map(|_| MeasurementRecord::decode_from(buf))
+        .collect()
 }
 
 impl Packet {
@@ -638,7 +643,9 @@ mod tests {
                 device: DeviceId(3),
                 through_sequence: 42,
             },
-            Packet::Nack { device: DeviceId(3) },
+            Packet::Nack {
+                device: DeviceId(3),
+            },
             Packet::MembershipVerifyRequest {
                 device: DeviceId(4),
                 master: AggregatorAddr(1),
@@ -657,7 +664,9 @@ mod tests {
                 device: DeviceId(5),
                 new_master: AggregatorAddr(3),
             },
-            Packet::RemoveDevice { device: DeviceId(6) },
+            Packet::RemoveDevice {
+                device: DeviceId(6),
+            },
         ]
     }
 

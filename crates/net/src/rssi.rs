@@ -240,7 +240,11 @@ mod tests {
         assert_eq!(results.len(), 2);
         assert!(results[0].rssi_dbm >= results[1].rssi_dbm);
         // A strict sensitivity hides the distant aggregator.
-        let strict = env.scan(Position::new(10.0, 0.0), results[1].rssi_dbm + 1.0, &mut rng);
+        let strict = env.scan(
+            Position::new(10.0, 0.0),
+            results[1].rssi_dbm + 1.0,
+            &mut rng,
+        );
         assert_eq!(strict.len(), 1);
         assert_eq!(strict[0].aggregator, AggregatorAddr(1));
     }

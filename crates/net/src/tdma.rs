@@ -222,7 +222,10 @@ mod tests {
     #[test]
     fn releasing_unassigned_device_fails() {
         let mut t = SlotTable::testbed();
-        assert_eq!(t.release(DeviceId(9)), Err(SlotError::NotAssigned(DeviceId(9))));
+        assert_eq!(
+            t.release(DeviceId(9)),
+            Err(SlotError::NotAssigned(DeviceId(9)))
+        );
     }
 
     #[test]

@@ -1,0 +1,177 @@
+//! The [`Experiment`] runner: spec in, [`RunReport`] out.
+
+use crate::report::{BillLine, LedgerSummary, NetworkAccuracy, RunReport};
+use crate::spec::{ScenarioSpec, ScriptEvent, SpecError};
+use rtem_chain::audit::audit_chain;
+use rtem_core::metrics::{accuracy_windows, WorldMetrics};
+use rtem_core::simulation::World;
+use rtem_sim::time::SimTime;
+
+/// Owns the build → run → collect loop of one metering experiment.
+///
+/// ```
+/// use rtem::prelude::*;
+///
+/// let spec = ScenarioSpec::paper_testbed(42).with_horizon(SimDuration::from_secs(30));
+/// let report = Experiment::new(spec).run().unwrap();
+/// assert!(report.all_ledgers_clean());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Experiment {
+    spec: ScenarioSpec,
+}
+
+impl Experiment {
+    /// Wraps a spec. Validation happens in [`run`](Experiment::run) /
+    /// [`build_world`](Experiment::build_world) so an invalid spec is still
+    /// inspectable.
+    pub fn new(spec: ScenarioSpec) -> Experiment {
+        Experiment { spec }
+    }
+
+    /// The spec the experiment will run.
+    pub fn spec(&self) -> &ScenarioSpec {
+        &self.spec
+    }
+
+    /// Validates the spec and builds the initial world, with every scripted
+    /// topology change already scheduled. Useful when a caller needs to
+    /// interleave custom logic with the run; most callers use
+    /// [`run`](Experiment::run).
+    pub fn build_world(&self) -> Result<World, SpecError> {
+        self.spec.validate()?;
+        let mut world = self.spec.to_builder().build();
+        // Networks the spec declares as initially empty: same 200 m spacing
+        // as the populated ones, appended after them.
+        for i in self.spec.networks..self.spec.networks + self.spec.empty_networks {
+            world.add_network(
+                ScenarioSpec::network_addr(i),
+                rtem_net::rssi::Position::new(200.0 * f64::from(i), 0.0),
+            );
+        }
+        for event in &self.spec.script {
+            match *event {
+                ScriptEvent::PlugIn {
+                    at,
+                    device,
+                    network,
+                } => {
+                    world.schedule_plug_in(at, device, network);
+                }
+                ScriptEvent::Unplug { at, device } => {
+                    world.schedule_unplug(at, device);
+                }
+                ScriptEvent::RemoveDevice { at, device, home } => {
+                    world.schedule_remove_device(at, device, home);
+                }
+            }
+        }
+        Ok(world)
+    }
+
+    /// Builds the world, runs it to the spec's horizon and collects the
+    /// report.
+    pub fn run(self) -> Result<RunReport, SpecError> {
+        let mut world = self.build_world()?;
+        let horizon = SimTime::ZERO + self.spec.horizon;
+        world.run_until(horizon);
+        Ok(collect_report(&self.spec, world, horizon))
+    }
+}
+
+fn collect_report(spec: &ScenarioSpec, world: World, horizon: SimTime) -> RunReport {
+    let metrics = WorldMetrics::collect(&world);
+    let handshakes = metrics.handshake_stats();
+
+    let mut accuracy = Vec::new();
+    let mut ledgers = Vec::new();
+    let mut bills = Vec::new();
+    for addr in world.network_addresses() {
+        accuracy.push(NetworkAccuracy {
+            network: addr,
+            windows: accuracy_windows(&world, addr, spec.verification_window, horizon),
+        });
+        let Some(aggregator) = world.aggregator(addr) else {
+            continue;
+        };
+        let audit = audit_chain(
+            aggregator.ledger().chain(),
+            Some(aggregator.ledger_anchor()),
+        );
+        ledgers.push(LedgerSummary {
+            network: addr,
+            blocks: aggregator.ledger().chain().len(),
+            entries: aggregator.ledger().chain().total_records(),
+            audit_clean: audit.is_clean(),
+            first_bad_block: audit.first_bad_block(),
+            accounts_match_chain: aggregator.ledger().accounts_match_chain(),
+        });
+        for (device, bill) in aggregator.billing().iter() {
+            bills.push(BillLine {
+                network: addr,
+                device,
+                charge_uas: bill.charge_uas,
+                roaming_charge_uas: bill.roaming_charge_uas,
+                records: bill.records,
+                backfilled_records: bill.backfilled_records,
+                cost: bill.cost,
+            });
+        }
+    }
+
+    RunReport {
+        metrics,
+        accuracy,
+        handshakes,
+        ledgers,
+        bills,
+        world,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtem_sim::time::SimDuration;
+
+    #[test]
+    fn invalid_spec_is_rejected_before_building() {
+        let spec = ScenarioSpec::paper_testbed(1).with_networks(0);
+        assert_eq!(
+            Experiment::new(spec).run().unwrap_err(),
+            SpecError::NoNetworks
+        );
+    }
+
+    #[test]
+    fn short_run_produces_a_complete_report() {
+        let spec = ScenarioSpec::paper_testbed(77).with_horizon(SimDuration::from_secs(25));
+        let report = Experiment::new(spec).run().unwrap();
+        assert_eq!(report.metrics.networks.len(), 2);
+        assert_eq!(report.accuracy.len(), 2);
+        assert_eq!(report.ledgers.len(), 2);
+        assert!(report.handshakes.is_some(), "handshakes completed");
+        assert!(report.all_ledgers_clean());
+        assert!(!report.bills.is_empty(), "devices were billed");
+        assert_eq!(report.world().device_ids().len(), 4);
+    }
+
+    #[test]
+    fn scripted_events_are_applied() {
+        let mobile = ScenarioSpec::device_id(0, 0);
+        let spec = ScenarioSpec::paper_testbed(78)
+            .with_horizon(SimDuration::from_secs(70))
+            .unplug_at(SimTime::from_secs(25), mobile)
+            .plug_in_at(
+                SimTime::from_secs(35),
+                mobile,
+                ScenarioSpec::network_addr(1),
+            );
+        let report = Experiment::new(spec).run().unwrap();
+        assert_eq!(
+            report.world().device_network(mobile),
+            Some(ScenarioSpec::network_addr(1)),
+            "the scripted move must have happened"
+        );
+    }
+}

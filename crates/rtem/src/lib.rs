@@ -1,0 +1,73 @@
+//! # rtem — the unified facade over the decentralized metering workspace
+//!
+//! This workspace reproduces *Real-Time Energy Monitoring in IoT-enabled
+//! Mobile Devices* (Shivaraman et al., DATE 2020, arXiv:2004.14804) as a
+//! deterministic simulation. The substrate lives in seven crates
+//! (`rtem-sim`, `rtem-net`, `rtem-sensors`, `rtem-chain`, `rtem-device`,
+//! `rtem-aggregator`, `rtem-core`); **this crate is the supported public
+//! surface over all of them**:
+//!
+//! * [`spec`] — the declarative [`ScenarioSpec`](spec::ScenarioSpec):
+//!   networks, devices per network, load, link quality, seed, horizon and
+//!   scripted topology changes in one validated value.
+//! * [`experiment`] — the [`Experiment`](experiment::Experiment) runner that
+//!   owns the build → run → collect loop.
+//! * [`report`] — the [`RunReport`](report::RunReport) bundling world
+//!   metrics, Fig. 5 accuracy windows, Thandshake statistics, ledger audit
+//!   summaries and consolidated bills.
+//! * [`prelude`] — the curated one-line import.
+//!
+//! The substrate remains reachable under stable module paths
+//! (`rtem::simulation::World`, `rtem::chain::audit`, `rtem::net::packet`,
+//! …) for drill-down, but new code should start from the spec:
+//!
+//! ```
+//! use rtem::prelude::*;
+//!
+//! let spec = ScenarioSpec::paper_testbed(42).with_horizon(SimDuration::from_secs(30));
+//! let report = Experiment::new(spec).run().unwrap();
+//! assert_eq!(report.metrics.networks.len(), 2);
+//! assert!(report.all_ledgers_clean());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiment;
+pub mod report;
+pub mod spec;
+
+// Stable module paths into the composed architecture (rtem-core).
+pub use rtem_core::{centralized, consensus, loadbalance, metrics, mobility, scenario, simulation};
+
+// Stable module paths into the substrate crates.
+pub use rtem_aggregator as aggregator;
+pub use rtem_chain as chain;
+pub use rtem_device as device;
+pub use rtem_net as net;
+pub use rtem_sensors as sensors;
+pub use rtem_sim as sim;
+
+/// Convenient glob-import of the curated facade surface.
+///
+/// Brings in the facade types (spec / experiment / report), the identifiers
+/// and time types every experiment touches, and the most commonly inspected
+/// metric types. Substrate detail stays behind the module re-exports
+/// (`rtem::chain`, `rtem::net`, …).
+pub mod prelude {
+    pub use crate::experiment::Experiment;
+    pub use crate::report::{BillLine, LedgerSummary, NetworkAccuracy, RunReport};
+    pub use crate::spec::{ScenarioSpec, ScriptEvent, SpecError};
+    pub use rtem_core::metrics::{
+        AccuracyWindow, DeviceTrace, HandshakeStats, NetworkSummary, WorldMetrics,
+    };
+    pub use rtem_core::mobility::{
+        run_mobility, thandshake_statistics, MobilityConfig, MobilityOutcome,
+    };
+    pub use rtem_core::scenario::DeviceLoad;
+    pub use rtem_core::simulation::World;
+    pub use rtem_net::packet::{AggregatorAddr, DeviceId, MembershipKind};
+    pub use rtem_sensors::energy::{MilliampSeconds, Milliamps, Millivolts, MilliwattHours};
+    pub use rtem_sim::rng::SimRng;
+    pub use rtem_sim::time::{SimDuration, SimTime};
+}

@@ -1,0 +1,145 @@
+//! The bundled result of one [`Experiment`](crate::experiment::Experiment) run.
+
+use rtem_core::metrics::{AccuracyWindow, HandshakeStats, WorldMetrics};
+use rtem_core::simulation::World;
+use rtem_net::packet::{AggregatorAddr, DeviceId};
+use rtem_sensors::energy::{Millivolts, MilliwattHours};
+
+/// The Fig. 5 accuracy windows of one network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkAccuracy {
+    /// The network the windows belong to.
+    pub network: AggregatorAddr,
+    /// One entry per verification window inside the horizon.
+    pub windows: Vec<AccuracyWindow>,
+}
+
+impl NetworkAccuracy {
+    /// Windows past the registration transient in which devices actually
+    /// reported — the ones the paper's 0.9–8.2 % band applies to.
+    pub fn settled_windows(&self) -> impl Iterator<Item = &AccuracyWindow> {
+        self.windows
+            .iter()
+            .filter(|w| w.index >= 2 && w.devices_total_mas > 0.0)
+    }
+
+    /// Mean aggregator-over-devices overhead across the settled windows.
+    pub fn mean_overhead_percent(&self) -> Option<f64> {
+        let overheads: Vec<f64> = self
+            .settled_windows()
+            .map(|w| w.overhead_percent())
+            .collect();
+        if overheads.is_empty() {
+            None
+        } else {
+            Some(overheads.iter().sum::<f64>() / overheads.len() as f64)
+        }
+    }
+}
+
+/// Tamper-evidence summary of one network's ledger after the run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LedgerSummary {
+    /// The network whose ledger this is.
+    pub network: AggregatorAddr,
+    /// Blocks in the chain (including genesis).
+    pub blocks: usize,
+    /// Records committed across all blocks.
+    pub entries: usize,
+    /// Whether the post-run audit found the chain untampered.
+    pub audit_clean: bool,
+    /// First inconsistent block, if the audit found one.
+    pub first_bad_block: Option<u64>,
+    /// Whether the cached per-device accounts still match the chain.
+    pub accounts_match_chain: bool,
+}
+
+/// One device's consolidated bill at its home network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BillLine {
+    /// The home network that issued the bill.
+    pub network: AggregatorAddr,
+    /// The billed device.
+    pub device: DeviceId,
+    /// Total charge billed, in microamp-seconds.
+    pub charge_uas: u64,
+    /// Charge collected while the device roamed in foreign networks.
+    pub roaming_charge_uas: u64,
+    /// Number of records billed.
+    pub records: u64,
+    /// Number of records that arrived via backfill (local storage).
+    pub backfilled_records: u64,
+    /// Accumulated cost in currency units.
+    pub cost: f64,
+}
+
+impl BillLine {
+    /// Billed energy at the given supply voltage.
+    pub fn energy_at(&self, supply: Millivolts) -> MilliwattHours {
+        use rtem_sensors::energy::MilliampSeconds;
+        MilliampSeconds::from_uas(self.charge_uas).energy_at(supply)
+    }
+
+    /// Fraction of the billed charge that was collected abroad, in percent.
+    pub fn roamed_percent(&self) -> f64 {
+        if self.charge_uas == 0 {
+            0.0
+        } else {
+            self.roaming_charge_uas as f64 / self.charge_uas as f64 * 100.0
+        }
+    }
+}
+
+/// Everything one experiment run produced.
+///
+/// The summaries (metrics, accuracy, handshakes, ledgers, bills) cover what
+/// the paper's evaluation reports; [`world`](RunReport::world) keeps the
+/// final simulation state for drill-down beyond them.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Whole-world health and handshake metrics.
+    pub metrics: WorldMetrics,
+    /// Fig. 5 accuracy windows, one entry per network.
+    pub accuracy: Vec<NetworkAccuracy>,
+    /// Thandshake statistics over every completed handshake.
+    pub handshakes: Option<HandshakeStats>,
+    /// Post-run ledger audit, one entry per network.
+    pub ledgers: Vec<LedgerSummary>,
+    /// Consolidated per-device bills, ordered by network then device.
+    pub bills: Vec<BillLine>,
+    pub(crate) world: World,
+}
+
+impl RunReport {
+    /// The final simulation state, for inspection beyond the summaries.
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// Mutable access to the final simulation state, for experiments that
+    /// manipulate a finished run (e.g. the storage-tampering studies that go
+    /// through `*_for_experiment` escape hatches).
+    pub fn world_mut(&mut self) -> &mut World {
+        &mut self.world
+    }
+
+    /// The accuracy windows of one network.
+    pub fn network_accuracy(&self, network: AggregatorAddr) -> Option<&NetworkAccuracy> {
+        self.accuracy.iter().find(|a| a.network == network)
+    }
+
+    /// The ledger summary of one network.
+    pub fn ledger(&self, network: AggregatorAddr) -> Option<&LedgerSummary> {
+        self.ledgers.iter().find(|l| l.network == network)
+    }
+
+    /// The bill of one device, wherever its home network is.
+    pub fn bill(&self, device: DeviceId) -> Option<&BillLine> {
+        self.bills.iter().find(|b| b.device == device)
+    }
+
+    /// `true` when every network's ledger audits clean.
+    pub fn all_ledgers_clean(&self) -> bool {
+        self.ledgers.iter().all(|l| l.audit_clean)
+    }
+}

@@ -1,0 +1,449 @@
+//! The declarative scenario description consumed by [`Experiment`].
+//!
+//! Before the facade existed, expressing an experiment meant assembling a
+//! `ScenarioBuilder`, a `WorldConfig`, a `HandshakeTiming` and an
+//! `Ina219Config` by hand and then scripting plug/unplug events directly on
+//! the built `World`. [`ScenarioSpec`] gathers all of that into one value
+//! that can be validated up front, compared, reused across runs and (being
+//! plain data) mapped onto whatever execution substrate future scaling work
+//! introduces.
+//!
+//! [`Experiment`]: crate::experiment::Experiment
+
+use core::fmt;
+use rtem_core::scenario::{DeviceLoad, ScenarioBuilder};
+use rtem_core::simulation::WorldConfig;
+use rtem_device::network_mgmt::HandshakeTiming;
+use rtem_net::link::LinkConfig;
+use rtem_net::packet::{AggregatorAddr, DeviceId};
+use rtem_sensors::ina219::Ina219Config;
+use rtem_sim::time::{SimDuration, SimTime};
+
+/// One scripted topology change applied during a run.
+///
+/// Script events are the declarative replacement for calling
+/// `World::schedule_unplug` / `schedule_plug_in` / `schedule_remove_device`
+/// by hand between building and running a world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScriptEvent {
+    /// Plug `device` into `network` at `at`.
+    PlugIn {
+        /// When the plug-in happens.
+        at: SimTime,
+        /// The device being plugged in.
+        device: DeviceId,
+        /// The network receiving it.
+        network: AggregatorAddr,
+    },
+    /// Unplug `device` from whatever network it is in at `at`.
+    Unplug {
+        /// When the unplug happens.
+        at: SimTime,
+        /// The device being unplugged.
+        device: DeviceId,
+    },
+    /// The home network `home` removes `device` (loss / ownership change,
+    /// sequence 3 of the paper's Fig. 3).
+    RemoveDevice {
+        /// When the removal is issued.
+        at: SimTime,
+        /// The device being removed.
+        device: DeviceId,
+        /// The home network issuing the removal.
+        home: AggregatorAddr,
+    },
+}
+
+impl ScriptEvent {
+    /// The simulated time at which the event fires.
+    pub fn at(&self) -> SimTime {
+        match *self {
+            ScriptEvent::PlugIn { at, .. }
+            | ScriptEvent::Unplug { at, .. }
+            | ScriptEvent::RemoveDevice { at, .. } => at,
+        }
+    }
+
+    /// The device the event concerns.
+    pub fn device(&self) -> DeviceId {
+        match *self {
+            ScriptEvent::PlugIn { device, .. }
+            | ScriptEvent::Unplug { device, .. }
+            | ScriptEvent::RemoveDevice { device, .. } => device,
+        }
+    }
+}
+
+/// Why a [`ScenarioSpec`] failed validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpecError {
+    /// The spec declares zero networks — there is nothing to meter.
+    NoNetworks,
+    /// The spec declares zero devices per network — nothing reports.
+    NoDevices,
+    /// The run horizon is zero — the world would never advance.
+    ZeroHorizon,
+    /// The measurement interval (Tmeasure) is zero — devices would spin.
+    ZeroMeasureInterval,
+    /// The verification window is zero — no block could ever be sealed.
+    ZeroVerificationWindow,
+    /// A script event refers to a device the spec does not generate.
+    UnknownScriptDevice {
+        /// The offending device id.
+        device: DeviceId,
+    },
+    /// A script event refers to a network the spec does not generate.
+    UnknownScriptNetwork {
+        /// The offending network address.
+        network: AggregatorAddr,
+    },
+    /// A script event fires after the horizon and would never run (events
+    /// at exactly the horizon still execute).
+    ScriptEventAfterHorizon {
+        /// When the event was scheduled.
+        at: SimTime,
+    },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::NoNetworks => write!(f, "scenario declares zero networks"),
+            SpecError::NoDevices => write!(f, "scenario declares zero devices per network"),
+            SpecError::ZeroHorizon => write!(f, "scenario horizon is zero"),
+            SpecError::ZeroMeasureInterval => write!(f, "measurement interval is zero"),
+            SpecError::ZeroVerificationWindow => write!(f, "verification window is zero"),
+            SpecError::UnknownScriptDevice { device } => {
+                write!(f, "script refers to unknown device {device:?}")
+            }
+            SpecError::UnknownScriptNetwork { network } => {
+                write!(f, "script refers to unknown network {network:?}")
+            }
+            SpecError::ScriptEventAfterHorizon { at } => {
+                write!(f, "script event at {at:?} is after the horizon")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Declarative description of one metering experiment.
+///
+/// A spec fixes the topology (networks x devices), the load each device
+/// draws, the timing parameters, the link quality, the sensor model, the
+/// random seed, the run horizon and any scripted topology changes. Feed it
+/// to [`Experiment::new`](crate::experiment::Experiment::new) and call
+/// `run()` to obtain a [`RunReport`](crate::report::RunReport).
+///
+/// ```
+/// use rtem::prelude::*;
+///
+/// let report = Experiment::new(
+///     ScenarioSpec::paper_testbed(42).with_horizon(SimDuration::from_secs(30)),
+/// )
+/// .run()
+/// .unwrap();
+/// assert_eq!(report.metrics.networks.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Number of networks; each gets one trusted aggregator.
+    pub networks: u32,
+    /// Devices initially plugged into each network.
+    pub devices_per_network: u32,
+    /// Additional networks that start with no homed devices — destinations
+    /// for scripted mobility (e.g. a fleet roaming out of one home network).
+    pub empty_networks: u32,
+    /// Load profile attached to every device.
+    pub load: DeviceLoad,
+    /// Random seed for the whole world (same seed, same run).
+    pub seed: u64,
+    /// How long to simulate.
+    pub horizon: SimDuration,
+    /// Reporting interval of every device (the paper's Tmeasure, 100 ms).
+    pub t_measure: SimDuration,
+    /// Interval between the aggregator's own upstream samples.
+    pub upstream_sample_interval: SimDuration,
+    /// Length of one verification window (one sealed block per window).
+    pub verification_window: SimDuration,
+    /// Access-link quality between devices and their aggregator's broker.
+    pub wifi: LinkConfig,
+    /// Backhaul link quality between aggregators.
+    pub backhaul: LinkConfig,
+    /// Handshake phase timing used by the devices.
+    pub handshake: HandshakeTiming,
+    /// Sensor model used by the devices.
+    pub sensor: Ina219Config,
+    /// Scripted topology changes applied during the run.
+    pub script: Vec<ScriptEvent>,
+}
+
+impl ScenarioSpec {
+    /// The paper's testbed (§III-A): two networks, two ESP32-class charging
+    /// devices each, reporting every 100 ms, run for 100 s.
+    pub fn paper_testbed(seed: u64) -> ScenarioSpec {
+        let world = WorldConfig::default();
+        ScenarioSpec {
+            networks: 2,
+            devices_per_network: 2,
+            empty_networks: 0,
+            load: DeviceLoad::EspCharging,
+            seed,
+            horizon: SimDuration::from_secs(100),
+            t_measure: world.t_measure,
+            upstream_sample_interval: world.upstream_sample_interval,
+            verification_window: world.verification_window,
+            wifi: world.wifi,
+            backhaul: world.backhaul,
+            handshake: HandshakeTiming::testbed(),
+            sensor: Ina219Config::testbed(),
+            script: Vec::new(),
+        }
+    }
+
+    /// A single network with `devices` devices (scalability sweeps).
+    pub fn single_network(devices: u32, seed: u64) -> ScenarioSpec {
+        ScenarioSpec {
+            networks: 1,
+            devices_per_network: devices,
+            ..ScenarioSpec::paper_testbed(seed)
+        }
+    }
+
+    /// Address of the `i`-th network (0-based index, 1-based address, like
+    /// the paper's "Network 1" / "Network 2").
+    pub fn network_addr(i: u32) -> AggregatorAddr {
+        ScenarioBuilder::network_addr(i)
+    }
+
+    /// Id of the `j`-th device of the `i`-th network.
+    pub fn device_id(network: u32, j: u32) -> DeviceId {
+        ScenarioBuilder::device_id(network, j)
+    }
+
+    /// Sets the number of networks.
+    pub fn with_networks(mut self, networks: u32) -> ScenarioSpec {
+        self.networks = networks;
+        self
+    }
+
+    /// Sets the number of devices per network.
+    pub fn with_devices_per_network(mut self, devices: u32) -> ScenarioSpec {
+        self.devices_per_network = devices;
+        self
+    }
+
+    /// Adds networks that start empty (scripted-mobility destinations).
+    pub fn with_empty_networks(mut self, networks: u32) -> ScenarioSpec {
+        self.empty_networks = networks;
+        self
+    }
+
+    /// Sets the per-device load.
+    pub fn with_load(mut self, load: DeviceLoad) -> ScenarioSpec {
+        self.load = load;
+        self
+    }
+
+    /// Sets the run horizon.
+    pub fn with_horizon(mut self, horizon: SimDuration) -> ScenarioSpec {
+        self.horizon = horizon;
+        self
+    }
+
+    /// Sets the random seed.
+    pub fn with_seed(mut self, seed: u64) -> ScenarioSpec {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the verification window length.
+    pub fn with_verification_window(mut self, window: SimDuration) -> ScenarioSpec {
+        self.verification_window = window;
+        self
+    }
+
+    /// Sets the device sensor model (e.g. `Ina219Config::ideal()` for the
+    /// error-decomposition ablation).
+    pub fn with_sensor(mut self, sensor: Ina219Config) -> ScenarioSpec {
+        self.sensor = sensor;
+        self
+    }
+
+    /// Sets the access and backhaul link quality.
+    pub fn with_links(mut self, wifi: LinkConfig, backhaul: LinkConfig) -> ScenarioSpec {
+        self.wifi = wifi;
+        self.backhaul = backhaul;
+        self
+    }
+
+    /// Appends a scripted plug-in.
+    pub fn plug_in_at(
+        mut self,
+        at: SimTime,
+        device: DeviceId,
+        network: AggregatorAddr,
+    ) -> ScenarioSpec {
+        self.script.push(ScriptEvent::PlugIn {
+            at,
+            device,
+            network,
+        });
+        self
+    }
+
+    /// Appends a scripted unplug.
+    pub fn unplug_at(mut self, at: SimTime, device: DeviceId) -> ScenarioSpec {
+        self.script.push(ScriptEvent::Unplug { at, device });
+        self
+    }
+
+    /// Appends a scripted device removal by its home network.
+    pub fn remove_device_at(
+        mut self,
+        at: SimTime,
+        device: DeviceId,
+        home: AggregatorAddr,
+    ) -> ScenarioSpec {
+        self.script
+            .push(ScriptEvent::RemoveDevice { at, device, home });
+        self
+    }
+
+    /// All device ids the spec generates, in network-major order.
+    pub fn device_ids(&self) -> Vec<DeviceId> {
+        (0..self.networks)
+            .flat_map(|n| (0..self.devices_per_network).map(move |j| Self::device_id(n, j)))
+            .collect()
+    }
+
+    /// All network addresses the spec generates, empty networks included.
+    pub fn network_addrs(&self) -> Vec<AggregatorAddr> {
+        (0..self.networks + self.empty_networks)
+            .map(Self::network_addr)
+            .collect()
+    }
+
+    /// Checks the spec for inconsistencies, returning the first found.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.networks == 0 {
+            return Err(SpecError::NoNetworks);
+        }
+        if self.devices_per_network == 0 {
+            return Err(SpecError::NoDevices);
+        }
+        if self.horizon.is_zero() {
+            return Err(SpecError::ZeroHorizon);
+        }
+        if self.t_measure.is_zero() {
+            return Err(SpecError::ZeroMeasureInterval);
+        }
+        if self.verification_window.is_zero() {
+            return Err(SpecError::ZeroVerificationWindow);
+        }
+        let devices = self.device_ids();
+        let networks = self.network_addrs();
+        let horizon = SimTime::ZERO + self.horizon;
+        for event in &self.script {
+            if !devices.contains(&event.device()) {
+                return Err(SpecError::UnknownScriptDevice {
+                    device: event.device(),
+                });
+            }
+            let target = match *event {
+                ScriptEvent::PlugIn { network, .. } => Some(network),
+                ScriptEvent::RemoveDevice { home, .. } => Some(home),
+                ScriptEvent::Unplug { .. } => None,
+            };
+            if let Some(network) = target {
+                if !networks.contains(&network) {
+                    return Err(SpecError::UnknownScriptNetwork { network });
+                }
+            }
+            // World::run_until still executes events scheduled exactly at
+            // the horizon, so only strictly-later events are unreachable.
+            if event.at() > horizon {
+                return Err(SpecError::ScriptEventAfterHorizon { at: event.at() });
+            }
+        }
+        Ok(())
+    }
+
+    /// Lowers the spec onto the substrate-level builder. Internal to the
+    /// facade; external callers go through
+    /// [`Experiment`](crate::experiment::Experiment).
+    pub(crate) fn to_builder(&self) -> ScenarioBuilder {
+        ScenarioBuilder {
+            networks: self.networks,
+            devices_per_network: self.devices_per_network,
+            load: self.load,
+            world: WorldConfig {
+                t_measure: self.t_measure,
+                upstream_sample_interval: self.upstream_sample_interval,
+                verification_window: self.verification_window,
+                wifi: self.wifi,
+                backhaul: self.backhaul,
+                seed: self.seed,
+            },
+            handshake: self.handshake,
+            sensor: self.sensor,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_testbed_is_valid() {
+        assert_eq!(ScenarioSpec::paper_testbed(1).validate(), Ok(()));
+    }
+
+    #[test]
+    fn zero_shapes_are_rejected_with_typed_errors() {
+        let spec = ScenarioSpec::paper_testbed(1).with_networks(0);
+        assert_eq!(spec.validate(), Err(SpecError::NoNetworks));
+        let spec = ScenarioSpec::paper_testbed(1).with_devices_per_network(0);
+        assert_eq!(spec.validate(), Err(SpecError::NoDevices));
+        let spec = ScenarioSpec::paper_testbed(1).with_horizon(SimDuration::ZERO);
+        assert_eq!(spec.validate(), Err(SpecError::ZeroHorizon));
+    }
+
+    #[test]
+    fn script_targets_are_checked() {
+        let spec = ScenarioSpec::paper_testbed(1).unplug_at(SimTime::from_secs(1), DeviceId(9999));
+        assert_eq!(
+            spec.validate(),
+            Err(SpecError::UnknownScriptDevice {
+                device: DeviceId(9999)
+            })
+        );
+        let spec = ScenarioSpec::paper_testbed(1).plug_in_at(
+            SimTime::from_secs(1),
+            ScenarioSpec::device_id(0, 0),
+            AggregatorAddr(77),
+        );
+        assert_eq!(
+            spec.validate(),
+            Err(SpecError::UnknownScriptNetwork {
+                network: AggregatorAddr(77)
+            })
+        );
+        let spec = ScenarioSpec::paper_testbed(1)
+            .unplug_at(SimTime::from_secs(500), ScenarioSpec::device_id(0, 0));
+        assert!(matches!(
+            spec.validate(),
+            Err(SpecError::ScriptEventAfterHorizon { .. })
+        ));
+    }
+
+    #[test]
+    fn generated_ids_are_stable() {
+        let spec = ScenarioSpec::paper_testbed(3);
+        assert_eq!(spec.device_ids().len(), 4);
+        assert_eq!(spec.network_addrs().len(), 2);
+        assert_eq!(spec.network_addrs()[0], AggregatorAddr(1));
+    }
+}

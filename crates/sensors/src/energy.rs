@@ -152,6 +152,12 @@ impl MilliampSeconds {
         MilliampSeconds(value)
     }
 
+    /// Creates a charge value from integer microamp-seconds (the unit the
+    /// ledger and billing engine store).
+    pub fn from_uas(uas: u64) -> Self {
+        MilliampSeconds::new(uas as f64 / 1000.0)
+    }
+
     /// Raw value in mA·s.
     pub fn value(self) -> f64 {
         self.0
@@ -338,9 +344,13 @@ mod tests {
 
     #[test]
     fn sum_of_currents() {
-        let total: Milliamps = vec![Milliamps::new(1.0), Milliamps::new(2.0), Milliamps::new(3.0)]
-            .into_iter()
-            .sum();
+        let total: Milliamps = vec![
+            Milliamps::new(1.0),
+            Milliamps::new(2.0),
+            Milliamps::new(3.0),
+        ]
+        .into_iter()
+        .sum();
         assert_eq!(total.value(), 6.0);
     }
 

@@ -167,7 +167,11 @@ impl Ina219Model {
         let bound = cfg.offset_error_ma.abs()
             + operating_current.value().abs() * cfg.gain_error.abs()
             + 3.0 * cfg.noise_ma
-            + if cfg.quantize { cfg.range.lsb_ma() } else { 0.0 };
+            + if cfg.quantize {
+                cfg.range.lsb_ma()
+            } else {
+                0.0
+            };
         Milliamps::new(bound)
     }
 }

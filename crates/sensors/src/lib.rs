@@ -44,7 +44,7 @@ pub mod grid;
 pub mod ina219;
 pub mod profile;
 
-pub use energy::{EnergyAccumulator, Milliamps, MilliampSeconds, MilliwattHours, Millivolts};
+pub use energy::{EnergyAccumulator, MilliampSeconds, Milliamps, Millivolts, MilliwattHours};
 pub use grid::{Branch, BranchId, GridNetwork, GridSnapshot};
 pub use ina219::{Ina219Config, Ina219Model, ShuntRange};
 pub use profile::{

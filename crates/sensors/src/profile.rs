@@ -425,7 +425,10 @@ mod tests {
             10.0,
             rng(),
         );
-        assert_eq!(p.phase_at(SimDuration::from_secs(0)), ChargePhase::ConstantCurrent);
+        assert_eq!(
+            p.phase_at(SimDuration::from_secs(0)),
+            ChargePhase::ConstantCurrent
+        );
         assert_eq!(
             p.phase_at(SimDuration::from_secs(599)),
             ChargePhase::ConstantCurrent
@@ -520,7 +523,11 @@ mod tests {
     #[test]
     fn labels_are_descriptive() {
         assert!(ConstantProfile::new(5.0).label().contains("constant"));
-        assert!(ChargingProfile::esp32_testbed(rng()).label().contains("CC/CV"));
-        assert!(WifiBurstProfile::esp32_reporting(rng()).label().contains("wifi"));
+        assert!(ChargingProfile::esp32_testbed(rng())
+            .label()
+            .contains("CC/CV"));
+        assert!(WifiBurstProfile::esp32_reporting(rng())
+            .label()
+            .contains("wifi"));
     }
 }

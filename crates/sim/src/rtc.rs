@@ -97,7 +97,11 @@ impl RtcModel {
             self.config.frequency_error_ppm + 0.5 * self.config.aging_ppm_per_day * elapsed_days;
         let drift_us = freq_ppm * elapsed_s; // ppm * seconds == microseconds
         let offset_us = self.config.initial_offset.as_micros() as f64
-            * if self.config.initial_offset_ahead { 1.0 } else { -1.0 };
+            * if self.config.initial_offset_ahead {
+                1.0
+            } else {
+                -1.0
+            };
         offset_us + drift_us
     }
 
@@ -171,7 +175,10 @@ mod tests {
             initial_offset_ahead: false,
         });
         let t = SimTime::from_secs(10);
-        assert_eq!(t.duration_since(rtc.local_time(t)), SimDuration::from_millis(5));
+        assert_eq!(
+            t.duration_since(rtc.local_time(t)),
+            SimDuration::from_millis(5)
+        );
     }
 
     #[test]

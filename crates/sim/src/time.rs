@@ -28,7 +28,9 @@ pub const MICROS_PER_MILLI: u64 = 1_000;
 /// assert_eq!(t_measure.as_micros(), 100_000);
 /// assert_eq!(t_measure * 10, SimDuration::from_secs(1));
 /// ```
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
 pub struct SimDuration {
     micros: u64,
 }
@@ -201,7 +203,9 @@ impl Div<u64> for SimDuration {
 /// let later = start + SimDuration::from_secs(5);
 /// assert_eq!(later.duration_since(start), SimDuration::from_secs(5));
 /// ```
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
 pub struct SimTime {
     micros_since_epoch: u64,
 }
@@ -312,11 +316,11 @@ mod tests {
     #[test]
     fn duration_constructors_agree() {
         assert_eq!(SimDuration::from_secs(1), SimDuration::from_millis(1000));
+        assert_eq!(SimDuration::from_millis(1), SimDuration::from_micros(1000));
         assert_eq!(
-            SimDuration::from_millis(1),
-            SimDuration::from_micros(1000)
+            SimDuration::from_secs_f64(0.1),
+            SimDuration::from_millis(100)
         );
-        assert_eq!(SimDuration::from_secs_f64(0.1), SimDuration::from_millis(100));
     }
 
     #[test]

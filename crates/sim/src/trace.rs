@@ -331,9 +331,7 @@ mod tests {
     #[test]
     fn integrate_constant_rate() {
         // 100 mA held for 10 s sampled every second -> 1000 mA·s.
-        let s: TimeSeries = (0..=10)
-            .map(|i| (SimTime::from_secs(i), 100.0))
-            .collect();
+        let s: TimeSeries = (0..=10).map(|i| (SimTime::from_secs(i), 100.0)).collect();
         assert!((s.integrate() - 1000.0).abs() < 1e-9);
     }
 

@@ -6,29 +6,28 @@
 //! cargo run --example centralized_vs_decentralized
 //! ```
 
-use rtem_core::centralized::{CapabilityMatrix, MeteringComparison};
-use rtem_core::metrics::accuracy_windows;
-use rtem_core::scenario::ScenarioBuilder;
-use rtem_sim::time::{SimDuration, SimTime};
+use rtem::centralized::{CapabilityMatrix, MeteringComparison};
+use rtem::prelude::*;
 
 fn main() {
-    let mut world = ScenarioBuilder::paper_testbed(11).build();
-    let horizon = SimTime::from_secs(120);
-    println!("running the two-network testbed for {} s of simulated time...", 120);
-    world.run_until(horizon);
+    let spec = ScenarioSpec::paper_testbed(11).with_horizon(SimDuration::from_secs(120));
+    println!(
+        "running the two-network testbed for {} s of simulated time...",
+        120
+    );
+    let report = Experiment::new(spec).run().expect("valid spec");
 
-    let window = SimDuration::from_secs(10);
     println!("\nFig. 5 data for network 1 (per 10 s window):");
     println!(
         "{:>6} | {:>12} {:>12} | {:>14} | {:>8}",
         "window", "device 1", "device 2", "aggregator", "gap"
     );
     println!("{}", "-".repeat(64));
+    let accuracy = report
+        .network_accuracy(ScenarioSpec::network_addr(0))
+        .expect("network 1 was simulated");
     let mut overheads = Vec::new();
-    for w in accuracy_windows(&world, ScenarioBuilder::network_addr(0), window, horizon) {
-        if w.devices_total_mas <= 0.0 || w.index < 2 {
-            continue;
-        }
+    for w in accuracy.settled_windows() {
         let mut devices: Vec<f64> = w.per_device_mas.values().copied().collect();
         devices.resize(2, 0.0);
         let comparison = MeteringComparison {

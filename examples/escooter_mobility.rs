@@ -1,6 +1,7 @@
 //! The paper's motivating example: an e-scooter charges at home (Network 1),
 //! is ridden to another location, and recharges in a host network
-//! (Network 2) while its home network keeps billing it.
+//! (Network 2) while its home network keeps billing it — declared entirely
+//! as a scripted `ScenarioSpec`.
 //!
 //! Prints the Fig. 6-style trace seen by the home aggregator and the
 //! Thandshake breakdown of the temporary registration.
@@ -9,52 +10,80 @@
 //! cargo run --example escooter_mobility
 //! ```
 
-use rtem_core::mobility::{run_mobility, MobilityConfig};
-use rtem_core::scenario::{DeviceLoad, ScenarioBuilder};
-use rtem_sim::time::{SimDuration, SimTime};
+use rtem::metrics::device_trace;
+use rtem::prelude::*;
 
 fn main() {
-    let mut config = MobilityConfig::testbed(7);
-    config.scenario = ScenarioBuilder::paper_testbed(7).with_load(DeviceLoad::EScooter);
-    config.unplug_at = SimTime::from_secs(60);
-    config.transit = SimDuration::from_secs(25);
-    config.settle = SimDuration::from_secs(90);
+    let scooter = ScenarioSpec::device_id(0, 0);
+    let home = ScenarioSpec::network_addr(0);
+    let host = ScenarioSpec::network_addr(1);
+    let unplug_at = SimTime::from_secs(60);
+    let replug_at = SimTime::from_secs(85);
+
+    let spec = ScenarioSpec::paper_testbed(7)
+        .with_load(DeviceLoad::EScooter)
+        .with_horizon(SimDuration::from_secs(175))
+        .unplug_at(unplug_at, scooter)
+        .plug_in_at(replug_at, scooter, host);
 
     println!(
         "e-scooter {} charges in {} until t = {} s, rides for {} s, then recharges in {}",
-        config.mobile_device,
-        config.home,
-        config.unplug_at.as_secs_f64(),
-        config.transit.as_secs_f64(),
-        config.destination
+        scooter,
+        home,
+        unplug_at.as_secs_f64(),
+        (replug_at.as_secs_f64() - unplug_at.as_secs_f64()),
+        host
     );
 
-    let outcome = run_mobility(&config);
+    let report = Experiment::new(spec).run().expect("valid spec");
 
-    if let Some(handshake) = outcome.handshake {
+    if let Some(handshake) = report
+        .world()
+        .device(scooter)
+        .and_then(|d| d.last_handshake())
+    {
         println!("\n== temporary membership handshake in the host network ==");
-        println!("  Wi-Fi scan        : {:>7.2} s", handshake.scan.as_secs_f64());
-        println!("  association/DHCP  : {:>7.2} s", handshake.association.as_secs_f64());
-        println!("  MQTT connect      : {:>7.2} s", handshake.broker_connect.as_secs_f64());
-        println!("  registration+verify: {:>6.2} s", handshake.registration.as_secs_f64());
-        println!("  Thandshake total  : {:>7.2} s", handshake.total().as_secs_f64());
+        println!(
+            "  Wi-Fi scan        : {:>7.2} s",
+            handshake.scan.as_secs_f64()
+        );
+        println!(
+            "  association/DHCP  : {:>7.2} s",
+            handshake.association.as_secs_f64()
+        );
+        println!(
+            "  MQTT connect      : {:>7.2} s",
+            handshake.broker_connect.as_secs_f64()
+        );
+        println!(
+            "  registration+verify: {:>6.2} s",
+            handshake.registration.as_secs_f64()
+        );
+        println!(
+            "  Thandshake total  : {:>7.2} s",
+            handshake.total().as_secs_f64()
+        );
     }
 
     println!("\n== consolidated bill at the home aggregator ==");
+    let bill = report
+        .bill(scooter)
+        .expect("the scooter was billed at home");
     println!(
         "  total charge   : {:.1} mA·s ({} backfilled records)",
-        outcome.total_charge_uas as f64 / 1000.0,
-        outcome.backfilled_records
+        bill.charge_uas as f64 / 1000.0,
+        bill.backfilled_records
     );
     println!(
-        "  of which roamed: {:.1} mA·s collected by {}",
-        outcome.roaming_charge_uas as f64 / 1000.0,
-        config.destination
+        "  of which roamed: {:.1} mA·s ({:.1}%) collected by {}",
+        bill.roaming_charge_uas as f64 / 1000.0,
+        bill.roamed_percent(),
+        host
     );
 
-    if let Some(view) = &outcome.home_view {
-        println!("\n== Fig. 6: consumption of the e-scooter as seen by {} ==", config.home);
-        println!("(1 s means of the reported current; gaps are the idle transit)");
+    if let Some(view) = device_trace(report.world(), home, scooter) {
+        println!("\n== Fig. 6: consumption of the e-scooter as seen by {home} ==");
+        println!("(5 s means of the reported current; gaps are the idle transit)");
         let mut bucket_start = 0.0f64;
         let mut bucket: Vec<f64> = Vec::new();
         for &(t, v) in &view.points {

@@ -1,70 +1,56 @@
 //! Fleet billing: a larger deployment than the paper's testbed — one
-//! operator with eight mobile devices roaming over three networks — showing
-//! consolidated per-device billing, the load-balancing extension and the
-//! device-level consensus extension in one run.
+//! operator with eight e-scooters homed in Network 1 roaming over three
+//! networks — showing consolidated per-device billing, the load-balancing
+//! extension and the device-level consensus extension in one run.
+//!
+//! The whole deployment is one declarative `ScenarioSpec`: a single home
+//! network with the fleet, two initially-empty destination networks, and a
+//! script that sends five scooters roaming.
 //!
 //! ```bash
 //! cargo run --example fleet_billing
 //! ```
 
-use rtem_core::consensus::{QuorumConsensus, Vote};
-use rtem_core::loadbalance::{plan_balance, NetworkLoad};
-use rtem_core::simulation::{World, WorldConfig};
-use rtem_device::device::MeteringDevice;
-use rtem_net::packet::{AggregatorAddr, DeviceId};
-use rtem_net::rssi::Position;
-use rtem_sensors::energy::Millivolts;
-use rtem_sensors::profile::ChargingProfile;
-use rtem_sim::prelude::*;
+use rtem::consensus::{QuorumConsensus, RoundOutcome, Vote};
+use rtem::loadbalance::{plan_balance, NetworkLoad};
+use rtem::prelude::*;
 
 fn main() {
-    let mut world = World::new(WorldConfig {
-        verification_window: SimDuration::from_secs(5),
-        seed: 99,
-        ..WorldConfig::default()
-    });
-    let networks: Vec<AggregatorAddr> = (1..=3).map(AggregatorAddr).collect();
-    for (i, &addr) in networks.iter().enumerate() {
-        world.add_network(addr, Position::new(300.0 * i as f64, 0.0));
-    }
+    let fleet: Vec<DeviceId> = (0..8).map(|j| ScenarioSpec::device_id(0, j)).collect();
+    let networks: Vec<AggregatorAddr> = (0..3).map(ScenarioSpec::network_addr).collect();
 
-    // Eight e-scooters, all registered to network 1 as their home.
-    let fleet: Vec<DeviceId> = (1..=8).map(DeviceId).collect();
-    for &id in &fleet {
-        let rng = SimRng::seed_from_u64(1000 + id.0);
-        let device = MeteringDevice::testbed(id, ChargingProfile::e_scooter(rng.derive(1)), rng);
-        world.add_device(device);
-        world.plug_in_now(id, AggregatorAddr(1));
-    }
-
+    // Eight e-scooters homed in network 1; networks 2 and 3 start empty.
     // After half a minute, five scooters ride off and recharge elsewhere.
+    let mut spec = ScenarioSpec::single_network(8, 99)
+        .with_load(DeviceLoad::EScooter)
+        .with_empty_networks(2)
+        .with_verification_window(SimDuration::from_secs(5))
+        .with_horizon(SimDuration::from_secs(180));
     for (i, &id) in fleet.iter().take(5).enumerate() {
         let destination = networks[1 + i % 2];
-        world.schedule_unplug(SimTime::from_secs(30 + i as u64 * 5), id);
-        world.schedule_plug_in(SimTime::from_secs(55 + i as u64 * 5), id, destination);
+        spec = spec
+            .unplug_at(SimTime::from_secs(30 + i as u64 * 5), id)
+            .plug_in_at(SimTime::from_secs(55 + i as u64 * 5), id, destination);
     }
-    world.run_until(SimTime::from_secs(180));
+
+    let report = Experiment::new(spec).run().expect("valid spec");
 
     println!("== consolidated fleet bill at the home aggregator (network 1) ==");
-    let home = world.aggregator(AggregatorAddr(1)).expect("home network");
     let mut total_cost = 0.0;
-    for (device, bill) in home.billing().iter() {
+    for bill in &report.bills {
         total_cost += bill.cost;
         println!(
             "  {}: {:>8.2} mWh ({:>5.1}% roamed), {} records",
-            device,
+            bill.device,
             bill.energy_at(Millivolts::usb_bus()).value(),
-            if bill.charge_uas > 0 {
-                bill.roaming_charge_uas as f64 / bill.charge_uas as f64 * 100.0
-            } else {
-                0.0
-            },
+            bill.roamed_percent(),
             bill.records
         );
     }
     println!("  fleet total cost: {total_cost:.3} units");
 
     println!("\n== load-balancing proposal (future-work extension) ==");
+    let world = report.world();
     let loads: Vec<NetworkLoad> = world
         .network_addresses()
         .into_iter()
@@ -101,6 +87,7 @@ fn main() {
     }
 
     println!("\n== device-level consensus (future-work extension) ==");
+    let home = world.aggregator(networks[0]).expect("home network");
     let mut consensus = QuorumConsensus::majority(fleet.iter().copied());
     let entries = home.ledger().all_entries();
     let sample: Vec<Vec<u8>> = entries.iter().take(20).map(|e| e.to_bytes()).collect();
@@ -112,7 +99,7 @@ fn main() {
         match consensus.vote(voter, Vote::Approve) {
             Ok(o) => {
                 outcome = Some(o);
-                if !matches!(o, rtem_core::consensus::RoundOutcome::Pending) {
+                if !matches!(o, RoundOutcome::Pending) {
                     break;
                 }
             }

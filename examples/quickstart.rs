@@ -1,26 +1,27 @@
-//! Quickstart: build the paper's two-network testbed, run it for a minute of
-//! simulated time, and print what each aggregator saw.
+//! Quickstart: declare the paper's two-network testbed as a `ScenarioSpec`,
+//! run it for a minute of simulated time, and print what each aggregator saw.
 //!
 //! ```bash
 //! cargo run --example quickstart
 //! ```
 
-use rtem_core::metrics::accuracy_windows;
-use rtem_core::scenario::ScenarioBuilder;
-use rtem_sim::time::{SimDuration, SimTime};
+use rtem::prelude::*;
 
 fn main() {
     // Two networks, two charging ESP32-class devices each, reporting every
     // 100 ms — the testbed of §III-A.
-    let mut world = ScenarioBuilder::paper_testbed(42).build();
+    let spec = ScenarioSpec::paper_testbed(42).with_horizon(SimDuration::from_secs(60));
 
-    let horizon = SimTime::from_secs(60);
-    println!("running the testbed for {} of simulated time...", SimDuration::from_secs(60));
-    world.run_until(horizon);
+    println!(
+        "running the testbed for {} of simulated time...",
+        SimDuration::from_secs(60)
+    );
+    let report = Experiment::new(spec)
+        .run()
+        .expect("the testbed spec is valid");
 
-    let metrics = world.metrics();
     println!("\n== network summaries ==");
-    for network in &metrics.networks {
+    for network in &report.metrics.networks {
         println!(
             "{}: {} members, {} reports accepted, {} blocks sealed, {} ledger entries, mean network current {:.1} mA",
             network.network,
@@ -32,7 +33,7 @@ fn main() {
         );
     }
 
-    if let Some(stats) = metrics.handshake_stats() {
+    if let Some(stats) = report.handshakes {
         println!(
             "\nregistration handshakes: {} completed, mean {:.2} s (range {:.2}–{:.2} s)",
             stats.count, stats.mean_s, stats.min_s, stats.max_s
@@ -40,36 +41,41 @@ fn main() {
     }
 
     println!("\n== decentralized vs aggregator measurement (10 s windows, network 1) ==");
-    println!("{:>6} {:>16} {:>16} {:>10}", "window", "devices (mA·s)", "aggregator (mA·s)", "gap %");
-    for window in accuracy_windows(
-        &world,
-        ScenarioBuilder::network_addr(0),
-        SimDuration::from_secs(10),
-        horizon,
-    ) {
-        if window.devices_total_mas > 0.0 {
-            println!(
-                "{:>6} {:>16.1} {:>16.1} {:>9.2}%",
-                window.index,
-                window.devices_total_mas,
-                window.aggregator_mas,
-                window.overhead_percent()
-            );
-        }
+    println!(
+        "{:>6} {:>16} {:>16} {:>10}",
+        "window", "devices (mA·s)", "aggregator (mA·s)", "gap %"
+    );
+    let accuracy = report
+        .network_accuracy(ScenarioSpec::network_addr(0))
+        .expect("network 1 was simulated");
+    for window in accuracy
+        .windows
+        .iter()
+        .filter(|w| w.devices_total_mas > 0.0)
+    {
+        println!(
+            "{:>6} {:>16.1} {:>16.1} {:>9.2}%",
+            window.index,
+            window.devices_total_mas,
+            window.aggregator_mas,
+            window.overhead_percent()
+        );
     }
 
     println!("\nper-device bills at the home aggregators:");
-    for addr in world.network_addresses() {
-        let aggregator = world.aggregator(addr).expect("network exists");
-        for (device, bill) in aggregator.billing().iter() {
-            println!(
-                "  {} billed by {}: {:.2} mWh ({} records, {} backfilled)",
-                device,
-                addr,
-                bill.energy_at(rtem_sensors::energy::Millivolts::usb_bus()).value(),
-                bill.records,
-                bill.backfilled_records
-            );
-        }
+    for bill in &report.bills {
+        println!(
+            "  {} billed by {}: {:.2} mWh ({} records, {} backfilled)",
+            bill.device,
+            bill.network,
+            bill.energy_at(Millivolts::usb_bus()).value(),
+            bill.records,
+            bill.backfilled_records
+        );
     }
+
+    println!(
+        "\nledgers clean: {} (audited against each aggregator's anchor)",
+        report.all_ledgers_clean()
+    );
 }

@@ -1,5 +1,6 @@
 //! Tamper detection: demonstrates both protection layers of the
-//! architecture.
+//! architecture, driving a single aggregator directly through the facade's
+//! substrate paths (`rtem::aggregator`, `rtem::chain`).
 //!
 //! 1. **Storage tampering** — an attacker rewrites committed records in the
 //!    aggregator's store; the hash chain localizes the manipulation.
@@ -12,13 +13,11 @@
 //! cargo run --example tamper_detection
 //! ```
 
-use rtem_aggregator::aggregator::{Aggregator, AggregatorConfig};
-use rtem_chain::audit::audit_chain;
-use rtem_chain::ledger::LedgerEntry;
-use rtem_net::packet::{AggregatorAddr, DeviceId, MeasurementRecord, Packet};
-use rtem_sensors::energy::Milliamps;
-use rtem_sim::rng::SimRng;
-use rtem_sim::time::SimTime;
+use rtem::aggregator::aggregator::{Aggregator, AggregatorConfig};
+use rtem::chain::audit::audit_chain;
+use rtem::chain::ledger::LedgerEntry;
+use rtem::net::packet::{MeasurementRecord, Packet};
+use rtem::prelude::*;
 
 fn main() {
     println!("== part 1: storage-level tampering ==");
@@ -32,7 +31,9 @@ fn storage_tampering() {
         AggregatorConfig::testbed(AggregatorAddr(1)),
         SimRng::seed_from_u64(1),
     );
-    aggregator.register_master(DeviceId(1), SimTime::ZERO).unwrap();
+    aggregator
+        .register_master(DeviceId(1), SimTime::ZERO)
+        .unwrap();
 
     // Normal operation: 10 windows of honest reports.
     for window in 0..10u64 {
@@ -90,8 +91,12 @@ fn under_reporting() {
         AggregatorConfig::testbed(AggregatorAddr(1)),
         SimRng::seed_from_u64(2),
     );
-    aggregator.register_master(DeviceId(1), SimTime::ZERO).unwrap();
-    aggregator.register_master(DeviceId(2), SimTime::ZERO).unwrap();
+    aggregator
+        .register_master(DeviceId(1), SimTime::ZERO)
+        .unwrap();
+    aggregator
+        .register_master(DeviceId(2), SimTime::ZERO)
+        .unwrap();
 
     // Device 1 is honest (180 mA); device 2 actually draws 200 mA but its
     // tampered firmware reports a constant 40 mA.

@@ -1,0 +1,127 @@
+//! Facade coverage: `ScenarioSpec` validation rejects degenerate scenarios
+//! with typed errors, and the `Experiment` → `RunReport` pipeline exposes
+//! every summary the evaluation needs.
+
+use rtem::prelude::*;
+
+#[test]
+fn zero_networks_is_rejected() {
+    let spec = ScenarioSpec::paper_testbed(1).with_networks(0);
+    assert_eq!(spec.validate(), Err(SpecError::NoNetworks));
+    assert_eq!(
+        Experiment::new(spec).run().unwrap_err(),
+        SpecError::NoNetworks
+    );
+}
+
+#[test]
+fn zero_devices_is_rejected() {
+    let spec = ScenarioSpec::paper_testbed(1).with_devices_per_network(0);
+    assert_eq!(spec.validate(), Err(SpecError::NoDevices));
+    assert_eq!(
+        Experiment::new(spec).run().unwrap_err(),
+        SpecError::NoDevices
+    );
+}
+
+#[test]
+fn zero_length_horizon_is_rejected() {
+    let spec = ScenarioSpec::paper_testbed(1).with_horizon(SimDuration::ZERO);
+    assert_eq!(spec.validate(), Err(SpecError::ZeroHorizon));
+    assert_eq!(
+        Experiment::new(spec).run().unwrap_err(),
+        SpecError::ZeroHorizon
+    );
+}
+
+#[test]
+fn degenerate_timing_is_rejected() {
+    let mut spec = ScenarioSpec::paper_testbed(1);
+    spec.t_measure = SimDuration::ZERO;
+    assert_eq!(spec.validate(), Err(SpecError::ZeroMeasureInterval));
+    let mut spec = ScenarioSpec::paper_testbed(1);
+    spec.verification_window = SimDuration::ZERO;
+    assert_eq!(spec.validate(), Err(SpecError::ZeroVerificationWindow));
+}
+
+#[test]
+fn script_referencing_unknown_targets_is_rejected() {
+    let spec = ScenarioSpec::paper_testbed(1).unplug_at(SimTime::from_secs(10), DeviceId(424242));
+    assert!(matches!(
+        spec.validate(),
+        Err(SpecError::UnknownScriptDevice { .. })
+    ));
+
+    let spec = ScenarioSpec::paper_testbed(1).plug_in_at(
+        SimTime::from_secs(10),
+        ScenarioSpec::device_id(0, 0),
+        AggregatorAddr(99),
+    );
+    assert!(matches!(
+        spec.validate(),
+        Err(SpecError::UnknownScriptNetwork { .. })
+    ));
+}
+
+#[test]
+fn script_beyond_horizon_is_rejected() {
+    let spec = ScenarioSpec::paper_testbed(1)
+        .with_horizon(SimDuration::from_secs(30))
+        .unplug_at(SimTime::from_secs(31), ScenarioSpec::device_id(0, 0));
+    assert!(matches!(
+        spec.validate(),
+        Err(SpecError::ScriptEventAfterHorizon { .. })
+    ));
+    // An event at exactly the horizon still executes (run_until is
+    // inclusive), so it must validate.
+    let spec = ScenarioSpec::paper_testbed(1)
+        .with_horizon(SimDuration::from_secs(30))
+        .unplug_at(SimTime::from_secs(30), ScenarioSpec::device_id(0, 0));
+    assert_eq!(spec.validate(), Ok(()));
+}
+
+#[test]
+fn spec_errors_have_readable_messages() {
+    assert!(SpecError::NoNetworks.to_string().contains("zero networks"));
+    assert!(SpecError::ZeroHorizon.to_string().contains("horizon"));
+}
+
+#[test]
+fn empty_networks_exist_but_hold_no_devices() {
+    let spec = ScenarioSpec::single_network(2, 5)
+        .with_horizon(SimDuration::from_secs(20))
+        .with_empty_networks(2);
+    assert_eq!(spec.network_addrs().len(), 3);
+    let report = Experiment::new(spec).run().unwrap();
+    assert_eq!(report.metrics.networks.len(), 3);
+    let empty = report
+        .metrics
+        .network(ScenarioSpec::network_addr(2))
+        .expect("empty network exists");
+    assert_eq!(empty.members, 0);
+}
+
+#[test]
+fn report_bundles_every_summary() {
+    let spec = ScenarioSpec::paper_testbed(55).with_horizon(SimDuration::from_secs(30));
+    let report = Experiment::new(spec).run().unwrap();
+
+    // World metrics and per-network drill-down.
+    assert_eq!(report.metrics.networks.len(), 2);
+    for addr in [ScenarioSpec::network_addr(0), ScenarioSpec::network_addr(1)] {
+        assert!(report.metrics.network(addr).is_some());
+        assert!(report.network_accuracy(addr).is_some());
+        assert!(report.ledger(addr).is_some());
+    }
+    // Handshake statistics cover all four devices.
+    assert_eq!(report.handshakes.unwrap().count, 4);
+    // Bills exist for every device and roaming never exceeds the total.
+    assert_eq!(report.bills.len(), 4);
+    for bill in &report.bills {
+        assert!(bill.charge_uas >= bill.roaming_charge_uas);
+        assert!(bill.energy_at(Millivolts::usb_bus()).value() > 0.0);
+        assert_eq!(bill.roamed_percent(), 0.0, "static scenario never roams");
+    }
+    // The world stays available for anything the summaries omit.
+    assert_eq!(report.world().device_ids().len(), 4);
+}

@@ -2,29 +2,20 @@
 //! (the Fig. 5 experiment) — the aggregator's system-level measurement must
 //! exceed the sum of device-reported values by a small, loss-driven margin.
 
-use rtem_core::metrics::accuracy_windows;
-use rtem_core::scenario::ScenarioBuilder;
-use rtem_sensors::ina219::Ina219Config;
-use rtem_sim::time::{SimDuration, SimTime};
+use rtem::prelude::*;
+use rtem::sensors::ina219::Ina219Config;
 
 #[test]
 fn aggregator_measurement_exceeds_device_sum_by_a_few_percent() {
-    let mut world = ScenarioBuilder::paper_testbed(301).build();
-    let horizon = SimTime::from_secs(100);
-    world.run_until(horizon);
+    let spec = ScenarioSpec::paper_testbed(301).with_horizon(SimDuration::from_secs(100));
+    let report = Experiment::new(spec).run().unwrap();
 
-    let windows = accuracy_windows(
-        &world,
-        ScenarioBuilder::network_addr(0),
-        SimDuration::from_secs(10),
-        horizon,
-    );
-    // Skip the first window (handshake transient: devices are not yet
-    // reporting while the aggregator already measures).
-    let settled: Vec<_> = windows
-        .iter()
-        .filter(|w| w.index >= 2 && w.devices_total_mas > 0.0)
-        .collect();
+    let accuracy = report
+        .network_accuracy(ScenarioSpec::network_addr(0))
+        .expect("network 1 has accuracy windows");
+    // Settled windows skip the handshake transient: devices are not yet
+    // reporting while the aggregator already measures.
+    let settled: Vec<_> = accuracy.settled_windows().collect();
     assert!(settled.len() >= 5, "enough settled windows");
     for window in &settled {
         let overhead = window.overhead_percent();
@@ -36,8 +27,7 @@ fn aggregator_measurement_exceeds_device_sum_by_a_few_percent() {
             window.aggregator_mas
         );
     }
-    let mean_overhead: f64 =
-        settled.iter().map(|w| w.overhead_percent()).sum::<f64>() / settled.len() as f64;
+    let mean_overhead = accuracy.mean_overhead_percent().unwrap();
     assert!(
         (0.9..8.2).contains(&mean_overhead),
         "mean overhead {mean_overhead}% should fall in the paper's 0.9–8.2% band"
@@ -46,16 +36,16 @@ fn aggregator_measurement_exceeds_device_sum_by_a_few_percent() {
 
 #[test]
 fn per_device_contributions_sum_to_the_network_total() {
-    let mut world = ScenarioBuilder::paper_testbed(302).build();
-    let horizon = SimTime::from_secs(60);
-    world.run_until(horizon);
-    let windows = accuracy_windows(
-        &world,
-        ScenarioBuilder::network_addr(1),
-        SimDuration::from_secs(10),
-        horizon,
-    );
-    for window in windows.iter().filter(|w| w.devices_total_mas > 0.0) {
+    let spec = ScenarioSpec::paper_testbed(302).with_horizon(SimDuration::from_secs(60));
+    let report = Experiment::new(spec).run().unwrap();
+    let accuracy = report
+        .network_accuracy(ScenarioSpec::network_addr(1))
+        .expect("network 2 has accuracy windows");
+    for window in accuracy
+        .windows
+        .iter()
+        .filter(|w| w.devices_total_mas > 0.0)
+    {
         let per_device_sum: f64 = window.per_device_mas.values().sum();
         assert!((per_device_sum - window.devices_total_mas).abs() < 1e-9);
         assert_eq!(window.per_device_mas.len(), 2, "two devices contribute");
@@ -69,23 +59,15 @@ fn device_sensor_errors_shift_the_gap() {
     // ideal device sensors that compensation disappears, so the
     // aggregator-vs-devices gap grows (and is then explained by grid losses
     // plus the aggregator's own sensor alone).
-    let horizon = SimTime::from_secs(80);
     let run = |sensor: Ina219Config, seed: u64| -> f64 {
-        let mut world = ScenarioBuilder::paper_testbed(seed)
-            .with_sensor(sensor)
-            .build();
-        world.run_until(horizon);
-        let windows = accuracy_windows(
-            &world,
-            ScenarioBuilder::network_addr(0),
-            SimDuration::from_secs(10),
-            horizon,
-        );
-        let settled: Vec<_> = windows
-            .iter()
-            .filter(|w| w.index >= 2 && w.devices_total_mas > 0.0)
-            .collect();
-        settled.iter().map(|w| w.overhead_percent()).sum::<f64>() / settled.len() as f64
+        let spec = ScenarioSpec::paper_testbed(seed)
+            .with_horizon(SimDuration::from_secs(80))
+            .with_sensor(sensor);
+        let report = Experiment::new(spec).run().unwrap();
+        report
+            .network_accuracy(ScenarioSpec::network_addr(0))
+            .and_then(|a| a.mean_overhead_percent())
+            .expect("settled windows exist")
     };
     let with_error = run(Ina219Config::testbed(), 303);
     let ideal = run(Ina219Config::ideal(), 303);
@@ -101,10 +83,9 @@ fn device_sensor_errors_shift_the_gap() {
 
 #[test]
 fn no_verification_anomalies_with_honest_devices() {
-    let mut world = ScenarioBuilder::paper_testbed(304).build();
-    world.run_until(SimTime::from_secs(80));
-    let metrics = world.metrics();
-    for network in &metrics.networks {
+    let spec = ScenarioSpec::paper_testbed(304).with_horizon(SimDuration::from_secs(80));
+    let report = Experiment::new(spec).run().unwrap();
+    for network in &report.metrics.networks {
         // The very first window may legitimately look anomalous: the devices
         // spend ~6 s of it in the registration handshake, so part of their
         // consumption only arrives (backfilled) in the next window.

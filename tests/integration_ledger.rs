@@ -2,39 +2,42 @@
 //! "by encapsulating the consumption data into a blockchain, data storage is
 //! made tamper-proof" (§II-A), exercised through a full simulated run.
 
-use rtem_chain::audit::{audit_chain, FindingKind};
-use rtem_chain::ledger::LedgerEntry;
-use rtem_core::scenario::ScenarioBuilder;
-use rtem_sim::time::{SimDuration, SimTime};
+use rtem::chain::audit::{audit_chain, FindingKind};
+use rtem::chain::ledger::LedgerEntry;
+use rtem::prelude::*;
 
 #[test]
 fn ledgers_audit_clean_after_a_normal_run() {
-    let mut world = ScenarioBuilder::paper_testbed(401)
-        .with_verification_window(SimDuration::from_secs(5))
-        .build();
-    world.run_until(SimTime::from_secs(60));
-    for addr in world.network_addresses() {
-        let aggregator = world.aggregator(addr).unwrap();
-        let report = audit_chain(aggregator.ledger().chain(), Some(aggregator.ledger_anchor()));
-        assert!(report.is_clean(), "ledger of {addr} must audit clean");
-        assert!(report.blocks_examined > 5);
-        assert!(report.records_examined > 100);
-        assert!(aggregator.ledger().accounts_match_chain());
+    let spec = ScenarioSpec::paper_testbed(401)
+        .with_horizon(SimDuration::from_secs(60))
+        .with_verification_window(SimDuration::from_secs(5));
+    let report = Experiment::new(spec).run().unwrap();
+    assert!(report.all_ledgers_clean());
+    for summary in &report.ledgers {
+        assert!(
+            summary.audit_clean,
+            "ledger of {} must audit clean",
+            summary.network
+        );
+        assert!(summary.first_bad_block.is_none());
+        assert!(summary.blocks > 5);
+        assert!(summary.entries > 100);
+        assert!(summary.accounts_match_chain);
     }
 }
 
 #[test]
 fn storage_level_tampering_is_detected_and_localized() {
-    let mut world = ScenarioBuilder::paper_testbed(402)
-        .with_verification_window(SimDuration::from_secs(5))
-        .build();
-    world.run_until(SimTime::from_secs(60));
-    let addr = ScenarioBuilder::network_addr(0);
-    let anchor = world.aggregator(addr).unwrap().ledger_anchor();
+    let spec = ScenarioSpec::paper_testbed(402)
+        .with_horizon(SimDuration::from_secs(60))
+        .with_verification_window(SimDuration::from_secs(5));
+    let mut report = Experiment::new(spec).run().unwrap();
+    let addr = ScenarioSpec::network_addr(0);
+    let anchor = report.world().aggregator(addr).unwrap().ledger_anchor();
 
     // An attacker with storage access rewrites one committed record to claim
     // almost no consumption.
-    let aggregator = world.aggregator_mut(addr).unwrap();
+    let aggregator = report.world_mut().aggregator_mut(addr).unwrap();
     let victim_block = 3;
     let forged = LedgerEntry {
         device_id: 1,
@@ -54,11 +57,11 @@ fn storage_level_tampering_is_detected_and_localized() {
         .tamper_record_for_experiment(0, forged.to_bytes());
     assert!(tampered);
 
-    let aggregator = world.aggregator(addr).unwrap();
-    let report = audit_chain(aggregator.ledger().chain(), Some(anchor));
-    assert!(!report.is_clean());
-    assert_eq!(report.first_bad_block(), Some(victim_block));
-    assert_eq!(report.count_of(FindingKind::RecordMismatch), 1);
+    let aggregator = report.world().aggregator(addr).unwrap();
+    let audit = audit_chain(aggregator.ledger().chain(), Some(anchor));
+    assert!(!audit.is_clean());
+    assert_eq!(audit.first_bad_block(), Some(victim_block));
+    assert_eq!(audit.count_of(FindingKind::RecordMismatch), 1);
     // The cached per-device accounts no longer match the chain either.
     assert!(!aggregator.ledger().accounts_match_chain());
 }
@@ -68,16 +71,16 @@ fn under_reporting_device_trips_the_window_verifier() {
     // A device whose firmware under-reports cannot be caught by the hash
     // chain (the lie is signed in); it is caught by the aggregator's
     // complementary system-level measurement instead.
-    use rtem_aggregator::aggregator::{Aggregator, AggregatorConfig};
-    use rtem_net::packet::{AggregatorAddr, DeviceId, MeasurementRecord, Packet};
-    use rtem_sensors::energy::Milliamps;
-    use rtem_sim::rng::SimRng;
+    use rtem::aggregator::aggregator::{Aggregator, AggregatorConfig};
+    use rtem::net::packet::{MeasurementRecord, Packet};
 
     let mut aggregator = Aggregator::new(
         AggregatorConfig::testbed(AggregatorAddr(1)),
         SimRng::seed_from_u64(403),
     );
-    aggregator.register_master(DeviceId(1), SimTime::ZERO).unwrap();
+    aggregator
+        .register_master(DeviceId(1), SimTime::ZERO)
+        .unwrap();
 
     let mut anomalous_windows = 0;
     for window in 0..10u64 {
@@ -117,7 +120,10 @@ fn under_reporting_device_trips_the_window_verifier() {
             }
         }
     }
-    assert_eq!(anomalous_windows, 10, "every under-reported window is flagged");
+    assert_eq!(
+        anomalous_windows, 10,
+        "every under-reported window is flagged"
+    );
     // The ledger itself still verifies — which is exactly why the
     // complementary measurement is needed.
     assert!(aggregator.ledger().chain().verify().is_ok());

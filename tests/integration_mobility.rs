@@ -2,10 +2,7 @@
 //! core claim of the paper: consumption stays monitorable and billable to
 //! the home network while the device operates at a foreign grid-location.
 
-use rtem_core::mobility::{run_mobility, MobilityConfig};
-use rtem_core::scenario::ScenarioBuilder;
-use rtem_net::packet::MembershipKind;
-use rtem_sim::time::{SimDuration, SimTime};
+use rtem::prelude::*;
 
 fn quick(seed: u64) -> MobilityConfig {
     let mut config = MobilityConfig::testbed(seed);
@@ -52,8 +49,7 @@ fn home_aggregator_sees_no_consumption_during_transit() {
         .points
         .iter()
         .filter(|(t, _)| {
-            *t > config.unplug_at.as_secs_f64() + 1.0
-                && *t < outcome.reconnected_at.as_secs_f64()
+            *t > config.unplug_at.as_secs_f64() + 1.0 && *t < outcome.reconnected_at.as_secs_f64()
         })
         .count();
     assert_eq!(transit_reports, 0, "transit (idle) is never billed");
@@ -61,18 +57,26 @@ fn home_aggregator_sees_no_consumption_during_transit() {
 
 #[test]
 fn stationary_devices_are_unaffected_by_a_peers_move() {
-    let mut world = ScenarioBuilder::paper_testbed(204).build();
-    let mobile = ScenarioBuilder::device_id(0, 0);
-    let stationary = ScenarioBuilder::device_id(0, 1);
-    world.schedule_unplug(SimTime::from_secs(30), mobile);
-    world.schedule_plug_in(SimTime::from_secs(45), mobile, ScenarioBuilder::network_addr(1));
-    world.run_until(SimTime::from_secs(90));
+    let mobile = ScenarioSpec::device_id(0, 0);
+    let stationary = ScenarioSpec::device_id(0, 1);
+    let spec = ScenarioSpec::paper_testbed(204)
+        .with_horizon(SimDuration::from_secs(90))
+        .unplug_at(SimTime::from_secs(30), mobile)
+        .plug_in_at(
+            SimTime::from_secs(45),
+            mobile,
+            ScenarioSpec::network_addr(1),
+        );
+    let report = Experiment::new(spec).run().unwrap();
 
-    let home = world.aggregator(ScenarioBuilder::network_addr(0)).unwrap();
+    let home = report
+        .world()
+        .aggregator(ScenarioSpec::network_addr(0))
+        .unwrap();
     // The stationary device keeps reporting throughout.
     let stationary_entries = home.ledger().account(stationary.0).unwrap().entries;
     assert!(stationary_entries > 400, "entries {stationary_entries}");
-    assert!(world.device(stationary).unwrap().is_registered());
+    assert!(report.world().device(stationary).unwrap().is_registered());
     // The home aggregator retains the mobile device's master membership.
     assert_eq!(
         home.registry().membership(mobile).unwrap().kind,
@@ -82,23 +86,27 @@ fn stationary_devices_are_unaffected_by_a_peers_move() {
 
 #[test]
 fn returning_home_reuses_the_master_membership() {
-    let mut world = ScenarioBuilder::paper_testbed(205).build();
-    let mobile = ScenarioBuilder::device_id(0, 0);
-    let home_addr = ScenarioBuilder::network_addr(0);
-    let away_addr = ScenarioBuilder::network_addr(1);
-    world.schedule_unplug(SimTime::from_secs(30), mobile);
-    world.schedule_plug_in(SimTime::from_secs(40), mobile, away_addr);
-    world.schedule_unplug(SimTime::from_secs(70), mobile);
-    world.schedule_plug_in(SimTime::from_secs(80), mobile, home_addr);
-    world.run_until(SimTime::from_secs(120));
+    let mobile = ScenarioSpec::device_id(0, 0);
+    let home_addr = ScenarioSpec::network_addr(0);
+    let away_addr = ScenarioSpec::network_addr(1);
+    let spec = ScenarioSpec::paper_testbed(205)
+        .with_horizon(SimDuration::from_secs(120))
+        .unplug_at(SimTime::from_secs(30), mobile)
+        .plug_in_at(SimTime::from_secs(40), mobile, away_addr)
+        .unplug_at(SimTime::from_secs(70), mobile)
+        .plug_in_at(SimTime::from_secs(80), mobile, home_addr);
+    let report = Experiment::new(spec).run().unwrap();
 
-    let device = world.device(mobile).unwrap();
+    let device = report.world().device(mobile).unwrap();
     assert!(device.is_registered());
     let (serving, kind, _) = device.registration().unwrap();
     assert_eq!(serving, home_addr);
     assert_eq!(kind, MembershipKind::Master);
     // The temporary membership at the foreign aggregator was only ever
     // temporary; the home one persists.
-    let home = world.aggregator(home_addr).unwrap();
-    assert_eq!(home.registry().membership(mobile).unwrap().kind, MembershipKind::Master);
+    let home = report.world().aggregator(home_addr).unwrap();
+    assert_eq!(
+        home.registry().membership(mobile).unwrap().kind,
+        MembershipKind::Master
+    );
 }

@@ -1,27 +1,29 @@
 //! Integration test: device registration (Fig. 3, sequence 1) end to end
 //! through the full world — devices, broker, aggregator, ledger.
 
-use rtem_core::scenario::{DeviceLoad, ScenarioBuilder};
-use rtem_net::packet::MembershipKind;
-use rtem_sim::time::{SimDuration, SimTime};
+use rtem::prelude::*;
 
 #[test]
 fn all_devices_obtain_master_membership_in_their_home_network() {
-    let mut world = ScenarioBuilder::paper_testbed(101).build();
-    world.run_until(SimTime::from_secs(30));
+    let spec = ScenarioSpec::paper_testbed(101).with_horizon(SimDuration::from_secs(30));
+    let report = Experiment::new(spec).run().unwrap();
 
     for n in 0..2u32 {
-        let addr = ScenarioBuilder::network_addr(n);
-        let aggregator = world.aggregator(addr).expect("network exists");
-        assert_eq!(aggregator.registry().len(), 2, "network {addr} has both devices");
+        let addr = ScenarioSpec::network_addr(n);
+        let aggregator = report.world().aggregator(addr).expect("network exists");
+        assert_eq!(
+            aggregator.registry().len(),
+            2,
+            "network {addr} has both devices"
+        );
         for j in 0..2u32 {
-            let id = ScenarioBuilder::device_id(n, j);
+            let id = ScenarioSpec::device_id(n, j);
             let membership = aggregator
                 .registry()
                 .membership(id)
                 .expect("device registered");
             assert_eq!(membership.kind, MembershipKind::Master);
-            let device = world.device(id).expect("device exists");
+            let device = report.world().device(id).expect("device exists");
             assert!(device.is_registered());
             assert_eq!(device.master(), Some(addr));
         }
@@ -30,10 +32,9 @@ fn all_devices_obtain_master_membership_in_their_home_network() {
 
 #[test]
 fn registration_handshake_takes_about_six_seconds() {
-    let mut world = ScenarioBuilder::paper_testbed(102).build();
-    world.run_until(SimTime::from_secs(30));
-    let metrics = world.metrics();
-    let stats = metrics.handshake_stats().expect("handshakes completed");
+    let spec = ScenarioSpec::paper_testbed(102).with_horizon(SimDuration::from_secs(30));
+    let report = Experiment::new(spec).run().unwrap();
+    let stats = report.handshakes.expect("handshakes completed");
     assert_eq!(stats.count, 4, "every device completed one handshake");
     assert!(
         (5.0..7.0).contains(&stats.mean_s),
@@ -44,33 +45,38 @@ fn registration_handshake_takes_about_six_seconds() {
 
 #[test]
 fn reports_flow_and_are_committed_to_the_ledger() {
-    let mut world = ScenarioBuilder::paper_testbed(103)
-        .with_verification_window(SimDuration::from_secs(5))
-        .build();
-    world.run_until(SimTime::from_secs(40));
-    let metrics = world.metrics();
-    for summary in &metrics.networks {
+    let spec = ScenarioSpec::paper_testbed(103)
+        .with_horizon(SimDuration::from_secs(40))
+        .with_verification_window(SimDuration::from_secs(5));
+    let report = Experiment::new(spec).run().unwrap();
+    for summary in &report.metrics.networks {
         assert!(summary.reports_accepted > 50, "network {}", summary.network);
         assert!(summary.blocks > 3, "blocks sealed on {}", summary.network);
-        assert!(summary.ledger_entries > 100, "entries on {}", summary.network);
+        assert!(
+            summary.ledger_entries > 100,
+            "entries on {}",
+            summary.network
+        );
         assert_eq!(summary.nacks_sent, 0, "no Nacks in the static scenario");
     }
+    assert!(report.all_ledgers_clean(), "every ledger audits clean");
 }
 
 #[test]
 fn aggregator_capacity_limits_membership() {
     // 12 devices contend for an aggregator with 10 reporting slots.
-    let mut world = ScenarioBuilder::single_network(12, 104)
-        .with_load(DeviceLoad::ReportingOnly)
-        .build();
-    world.run_until(SimTime::from_secs(60));
-    let addr = ScenarioBuilder::network_addr(0);
-    let aggregator = world.aggregator(addr).unwrap();
+    let spec = ScenarioSpec::single_network(12, 104)
+        .with_horizon(SimDuration::from_secs(60))
+        .with_load(DeviceLoad::ReportingOnly);
+    let report = Experiment::new(spec).run().unwrap();
+    let addr = ScenarioSpec::network_addr(0);
+    let aggregator = report.world().aggregator(addr).unwrap();
     assert_eq!(
         aggregator.registry().len(),
         10,
         "membership is capped by the slot table"
     );
+    let world = report.world();
     let registered = world
         .device_ids()
         .into_iter()

@@ -1,0 +1,245 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Supports the subset of the criterion API the `rtem-bench` targets use
+//! (`benchmark_group`, `bench_function`, `bench_with_input`, `Throughput`,
+//! `BenchmarkId`, the `criterion_group!` / `criterion_main!` macros) with a
+//! simple wall-clock measurement loop: warm up briefly, run the closure in
+//! growing batches until the measurement budget is spent, and print the mean
+//! iteration time (plus derived throughput when configured). There is no
+//! statistical analysis, HTML report or regression detection — swap the
+//! `vendor/criterion` path dependency for the real crates.io package to get
+//! those.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// The benchmark context handed to every `criterion_group!` target.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            _criterion: self,
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+            throughput: None,
+        }
+    }
+}
+
+/// Identifies one parameterized benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Units the measured time is normalized against when reporting throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+    /// The benchmark processes this many elements per iteration.
+    Elements(u64),
+}
+
+/// A group of related benchmarks sharing measurement settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples to collect (minimum 1).
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Sets the per-benchmark measurement budget.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.measurement_time = time;
+        self
+    }
+
+    /// Sets the throughput used to derive a rate from the measured time.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Measures `routine` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        // Warm-up pass: one batch, also calibrates the batch size.
+        routine(&mut bencher);
+        let single = bencher.mean();
+        let budget = self.measurement_time.min(Duration::from_secs(10));
+        let per_sample = budget.as_secs_f64() / self.sample_size as f64;
+        let batch = if single > Duration::ZERO {
+            ((per_sample / single.as_secs_f64()).ceil() as u64).clamp(1, 1_000_000)
+        } else {
+            1_000
+        };
+
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        let deadline = Instant::now() + budget;
+        while Instant::now() < deadline {
+            bencher.iters = batch;
+            bencher.elapsed = Duration::ZERO;
+            routine(&mut bencher);
+            total += bencher.elapsed;
+            iters += batch;
+        }
+        let mean = if iters > 0 {
+            // f64 division: long budgets on sub-ns routines can push the
+            // iteration count past u32::MAX, which Duration::div truncates.
+            Duration::from_secs_f64(total.as_secs_f64() / iters as f64)
+        } else {
+            single
+        };
+        let rate = self.throughput.map(|t| match t {
+            Throughput::Bytes(n) => format!(
+                "  ({:.1} MiB/s)",
+                n as f64 / mean.as_secs_f64().max(1e-12) / (1024.0 * 1024.0)
+            ),
+            Throughput::Elements(n) => {
+                format!("  ({:.0} elem/s)", n as f64 / mean.as_secs_f64().max(1e-12))
+            }
+        });
+        println!(
+            "{:<40} {:>12.3?} /iter over {} iters{}",
+            id.name,
+            mean,
+            iters.max(1),
+            rate.unwrap_or_default()
+        );
+        self
+    }
+
+    /// Measures a routine that takes an input value by reference.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| routine(b, input))
+    }
+
+    /// Ends the group (a no-op kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> BenchmarkId {
+        BenchmarkId {
+            name: name.to_string(),
+        }
+    }
+}
+
+/// Timer handle passed to the benchmark routine.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` for the current batch size, timing the whole batch.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+    }
+
+    fn mean(&self) -> Duration {
+        if self.iters == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_secs_f64(self.elapsed.as_secs_f64() / self.iters as f64)
+        }
+    }
+}
+
+/// Re-export of `std::hint::black_box` under criterion's traditional name.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("smoke");
+        group.sample_size(2);
+        group.measurement_time(Duration::from_millis(20));
+        let mut runs = 0u64;
+        group.bench_function("noop", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert!(runs > 0, "the routine must actually execute");
+    }
+
+    #[test]
+    fn benchmark_id_formats_parameter() {
+        let id = BenchmarkId::new("scale", 42);
+        assert_eq!(id.name, "scale/42");
+    }
+}

@@ -1,0 +1,39 @@
+//! Offline stand-in for the parts of the `rand` crate the workspace uses.
+//!
+//! `rtem_sim::rng::SimRng` implements [`RngCore`] so it composes with
+//! `rand`-style distribution adapters; the simulation itself never calls
+//! into `rand`. This stub keeps that trait implementation compiling in
+//! environments without network access. Swap the `vendor/rand` path
+//! dependency for the real crates.io package to interoperate with the wider
+//! `rand` ecosystem.
+
+#![forbid(unsafe_code)]
+
+use core::fmt;
+
+/// Error type returned by fallible RNG operations.
+///
+/// Mirrors `rand::Error` closely enough for trait signatures; deterministic
+/// in-memory generators never produce it.
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("random number generator failure")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core trait every random number generator implements.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fills `dest` with random bytes, reporting failure as an [`Error`].
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error>;
+}

@@ -1,0 +1,25 @@
+//! Offline stand-in for the `serde` facade crate.
+//!
+//! Provides the two trait names the workspace imports plus the inert derive
+//! macros from [`serde_derive`]. No (de)serialization machinery is included:
+//! the in-tree types only tag themselves as serializable for future wire /
+//! storage formats. Replace the `vendor/serde*` path dependencies with the
+//! real crates.io packages to get actual serialization — no source changes
+//! are needed in the `rtem` crates.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+// The derives expand to nothing, so blanket impls keep `T: Serialize` /
+// `T: Deserialize` bounds satisfiable — code written against real serde's
+// bounds still compiles against this stub.
+impl<T: ?Sized> Serialize for T {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,22 @@
+//! Offline stand-in for the `serde_derive` proc-macro crate.
+//!
+//! The workspace builds in environments without network access, so the real
+//! `serde` cannot be fetched. The `rtem` crates only use
+//! `#[derive(Serialize, Deserialize)]` as inert markers (nothing is actually
+//! serialized in-tree yet), so these derives simply expand to nothing.
+//! Swapping the `vendor/serde*` path dependencies for the real crates.io
+//! packages requires no source changes.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`: expands to an empty token stream.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`: expands to an empty token stream.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
