@@ -14,7 +14,7 @@
 //! * [`verify`] — window verification against the complementary measurement
 //!   and the entropy-based per-device theft detector.
 //! * [`billing`] — consolidated per-device billing (home + roaming).
-//! * [`aggregator`] — the composed [`Aggregator`](aggregator::Aggregator).
+//! * [`aggregator`] — the composed [`Aggregator`].
 //!
 //! # Examples
 //!

@@ -13,7 +13,7 @@
 //! (ohmic losses + sensor offsets, the 0.9–8.2 % of Fig. 5); a device
 //! *under-reporting* its consumption widens the gap beyond the tolerance
 //! band and raises an anomaly. An entropy-based detector in the style of the
-//! paper's reference [8] (Singh et al., theft detection in AMI networks) is
+//! paper's reference \[8\] (Singh et al., theft detection in AMI networks) is
 //! provided as a second, per-device signal.
 
 use rtem_net::packet::DeviceId;
@@ -111,7 +111,7 @@ impl Default for WindowVerifier {
     }
 }
 
-/// Per-device entropy-based theft detector (after the paper's reference [8]).
+/// Per-device entropy-based theft detector (after the paper's reference \[8\]).
 ///
 /// The detector maintains a histogram of each device's reported mean current
 /// and flags devices whose recent reporting distribution collapses (very low

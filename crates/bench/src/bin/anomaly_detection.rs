@@ -8,11 +8,11 @@
 //! cargo run -p rtem-bench --bin anomaly_detection
 //! ```
 
-use rtem_aggregator::aggregator::{Aggregator, AggregatorConfig};
-use rtem_net::packet::{AggregatorAddr, DeviceId, MeasurementRecord, Packet};
-use rtem_sensors::energy::Milliamps;
-use rtem_sim::rng::SimRng;
-use rtem_sim::time::SimTime;
+use rtem::aggregator::aggregator::{Aggregator, AggregatorConfig};
+use rtem::net::packet::{AggregatorAddr, DeviceId, MeasurementRecord, Packet};
+use rtem::sensors::energy::Milliamps;
+use rtem::sim::rng::SimRng;
+use rtem::sim::time::SimTime;
 
 fn run(under_report_fraction: f64, seed: u64) -> (u64, u64, bool) {
     let mut aggregator = Aggregator::new(

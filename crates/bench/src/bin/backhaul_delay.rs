@@ -8,11 +8,11 @@
 //! cargo run -p rtem-bench --bin backhaul_delay
 //! ```
 
-use rtem_net::backhaul::BackhaulMesh;
-use rtem_net::link::LinkConfig;
-use rtem_net::packet::{AggregatorAddr, DeviceId, MeasurementRecord, Packet};
-use rtem_sim::rng::SimRng;
-use rtem_sim::time::SimTime;
+use rtem::net::backhaul::BackhaulMesh;
+use rtem::net::link::LinkConfig;
+use rtem::net::packet::{AggregatorAddr, DeviceId, MeasurementRecord, Packet};
+use rtem::sim::rng::SimRng;
+use rtem::sim::time::SimTime;
 
 fn forwarded_packet() -> Packet {
     Packet::ForwardedConsumption {

@@ -6,29 +6,24 @@
 //! cargo run -p rtem-bench --bin fig5_decentralized_metering
 //! ```
 
+use rtem::prelude::*;
 use rtem_bench::format_fig5_row;
-use rtem_core::metrics::accuracy_windows;
-use rtem_core::scenario::ScenarioBuilder;
-use rtem_sim::time::{SimDuration, SimTime};
 
 fn main() {
-    let horizon = SimTime::from_secs(120);
-    let window = SimDuration::from_secs(10);
-    let mut world = ScenarioBuilder::paper_testbed(2020).build();
+    let spec = ScenarioSpec::paper_testbed(2020).with_horizon(SimDuration::from_secs(120));
     println!("# Figure 5 — decentralized metering vs aggregator measurement");
     println!("# testbed: 2 networks x 2 charging devices, Tmeasure = 100 ms, 10 s windows");
-    world.run_until(horizon);
+    let report = Experiment::new(spec)
+        .run()
+        .expect("the testbed spec is valid");
 
     let mut all_overheads = Vec::new();
     for n in 0..2u32 {
-        let addr = ScenarioBuilder::network_addr(n);
+        let addr = ScenarioSpec::network_addr(n);
         println!("\n## network {} ({addr})", n + 1);
-        for w in accuracy_windows(&world, addr, window, horizon) {
-            // Skip the registration transient and empty windows.
-            if w.index < 2 || w.devices_total_mas <= 0.0 {
-                continue;
-            }
-            println!("{}", format_fig5_row(&w));
+        let accuracy = report.network_accuracy(addr).expect("network simulated");
+        for w in accuracy.settled_windows() {
+            println!("{}", format_fig5_row(w));
             all_overheads.push(w.overhead_percent());
         }
     }

@@ -1,41 +1,64 @@
 //! Regenerates **Figure 6**: current consumption reported at Aggregator 1
 //! for a mobile device transiting from Network 1 to Network 2 — the local
 //! reporting phase, the idle transit gap, the Thandshake window with local
-//! buffering, and the backfilled data forwarded from Aggregator 2.
+//! buffering, and the backfilled data forwarded from Aggregator 2. The
+//! scenario is one scripted `ScenarioSpec`; the annotations come from a
+//! [`Probe`] attached to the streaming run.
 //!
 //! ```bash
 //! cargo run -p rtem-bench --bin fig6_mobility_trace
 //! ```
 
+use rtem::metrics::device_trace;
+use rtem::prelude::*;
 use rtem_bench::sparkline;
-use rtem_core::mobility::{run_mobility, MobilityConfig};
-use rtem_sim::time::{SimDuration, SimTime};
 
 fn main() {
-    let mut config = MobilityConfig::testbed(2020);
+    let mobile = ScenarioSpec::device_id(0, 0);
+    let home = ScenarioSpec::network_addr(0);
+    let destination = ScenarioSpec::network_addr(1);
     // The paper charges for an hour before the move; 90 s captures the same
     // shape while keeping the harness quick. Adjust freely.
-    config.unplug_at = SimTime::from_secs(90);
-    config.transit = SimDuration::from_secs(25);
-    config.settle = SimDuration::from_secs(90);
+    let unplug_at = SimTime::from_secs(90);
+    let replug_at = SimTime::from_secs(115); // 25 s transit
+    let spec = ScenarioSpec::paper_testbed(2020)
+        .with_horizon(SimDuration::from_secs(205)) // 90 s settle after re-plug
+        .unplug_at(unplug_at, mobile)
+        .plug_in_at(replug_at, mobile, destination);
 
     println!("# Figure 6 — mobile device transiting from Network 1 to Network 2");
     println!(
         "# device {} unplugs at t = {:.0} s, transit (idle) {:.0} s, Tmeasure = 100 ms",
-        config.mobile_device,
-        config.unplug_at.as_secs_f64(),
-        config.transit.as_secs_f64()
+        mobile,
+        unplug_at.as_secs_f64(),
+        replug_at.as_secs_f64() - unplug_at.as_secs_f64(),
     );
-    let outcome = run_mobility(&config);
+    let handle = Experiment::new(spec)
+        .start_probed(RecordingProbe::default())
+        .expect("the mobility spec is valid");
+    let (report, probe) = handle.finish_probed();
+
+    // The mobile device's temporary registration in the foreign network is
+    // its last completed handshake after the scripted re-plug.
+    let temporary_handshake = probe.events().iter().rev().find_map(|event| match event {
+        RunEvent::HandshakeCompleted {
+            at,
+            device,
+            breakdown,
+            ..
+        } if *device == mobile && *at > replug_at => Some((*at, *breakdown)),
+        _ => None,
+    });
+    let handshake_end = temporary_handshake
+        .map(|(at, _)| at.as_secs_f64())
+        .unwrap_or_else(|| replug_at.as_secs_f64());
 
     println!("\n## consumption of the device as seen by Aggregator 1 (home)");
     println!("time_s,current_ma,phase");
-    let view = outcome.home_view.as_ref().expect("home trace exists");
-    let reconnect = outcome.reconnected_at.as_secs_f64();
-    let handshake_end = reconnect + outcome.thandshake_secs().unwrap_or(0.0);
+    let view = device_trace(report.world(), home, mobile).expect("home trace exists");
     let mut series = Vec::new();
     for &(t, v) in &view.points {
-        let phase = if t < config.unplug_at.as_secs_f64() {
+        let phase = if t < unplug_at.as_secs_f64() {
             "home-network"
         } else if t < handshake_end {
             "idle/handshake"
@@ -47,16 +70,28 @@ fn main() {
     }
     println!("\n# sparkline: {}", sparkline(&series, 80));
 
-    println!("\n## annotations (paper's callouts)");
-    println!(
-        "device disconnected from Network 1 : t = {:.1} s",
-        outcome.disconnected_at.as_secs_f64()
-    );
-    println!(
-        "device connected to Network 2      : t = {:.1} s",
-        outcome.reconnected_at.as_secs_f64()
-    );
-    if let Some(handshake) = outcome.handshake {
+    println!("\n## annotations (paper's callouts, from the probe's event stream)");
+    if let Some(at) = probe.events().iter().find_map(|e| match e {
+        RunEvent::Unplugged { at, device } if *device == mobile => Some(*at),
+        _ => None,
+    }) {
+        println!(
+            "device disconnected from Network 1 : t = {:.1} s",
+            at.as_secs_f64()
+        );
+    }
+    if let Some(at) = probe.events().iter().find_map(|e| match e {
+        RunEvent::PluggedIn { at, device, .. } if *device == mobile && *at >= replug_at => {
+            Some(*at)
+        }
+        _ => None,
+    }) {
+        println!(
+            "device connected to Network 2      : t = {:.1} s",
+            at.as_secs_f64()
+        );
+    }
+    if let Some((_, handshake)) = temporary_handshake {
         println!(
             "Thandshake (temporary membership)  : {:.2} s  (scan {:.2} + assoc {:.2} + mqtt {:.2} + registration {:.2})",
             handshake.total().as_secs_f64(),
@@ -66,10 +101,11 @@ fn main() {
             handshake.registration.as_secs_f64(),
         );
     }
+    let bill = report.bill(mobile).expect("the device was billed at home");
     println!(
         "device data received from Network 2: {} backfilled records, {:.1} mA·s roamed charge",
-        outcome.backfilled_records,
-        outcome.roaming_charge_uas as f64 / 1000.0
+        bill.backfilled_records,
+        bill.roaming_charge_uas as f64 / 1000.0
     );
     println!(
         "# paper: Thandshake ≈ 6 s average (5.5–6.5 s over 15 runs); idle span is never billed"

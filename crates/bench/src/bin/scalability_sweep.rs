@@ -1,37 +1,53 @@
 //! Scalability of one aggregator: the paper notes that "with limited
 //! time-slots for communication, the number of devices connected to an
 //! aggregator is also limited" (§II-A). This harness sweeps the device count
-//! against the TDMA slot budget and reports how many register, how many
-//! reports flow, and the wall-clock cost of simulating the network.
+//! against the TDMA slot budget as a parallel [`Suite`] and reports how many
+//! register, how many reports flow, and the wall-clock cost of each cell.
 //!
 //! ```bash
 //! cargo run -p rtem-bench --bin scalability_sweep
 //! ```
 
-use rtem_core::scenario::{DeviceLoad, ScenarioBuilder};
-use rtem_sim::time::SimTime;
-use std::time::Instant;
+use rtem::prelude::*;
 
 fn main() {
+    let base = ScenarioSpec::single_network(2, 777)
+        .with_load(DeviceLoad::ReportingOnly)
+        .with_horizon(SimDuration::from_secs(30));
+    // One worker on purpose: the wall_ms column measures the serial cost of
+    // simulating each network size, which concurrent cells on the same
+    // machine would contaminate. The parallel pool is exercised by the
+    // other sweep bins and the suite_sweep example.
+    let suite = Suite::new(base)
+        .over_devices_per_network([2, 4, 8, 10, 12, 16, 32])
+        .with_threads(1);
+
     println!("# Devices contending for one aggregator with 10 reporting slots");
     println!("devices,registered,reports_accepted,ledger_entries,sim_seconds,wall_ms");
-    for &devices in &[2u32, 4, 8, 10, 12, 16, 32] {
-        let started = Instant::now();
-        let mut world = ScenarioBuilder::single_network(devices, 777)
-            .with_load(DeviceLoad::ReportingOnly)
-            .build();
-        let horizon = SimTime::from_secs(30);
-        world.run_until(horizon);
-        let wall_ms = started.elapsed().as_millis();
-        let addr = ScenarioBuilder::network_addr(0);
-        let aggregator = world.aggregator(addr).expect("network exists");
+    let report = suite.run().expect("sweep specs are valid");
+    let addr = ScenarioSpec::network_addr(0);
+    for cell in &report.cells {
+        let network = cell
+            .report
+            .metrics
+            .network(addr)
+            .expect("network simulated");
         println!(
-            "{devices},{},{},{},{},{wall_ms}",
-            aggregator.registry().len(),
-            aggregator.reports_accepted(),
-            aggregator.ledger().chain().total_records(),
-            horizon.as_secs_f64(),
+            "{},{},{},{},{},{}",
+            cell.key.devices_per_network,
+            network.members,
+            network.reports_accepted,
+            network.ledger_entries,
+            cell.spec.horizon.as_secs_f64(),
+            cell.wall.as_millis(),
         );
     }
-    println!("\n# registered saturates at the slot budget (10); excess devices are rejected");
+    println!(
+        "\n# {} cells on {} worker threads in {} ms total (cell p95 {:.0} ms)",
+        report.cells.len(),
+        report.threads_used,
+        report.wall.as_millis(),
+        report.aggregates.cell_runtime_s.p95 * 1000.0,
+    );
+    println!("# registered saturates at the slot budget (10); excess devices are rejected");
 }

@@ -6,9 +6,9 @@
 //! cargo run -p rtem-bench --bin tamper_audit
 //! ```
 
-use rtem_chain::audit::{audit_chain, FindingKind};
-use rtem_chain::chain::HashChain;
-use rtem_sim::rng::SimRng;
+use rtem::chain::audit::{audit_chain, FindingKind};
+use rtem::chain::chain::HashChain;
+use rtem::sim::rng::SimRng;
 
 fn build_chain(blocks: usize, records_per_block: usize) -> HashChain {
     let mut chain = HashChain::new(1, 0);

@@ -13,10 +13,10 @@
 //!   tests) so no external crypto dependency is needed.
 //! * [`merkle`] — per-block Merkle commitment and inclusion proofs.
 //! * [`block`] — block headers, sealing and fault injection for experiments.
-//! * [`chain`] — the permissioned append-only [`HashChain`](chain::HashChain).
-//! * [`ledger`] — the typed [`MeteringLedger`](ledger::MeteringLedger) with
+//! * [`chain`] — the permissioned append-only [`HashChain`].
+//! * [`ledger`] — the typed [`MeteringLedger`] with
 //!   per-device accounts.
-//! * [`audit`] — tamper localization ([`audit_chain`](audit::audit_chain)).
+//! * [`audit`] — tamper localization ([`audit_chain`]).
 //!
 //! # Examples
 //!

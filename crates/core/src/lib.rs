@@ -11,7 +11,7 @@
 //! hash chain. This crate assembles the substrate crates into that
 //! architecture and provides the experiment harnesses:
 //!
-//! * [`simulation`] — the [`World`](simulation::World): devices, aggregators,
+//! * [`simulation`] — the [`World`]: devices, aggregators,
 //!   grids, MQTT broker and backhaul driven by simulated time (the
 //!   replacement for the paper's hardware testbed).
 //! * [`scenario`] — builders for the paper's testbed topology and variants.

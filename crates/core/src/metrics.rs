@@ -48,14 +48,27 @@ pub fn accuracy_windows(
     window: SimDuration,
     horizon: SimTime,
 ) -> Vec<AccuracyWindow> {
+    accuracy_windows_from(world, network, window, 0, horizon)
+}
+
+/// Like [`accuracy_windows`], but starting at window index `first_index` —
+/// the building block for callers that extend a cached prefix incrementally
+/// instead of recomputing the whole history (e.g. live progress snapshots).
+pub fn accuracy_windows_from(
+    world: &World,
+    network: AggregatorAddr,
+    window: SimDuration,
+    first_index: usize,
+    horizon: SimTime,
+) -> Vec<AccuracyWindow> {
     let Some(aggregator) = world.aggregator(network) else {
         return Vec::new();
     };
     let entries = aggregator.ledger().all_entries();
     let series = aggregator.network_series();
     let mut windows = Vec::new();
-    let mut start = SimTime::ZERO;
-    let mut index = 0;
+    let mut start = SimTime::ZERO + window * first_index as u64;
+    let mut index = first_index;
     while start + window <= horizon {
         let end = start + window;
         let mut per_device: BTreeMap<u64, f64> = BTreeMap::new();

@@ -16,6 +16,20 @@ use rtem_sensors::ina219::Ina219Config;
 use rtem_sensors::profile::{ChargingProfile, CompositeProfile, WifiBurstProfile};
 use rtem_sim::prelude::*;
 
+/// Distance between neighbouring networks, in metres.
+///
+/// Every generated world places the `i`-th network at
+/// `(NETWORK_SPACING_M * i, 0)`; the facade appends its initially-empty
+/// networks on the same line so scripted mobility crosses identical
+/// distances no matter where a network came from.
+pub const NETWORK_SPACING_M: f64 = 200.0;
+
+/// Number of device ids reserved per network by
+/// [`ScenarioBuilder::device_id`]: the `j`-th device of the `i`-th network
+/// gets id `i * DEVICE_ID_BLOCK + j + 1`, so more than `DEVICE_ID_BLOCK`
+/// devices in one network would collide with the next network's block.
+pub const DEVICE_ID_BLOCK: u32 = 100;
+
 /// Which load is attached to each generated device.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DeviceLoad {
@@ -108,7 +122,7 @@ impl ScenarioBuilder {
 
     /// Id of the `j`-th device of the `i`-th network.
     pub fn device_id(network: u32, j: u32) -> DeviceId {
-        DeviceId(u64::from(network) * 100 + u64::from(j) + 1)
+        DeviceId(u64::from(network) * u64::from(DEVICE_ID_BLOCK) + u64::from(j) + 1)
     }
 
     fn build_load(&self, rng: &SimRng, stream: u64) -> CompositeProfile {
@@ -126,14 +140,14 @@ impl ScenarioBuilder {
         }
     }
 
-    /// Builds the world: networks placed 200 m apart, every device plugged
-    /// into its home network at t = 0.
+    /// Builds the world: networks placed [`NETWORK_SPACING_M`] apart, every
+    /// device plugged into its home network at t = 0.
     pub fn build(&self) -> World {
         let mut world = World::new(self.world.clone());
         let rng = SimRng::seed_from_u64(self.world.seed ^ 0x5CEA_A210);
         for n in 0..self.networks {
             let addr = Self::network_addr(n);
-            world.add_network(addr, Position::new(200.0 * f64::from(n), 0.0));
+            world.add_network(addr, Position::new(NETWORK_SPACING_M * f64::from(n), 0.0));
         }
         for n in 0..self.networks {
             let addr = Self::network_addr(n);

@@ -9,7 +9,9 @@
 
 use crate::metrics::WorldMetrics;
 use rtem_aggregator::aggregator::{Aggregator, AggregatorConfig};
+use rtem_aggregator::verify::WindowVerdict;
 use rtem_device::device::MeteringDevice;
+use rtem_device::network_mgmt::HandshakeBreakdown;
 use rtem_net::backhaul::BackhaulMesh;
 use rtem_net::broker::{ClientId, MqttBroker, QoS};
 use rtem_net::link::LinkConfig;
@@ -44,6 +46,79 @@ enum WorldEvent {
         device: DeviceId,
         home: AggregatorAddr,
     },
+}
+
+/// Observable milestone emitted while the world advances.
+///
+/// [`World`] buffers one of these at each hook point of the event loop —
+/// a sealed verification-window block, an anomalous window verdict, a
+/// completed registration handshake, a plug-in or an unplug. Callers that
+/// stream a run (the facade's `RunHandle`) drain the buffer between steps
+/// with [`World::take_notifications`] and fan the entries out to observers;
+/// batch callers can ignore them entirely.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorldNotification {
+    /// An aggregator closed a verification window and sealed a block.
+    BlockSealed {
+        /// When the block was sealed.
+        at: SimTime,
+        /// The network whose ledger grew.
+        network: AggregatorAddr,
+        /// Index of the sealed block in the chain (genesis is 0).
+        block_index: u64,
+        /// Number of consumption records committed in the block.
+        entries: usize,
+    },
+    /// A verification window closed with an anomalous verdict: the devices'
+    /// reported sum disagreed with the aggregator's own measurement.
+    AnomalousWindow {
+        /// When the window closed.
+        at: SimTime,
+        /// The network that flagged the window.
+        network: AggregatorAddr,
+        /// The full verdict (reported vs measured, residual).
+        verdict: WindowVerdict,
+    },
+    /// A device completed a registration handshake (master or temporary).
+    HandshakeCompleted {
+        /// When the final acknowledgment arrived.
+        at: SimTime,
+        /// The device that registered.
+        device: DeviceId,
+        /// The aggregator now serving the device, if registration settled.
+        network: Option<AggregatorAddr>,
+        /// Per-phase timing of the handshake (the paper's Thandshake).
+        breakdown: HandshakeBreakdown,
+    },
+    /// A device was plugged into a network's grid.
+    PluggedIn {
+        /// When the plug-in happened.
+        at: SimTime,
+        /// The device.
+        device: DeviceId,
+        /// The network it joined.
+        network: AggregatorAddr,
+    },
+    /// A device was unplugged from its network's grid.
+    Unplugged {
+        /// When the unplug happened.
+        at: SimTime,
+        /// The device.
+        device: DeviceId,
+    },
+}
+
+impl WorldNotification {
+    /// The simulated time at which the milestone occurred.
+    pub fn at(&self) -> SimTime {
+        match *self {
+            WorldNotification::BlockSealed { at, .. }
+            | WorldNotification::AnomalousWindow { at, .. }
+            | WorldNotification::HandshakeCompleted { at, .. }
+            | WorldNotification::PluggedIn { at, .. }
+            | WorldNotification::Unplugged { at, .. } => at,
+        }
+    }
 }
 
 /// Static parameters of the world.
@@ -95,6 +170,7 @@ pub struct World {
     backhaul: BackhaulMesh,
     radio: RadioEnvironment,
     rng: SimRng,
+    notifications: Vec<WorldNotification>,
 }
 
 impl core::fmt::Debug for World {
@@ -138,7 +214,16 @@ impl World {
             radio: RadioEnvironment::new(PathLossModel::default()),
             rng,
             config,
+            notifications: Vec::new(),
         }
+    }
+
+    /// Drains the milestone notifications buffered since the last call (or
+    /// since construction). Entries are in dispatch order, which is
+    /// deterministic for a given seed regardless of how `run_until` calls
+    /// are sliced.
+    pub fn take_notifications(&mut self) -> Vec<WorldNotification> {
+        std::mem::take(&mut self.notifications)
     }
 
     /// Current simulated time.
@@ -257,7 +342,25 @@ impl World {
             }
             WorldEvent::WindowEnd(addr) => {
                 if let Some(site) = self.sites.get_mut(&addr) {
-                    site.aggregator.end_window(now);
+                    let blocks_before = site.aggregator.ledger().chain().len();
+                    let entries_before = site.aggregator.ledger().chain().total_records();
+                    let verdict = site.aggregator.end_window(now);
+                    let chain = site.aggregator.ledger().chain();
+                    if chain.len() > blocks_before {
+                        self.notifications.push(WorldNotification::BlockSealed {
+                            at: now,
+                            network: addr,
+                            block_index: chain.len() as u64 - 1,
+                            entries: chain.total_records() - entries_before,
+                        });
+                    }
+                    if let Some(verdict) = verdict.filter(|v| v.anomalous) {
+                        self.notifications.push(WorldNotification::AnomalousWindow {
+                            at: now,
+                            network: addr,
+                            verdict,
+                        });
+                    }
                 }
                 self.scheduler.schedule(
                     now + self.config.verification_window,
@@ -281,13 +384,41 @@ impl World {
         }
     }
 
+    /// Emits a [`WorldNotification::HandshakeCompleted`] when the device's
+    /// most recent handshake changed across a state transition.
+    fn note_handshake(
+        &mut self,
+        device_id: DeviceId,
+        before: Option<HandshakeBreakdown>,
+        now: SimTime,
+    ) {
+        let Some(device) = self.devices.get(&device_id) else {
+            return;
+        };
+        let after = device.last_handshake();
+        if after != before {
+            if let Some(breakdown) = after {
+                let network = device.registration().map(|(addr, _, _)| addr);
+                self.notifications
+                    .push(WorldNotification::HandshakeCompleted {
+                        at: now,
+                        device: device_id,
+                        network,
+                        breakdown,
+                    });
+            }
+        }
+    }
+
     fn handle_measure_tick(&mut self, device_id: DeviceId, now: SimTime) {
-        let outbound = {
+        let (outbound, handshake_before) = {
             let Some(device) = self.devices.get_mut(&device_id) else {
                 return;
             };
-            device.on_measure_tick(now, &self.radio)
+            let before = device.last_handshake();
+            (device.on_measure_tick(now, &self.radio), before)
         };
+        self.note_handshake(device_id, handshake_before, now);
         for out in outbound {
             self.publish_uplink(device_id, out.to, out.packet, now);
         }
@@ -335,6 +466,11 @@ impl World {
         self.device_sites.insert(device_id, (network, branch));
         let device = self.devices.get_mut(&device_id).expect("device exists");
         device.plug_in(now, branch, position);
+        self.notifications.push(WorldNotification::PluggedIn {
+            at: now,
+            device: device_id,
+            network,
+        });
     }
 
     fn do_unplug(&mut self, device_id: DeviceId, now: SimTime) {
@@ -345,6 +481,10 @@ impl World {
         }
         if let Some(device) = self.devices.get_mut(&device_id) {
             device.unplug(now);
+            self.notifications.push(WorldNotification::Unplugged {
+                at: now,
+                device: device_id,
+            });
         }
     }
 
@@ -418,10 +558,12 @@ impl World {
                 .iter()
                 .find(|(_, &client)| client == delivery.to)
             {
-                let outbound = {
+                let (outbound, handshake_before) = {
                     let device = self.devices.get_mut(&device_id).expect("device exists");
-                    device.on_packet(&packet, now)
+                    let before = device.last_handshake();
+                    (device.on_packet(&packet, now), before)
                 };
+                self.note_handshake(device_id, handshake_before, now);
                 for out in outbound {
                     self.publish_uplink(device_id, out.to, out.packet, now);
                 }
@@ -584,6 +726,56 @@ mod tests {
         let agg = world.aggregator(AggregatorAddr(1)).unwrap();
         assert!(!agg.registry().is_member(DeviceId(2)));
         assert!(!world.device(DeviceId(2)).unwrap().is_registered());
+    }
+
+    #[test]
+    fn notifications_cover_every_hook_point() {
+        let mut world = two_network_world();
+        world.schedule_unplug(SimTime::from_secs(30), DeviceId(1));
+        world.schedule_plug_in(SimTime::from_secs(50), DeviceId(1), AggregatorAddr(2));
+        world.run_until(SimTime::from_secs(90));
+        let notifications = world.take_notifications();
+        let count =
+            |f: fn(&WorldNotification) -> bool| notifications.iter().filter(|n| f(n)).count();
+        assert!(
+            count(|n| matches!(n, WorldNotification::BlockSealed { .. })) > 2,
+            "blocks sealed"
+        );
+        // Two initial registrations plus the temporary one after the move.
+        assert!(
+            count(|n| matches!(n, WorldNotification::HandshakeCompleted { .. })) >= 3,
+            "handshakes observed"
+        );
+        assert_eq!(
+            count(|n| matches!(n, WorldNotification::PluggedIn { .. })),
+            3,
+            "two initial plug-ins plus the scripted one"
+        );
+        assert_eq!(
+            count(|n| matches!(n, WorldNotification::Unplugged { .. })),
+            1
+        );
+        // Times are monotone (dispatch order) and the buffer is drained.
+        assert!(notifications.windows(2).all(|w| w[0].at() <= w[1].at()));
+        assert!(world.take_notifications().is_empty());
+    }
+
+    #[test]
+    fn sliced_run_until_matches_one_shot() {
+        let mut a = two_network_world();
+        a.run_until(SimTime::from_secs(40));
+        let mut b = two_network_world();
+        let mut t = SimTime::ZERO;
+        while t < SimTime::from_secs(40) {
+            t += SimDuration::from_millis(3_700);
+            b.run_until(t.min(SimTime::from_secs(40)));
+        }
+        assert_eq!(
+            a.metrics(),
+            b.metrics(),
+            "stepping must not perturb the run"
+        );
+        assert_eq!(a.take_notifications(), b.take_notifications());
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //!   including the Thandshake phase timing.
 //! * [`data_layer`] — bounded store-and-forward buffer with integrity digest.
 //! * [`application`] — billing estimate, demand prediction, remote management.
-//! * [`device`] — [`MeteringDevice`](device::MeteringDevice), the composition
+//! * [`device`] — [`MeteringDevice`], the composition
 //!   driven by the simulation.
 //!
 //! # Examples

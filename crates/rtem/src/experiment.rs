@@ -1,9 +1,12 @@
 //! The [`Experiment`] runner: spec in, [`RunReport`] out.
 
+use crate::probe::{NullProbe, Probe};
 use crate::report::{BillLine, LedgerSummary, NetworkAccuracy, RunReport};
+use crate::runner::RunHandle;
 use crate::spec::{ScenarioSpec, ScriptEvent, SpecError};
 use rtem_chain::audit::audit_chain;
 use rtem_core::metrics::{accuracy_windows, WorldMetrics};
+use rtem_core::scenario::NETWORK_SPACING_M;
 use rtem_core::simulation::World;
 use rtem_sim::time::SimTime;
 
@@ -41,12 +44,12 @@ impl Experiment {
     pub fn build_world(&self) -> Result<World, SpecError> {
         self.spec.validate()?;
         let mut world = self.spec.to_builder().build();
-        // Networks the spec declares as initially empty: same 200 m spacing
-        // as the populated ones, appended after them.
+        // Networks the spec declares as initially empty: same spacing as the
+        // populated ones, appended after them.
         for i in self.spec.networks..self.spec.networks + self.spec.empty_networks {
             world.add_network(
                 ScenarioSpec::network_addr(i),
-                rtem_net::rssi::Position::new(200.0 * f64::from(i), 0.0),
+                rtem_net::rssi::Position::new(NETWORK_SPACING_M * f64::from(i), 0.0),
             );
         }
         for event in &self.spec.script {
@@ -69,17 +72,29 @@ impl Experiment {
         Ok(world)
     }
 
+    /// Builds the world and returns a [`RunHandle`] that advances it
+    /// incrementally — the streaming counterpart of [`run`](Experiment::run).
+    pub fn start(self) -> Result<RunHandle, SpecError> {
+        self.start_probed(NullProbe)
+    }
+
+    /// Like [`start`](Experiment::start), but attaches a
+    /// [`Probe`] that receives a callback for every
+    /// milestone (sealed block, handshake, plug/unplug, anomaly) as the run
+    /// advances.
+    pub fn start_probed<P: Probe>(self, probe: P) -> Result<RunHandle<P>, SpecError> {
+        let world = self.build_world()?;
+        Ok(RunHandle::new(self.spec, world, probe))
+    }
+
     /// Builds the world, runs it to the spec's horizon and collects the
-    /// report.
+    /// report. Equivalent to `start()?.finish()`.
     pub fn run(self) -> Result<RunReport, SpecError> {
-        let mut world = self.build_world()?;
-        let horizon = SimTime::ZERO + self.spec.horizon;
-        world.run_until(horizon);
-        Ok(collect_report(&self.spec, world, horizon))
+        Ok(self.start()?.finish())
     }
 }
 
-fn collect_report(spec: &ScenarioSpec, world: World, horizon: SimTime) -> RunReport {
+pub(crate) fn collect_report(spec: &ScenarioSpec, world: World, horizon: SimTime) -> RunReport {
     let metrics = WorldMetrics::collect(&world);
     let handshakes = metrics.handshake_stats();
 

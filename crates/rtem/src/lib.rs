@@ -12,6 +12,17 @@
 //!   scripted topology changes in one validated value.
 //! * [`experiment`] — the [`Experiment`](experiment::Experiment) runner that
 //!   owns the build → run → collect loop.
+//! * [`runner`] — the [`RunHandle`](runner::RunHandle) returned by
+//!   [`Experiment::start`](experiment::Experiment::start): incremental
+//!   stepping (`step_window` / `run_to`), live
+//!   [`progress`](runner::RunHandle::progress) snapshots and observer
+//!   dispatch while the world advances.
+//! * [`probe`] — the [`Probe`](probe::Probe) observer trait (callbacks on
+//!   sealed block, handshake completion, plug/unplug, anomaly) and the
+//!   ready-made [`RecordingProbe`](probe::RecordingProbe).
+//! * [`suite`] — the [`Suite`](suite::Suite): declarative sweeps (axes over
+//!   seeds, devices, links, sensors) executed on a thread pool into a
+//!   [`SuiteReport`](suite::SuiteReport) with cross-cell aggregates.
 //! * [`report`] — the [`RunReport`](report::RunReport) bundling world
 //!   metrics, Fig. 5 accuracy windows, Thandshake statistics, ledger audit
 //!   summaries and consolidated bills.
@@ -34,8 +45,11 @@
 #![warn(missing_docs)]
 
 pub mod experiment;
+pub mod probe;
 pub mod report;
+pub mod runner;
 pub mod spec;
+pub mod suite;
 
 // Stable module paths into the composed architecture (rtem-core).
 pub use rtem_core::{centralized, consensus, loadbalance, metrics, mobility, scenario, simulation};
@@ -56,8 +70,13 @@ pub use rtem_sim as sim;
 /// (`rtem::chain`, `rtem::net`, …).
 pub mod prelude {
     pub use crate::experiment::Experiment;
+    pub use crate::probe::{NullProbe, Probe, RecordingProbe, RunEvent};
     pub use crate::report::{BillLine, LedgerSummary, NetworkAccuracy, RunReport};
+    pub use crate::runner::{NetworkProgress, RunHandle, RunProgress};
     pub use crate::spec::{ScenarioSpec, ScriptEvent, SpecError};
+    pub use crate::suite::{
+        AggregateStats, CellKey, Suite, SuiteAggregates, SuiteCell, SuiteReport,
+    };
     pub use rtem_core::metrics::{
         AccuracyWindow, DeviceTrace, HandshakeStats, NetworkSummary, WorldMetrics,
     };

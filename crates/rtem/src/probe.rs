@@ -1,0 +1,202 @@
+//! Observers for streaming runs.
+//!
+//! A [`Probe`] receives a callback for every milestone the world emits while
+//! a [`RunHandle`](crate::runner::RunHandle) advances it: sealed blocks,
+//! anomalous verification windows, completed handshakes, plug-ins and
+//! unplugs. Attach one with
+//! [`Experiment::start_probed`](crate::experiment::Experiment::start_probed):
+//!
+//! ```
+//! use rtem::prelude::*;
+//!
+//! let spec = ScenarioSpec::paper_testbed(42).with_horizon(SimDuration::from_secs(30));
+//! let handle = Experiment::new(spec).start_probed(RecordingProbe::default()).unwrap();
+//! let (report, probe) = handle.finish_probed();
+//! assert!(probe.blocks_sealed() > 0);
+//! assert!(probe.handshakes_completed() > 0);
+//! assert!(report.all_ledgers_clean());
+//! ```
+//!
+//! Every hook has a no-op default, so an implementation only overrides what
+//! it cares about. For full-stream consumers, overriding [`Probe::on_event`]
+//! alone sees everything.
+
+use rtem_aggregator::verify::WindowVerdict;
+use rtem_core::simulation::WorldNotification;
+use rtem_device::network_mgmt::HandshakeBreakdown;
+use rtem_net::packet::{AggregatorAddr, DeviceId};
+use rtem_sim::time::SimTime;
+
+/// One milestone observed during a run.
+///
+/// This is the world-level notification re-exported under the facade's
+/// vocabulary; see [`WorldNotification`] for the variants.
+pub type RunEvent = WorldNotification;
+
+/// Observer of a streaming run.
+///
+/// All methods default to no-ops. [`on_event`](Probe::on_event) is called
+/// once per milestone in deterministic dispatch order and fans out to the
+/// typed hooks; override it to intercept the full stream, or override the
+/// typed hooks for just the milestones of interest.
+pub trait Probe {
+    /// Called for every milestone, in order. The default implementation
+    /// dispatches to the typed hooks below.
+    fn on_event(&mut self, event: &RunEvent) {
+        match event {
+            RunEvent::BlockSealed {
+                at,
+                network,
+                block_index,
+                entries,
+            } => self.on_block_sealed(*at, *network, *block_index, *entries),
+            RunEvent::AnomalousWindow {
+                at,
+                network,
+                verdict,
+            } => self.on_anomaly(*at, *network, verdict),
+            RunEvent::HandshakeCompleted {
+                at,
+                device,
+                network,
+                breakdown,
+            } => self.on_handshake(*at, *device, *network, breakdown),
+            RunEvent::PluggedIn {
+                at,
+                device,
+                network,
+            } => self.on_plug_in(*at, *device, *network),
+            RunEvent::Unplugged { at, device } => self.on_unplug(*at, *device),
+        }
+    }
+
+    /// An aggregator sealed a verification-window block.
+    fn on_block_sealed(
+        &mut self,
+        at: SimTime,
+        network: AggregatorAddr,
+        block_index: u64,
+        entries: usize,
+    ) {
+        let _ = (at, network, block_index, entries);
+    }
+
+    /// A verification window closed with an anomalous verdict.
+    fn on_anomaly(&mut self, at: SimTime, network: AggregatorAddr, verdict: &WindowVerdict) {
+        let _ = (at, network, verdict);
+    }
+
+    /// A device completed a registration handshake.
+    fn on_handshake(
+        &mut self,
+        at: SimTime,
+        device: DeviceId,
+        network: Option<AggregatorAddr>,
+        breakdown: &HandshakeBreakdown,
+    ) {
+        let _ = (at, device, network, breakdown);
+    }
+
+    /// A device was plugged into a network's grid.
+    fn on_plug_in(&mut self, at: SimTime, device: DeviceId, network: AggregatorAddr) {
+        let _ = (at, device, network);
+    }
+
+    /// A device was unplugged.
+    fn on_unplug(&mut self, at: SimTime, device: DeviceId) {
+        let _ = (at, device);
+    }
+}
+
+/// The do-nothing observer used by unprobed runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullProbe;
+
+impl Probe for NullProbe {}
+
+/// A probe that records every event it sees, for inspection after the run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RecordingProbe {
+    events: Vec<RunEvent>,
+}
+
+impl RecordingProbe {
+    /// Every recorded event, in dispatch order.
+    pub fn events(&self) -> &[RunEvent] {
+        &self.events
+    }
+
+    /// Number of blocks sealed across all networks.
+    pub fn blocks_sealed(&self) -> usize {
+        self.count(|e| matches!(e, RunEvent::BlockSealed { .. }))
+    }
+
+    /// Number of completed registration handshakes.
+    pub fn handshakes_completed(&self) -> usize {
+        self.count(|e| matches!(e, RunEvent::HandshakeCompleted { .. }))
+    }
+
+    /// Number of anomalous verification windows.
+    pub fn anomalies(&self) -> usize {
+        self.count(|e| matches!(e, RunEvent::AnomalousWindow { .. }))
+    }
+
+    /// Number of plug-in events (the initial build-time plug-ins included).
+    pub fn plug_ins(&self) -> usize {
+        self.count(|e| matches!(e, RunEvent::PluggedIn { .. }))
+    }
+
+    /// Number of unplug events.
+    pub fn unplugs(&self) -> usize {
+        self.count(|e| matches!(e, RunEvent::Unplugged { .. }))
+    }
+
+    fn count(&self, f: impl Fn(&RunEvent) -> bool) -> usize {
+        self.events.iter().filter(|e| f(e)).count()
+    }
+}
+
+impl Probe for RecordingProbe {
+    fn on_event(&mut self, event: &RunEvent) {
+        self.events.push(event.clone());
+    }
+}
+
+impl<P: Probe + ?Sized> Probe for &mut P {
+    fn on_event(&mut self, event: &RunEvent) {
+        (**self).on_event(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtem_sim::time::SimTime;
+
+    #[test]
+    fn recording_probe_counts_by_kind() {
+        let mut probe = RecordingProbe::default();
+        probe.on_event(&RunEvent::Unplugged {
+            at: SimTime::from_secs(1),
+            device: DeviceId(1),
+        });
+        probe.on_event(&RunEvent::PluggedIn {
+            at: SimTime::from_secs(2),
+            device: DeviceId(1),
+            network: AggregatorAddr(1),
+        });
+        assert_eq!(probe.events().len(), 2);
+        assert_eq!(probe.unplugs(), 1);
+        assert_eq!(probe.plug_ins(), 1);
+        assert_eq!(probe.blocks_sealed(), 0);
+    }
+
+    #[test]
+    fn default_hooks_are_no_ops() {
+        let mut null = NullProbe;
+        null.on_event(&RunEvent::Unplugged {
+            at: SimTime::ZERO,
+            device: DeviceId(9),
+        });
+    }
+}

@@ -142,4 +142,27 @@ impl RunReport {
     pub fn all_ledgers_clean(&self) -> bool {
         self.ledgers.iter().all(|l| l.audit_clean)
     }
+
+    /// Blocks sealed across all networks (genesis blocks excluded).
+    pub fn sealed_blocks(&self) -> usize {
+        self.ledgers
+            .iter()
+            .map(|l| l.blocks.saturating_sub(1))
+            .sum()
+    }
+
+    /// Mean aggregator-over-devices overhead across every settled window of
+    /// every network — the single-number Fig. 5 summary sweeps aggregate.
+    pub fn mean_overhead_percent(&self) -> Option<f64> {
+        let overheads: Vec<f64> = self
+            .accuracy
+            .iter()
+            .flat_map(|a| a.settled_windows().map(|w| w.overhead_percent()))
+            .collect();
+        if overheads.is_empty() {
+            None
+        } else {
+            Some(overheads.iter().sum::<f64>() / overheads.len() as f64)
+        }
+    }
 }

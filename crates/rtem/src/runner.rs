@@ -1,0 +1,331 @@
+//! Incremental execution of one experiment: the [`RunHandle`].
+//!
+//! [`Experiment::run`](crate::experiment::Experiment::run) is batch-only —
+//! the world runs to the horizon and you get one terminal
+//! [`RunReport`]. A handle obtained from
+//! [`Experiment::start`](crate::experiment::Experiment::start) instead
+//! advances the same world in caller-chosen slices, exposing live
+//! [`progress`](RunHandle::progress) snapshots between steps and
+//! dispatching every milestone to an attached
+//! [`Probe`]. Stepping granularity never changes the
+//! outcome: the event stream is identical however the run is sliced.
+//!
+//! ```
+//! use rtem::prelude::*;
+//!
+//! let spec = ScenarioSpec::paper_testbed(42).with_horizon(SimDuration::from_secs(30));
+//! let mut handle = Experiment::new(spec).start().unwrap();
+//! while !handle.is_finished() {
+//!     handle.step_window();
+//!     let progress = handle.progress();
+//!     assert!(progress.fraction <= 1.0);
+//! }
+//! let report = handle.finish();
+//! assert!(report.all_ledgers_clean());
+//! ```
+
+use crate::experiment::collect_report;
+use crate::probe::{NullProbe, Probe};
+use crate::report::RunReport;
+use crate::spec::ScenarioSpec;
+use rtem_core::metrics::accuracy_windows_from;
+use rtem_core::simulation::World;
+use rtem_net::packet::AggregatorAddr;
+use rtem_sim::time::{SimDuration, SimTime};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+
+/// A live, incrementally-advanced experiment run.
+///
+/// Created by [`Experiment::start`](crate::experiment::Experiment::start)
+/// (no observer) or
+/// [`Experiment::start_probed`](crate::experiment::Experiment::start_probed)
+/// (with one). The handle owns the world; advance it with
+/// [`step_window`](Self::step_window), [`step`](Self::step) or
+/// [`run_to`](Self::run_to), then [`finish`](Self::finish) to collect the
+/// final report.
+#[derive(Debug)]
+pub struct RunHandle<P: Probe = NullProbe> {
+    spec: ScenarioSpec,
+    world: World,
+    horizon: SimTime,
+    position: SimTime,
+    probe: P,
+    // Running Fig. 5 accuracy per network, extended incrementally so
+    // repeated progress() polls stay O(new windows) instead of recomputing
+    // the whole window history every call.
+    running_accuracy: RefCell<BTreeMap<AggregatorAddr, RunningAccuracy>>,
+}
+
+/// Incrementally-maintained settled-window overhead of one network.
+#[derive(Debug, Clone, Copy, Default)]
+struct RunningAccuracy {
+    windows_done: usize,
+    overhead_sum: f64,
+    settled: usize,
+}
+
+/// Live snapshot of a run's progress, from [`RunHandle::progress`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunProgress {
+    /// How far the run has been advanced.
+    pub position: SimTime,
+    /// The spec's horizon.
+    pub horizon: SimTime,
+    /// `position / horizon`, in `[0, 1]`.
+    pub fraction: f64,
+    /// Blocks sealed so far across all networks (genesis excluded).
+    pub sealed_blocks: usize,
+    /// Devices that have completed at least one registration handshake.
+    pub completed_handshakes: usize,
+    /// Devices currently plugged in but not yet registered — handshakes in
+    /// flight.
+    pub handshakes_in_flight: usize,
+    /// Per-network running state.
+    pub networks: Vec<NetworkProgress>,
+}
+
+/// Per-network slice of a [`RunProgress`] snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkProgress {
+    /// The network.
+    pub network: AggregatorAddr,
+    /// Devices currently registered (master + temporary).
+    pub members: usize,
+    /// Blocks in the network's ledger (genesis included).
+    pub blocks: usize,
+    /// Consumption reports accepted so far.
+    pub reports_accepted: u64,
+    /// Mean aggregator-over-devices overhead across the settled verification
+    /// windows seen so far (the paper's Fig. 5 running accuracy), if any
+    /// window has settled yet.
+    ///
+    /// Computed incrementally: each window is accounted once, when it
+    /// completes. Records backfilled *after* a window completed appear in
+    /// the final report's windows but not retroactively in this live gauge.
+    pub running_overhead_percent: Option<f64>,
+}
+
+impl<P: Probe> RunHandle<P> {
+    pub(crate) fn new(spec: ScenarioSpec, world: World, probe: P) -> RunHandle<P> {
+        let horizon = SimTime::ZERO + spec.horizon;
+        let mut handle = RunHandle {
+            spec,
+            world,
+            horizon,
+            position: SimTime::ZERO,
+            probe,
+            running_accuracy: RefCell::new(BTreeMap::new()),
+        };
+        // Build-time milestones (the initial plug-ins) are already buffered.
+        handle.pump();
+        handle
+    }
+
+    /// The spec being run.
+    pub fn spec(&self) -> &ScenarioSpec {
+        &self.spec
+    }
+
+    /// How far the run has been advanced.
+    pub fn position(&self) -> SimTime {
+        self.position
+    }
+
+    /// The run horizon.
+    pub fn horizon(&self) -> SimTime {
+        self.horizon
+    }
+
+    /// `true` once the run has reached its horizon.
+    pub fn is_finished(&self) -> bool {
+        self.position >= self.horizon
+    }
+
+    /// Shared access to the live world, for drill-down between steps.
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// Shared access to the attached probe.
+    pub fn probe(&self) -> &P {
+        &self.probe
+    }
+
+    /// Mutable access to the attached probe.
+    pub fn probe_mut(&mut self) -> &mut P {
+        &mut self.probe
+    }
+
+    /// Advances the run to absolute time `to` (clamped to the horizon;
+    /// already-passed times are a no-op), dispatching milestones to the
+    /// probe. Returns the new position.
+    pub fn run_to(&mut self, to: SimTime) -> SimTime {
+        let target = to.min(self.horizon);
+        if target > self.position {
+            self.world.run_until(target);
+            self.position = target;
+            self.pump();
+        }
+        self.position
+    }
+
+    /// Advances the run by `dt`. Returns the new position.
+    pub fn step(&mut self, dt: SimDuration) -> SimTime {
+        let target = self.position + dt;
+        self.run_to(target)
+    }
+
+    /// Advances the run by one verification window. Returns the new
+    /// position.
+    pub fn step_window(&mut self) -> SimTime {
+        self.step(self.spec.verification_window)
+    }
+
+    /// Runs the remainder of the horizon and collects the final report.
+    pub fn finish(mut self) -> RunReport {
+        self.run_to(self.horizon);
+        collect_report(&self.spec, self.world, self.horizon)
+    }
+
+    /// Like [`finish`](Self::finish), but also hands the probe back for
+    /// inspection.
+    pub fn finish_probed(mut self) -> (RunReport, P) {
+        self.run_to(self.horizon);
+        let report = collect_report(&self.spec, self.world, self.horizon);
+        (report, self.probe)
+    }
+
+    /// A live snapshot: sim-time position, sealed blocks, in-flight
+    /// handshakes and per-network running accuracy.
+    pub fn progress(&self) -> RunProgress {
+        let mut sealed_blocks = 0;
+        let mut networks = Vec::new();
+        let mut cache = self.running_accuracy.borrow_mut();
+        for addr in self.world.network_addresses() {
+            let Some(aggregator) = self.world.aggregator(addr) else {
+                continue;
+            };
+            let blocks = aggregator.ledger().chain().len();
+            sealed_blocks += blocks.saturating_sub(1);
+            // Extend the cached prefix with the windows that completed since
+            // the last poll.
+            let running = cache.entry(addr).or_default();
+            let new_windows = accuracy_windows_from(
+                &self.world,
+                addr,
+                self.spec.verification_window,
+                running.windows_done,
+                self.position,
+            );
+            for window in &new_windows {
+                // Same settling criterion as NetworkAccuracy::settled_windows:
+                // past the registration transient, with devices reporting.
+                if window.index >= 2 && window.devices_total_mas > 0.0 {
+                    running.overhead_sum += window.overhead_percent();
+                    running.settled += 1;
+                }
+            }
+            running.windows_done += new_windows.len();
+            networks.push(NetworkProgress {
+                network: addr,
+                members: aggregator.registry().len(),
+                blocks,
+                reports_accepted: aggregator.reports_accepted(),
+                running_overhead_percent: (running.settled > 0)
+                    .then(|| running.overhead_sum / running.settled as f64),
+            });
+        }
+        drop(cache);
+        let mut completed_handshakes = 0;
+        let mut handshakes_in_flight = 0;
+        for id in self.world.device_ids() {
+            let Some(device) = self.world.device(id) else {
+                continue;
+            };
+            if device.last_handshake().is_some() {
+                completed_handshakes += 1;
+            }
+            if device.is_plugged() && !device.is_registered() {
+                handshakes_in_flight += 1;
+            }
+        }
+        RunProgress {
+            position: self.position,
+            horizon: self.horizon,
+            fraction: if self.horizon == SimTime::ZERO {
+                1.0
+            } else {
+                (self.position.as_secs_f64() / self.horizon.as_secs_f64()).min(1.0)
+            },
+            sealed_blocks,
+            completed_handshakes,
+            handshakes_in_flight,
+            networks,
+        }
+    }
+
+    fn pump(&mut self) {
+        for event in self.world.take_notifications() {
+            self.probe.on_event(&event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::Experiment;
+    use crate::probe::RecordingProbe;
+
+    fn spec(seed: u64) -> ScenarioSpec {
+        ScenarioSpec::paper_testbed(seed).with_horizon(SimDuration::from_secs(25))
+    }
+
+    #[test]
+    fn handle_steps_to_the_horizon() {
+        let mut handle = Experiment::new(spec(5)).start().unwrap();
+        assert!(!handle.is_finished());
+        let mut steps = 0;
+        while !handle.is_finished() {
+            handle.step_window();
+            steps += 1;
+            assert!(steps <= 10, "must terminate");
+        }
+        assert_eq!(handle.position(), handle.horizon());
+        let report = handle.finish();
+        assert!(report.all_ledgers_clean());
+    }
+
+    #[test]
+    fn progress_advances_monotonically() {
+        let spec = ScenarioSpec::paper_testbed(6).with_horizon(SimDuration::from_secs(40));
+        let mut handle = Experiment::new(spec).start().unwrap();
+        let start = handle.progress();
+        assert_eq!(start.fraction, 0.0);
+        assert_eq!(start.sealed_blocks, 0);
+        handle.run_to(SimTime::from_secs(35));
+        let mid = handle.progress();
+        assert!(mid.fraction > 0.8 && mid.fraction < 0.9);
+        assert!(mid.sealed_blocks > 0, "blocks sealed by 35 s");
+        assert_eq!(mid.completed_handshakes, 4);
+        assert!(mid.networks.iter().any(|n| n.reports_accepted > 0));
+        assert!(mid
+            .networks
+            .iter()
+            .any(|n| n.running_overhead_percent.is_some()));
+    }
+
+    #[test]
+    fn probe_sees_milestones_in_order() {
+        let handle = Experiment::new(spec(7))
+            .start_probed(RecordingProbe::default())
+            .unwrap();
+        let (report, probe) = handle.finish_probed();
+        assert!(probe.blocks_sealed() > 0);
+        assert_eq!(probe.handshakes_completed(), 4);
+        assert_eq!(probe.plug_ins(), 4, "initial build-time plug-ins");
+        assert!(probe.events().windows(2).all(|w| w[0].at() <= w[1].at()));
+        assert_eq!(report.metrics.networks.len(), 2);
+    }
+}

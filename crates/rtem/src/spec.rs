@@ -81,6 +81,23 @@ pub enum SpecError {
     NoNetworks,
     /// The spec declares zero devices per network — nothing reports.
     NoDevices,
+    /// `networks + empty_networks` does not fit the address space — the
+    /// spec would overflow instead of enumerating its networks.
+    TooManyNetworks {
+        /// Declared populated networks.
+        networks: u32,
+        /// Declared initially-empty networks.
+        empty_networks: u32,
+    },
+    /// With more than one network, the generated device-id scheme reserves
+    /// a fixed-size id block per network; more devices per network than the
+    /// block holds would silently collide across networks.
+    TooManyDevicesPerNetwork {
+        /// Declared devices per network.
+        devices_per_network: u32,
+        /// Size of each network's device-id block.
+        limit: u32,
+    },
     /// The run horizon is zero — the world would never advance.
     ZeroHorizon,
     /// The measurement interval (Tmeasure) is zero — devices would spin.
@@ -110,6 +127,21 @@ impl fmt::Display for SpecError {
         match self {
             SpecError::NoNetworks => write!(f, "scenario declares zero networks"),
             SpecError::NoDevices => write!(f, "scenario declares zero devices per network"),
+            SpecError::TooManyNetworks {
+                networks,
+                empty_networks,
+            } => write!(
+                f,
+                "{networks} networks + {empty_networks} empty networks overflow the address space"
+            ),
+            SpecError::TooManyDevicesPerNetwork {
+                devices_per_network,
+                limit,
+            } => write!(
+                f,
+                "{devices_per_network} devices per network exceed the {limit}-id block reserved \
+                 per network (ids would collide across networks)"
+            ),
             SpecError::ZeroHorizon => write!(f, "scenario horizon is zero"),
             SpecError::ZeroMeasureInterval => write!(f, "measurement interval is zero"),
             SpecError::ZeroVerificationWindow => write!(f, "verification window is zero"),
@@ -319,10 +351,21 @@ impl ScenarioSpec {
     }
 
     /// All network addresses the spec generates, empty networks included.
+    ///
+    /// Saturates instead of overflowing on absurd totals so the accessor
+    /// stays panic-free on unvalidated specs; [`validate`](Self::validate)
+    /// rejects such specs with [`SpecError::TooManyNetworks`].
     pub fn network_addrs(&self) -> Vec<AggregatorAddr> {
-        (0..self.networks + self.empty_networks)
-            .map(Self::network_addr)
-            .collect()
+        (0..self.total_networks()).map(Self::network_addr).collect()
+    }
+
+    /// `networks + empty_networks`, saturating at the addressable maximum
+    /// (`network_addr` maps index `i` to address `i + 1`, so the last
+    /// representable index is `u32::MAX - 1`).
+    fn total_networks(&self) -> u32 {
+        self.networks
+            .saturating_add(self.empty_networks)
+            .min(u32::MAX - 1)
     }
 
     /// Checks the spec for inconsistencies, returning the first found.
@@ -332,6 +375,22 @@ impl ScenarioSpec {
         }
         if self.devices_per_network == 0 {
             return Err(SpecError::NoDevices);
+        }
+        if self
+            .networks
+            .checked_add(self.empty_networks)
+            .map_or(true, |total| total > u32::MAX - 1)
+        {
+            return Err(SpecError::TooManyNetworks {
+                networks: self.networks,
+                empty_networks: self.empty_networks,
+            });
+        }
+        if self.networks > 1 && self.devices_per_network > rtem_core::scenario::DEVICE_ID_BLOCK {
+            return Err(SpecError::TooManyDevicesPerNetwork {
+                devices_per_network: self.devices_per_network,
+                limit: rtem_core::scenario::DEVICE_ID_BLOCK,
+            });
         }
         if self.horizon.is_zero() {
             return Err(SpecError::ZeroHorizon);
@@ -409,6 +468,51 @@ mod tests {
         assert_eq!(spec.validate(), Err(SpecError::NoDevices));
         let spec = ScenarioSpec::paper_testbed(1).with_horizon(SimDuration::ZERO);
         assert_eq!(spec.validate(), Err(SpecError::ZeroHorizon));
+    }
+
+    #[test]
+    fn absurd_network_totals_are_rejected_not_overflowed() {
+        let spec = ScenarioSpec::paper_testbed(1)
+            .with_networks(u32::MAX)
+            .with_empty_networks(2);
+        // Validation reports the would-be overflow as a typed error (and
+        // runs before any address enumeration, so nothing wraps or panics).
+        assert_eq!(
+            spec.validate(),
+            Err(SpecError::TooManyNetworks {
+                networks: u32::MAX,
+                empty_networks: 2
+            })
+        );
+        // The boundary: a total of u32::MAX is already unaddressable
+        // (network_addr maps index i to address i + 1).
+        let spec = ScenarioSpec::paper_testbed(1)
+            .with_networks(u32::MAX - 2)
+            .with_empty_networks(2);
+        assert!(matches!(
+            spec.validate(),
+            Err(SpecError::TooManyNetworks { .. })
+        ));
+    }
+
+    #[test]
+    fn colliding_device_ids_are_rejected() {
+        // device_id(0, 100) == device_id(1, 0): more than one id block per
+        // network collides as soon as a second network exists.
+        let spec = ScenarioSpec::paper_testbed(1).with_devices_per_network(101);
+        assert_eq!(
+            spec.validate(),
+            Err(SpecError::TooManyDevicesPerNetwork {
+                devices_per_network: 101,
+                limit: 100
+            })
+        );
+        // A single network cannot collide with anything.
+        let spec = ScenarioSpec::single_network(500, 1);
+        assert_eq!(spec.validate(), Ok(()));
+        // The block boundary itself is fine.
+        let spec = ScenarioSpec::paper_testbed(1).with_devices_per_network(100);
+        assert_eq!(spec.validate(), Ok(()));
     }
 
     #[test]

@@ -1,0 +1,453 @@
+//! Declarative scenario sweeps executed on a worker pool: the [`Suite`].
+//!
+//! A suite takes one base [`ScenarioSpec`] and a set of axes — seeds,
+//! devices per network, link configurations, sensor models — and runs the
+//! cartesian grid of specs on a `std::thread` pool, one experiment per
+//! cell. The resulting [`SuiteReport`] keeps every cell's
+//! [`RunReport`] (in grid order, independent of
+//! the thread count) plus cross-cell aggregates.
+//!
+//! ```
+//! use rtem::prelude::*;
+//!
+//! let base = ScenarioSpec::paper_testbed(0).with_horizon(SimDuration::from_secs(20));
+//! let report = Suite::new(base)
+//!     .over_seeds([1, 2])
+//!     .over_devices_per_network([1, 2])
+//!     .with_threads(2)
+//!     .run()
+//!     .unwrap();
+//! assert_eq!(report.cells.len(), 4);
+//! assert!(report.aggregates.cell_runtime_s.count == 4);
+//! ```
+
+use crate::experiment::Experiment;
+use crate::report::RunReport;
+use crate::spec::{ScenarioSpec, SpecError};
+use core::fmt;
+use rtem_net::link::LinkConfig;
+use rtem_sensors::ina219::Ina219Config;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// A declarative sweep: one base spec, up to four axes, a worker pool.
+///
+/// Axes left unset contribute the base spec's value as a single grid point.
+/// Cells are enumerated in a fixed order (seed-major, then devices, then
+/// link, then sensor), and the report lists them in that order regardless
+/// of how many threads executed them.
+#[derive(Debug, Clone)]
+pub struct Suite {
+    base: ScenarioSpec,
+    seeds: Vec<u64>,
+    devices_per_network: Vec<u32>,
+    links: Vec<(String, LinkConfig, LinkConfig)>,
+    sensors: Vec<(String, Ina219Config)>,
+    threads: Option<usize>,
+}
+
+/// Coordinates of one cell in a suite's grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellKey {
+    /// Position in the grid's enumeration order.
+    pub index: usize,
+    /// The cell's seed.
+    pub seed: u64,
+    /// The cell's devices-per-network count.
+    pub devices_per_network: u32,
+    /// Label of the cell's link configuration, if the axis was swept.
+    pub link: Option<String>,
+    /// Label of the cell's sensor model, if the axis was swept.
+    pub sensor: Option<String>,
+}
+
+impl fmt::Display for CellKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "seed={} devices={}", self.seed, self.devices_per_network)?;
+        if let Some(link) = &self.link {
+            write!(f, " link={link}")?;
+        }
+        if let Some(sensor) = &self.sensor {
+            write!(f, " sensor={sensor}")?;
+        }
+        Ok(())
+    }
+}
+
+/// One executed cell of a suite.
+#[derive(Debug)]
+pub struct SuiteCell {
+    /// Where the cell sits in the grid.
+    pub key: CellKey,
+    /// The exact spec the cell ran.
+    pub spec: ScenarioSpec,
+    /// The cell's full run report.
+    pub report: RunReport,
+    /// Wall-clock time the cell's experiment took.
+    pub wall: Duration,
+}
+
+/// Summary statistics over one cross-cell quantity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AggregateStats {
+    /// Number of samples aggregated.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// 95th percentile (nearest-rank).
+    pub p95: f64,
+}
+
+impl AggregateStats {
+    /// Computes the statistics over `values`; `None` when empty.
+    pub fn from_values(values: &[f64]) -> Option<AggregateStats> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        let count = sorted.len();
+        let rank = ((count as f64 * 0.95).ceil() as usize).clamp(1, count);
+        Some(AggregateStats {
+            count,
+            mean: sorted.iter().sum::<f64>() / count as f64,
+            min: sorted[0],
+            max: sorted[count - 1],
+            p95: sorted[rank - 1],
+        })
+    }
+}
+
+/// Cross-cell aggregates of a suite run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuiteAggregates {
+    /// Fig. 5 accuracy overhead (percent) over every settled verification
+    /// window of every cell; `None` when no window settled.
+    pub accuracy_overhead_percent: Option<AggregateStats>,
+    /// Thandshake (seconds) over every completed handshake of every cell;
+    /// `None` when no handshake completed.
+    pub handshake_latency_s: Option<AggregateStats>,
+    /// Wall-clock runtime (seconds) of the individual cells.
+    pub cell_runtime_s: AggregateStats,
+}
+
+/// Everything a suite run produced.
+#[derive(Debug)]
+pub struct SuiteReport {
+    /// One entry per grid cell, in grid-enumeration order.
+    pub cells: Vec<SuiteCell>,
+    /// Worker threads actually used.
+    pub threads_used: usize,
+    /// Wall-clock time of the whole sweep.
+    pub wall: Duration,
+    /// Cross-cell aggregates.
+    pub aggregates: SuiteAggregates,
+}
+
+impl SuiteReport {
+    /// The cell at `index` in grid order.
+    pub fn cell(&self, index: usize) -> Option<&SuiteCell> {
+        self.cells.get(index)
+    }
+
+    /// Iterates the cells with a given seed.
+    pub fn cells_with_seed(&self, seed: u64) -> impl Iterator<Item = &SuiteCell> {
+        self.cells.iter().filter(move |c| c.key.seed == seed)
+    }
+}
+
+impl Suite {
+    /// Starts a suite from a base spec. With no axes set, the suite has one
+    /// cell: the base spec itself.
+    pub fn new(base: ScenarioSpec) -> Suite {
+        Suite {
+            base,
+            seeds: Vec::new(),
+            devices_per_network: Vec::new(),
+            links: Vec::new(),
+            sensors: Vec::new(),
+            threads: None,
+        }
+    }
+
+    /// Sweeps the seed axis.
+    pub fn over_seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Suite {
+        self.seeds = seeds.into_iter().collect();
+        self
+    }
+
+    /// Sweeps the devices-per-network axis.
+    pub fn over_devices_per_network(mut self, devices: impl IntoIterator<Item = u32>) -> Suite {
+        self.devices_per_network = devices.into_iter().collect();
+        self
+    }
+
+    /// Sweeps the link-quality axis: labelled `(wifi, backhaul)` pairs.
+    pub fn over_links(
+        mut self,
+        links: impl IntoIterator<Item = (impl Into<String>, LinkConfig, LinkConfig)>,
+    ) -> Suite {
+        self.links = links
+            .into_iter()
+            .map(|(label, wifi, backhaul)| (label.into(), wifi, backhaul))
+            .collect();
+        self
+    }
+
+    /// Sweeps the sensor-model axis: labelled [`Ina219Config`]s.
+    pub fn over_sensors(
+        mut self,
+        sensors: impl IntoIterator<Item = (impl Into<String>, Ina219Config)>,
+    ) -> Suite {
+        self.sensors = sensors
+            .into_iter()
+            .map(|(label, sensor)| (label.into(), sensor))
+            .collect();
+        self
+    }
+
+    /// Fixes the worker-thread count. Unset, the suite uses the machine's
+    /// available parallelism (capped at the cell count).
+    pub fn with_threads(mut self, threads: usize) -> Suite {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Number of cells in the grid.
+    pub fn len(&self) -> usize {
+        self.seeds.len().max(1)
+            * self.devices_per_network.len().max(1)
+            * self.links.len().max(1)
+            * self.sensors.len().max(1)
+    }
+
+    /// `true` when the grid is degenerate (never: every axis defaults to the
+    /// base value, so the grid always has at least one cell).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Enumerates the grid: every cell's key and fully-derived spec, in the
+    /// fixed seed-major order the report will use.
+    pub fn cells(&self) -> Vec<(CellKey, ScenarioSpec)> {
+        let seeds: Vec<u64> = if self.seeds.is_empty() {
+            vec![self.base.seed]
+        } else {
+            self.seeds.clone()
+        };
+        let devices: Vec<u32> = if self.devices_per_network.is_empty() {
+            vec![self.base.devices_per_network]
+        } else {
+            self.devices_per_network.clone()
+        };
+        let links: Vec<Option<&(String, LinkConfig, LinkConfig)>> = if self.links.is_empty() {
+            vec![None]
+        } else {
+            self.links.iter().map(Some).collect()
+        };
+        let sensors: Vec<Option<&(String, Ina219Config)>> = if self.sensors.is_empty() {
+            vec![None]
+        } else {
+            self.sensors.iter().map(Some).collect()
+        };
+
+        let mut cells = Vec::with_capacity(self.len());
+        for &seed in &seeds {
+            for &devices_per_network in &devices {
+                for link in &links {
+                    for sensor in &sensors {
+                        let mut spec = self
+                            .base
+                            .clone()
+                            .with_seed(seed)
+                            .with_devices_per_network(devices_per_network);
+                        if let Some((_, wifi, backhaul)) = link {
+                            spec = spec.with_links(*wifi, *backhaul);
+                        }
+                        if let Some((_, sensor)) = sensor {
+                            spec = spec.with_sensor(*sensor);
+                        }
+                        cells.push((
+                            CellKey {
+                                index: cells.len(),
+                                seed,
+                                devices_per_network,
+                                link: link.map(|(label, _, _)| label.clone()),
+                                sensor: sensor.map(|(label, _)| label.clone()),
+                            },
+                            spec,
+                        ));
+                    }
+                }
+            }
+        }
+        cells
+    }
+
+    /// Validates every cell, then executes the grid on the worker pool and
+    /// aggregates the results. Fails fast on the first invalid cell, before
+    /// anything runs.
+    pub fn run(self) -> Result<SuiteReport, SpecError> {
+        let cells = self.cells();
+        for (_, spec) in &cells {
+            spec.validate()?;
+        }
+        let threads = self
+            .threads
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+            .clamp(1, cells.len().max(1));
+
+        let started = Instant::now();
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<(RunReport, Duration)>>> =
+            cells.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    let Some((_, spec)) = cells.get(index) else {
+                        break;
+                    };
+                    let cell_started = Instant::now();
+                    let report = Experiment::new(spec.clone())
+                        .run()
+                        .expect("cell specs were validated before the pool started");
+                    *slots[index].lock().expect("result slot") =
+                        Some((report, cell_started.elapsed()));
+                });
+            }
+        });
+        let wall = started.elapsed();
+
+        let executed: Vec<SuiteCell> = cells
+            .into_iter()
+            .zip(slots)
+            .map(|((key, spec), slot)| {
+                let (report, cell_wall) = slot
+                    .into_inner()
+                    .expect("result slot")
+                    .expect("every cell ran to completion");
+                SuiteCell {
+                    key,
+                    spec,
+                    report,
+                    wall: cell_wall,
+                }
+            })
+            .collect();
+
+        let aggregates = aggregate(&executed);
+        Ok(SuiteReport {
+            cells: executed,
+            threads_used: threads,
+            wall,
+            aggregates,
+        })
+    }
+}
+
+fn aggregate(cells: &[SuiteCell]) -> SuiteAggregates {
+    let mut overheads = Vec::new();
+    let mut handshakes = Vec::new();
+    let mut runtimes = Vec::new();
+    for cell in cells {
+        for accuracy in &cell.report.accuracy {
+            overheads.extend(accuracy.settled_windows().map(|w| w.overhead_percent()));
+        }
+        handshakes.extend(
+            cell.report
+                .metrics
+                .handshakes
+                .values()
+                .map(|b| b.total().as_secs_f64()),
+        );
+        runtimes.push(cell.wall.as_secs_f64());
+    }
+    SuiteAggregates {
+        accuracy_overhead_percent: AggregateStats::from_values(&overheads),
+        handshake_latency_s: AggregateStats::from_values(&handshakes),
+        cell_runtime_s: AggregateStats::from_values(&runtimes)
+            .expect("a suite always has at least one cell"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtem_sim::time::SimDuration;
+
+    #[test]
+    fn grid_enumeration_is_the_cartesian_product() {
+        let suite = Suite::new(ScenarioSpec::paper_testbed(0))
+            .over_seeds([10, 20, 30])
+            .over_devices_per_network([1, 2])
+            .over_sensors([
+                ("testbed", Ina219Config::testbed()),
+                ("ideal", Ina219Config::ideal()),
+            ]);
+        assert_eq!(suite.len(), 12);
+        let cells = suite.cells();
+        assert_eq!(cells.len(), 12);
+        assert_eq!(cells[0].0.seed, 10);
+        assert_eq!(cells[0].0.sensor.as_deref(), Some("testbed"));
+        assert_eq!(cells[1].0.sensor.as_deref(), Some("ideal"));
+        assert!(cells[0].0.link.is_none(), "unswept axis stays unlabeled");
+        assert_eq!(cells[11].0.seed, 30);
+        assert_eq!(cells[11].0.devices_per_network, 2);
+        // Indexes are grid positions.
+        for (i, (key, _)) in cells.iter().enumerate() {
+            assert_eq!(key.index, i);
+        }
+    }
+
+    #[test]
+    fn axisless_suite_runs_the_base_spec_once() {
+        let base = ScenarioSpec::paper_testbed(4).with_horizon(SimDuration::from_secs(12));
+        let report = Suite::new(base.clone()).run().unwrap();
+        assert_eq!(report.cells.len(), 1);
+        assert_eq!(report.cells[0].spec, base);
+        assert_eq!(report.aggregates.cell_runtime_s.count, 1);
+    }
+
+    #[test]
+    fn invalid_cells_fail_before_the_pool_starts() {
+        let base = ScenarioSpec::paper_testbed(4);
+        let err = Suite::new(base)
+            .over_devices_per_network([2, 0])
+            .run()
+            .unwrap_err();
+        assert_eq!(err, SpecError::NoDevices);
+    }
+
+    #[test]
+    fn aggregate_stats_match_hand_computation() {
+        let stats = AggregateStats::from_values(&[4.0, 1.0, 3.0, 2.0]).unwrap();
+        assert_eq!(stats.count, 4);
+        assert!((stats.mean - 2.5).abs() < 1e-12);
+        assert_eq!(stats.min, 1.0);
+        assert_eq!(stats.max, 4.0);
+        assert_eq!(stats.p95, 4.0, "nearest-rank p95 of 4 samples is the max");
+        assert!(AggregateStats::from_values(&[]).is_none());
+    }
+
+    #[test]
+    fn cell_keys_render_their_coordinates() {
+        let key = CellKey {
+            index: 0,
+            seed: 9,
+            devices_per_network: 3,
+            link: Some("lossy".into()),
+            sensor: None,
+        };
+        assert_eq!(key.to_string(), "seed=9 devices=3 link=lossy");
+    }
+}

@@ -9,8 +9,8 @@
 //! This crate provides the simulated equivalents:
 //!
 //! * [`energy`] — strongly typed electrical quantities
-//!   ([`Milliamps`](energy::Milliamps), [`MilliwattHours`](energy::MilliwattHours), …)
-//!   and the [`EnergyAccumulator`](energy::EnergyAccumulator) a device uses
+//!   ([`Milliamps`], [`MilliwattHours`], …)
+//!   and the [`EnergyAccumulator`] a device uses
 //!   between reports.
 //! * [`profile`] — ground-truth load profiles (CC/CV charging, ESP32 Wi-Fi
 //!   duty cycles, composites) standing in for the physical devices.

@@ -1,4 +1,4 @@
-//! A thin run-loop on top of [`EventQueue`](crate::event::EventQueue).
+//! A thin run-loop on top of [`EventQueue`].
 //!
 //! Most simulations in this repository follow the same pattern: pop the next
 //! event, hand it to a dispatcher, let the dispatcher schedule follow-up
@@ -8,7 +8,7 @@
 use crate::event::{EventId, EventQueue, ScheduledEvent};
 use crate::time::{SimDuration, SimTime};
 
-/// Why a [`Scheduler::run`] call returned.
+/// Why a [`Scheduler::run_until`] call returned.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StopReason {
     /// The event queue drained completely.

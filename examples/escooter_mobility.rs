@@ -1,7 +1,8 @@
 //! The paper's motivating example: an e-scooter charges at home (Network 1),
 //! is ridden to another location, and recharges in a host network
 //! (Network 2) while its home network keeps billing it — declared entirely
-//! as a scripted `ScenarioSpec`.
+//! as a scripted `ScenarioSpec`, with a `Probe` observing the journey's
+//! milestones as the run streams.
 //!
 //! Prints the Fig. 6-style trace seen by the home aggregator and the
 //! Thandshake breakdown of the temporary registration.
@@ -35,7 +36,39 @@ fn main() {
         host
     );
 
-    let report = Experiment::new(spec).run().expect("valid spec");
+    let handle = Experiment::new(spec)
+        .start_probed(RecordingProbe::default())
+        .expect("valid spec");
+    let (report, probe) = handle.finish_probed();
+
+    println!("\n== journey milestones (observed by the probe) ==");
+    for event in probe.events() {
+        match event {
+            RunEvent::Unplugged { at, device } if *device == scooter => {
+                println!("  t = {:>6.1} s: unplugged from {home}", at.as_secs_f64());
+            }
+            RunEvent::PluggedIn {
+                at,
+                device,
+                network,
+            } if *device == scooter && *at > SimTime::ZERO => {
+                println!("  t = {:>6.1} s: plugged into {network}", at.as_secs_f64());
+            }
+            RunEvent::HandshakeCompleted {
+                at,
+                device,
+                breakdown,
+                ..
+            } if *device == scooter => {
+                println!(
+                    "  t = {:>6.1} s: handshake completed in {:.2} s",
+                    at.as_secs_f64(),
+                    breakdown.total().as_secs_f64()
+                );
+            }
+            _ => {}
+        }
+    }
 
     if let Some(handshake) = report
         .world()

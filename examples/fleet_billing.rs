@@ -33,9 +33,21 @@ fn main() {
             .plug_in_at(SimTime::from_secs(55 + i as u64 * 5), id, destination);
     }
 
-    let report = Experiment::new(spec).run().expect("valid spec");
+    let handle = Experiment::new(spec)
+        .start_probed(RecordingProbe::default())
+        .expect("valid spec");
+    let (report, probe) = handle.finish_probed();
 
-    println!("== consolidated fleet bill at the home aggregator (network 1) ==");
+    println!("== fleet journey (observed by the probe) ==");
+    println!(
+        "  {} plug-ins, {} unplugs, {} temporary/home handshakes, {} blocks sealed",
+        probe.plug_ins(),
+        probe.unplugs(),
+        probe.handshakes_completed(),
+        probe.blocks_sealed(),
+    );
+
+    println!("\n== consolidated fleet bill at the home aggregator (network 1) ==");
     let mut total_cost = 0.0;
     for bill in &report.bills {
         total_cost += bill.cost;

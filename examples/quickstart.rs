@@ -1,5 +1,6 @@
 //! Quickstart: declare the paper's two-network testbed as a `ScenarioSpec`,
-//! run it for a minute of simulated time, and print what each aggregator saw.
+//! stream it for a minute of simulated time — printing live progress one
+//! verification window at a time — and print what each aggregator saw.
 //!
 //! ```bash
 //! cargo run --example quickstart
@@ -13,12 +14,25 @@ fn main() {
     let spec = ScenarioSpec::paper_testbed(42).with_horizon(SimDuration::from_secs(60));
 
     println!(
-        "running the testbed for {} of simulated time...",
+        "streaming the testbed for {} of simulated time...",
         SimDuration::from_secs(60)
     );
-    let report = Experiment::new(spec)
-        .run()
+    let mut handle = Experiment::new(spec)
+        .start()
         .expect("the testbed spec is valid");
+    while !handle.is_finished() {
+        handle.step_window();
+        let progress = handle.progress();
+        println!(
+            "  t = {:>4.0} s ({:>3.0}%): {} blocks sealed, {} handshakes done, {} in flight",
+            progress.position.as_secs_f64(),
+            progress.fraction * 100.0,
+            progress.sealed_blocks,
+            progress.completed_handshakes,
+            progress.handshakes_in_flight,
+        );
+    }
+    let report = handle.finish();
 
     println!("\n== network summaries ==");
     for network in &report.metrics.networks {

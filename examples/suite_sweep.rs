@@ -1,0 +1,64 @@
+//! Suite quickstart: sweep the paper's testbed over a small seed × device
+//! grid on a multi-threaded worker pool and print the per-cell results plus
+//! the cross-cell aggregates. Doubles as the CI suite-smoke: a 2×2 grid on
+//! 2 worker threads with a short horizon.
+//!
+//! ```bash
+//! cargo run --example suite_sweep
+//! ```
+
+use rtem::prelude::*;
+
+fn main() {
+    let base = ScenarioSpec::paper_testbed(0).with_horizon(SimDuration::from_secs(30));
+    let suite = Suite::new(base)
+        .over_seeds([41, 42])
+        .over_devices_per_network([1, 2])
+        .with_threads(2);
+    println!(
+        "sweeping a {}-cell grid on 2 worker threads...",
+        suite.len()
+    );
+
+    let report = suite.run().expect("sweep specs are valid");
+
+    println!("\n== per-cell results ==");
+    for cell in &report.cells {
+        println!(
+            "  [{}] {}: {} blocks, {} handshakes, ledgers clean = {}, {} ms",
+            cell.key.index,
+            cell.key,
+            cell.report.sealed_blocks(),
+            cell.report.metrics.handshakes.len(),
+            cell.report.all_ledgers_clean(),
+            cell.wall.as_millis(),
+        );
+    }
+
+    println!("\n== cross-cell aggregates ==");
+    if let Some(stats) = report.aggregates.accuracy_overhead_percent {
+        println!(
+            "  accuracy overhead : mean {:.2}% (min {:.2}, max {:.2}, p95 {:.2}) over {} windows",
+            stats.mean, stats.min, stats.max, stats.p95, stats.count
+        );
+    }
+    if let Some(stats) = report.aggregates.handshake_latency_s {
+        println!(
+            "  handshake latency : mean {:.2} s (min {:.2}, max {:.2}, p95 {:.2}) over {} handshakes",
+            stats.mean, stats.min, stats.max, stats.p95, stats.count
+        );
+    }
+    let runtime = report.aggregates.cell_runtime_s;
+    println!(
+        "  cell runtime      : mean {:.0} ms (p95 {:.0} ms); sweep total {} ms on {} threads",
+        runtime.mean * 1000.0,
+        runtime.p95 * 1000.0,
+        report.wall.as_millis(),
+        report.threads_used,
+    );
+
+    assert!(
+        report.cells.iter().all(|c| c.report.all_ledgers_clean()),
+        "every cell's ledgers must audit clean"
+    );
+}

@@ -1,0 +1,163 @@
+//! Determinism and observability of the streaming run API and the parallel
+//! suite: stepping granularity must never perturb a run, the worker-thread
+//! count must never perturb a sweep, and a probe on the paper testbed must
+//! observe the milestones the paper's figures are built from.
+
+use rtem::prelude::*;
+
+fn assert_reports_identical(a: &RunReport, b: &RunReport, context: &str) {
+    assert_eq!(a.metrics, b.metrics, "{context}: metrics diverged");
+    assert_eq!(a.accuracy, b.accuracy, "{context}: accuracy diverged");
+    assert_eq!(a.handshakes, b.handshakes, "{context}: handshakes diverged");
+    assert_eq!(a.ledgers, b.ledgers, "{context}: ledgers diverged");
+    assert_eq!(a.bills, b.bills, "{context}: bills diverged");
+}
+
+fn mobility_spec(seed: u64) -> ScenarioSpec {
+    let mobile = ScenarioSpec::device_id(0, 0);
+    ScenarioSpec::paper_testbed(seed)
+        .with_horizon(SimDuration::from_secs(70))
+        .unplug_at(SimTime::from_secs(25), mobile)
+        .plug_in_at(
+            SimTime::from_secs(35),
+            mobile,
+            ScenarioSpec::network_addr(1),
+        )
+}
+
+#[test]
+fn window_stepping_matches_one_shot_run() {
+    let spec = ScenarioSpec::paper_testbed(501).with_horizon(SimDuration::from_secs(40));
+    let one_shot = Experiment::new(spec.clone()).run().unwrap();
+
+    let mut handle = Experiment::new(spec).start().unwrap();
+    while !handle.is_finished() {
+        handle.step_window();
+    }
+    let stepped = handle.finish();
+    assert_reports_identical(&one_shot, &stepped, "window stepping");
+}
+
+#[test]
+fn arbitrary_step_granularity_matches_one_shot_run() {
+    // A step size deliberately misaligned with every timer in the world
+    // (Tmeasure 100 ms, windows 10 s): any granularity must reproduce the
+    // batch run exactly, scripted mobility included.
+    let spec = mobility_spec(502);
+    let one_shot = Experiment::new(spec.clone()).run().unwrap();
+
+    let mut handle = Experiment::new(spec).start().unwrap();
+    while !handle.is_finished() {
+        handle.step(SimDuration::from_millis(3_741));
+    }
+    let stepped = handle.finish();
+    assert_reports_identical(&one_shot, &stepped, "3.741 s stepping");
+}
+
+#[test]
+fn run_to_is_idempotent_and_clamped() {
+    let spec = ScenarioSpec::paper_testbed(503).with_horizon(SimDuration::from_secs(20));
+    let mut handle = Experiment::new(spec).start().unwrap();
+    handle.run_to(SimTime::from_secs(12));
+    // Going backwards is a no-op...
+    assert_eq!(handle.run_to(SimTime::from_secs(5)), SimTime::from_secs(12));
+    // ...and overshooting clamps to the horizon.
+    assert_eq!(
+        handle.run_to(SimTime::from_secs(500)),
+        SimTime::from_secs(20)
+    );
+    assert!(handle.is_finished());
+}
+
+#[test]
+fn probe_observes_paper_testbed_milestones_before_horizon() {
+    // Acceptance: a probe attached to the paper testbed observes at least
+    // one sealed block and one completed handshake before the horizon.
+    let spec = ScenarioSpec::paper_testbed(504);
+    let handle = Experiment::new(spec)
+        .start_probed(RecordingProbe::default())
+        .unwrap();
+    let (report, probe) = handle.finish_probed();
+    assert!(probe.blocks_sealed() >= 1, "a block was sealed");
+    assert!(
+        probe.handshakes_completed() >= 1,
+        "a handshake was completed"
+    );
+    assert!(report.all_ledgers_clean());
+}
+
+#[test]
+fn probe_events_match_the_scripted_mobility() {
+    let mobile = ScenarioSpec::device_id(0, 0);
+    let handle = Experiment::new(mobility_spec(505))
+        .start_probed(RecordingProbe::default())
+        .unwrap();
+    let (_, probe) = handle.finish_probed();
+    assert_eq!(probe.unplugs(), 1);
+    assert_eq!(probe.plug_ins(), 5, "4 initial + 1 scripted");
+    let replug = probe.events().iter().find_map(|e| match e {
+        RunEvent::PluggedIn {
+            at,
+            device,
+            network,
+        } if *device == mobile && *at > SimTime::ZERO => Some((*at, *network)),
+        _ => None,
+    });
+    assert_eq!(
+        replug,
+        Some((SimTime::from_secs(35), ScenarioSpec::network_addr(1)))
+    );
+    // The temporary registration completes after the scripted re-plug.
+    assert!(probe.events().iter().any(|e| matches!(
+        e,
+        RunEvent::HandshakeCompleted { at, device, .. }
+            if *device == mobile && *at > SimTime::from_secs(35)
+    )));
+}
+
+#[test]
+fn suite_report_is_invariant_under_thread_count() {
+    // Acceptance: a 4-cell suite on ≥2 worker threads produces the same
+    // report as on 1 thread (wall-clock measurements aside).
+    let base = ScenarioSpec::paper_testbed(0).with_horizon(SimDuration::from_secs(25));
+    let grid = |threads: usize| {
+        Suite::new(base.clone())
+            .over_seeds([601, 602])
+            .over_devices_per_network([1, 2])
+            .with_threads(threads)
+            .run()
+            .unwrap()
+    };
+    let serial = grid(1);
+    let parallel = grid(3);
+    assert_eq!(serial.threads_used, 1);
+    assert_eq!(parallel.threads_used, 3);
+    assert_eq!(serial.cells.len(), 4);
+    assert_eq!(parallel.cells.len(), 4);
+    for (a, b) in serial.cells.iter().zip(&parallel.cells) {
+        assert_eq!(a.key, b.key, "grid order must not depend on threads");
+        assert_eq!(a.spec, b.spec);
+        assert_reports_identical(&a.report, &b.report, "thread-count invariance");
+    }
+    assert_eq!(
+        serial.aggregates.accuracy_overhead_percent,
+        parallel.aggregates.accuracy_overhead_percent
+    );
+    assert_eq!(
+        serial.aggregates.handshake_latency_s,
+        parallel.aggregates.handshake_latency_s
+    );
+}
+
+#[test]
+fn suite_cells_match_standalone_experiments() {
+    // A cell's report is exactly what running its spec alone produces.
+    let base = mobility_spec(603).with_horizon(SimDuration::from_secs(45));
+    let suite = Suite::new(base).over_seeds([603, 604]).with_threads(2);
+    let cells = suite.cells();
+    let report = suite.run().unwrap();
+    for ((_, spec), cell) in cells.into_iter().zip(&report.cells) {
+        let standalone = Experiment::new(spec).run().unwrap();
+        assert_reports_identical(&standalone, &cell.report, "suite vs standalone");
+    }
+}
