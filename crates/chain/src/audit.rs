@@ -35,6 +35,11 @@ pub struct Finding {
     pub block_index: u64,
     /// What kind of inconsistency was found.
     pub kind: FindingKind,
+    /// Sealing timestamp of the offending block, in simulated microseconds.
+    /// Lets an investigator (and the fault-injection resilience accounting)
+    /// place the finding on the run's timeline and compute detection
+    /// latency without re-walking the chain.
+    pub timestamp_us: u64,
 }
 
 /// The result of auditing a chain.
@@ -76,16 +81,19 @@ pub fn audit_chain(chain: &HashChain, anchor: Option<Digest>) -> AuditReport {
 
     for (i, block) in chain.iter().enumerate() {
         records += block.record_count();
+        let timestamp_us = block.header().timestamp_us;
         if block.header().index != i as u64 {
             findings.push(Finding {
                 block_index: i as u64,
                 kind: FindingKind::IndexGap,
+                timestamp_us,
             });
         }
         if !block.is_internally_consistent() {
             findings.push(Finding {
                 block_index: i as u64,
                 kind: FindingKind::RecordMismatch,
+                timestamp_us,
             });
         }
         if let Some((prev_block, _)) = previous {
@@ -93,12 +101,14 @@ pub fn audit_chain(chain: &HashChain, anchor: Option<Digest>) -> AuditReport {
                 findings.push(Finding {
                     block_index: i as u64,
                     kind: FindingKind::LinkBroken,
+                    timestamp_us,
                 });
             }
             if block.header().timestamp_us < prev_block.header().timestamp_us {
                 findings.push(Finding {
                     block_index: i as u64,
                     kind: FindingKind::TimeRegression,
+                    timestamp_us,
                 });
             }
         }
@@ -110,6 +120,7 @@ pub fn audit_chain(chain: &HashChain, anchor: Option<Digest>) -> AuditReport {
             findings.push(Finding {
                 block_index: chain.head().header().index,
                 kind: FindingKind::AnchorMismatch,
+                timestamp_us: chain.head().header().timestamp_us,
             });
         }
     }
@@ -157,6 +168,9 @@ mod tests {
         assert_eq!(report.first_bad_block(), Some(3));
         assert_eq!(report.count_of(FindingKind::RecordMismatch), 1);
         assert_eq!(report.count_of(FindingKind::LinkBroken), 0);
+        // The finding carries the sealing time of the offending block, so
+        // detection latency is computable from the report alone.
+        assert_eq!(report.findings[0].timestamp_us, 3_000);
     }
 
     #[test]

@@ -7,16 +7,20 @@
 //! per WAN, an MQTT broker and the aggregator backhaul, and advances them
 //! with simulated time.
 
+use crate::consensus::{QuorumConsensus, RoundOutcome, Vote};
 use crate::metrics::WorldMetrics;
 use rtem_aggregator::aggregator::{Aggregator, AggregatorConfig};
 use rtem_aggregator::verify::WindowVerdict;
+use rtem_chain::ledger::LedgerEntry;
 use rtem_device::device::MeteringDevice;
 use rtem_device::network_mgmt::HandshakeBreakdown;
-use rtem_net::backhaul::BackhaulMesh;
+use rtem_faults::event::{DetectionSignal, FaultEvent, FaultFamily, FaultRecord, LinkTarget};
+use rtem_net::backhaul::{BackhaulDelivery, BackhaulMesh};
 use rtem_net::broker::{ClientId, MqttBroker, QoS};
 use rtem_net::link::LinkConfig;
 use rtem_net::packet::{AggregatorAddr, DeviceId, Packet};
 use rtem_net::rssi::{PathLossModel, Position, RadioEnvironment};
+use rtem_sensors::fault::SensorFault;
 use rtem_sensors::grid::{Branch, BranchId, GridNetwork};
 use rtem_sim::prelude::*;
 use std::collections::BTreeMap;
@@ -46,6 +50,10 @@ enum WorldEvent {
         device: DeviceId,
         home: AggregatorAddr,
     },
+    /// Scheduled: a fault takes effect (index into the world's fault table).
+    FaultStart(usize),
+    /// Scheduled: a transient fault clears (index into the fault table).
+    FaultEnd(usize),
 }
 
 /// Observable milestone emitted while the world advances.
@@ -106,6 +114,39 @@ pub enum WorldNotification {
         /// The device.
         device: DeviceId,
     },
+    /// A scheduled fault took effect (see
+    /// [`World::schedule_fault`]).
+    FaultInjected {
+        /// When the fault took effect.
+        at: SimTime,
+        /// The id [`World::schedule_fault`] returned for it.
+        id: usize,
+        /// The fault's family.
+        family: FaultFamily,
+    },
+    /// A transient fault cleared (link burst ended, device rebooted,
+    /// aggregator recovered, sensor healed).
+    FaultCleared {
+        /// When the fault cleared.
+        at: SimTime,
+        /// The fault's id.
+        id: usize,
+        /// The fault's family.
+        family: FaultFamily,
+    },
+    /// The system recognized an injected fault — an anomalous verification
+    /// window, a chain-audit finding, a rejected consensus round or a
+    /// backfilled recovery block was attributed to it.
+    FaultDetected {
+        /// When the fault was recognized.
+        at: SimTime,
+        /// The fault's id.
+        id: usize,
+        /// The fault's family.
+        family: FaultFamily,
+        /// The evidence that triggered detection.
+        signal: DetectionSignal,
+    },
 }
 
 impl WorldNotification {
@@ -116,7 +157,10 @@ impl WorldNotification {
             | WorldNotification::AnomalousWindow { at, .. }
             | WorldNotification::HandshakeCompleted { at, .. }
             | WorldNotification::PluggedIn { at, .. }
-            | WorldNotification::Unplugged { at, .. } => at,
+            | WorldNotification::Unplugged { at, .. }
+            | WorldNotification::FaultInjected { at, .. }
+            | WorldNotification::FaultCleared { at, .. }
+            | WorldNotification::FaultDetected { at, .. } => at,
         }
     }
 }
@@ -158,6 +202,43 @@ struct NetworkSite {
     client: ClientId,
 }
 
+/// Runtime state of one scheduled fault. The externally visible lifecycle
+/// lives in the embedded [`FaultRecord`]; the rest is what the world needs
+/// to apply, attribute and undo the fault.
+struct FaultRuntime {
+    event: FaultEvent,
+    record: FaultRecord,
+    /// Tamper fault waiting for the first sealed block with records.
+    pending_tamper: bool,
+    /// Access-link configs saved at burst start, restored at burst end.
+    saved_wifi: Vec<(ClientId, LinkConfig)>,
+    /// Backhaul-link configs saved at burst start, restored at burst end.
+    saved_backhaul: Vec<(AggregatorAddr, AggregatorAddr, LinkConfig)>,
+    /// Devices re-plugged into the failover network for an outage.
+    failover_moved: Vec<DeviceId>,
+    /// Backhaul traffic addressed to the down aggregator, replayed at
+    /// recovery (the mesh transport queues, it does not forget).
+    queued_backhaul: Vec<(AggregatorAddr, Packet)>,
+    /// Shadow consensus group for byzantine faults: the group, its validator
+    /// set in id order, and how many of them (from the front) are byzantine.
+    consensus: Option<(QuorumConsensus, Vec<DeviceId>, usize)>,
+}
+
+impl FaultRuntime {
+    fn new(id: usize, event: FaultEvent) -> FaultRuntime {
+        FaultRuntime {
+            record: FaultRecord::scheduled(id, &event),
+            event,
+            pending_tamper: false,
+            saved_wifi: Vec::new(),
+            saved_backhaul: Vec::new(),
+            failover_moved: Vec::new(),
+            queued_backhaul: Vec::new(),
+            consensus: None,
+        }
+    }
+}
+
 /// The composed simulation world.
 pub struct World {
     config: WorldConfig,
@@ -171,6 +252,10 @@ pub struct World {
     radio: RadioEnvironment,
     rng: SimRng,
     notifications: Vec<WorldNotification>,
+    faults: Vec<FaultRuntime>,
+    /// Networks whose aggregator is currently dark, mapped to the fault that
+    /// took them down.
+    down_sites: BTreeMap<AggregatorAddr, usize>,
 }
 
 impl core::fmt::Debug for World {
@@ -215,6 +300,8 @@ impl World {
             rng,
             config,
             notifications: Vec::new(),
+            faults: Vec::new(),
+            down_sites: BTreeMap::new(),
         }
     }
 
@@ -319,6 +406,37 @@ impl World {
             .schedule(at, WorldEvent::RemoveDevice { device, home });
     }
 
+    /// Schedules a fault injection. The event takes effect at its own
+    /// injection time and — for the transient families — clears at its
+    /// declared clear time; the world emits
+    /// [`WorldNotification::FaultInjected`] / [`FaultCleared`] /
+    /// [`FaultDetected`] at the corresponding hook points and keeps a
+    /// [`FaultRecord`] per scheduled fault (see
+    /// [`fault_records`](Self::fault_records)).
+    ///
+    /// Returns the fault's id, which the notifications and records carry.
+    /// Faults targeting devices or networks the world does not contain are
+    /// recorded but never take effect; validate plans up front through the
+    /// facade to catch that early.
+    ///
+    /// [`FaultCleared`]: WorldNotification::FaultCleared
+    /// [`FaultDetected`]: WorldNotification::FaultDetected
+    pub fn schedule_fault(&mut self, event: FaultEvent) -> usize {
+        let id = self.faults.len();
+        self.scheduler
+            .schedule(event.at(), WorldEvent::FaultStart(id));
+        if let Some(until) = event.clears_at() {
+            self.scheduler.schedule(until, WorldEvent::FaultEnd(id));
+        }
+        self.faults.push(FaultRuntime::new(id, event));
+        id
+    }
+
+    /// Lifecycle records of every scheduled fault, in scheduling order.
+    pub fn fault_records(&self) -> Vec<FaultRecord> {
+        self.faults.iter().map(|f| f.record).collect()
+    }
+
     /// Runs the world until `horizon`.
     pub fn run_until(&mut self, horizon: SimTime) {
         // The scheduler needs the world's maps, so the loop lives here rather
@@ -341,26 +459,44 @@ impl World {
                 self.handle_upstream_sample(addr, now);
             }
             WorldEvent::WindowEnd(addr) => {
-                if let Some(site) = self.sites.get_mut(&addr) {
-                    let blocks_before = site.aggregator.ledger().chain().len();
-                    let entries_before = site.aggregator.ledger().chain().total_records();
-                    let verdict = site.aggregator.end_window(now);
-                    let chain = site.aggregator.ledger().chain();
-                    if chain.len() > blocks_before {
-                        self.notifications.push(WorldNotification::BlockSealed {
-                            at: now,
-                            network: addr,
-                            block_index: chain.len() as u64 - 1,
-                            entries: chain.total_records() - entries_before,
-                        });
+                // A dark aggregator seals nothing; the timer stays alive so
+                // windows resume at the usual cadence after recovery.
+                if !self.down_sites.contains_key(&addr) {
+                    let mut anomalous = false;
+                    if let Some(site) = self.sites.get_mut(&addr) {
+                        let blocks_before = site.aggregator.ledger().chain().len();
+                        let entries_before = site.aggregator.ledger().chain().total_records();
+                        let verdict = site.aggregator.end_window(now);
+                        let chain = site.aggregator.ledger().chain();
+                        if chain.len() > blocks_before {
+                            self.notifications.push(WorldNotification::BlockSealed {
+                                at: now,
+                                network: addr,
+                                block_index: chain.len() as u64 - 1,
+                                entries: chain.total_records() - entries_before,
+                            });
+                        }
+                        if let Some(verdict) = verdict.filter(|v| v.anomalous) {
+                            anomalous = true;
+                            self.notifications.push(WorldNotification::AnomalousWindow {
+                                at: now,
+                                network: addr,
+                                verdict,
+                            });
+                        }
                     }
-                    if let Some(verdict) = verdict.filter(|v| v.anomalous) {
-                        self.notifications.push(WorldNotification::AnomalousWindow {
-                            at: now,
-                            network: addr,
-                            verdict,
-                        });
+                    // Fault hook points, in order: forgeries that waited for
+                    // a sealed block apply first, then the audit looks for
+                    // earlier forgeries, then this window's verdict and the
+                    // recovery block are attributed, then the shadow
+                    // consensus round runs.
+                    self.apply_pending_tampers(addr, now);
+                    self.audit_tamper_faults(addr, now);
+                    if anomalous {
+                        self.attribute_anomaly_to_faults(addr, now);
                     }
+                    self.attribute_recovery_backfill(addr, now);
+                    self.run_byzantine_rounds(addr, now);
                 }
                 self.scheduler.schedule(
                     now + self.config.verification_window,
@@ -381,6 +517,8 @@ impl World {
                     self.route_aggregator_output(home, out, now);
                 }
             }
+            WorldEvent::FaultStart(id) => self.fault_start(id, now),
+            WorldEvent::FaultEnd(id) => self.fault_end(id, now),
         }
     }
 
@@ -430,6 +568,14 @@ impl World {
     }
 
     fn handle_upstream_sample(&mut self, addr: AggregatorAddr, now: SimTime) {
+        // A dark aggregator's own meter is dark too; keep the timer alive.
+        if self.down_sites.contains_key(&addr) {
+            self.scheduler.schedule(
+                now + self.config.upstream_sample_interval,
+                WorldEvent::UpstreamSample(addr),
+            );
+            return;
+        }
         // Ground truth: sum the true currents of devices plugged into this
         // network's grid, evaluate the grid (losses) and let the aggregator's
         // own sensor observe the upstream total.
@@ -575,6 +721,10 @@ impl World {
     fn drain_backhaul(&mut self, now: SimTime) {
         let deliveries = self.backhaul.drain_due(now);
         for delivery in deliveries {
+            if let Some(&fault_id) = self.down_sites.get(&delivery.to) {
+                self.deliver_to_down_site(fault_id, delivery, now);
+                continue;
+            }
             let out = {
                 let Some(site) = self.sites.get_mut(&delivery.to) else {
                     continue;
@@ -585,6 +735,33 @@ impl World {
             self.route_aggregator_output(delivery.to, out, now);
         }
         self.arm_backhaul_poll(now);
+    }
+
+    /// Handles backhaul traffic addressed to a dark aggregator: membership
+    /// verification for devices adopted by a failover network is answered by
+    /// the backup's membership replica; everything else queues until
+    /// recovery (the mesh transport is reliable, the endpoint is not).
+    fn deliver_to_down_site(&mut self, fault_id: usize, delivery: BackhaulDelivery, now: SimTime) {
+        if let Packet::MembershipVerifyRequest {
+            device, requester, ..
+        } = delivery.packet
+        {
+            if self.faults[fault_id].failover_moved.contains(&device) {
+                let _ = self.backhaul.send(
+                    delivery.to,
+                    requester,
+                    Packet::MembershipVerifyResponse {
+                        device,
+                        accepted: true,
+                    },
+                    now,
+                );
+                return;
+            }
+        }
+        self.faults[fault_id]
+            .queued_backhaul
+            .push((delivery.from, delivery.packet));
     }
 
     fn route_aggregator_output(
@@ -601,6 +778,459 @@ impl World {
         }
         self.arm_backhaul_poll(now);
         self.arm_broker_poll(now);
+    }
+
+    fn note_fault_injected(&mut self, id: usize, now: SimTime) {
+        self.faults[id].record.injected_at = Some(now);
+        self.notifications.push(WorldNotification::FaultInjected {
+            at: now,
+            id,
+            family: self.faults[id].record.family,
+        });
+    }
+
+    fn mark_detected(&mut self, id: usize, now: SimTime, signal: DetectionSignal) {
+        let record = &mut self.faults[id].record;
+        record.detected_at = Some(now);
+        record.signal = Some(signal);
+        self.notifications.push(WorldNotification::FaultDetected {
+            at: now,
+            id,
+            family: record.family,
+            signal,
+        });
+    }
+
+    /// Applies a scheduled fault at its injection time.
+    fn fault_start(&mut self, id: usize, now: SimTime) {
+        match self.faults[id].event {
+            FaultEvent::SensorFault { device, kind, .. } => {
+                let Some(d) = self.devices.get_mut(&device) else {
+                    return;
+                };
+                d.inject_sensor_fault(SensorFault::new(kind, now));
+                self.note_fault_injected(id, now);
+            }
+            FaultEvent::MeterTamper { network, .. } => {
+                if !self.try_apply_tamper(id, network, now) {
+                    // Nothing committed yet: forge the first block that
+                    // seals with records (applied at the WindowEnd hook).
+                    self.faults[id].pending_tamper = true;
+                }
+            }
+            FaultEvent::LinkDegrade {
+                target, degraded, ..
+            } => {
+                match target {
+                    LinkTarget::Wifi { network } => {
+                        // Both halves of the access medium degrade: the
+                        // device clients (downlink deliveries to devices)
+                        // and the aggregator clients (uplink deliveries of
+                        // device reports) — the broker charges each
+                        // delivery against its recipient's link.
+                        let mut clients: Vec<ClientId> = self
+                            .device_clients
+                            .iter()
+                            .filter(|(dev, _)| {
+                                network.map_or(true, |n| {
+                                    self.device_sites.get(dev).map(|(a, _)| *a) == Some(n)
+                                })
+                            })
+                            .map(|(_, c)| *c)
+                            .collect();
+                        clients.extend(
+                            self.sites
+                                .iter()
+                                .filter(|(addr, _)| network.map_or(true, |n| **addr == n))
+                                .map(|(_, site)| site.client),
+                        );
+                        for client in clients {
+                            if let Some(old) = self.broker.link_config(client) {
+                                self.faults[id].saved_wifi.push((client, old));
+                                self.broker.reconfigure_link(client, degraded);
+                            }
+                        }
+                    }
+                    LinkTarget::Backhaul => {
+                        for (a, b) in self.backhaul.link_pairs() {
+                            if let Some(old) = self.backhaul.link_config(a, b) {
+                                self.faults[id].saved_backhaul.push((a, b, old));
+                                self.backhaul.reconfigure(a, b, degraded);
+                            }
+                        }
+                    }
+                }
+                self.note_fault_injected(id, now);
+            }
+            FaultEvent::DeviceCrash { device, .. } => {
+                let Some(d) = self.devices.get_mut(&device) else {
+                    return;
+                };
+                d.crash(now);
+                if let Some(&client) = self.device_clients.get(&device) {
+                    self.broker.disconnect(client);
+                }
+                self.note_fault_injected(id, now);
+            }
+            FaultEvent::AggregatorOutage {
+                network, failover, ..
+            } => {
+                let Some(site) = self.sites.get(&network) else {
+                    return;
+                };
+                // The aggregator's MQTT session drops; device publishes find
+                // no subscriber and the devices fall back to local storage.
+                self.broker.disconnect(site.client);
+                self.down_sites.insert(network, id);
+                if let Some(backup) = failover {
+                    if self.sites.contains_key(&backup) {
+                        let moved: Vec<DeviceId> = self
+                            .device_sites
+                            .iter()
+                            .filter(|(_, (a, _))| *a == network)
+                            .map(|(d, _)| *d)
+                            .collect();
+                        for device in &moved {
+                            self.do_plug_in(*device, backup, now);
+                        }
+                        self.faults[id].failover_moved = moved;
+                    }
+                }
+                self.note_fault_injected(id, now);
+            }
+            FaultEvent::ByzantineVoters {
+                network, voters, ..
+            } => {
+                // The validator set is the network's current population; the
+                // first `voters` of it (id order) collude.
+                let validators: Vec<DeviceId> = self
+                    .device_sites
+                    .iter()
+                    .filter(|(_, (a, _))| *a == network)
+                    .map(|(d, _)| *d)
+                    .collect();
+                if validators.len() >= 2 {
+                    let byzantine = (voters as usize).min(validators.len());
+                    self.faults[id].consensus = Some((
+                        QuorumConsensus::majority(validators.clone()),
+                        validators,
+                        byzantine,
+                    ));
+                }
+                self.note_fault_injected(id, now);
+            }
+        }
+    }
+
+    /// Clears a transient fault at its scheduled clear time.
+    fn fault_end(&mut self, id: usize, now: SimTime) {
+        if self.faults[id].record.injected_at.is_none() {
+            return;
+        }
+        match self.faults[id].event {
+            FaultEvent::SensorFault { device, .. } => {
+                if let Some(d) = self.devices.get_mut(&device) {
+                    d.clear_sensor_fault();
+                }
+            }
+            FaultEvent::LinkDegrade { .. } => {
+                let saved_wifi = std::mem::take(&mut self.faults[id].saved_wifi);
+                for (client, config) in saved_wifi {
+                    self.broker.reconfigure_link(client, config);
+                }
+                let saved_backhaul = std::mem::take(&mut self.faults[id].saved_backhaul);
+                for (a, b, config) in saved_backhaul {
+                    self.backhaul.reconfigure(a, b, config);
+                }
+            }
+            FaultEvent::DeviceCrash { device, .. } => {
+                if let Some(d) = self.devices.get_mut(&device) {
+                    d.restart(now);
+                }
+                if let Some(&client) = self.device_clients.get(&device) {
+                    // Resume the MQTT session in place: a link burst active
+                    // across the reboot keeps degrading this client, and
+                    // its offered/lost history survives.
+                    self.broker.reconnect(client);
+                }
+            }
+            FaultEvent::AggregatorOutage {
+                network, failover, ..
+            } => {
+                self.down_sites.remove(&network);
+                if let Some(site) = self.sites.get(&network) {
+                    // The MQTT session resumes; the link (and whatever
+                    // quality a concurrent burst set on it) is untouched.
+                    self.broker.reconnect(site.client);
+                }
+                // Replay the backhaul traffic that queued during the outage.
+                let queued = std::mem::take(&mut self.faults[id].queued_backhaul);
+                for (from, packet) in queued {
+                    let out = {
+                        let Some(site) = self.sites.get_mut(&network) else {
+                            continue;
+                        };
+                        site.aggregator.handle_backhaul(from, &packet, now)
+                    };
+                    self.route_aggregator_output(network, out, now);
+                }
+                // Send the adopted devices home — but only the ones still
+                // sitting at the failover network. A device the scenario
+                // unplugged or moved elsewhere during the outage keeps the
+                // topology the script gave it.
+                let moved = std::mem::take(&mut self.faults[id].failover_moved);
+                for device in moved {
+                    let still_adopted = failover.is_some()
+                        && self.device_sites.get(&device).map(|(a, _)| *a) == failover;
+                    if still_adopted {
+                        self.do_plug_in(device, network, now);
+                    }
+                }
+            }
+            FaultEvent::ByzantineVoters { .. } => {
+                self.faults[id].consensus = None;
+            }
+            FaultEvent::MeterTamper { .. } => {}
+        }
+        self.faults[id].record.cleared_at = Some(now);
+        self.notifications.push(WorldNotification::FaultCleared {
+            at: now,
+            id,
+            family: self.faults[id].record.family,
+        });
+    }
+
+    /// Forges a committed record in `network`'s ledger: the latest sealed
+    /// block with records gets its first record rewritten to claim half the
+    /// consumption. Returns `false` when nothing is committed yet.
+    fn try_apply_tamper(&mut self, id: usize, network: AggregatorAddr, now: SimTime) -> bool {
+        let Some(site) = self.sites.get_mut(&network) else {
+            return false;
+        };
+        let chain = site.aggregator.ledger().chain();
+        let victim = (1..chain.len() as u64)
+            .rev()
+            .find(|&i| chain.block(i).is_some_and(|b| b.record_count() > 0));
+        let Some(victim) = victim else {
+            return false;
+        };
+        let chain = site
+            .aggregator
+            .ledger_mut_for_experiment()
+            .chain_mut_for_experiment();
+        let block = chain
+            .block_mut_for_experiment(victim)
+            .expect("victim exists");
+        let forged = match LedgerEntry::from_bytes(&block.records()[0]) {
+            Some(mut entry) => {
+                entry.charge_uas /= 2;
+                entry.to_bytes()
+            }
+            None => b"forged".to_vec(),
+        };
+        block.tamper_record_for_experiment(0, forged);
+        self.faults[id].record.tampered_block = Some(victim);
+        self.faults[id].pending_tamper = false;
+        self.note_fault_injected(id, now);
+        true
+    }
+
+    /// Applies tamper faults that were waiting for a sealed block with
+    /// records on `addr`'s chain.
+    fn apply_pending_tampers(&mut self, addr: AggregatorAddr, now: SimTime) {
+        for id in 0..self.faults.len() {
+            let fault = &self.faults[id];
+            if !fault.pending_tamper || fault.record.scheduled_at > now {
+                continue;
+            }
+            if fault.event.network() == Some(addr) {
+                let _ = self.try_apply_tamper(id, addr, now);
+            }
+        }
+    }
+
+    /// Audits `addr`'s chain for the tamper faults applied before this
+    /// window and attributes audit findings to them. The (linear) audit only
+    /// runs while an applied-but-undetected tamper fault exists, so
+    /// fault-free runs pay nothing.
+    fn audit_tamper_faults(&mut self, addr: AggregatorAddr, now: SimTime) {
+        let awaiting: Vec<usize> = self
+            .faults
+            .iter()
+            .filter(|f| {
+                f.record.family == FaultFamily::Tamper
+                    && f.event.network() == Some(addr)
+                    && f.record.detected_at.is_none()
+                    && f.record.injected_at.is_some_and(|t| t < now)
+            })
+            .map(|f| f.record.id)
+            .collect();
+        if awaiting.is_empty() {
+            return;
+        }
+        let Some(site) = self.sites.get(&addr) else {
+            return;
+        };
+        let report = rtem_chain::audit::audit_chain(site.aggregator.ledger().chain(), None);
+        for id in awaiting {
+            let Some(block) = self.faults[id].record.tampered_block else {
+                continue;
+            };
+            if report.findings.iter().any(|f| f.block_index == block) {
+                self.mark_detected(id, now, DetectionSignal::ChainAudit { block_index: block });
+            }
+        }
+    }
+
+    /// Attributes an anomalous verification window on `addr` to the active
+    /// (or just-cleared) faults that plausibly caused it: sensor faults and
+    /// crashes of devices in the network, link bursts covering it, and the
+    /// network's own outage. A cleared fault stays attributable for two
+    /// windows so the first post-clear verdict still counts.
+    ///
+    /// Attribution is specificity-aware: faults scoped to this network or
+    /// to one of its devices claim the anomaly first; a medium-wide link
+    /// burst (all-Wi-Fi or backhaul) is only credited when no scoped fault
+    /// explains the verdict, so an absorbed burst elsewhere in the plan is
+    /// not marked "detected" by someone else's anomaly.
+    fn attribute_anomaly_to_faults(&mut self, addr: AggregatorAddr, now: SimTime) {
+        let grace = self.config.verification_window * 2;
+        let mut scoped = Vec::new();
+        let mut medium_wide = Vec::new();
+        for fault in &self.faults {
+            let record = &fault.record;
+            if record.detected_at.is_some() || !record.injected_at.is_some_and(|t| t < now) {
+                continue;
+            }
+            if record.cleared_at.is_some_and(|c| now > c + grace) {
+                continue;
+            }
+            match fault.event {
+                FaultEvent::SensorFault { device, .. } | FaultEvent::DeviceCrash { device, .. }
+                    if self.device_sites.get(&device).map(|(a, _)| *a) == Some(addr) =>
+                {
+                    scoped.push(record.id);
+                }
+                FaultEvent::LinkDegrade {
+                    target: LinkTarget::Wifi { network: Some(n) },
+                    ..
+                } if n == addr => scoped.push(record.id),
+                FaultEvent::LinkDegrade {
+                    target: LinkTarget::Wifi { network: None },
+                    ..
+                }
+                | FaultEvent::LinkDegrade {
+                    target: LinkTarget::Backhaul,
+                    ..
+                } => medium_wide.push(record.id),
+                FaultEvent::AggregatorOutage { network, .. } if network == addr => {
+                    scoped.push(record.id)
+                }
+                _ => {}
+            }
+        }
+        let detections = if scoped.is_empty() {
+            medium_wide
+        } else {
+            scoped
+        };
+        for id in detections {
+            self.mark_detected(id, now, DetectionSignal::AnomalousWindow);
+        }
+    }
+
+    /// After an outage recovers, the first block sealed with backfilled
+    /// records is the evidence that the data buffered through the outage
+    /// survived — attribute it to the outage fault.
+    fn attribute_recovery_backfill(&mut self, addr: AggregatorAddr, now: SimTime) {
+        let awaiting: Vec<usize> = self
+            .faults
+            .iter()
+            .filter(|f| {
+                matches!(f.event, FaultEvent::AggregatorOutage { network, .. } if network == addr)
+                    && f.record.detected_at.is_none()
+                    && f.record.cleared_at.is_some()
+            })
+            .map(|f| f.record.id)
+            .collect();
+        if awaiting.is_empty() {
+            return;
+        }
+        let Some(site) = self.sites.get(&addr) else {
+            return;
+        };
+        let head = site.aggregator.ledger().chain().head();
+        let backfilled = head
+            .records()
+            .iter()
+            .filter_map(|r| LedgerEntry::from_bytes(r))
+            .filter(|e| e.backfilled)
+            .count();
+        if backfilled == 0 {
+            return;
+        }
+        for id in awaiting {
+            self.mark_detected(
+                id,
+                now,
+                DetectionSignal::RecoveryBackfill {
+                    records: backfilled,
+                },
+            );
+        }
+    }
+
+    /// Runs one shadow consensus round per active byzantine fault on `addr`:
+    /// a byzantine proposer broadcasts a forged block, its co-conspirators
+    /// approve through [`QuorumConsensus::vote`] and the honest validators
+    /// reject. A rejected round is the detection signal; a committed forgery
+    /// means the byzantine share reached quorum.
+    fn run_byzantine_rounds(&mut self, addr: AggregatorAddr, now: SimTime) {
+        let mut detections = Vec::new();
+        for fault in self.faults.iter_mut() {
+            let FaultEvent::ByzantineVoters { network, .. } = fault.event else {
+                continue;
+            };
+            if network != addr
+                || fault.record.detected_at.is_some()
+                || fault.record.cleared_at.is_some()
+            {
+                continue;
+            }
+            let Some((consensus, validators, byzantine)) = fault.consensus.as_mut() else {
+                continue;
+            };
+            let records = vec![b"forged-consensus-record".to_vec()];
+            if consensus
+                .propose(validators[0], now.as_micros(), records)
+                .is_err()
+            {
+                continue;
+            }
+            let mut outcome = RoundOutcome::Pending;
+            for (i, voter) in validators.iter().enumerate().skip(1) {
+                let vote = if i < *byzantine {
+                    Vote::Approve
+                } else {
+                    Vote::Reject
+                };
+                match consensus.vote(*voter, vote) {
+                    Ok(o) => {
+                        outcome = o;
+                        if outcome != RoundOutcome::Pending {
+                            break;
+                        }
+                    }
+                    Err(_) => break,
+                }
+            }
+            if let RoundOutcome::Rejected { rejections } = outcome {
+                detections.push((fault.record.id, rejections));
+            }
+        }
+        for (id, rejections) in detections {
+            self.mark_detected(id, now, DetectionSignal::ConsensusRejected { rejections });
+        }
     }
 
     /// Shared access to an aggregator.
@@ -776,6 +1406,209 @@ mod tests {
             "stepping must not perturb the run"
         );
         assert_eq!(a.take_notifications(), b.take_notifications());
+    }
+
+    #[test]
+    fn stuck_sensor_is_detected_by_the_anomalous_window() {
+        use rtem_sensors::fault::SensorFaultKind;
+        let mut world = two_network_world();
+        let id = world.schedule_fault(FaultEvent::SensorFault {
+            at: SimTime::from_secs(20),
+            until: None,
+            device: DeviceId(1),
+            kind: SensorFaultKind::StuckAt { level_ma: 5.0 },
+        });
+        world.run_until(SimTime::from_secs(60));
+        let record = world.fault_records()[id];
+        assert_eq!(record.family, FaultFamily::Sensor);
+        assert_eq!(record.injected_at, Some(SimTime::from_secs(20)));
+        assert_eq!(record.signal, Some(DetectionSignal::AnomalousWindow));
+        // Detected at a window boundary after injection.
+        let latency = record.detection_latency().unwrap();
+        assert!(latency <= SimDuration::from_secs(10), "latency {latency:?}");
+        let notifications = world.take_notifications();
+        assert!(notifications
+            .iter()
+            .any(|n| matches!(n, WorldNotification::FaultInjected { .. })));
+        assert!(notifications
+            .iter()
+            .any(|n| matches!(n, WorldNotification::FaultDetected { .. })));
+    }
+
+    #[test]
+    fn tampered_ledger_is_detected_by_the_audit_with_latency() {
+        let mut world = two_network_world();
+        let id = world.schedule_fault(FaultEvent::MeterTamper {
+            at: SimTime::from_secs(22),
+            network: AggregatorAddr(1),
+        });
+        world.run_until(SimTime::from_secs(45));
+        let record = world.fault_records()[id];
+        assert_eq!(record.injected_at, Some(SimTime::from_secs(22)));
+        let block = record.tampered_block.expect("a block was forged");
+        assert_eq!(
+            record.signal,
+            Some(DetectionSignal::ChainAudit { block_index: block })
+        );
+        // The audit fires at the next window boundary after the forgery.
+        assert_eq!(record.detected_at, Some(SimTime::from_secs(25)));
+        // The forgery is real: the chain no longer audits clean.
+        let agg = world.aggregator(AggregatorAddr(1)).unwrap();
+        let audit = rtem_chain::audit::audit_chain(agg.ledger().chain(), None);
+        assert!(!audit.is_clean());
+        assert_eq!(audit.first_bad_block(), Some(block));
+    }
+
+    #[test]
+    fn tamper_before_any_records_waits_for_the_first_sealed_block() {
+        let mut world = two_network_world();
+        let id = world.schedule_fault(FaultEvent::MeterTamper {
+            at: SimTime::from_secs(1),
+            network: AggregatorAddr(1),
+        });
+        world.run_until(SimTime::from_secs(40));
+        let record = world.fault_records()[id];
+        let injected_at = record.injected_at.expect("applied eventually");
+        assert!(
+            injected_at > SimTime::from_secs(1),
+            "deferred past schedule"
+        );
+        assert!(record.detected());
+    }
+
+    #[test]
+    fn crashed_device_loses_state_then_recovers_and_is_detected() {
+        let mut world = two_network_world();
+        let id = world.schedule_fault(FaultEvent::DeviceCrash {
+            at: SimTime::from_secs(30),
+            restart_at: SimTime::from_secs(50),
+            device: DeviceId(1),
+        });
+        world.run_until(SimTime::from_secs(40));
+        assert!(world.device(DeviceId(1)).unwrap().is_crashed());
+        world.run_until(SimTime::from_secs(90));
+        let device = world.device(DeviceId(1)).unwrap();
+        assert!(!device.is_crashed());
+        assert!(device.is_registered(), "re-registered after reboot");
+        let record = world.fault_records()[id];
+        assert_eq!(record.cleared_at, Some(SimTime::from_secs(50)));
+        assert_eq!(record.signal, Some(DetectionSignal::AnomalousWindow));
+    }
+
+    #[test]
+    fn outage_with_failover_adopts_devices_and_recovers() {
+        let mut world = two_network_world();
+        let id = world.schedule_fault(FaultEvent::AggregatorOutage {
+            at: SimTime::from_secs(30),
+            until: SimTime::from_secs(60),
+            network: AggregatorAddr(1),
+            failover: Some(AggregatorAddr(2)),
+        });
+        world.run_until(SimTime::from_secs(45));
+        // Both devices moved to the backup and registered as temporaries
+        // through the membership replica.
+        for dev in [1u64, 2] {
+            assert_eq!(
+                world.device_network(DeviceId(dev)),
+                Some(AggregatorAddr(2)),
+                "device {dev} adopted by the backup"
+            );
+        }
+        let backup = world.aggregator(AggregatorAddr(2)).unwrap();
+        assert!(backup.registry().is_member(DeviceId(1)));
+        world.run_until(SimTime::from_secs(100));
+        // Recovered: devices are home again and reporting.
+        for dev in [1u64, 2] {
+            assert_eq!(world.device_network(DeviceId(dev)), Some(AggregatorAddr(1)));
+        }
+        let record = world.fault_records()[id];
+        assert_eq!(record.cleared_at, Some(SimTime::from_secs(60)));
+        assert!(record.detected(), "outage left observable evidence");
+        // The home ledger kept growing after recovery.
+        let home = world.aggregator(AggregatorAddr(1)).unwrap();
+        assert!(home.ledger().chain().len() > 3);
+    }
+
+    #[test]
+    fn recovery_respects_topology_changes_scripted_during_the_outage() {
+        let mut world = two_network_world();
+        world.schedule_fault(FaultEvent::AggregatorOutage {
+            at: SimTime::from_secs(30),
+            until: SimTime::from_secs(60),
+            network: AggregatorAddr(1),
+            failover: Some(AggregatorAddr(2)),
+        });
+        // Mid-outage the scenario unplugs device 1 for good.
+        world.schedule_unplug(SimTime::from_secs(45), DeviceId(1));
+        world.run_until(SimTime::from_secs(80));
+        // Recovery must not resurrect the unplugged device...
+        assert_eq!(world.device_network(DeviceId(1)), None);
+        assert!(!world.device(DeviceId(1)).unwrap().is_plugged());
+        // ...while the still-adopted device goes home as usual.
+        assert_eq!(world.device_network(DeviceId(2)), Some(AggregatorAddr(1)));
+    }
+
+    #[test]
+    fn byzantine_minority_is_rejected_majority_commits_forgeries() {
+        // Minority: 1 byzantine of 2 validators -> quorum 2 unreachable for
+        // the forgery, honest rejection detects the collusion.
+        let mut world = two_network_world();
+        let id = world.schedule_fault(FaultEvent::ByzantineVoters {
+            at: SimTime::from_secs(20),
+            until: SimTime::from_secs(50),
+            network: AggregatorAddr(1),
+            voters: 1,
+        });
+        world.run_until(SimTime::from_secs(60));
+        let record = world.fault_records()[id];
+        assert!(matches!(
+            record.signal,
+            Some(DetectionSignal::ConsensusRejected { rejections: 1 })
+        ));
+
+        // Majority: both validators collude -> the forgery reaches quorum
+        // and commits; nothing rejects, nothing is detected.
+        let mut world = two_network_world();
+        let id = world.schedule_fault(FaultEvent::ByzantineVoters {
+            at: SimTime::from_secs(20),
+            until: SimTime::from_secs(50),
+            network: AggregatorAddr(1),
+            voters: 2,
+        });
+        world.run_until(SimTime::from_secs(60));
+        let record = world.fault_records()[id];
+        assert!(record.injected());
+        assert!(!record.detected(), "a colluding majority goes unnoticed");
+    }
+
+    #[test]
+    fn fault_run_is_deterministic_and_slicing_invariant() {
+        use rtem_sensors::fault::SensorFaultKind;
+        let plan = |world: &mut World| {
+            world.schedule_fault(FaultEvent::SensorFault {
+                at: SimTime::from_secs(15),
+                until: Some(SimTime::from_secs(35)),
+                device: DeviceId(2),
+                kind: SensorFaultKind::Drift { rate_ma_per_s: 8.0 },
+            });
+            world.schedule_fault(FaultEvent::MeterTamper {
+                at: SimTime::from_secs(20),
+                network: AggregatorAddr(1),
+            });
+        };
+        let mut a = two_network_world();
+        plan(&mut a);
+        a.run_until(SimTime::from_secs(50));
+        let mut b = two_network_world();
+        plan(&mut b);
+        let mut t = SimTime::ZERO;
+        while t < SimTime::from_secs(50) {
+            t += SimDuration::from_millis(3_300);
+            b.run_until(t.min(SimTime::from_secs(50)));
+        }
+        assert_eq!(a.fault_records(), b.fault_records());
+        assert_eq!(a.take_notifications(), b.take_notifications());
+        assert_eq!(a.metrics(), b.metrics());
     }
 
     #[test]

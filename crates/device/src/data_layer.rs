@@ -126,6 +126,14 @@ impl LocalStore {
         &self.records
     }
 
+    /// Drops every buffered record — a firmware crash losing the volatile
+    /// store-and-forward buffer. Returns how many records were lost.
+    pub fn clear(&mut self) -> usize {
+        let lost = self.records.len();
+        self.records.clear();
+        lost
+    }
+
     /// Drops every record with `sequence <= through_sequence` — called when
     /// the aggregator acknowledges receipt.
     pub fn acknowledge_through(&mut self, through_sequence: u64) -> usize {
@@ -222,6 +230,19 @@ mod tests {
         assert_eq!(s.acknowledge_through(100), 2);
         assert!(s.is_empty());
         assert_eq!(s.acknowledge_through(100), 0);
+    }
+
+    #[test]
+    fn clear_loses_everything_buffered() {
+        let mut s = LocalStore::new(10);
+        for i in 0..4 {
+            s.push(record(i));
+        }
+        assert_eq!(s.clear(), 4);
+        assert!(s.is_empty());
+        assert_eq!(s.clear(), 0);
+        // Lifetime counters survive the crash.
+        assert_eq!(s.total_stored(), 4);
     }
 
     #[test]

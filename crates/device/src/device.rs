@@ -22,6 +22,7 @@ use rtem_net::packet::{AggregatorAddr, MeasurementRecord, MembershipKind, Packet
 use rtem_net::rssi::{Position, RadioEnvironment};
 use rtem_net::DeviceId;
 use rtem_sensors::energy::{MilliampSeconds, Milliamps, Millivolts};
+use rtem_sensors::fault::SensorFault;
 use rtem_sensors::grid::BranchId;
 use rtem_sensors::ina219::{Ina219Config, Ina219Model};
 use rtem_sensors::profile::LoadProfile;
@@ -51,6 +52,8 @@ pub struct MeteringDevice {
     last_tick: Option<SimTime>,
     last_handshake: Option<HandshakeBreakdown>,
     reported_series: Vec<(SimTime, Milliamps)>,
+    crashed: bool,
+    records_lost_to_crashes: u64,
 }
 
 impl core::fmt::Debug for MeteringDevice {
@@ -96,6 +99,8 @@ impl MeteringDevice {
             last_tick: None,
             last_handshake: None,
             reported_series: Vec::new(),
+            crashed: false,
+            records_lost_to_crashes: 0,
         }
     }
 
@@ -207,10 +212,73 @@ impl MeteringDevice {
         self.last_tick = None;
     }
 
+    /// Installs a sensor fault on the device's INA219: subsequent samples
+    /// are distorted while the ground-truth load is unaffected. Used by the
+    /// fault-injection subsystem.
+    pub fn inject_sensor_fault(&mut self, fault: SensorFault) {
+        self.physical.set_sensor_fault(Some(fault));
+    }
+
+    /// Heals an injected sensor fault.
+    pub fn clear_sensor_fault(&mut self) {
+        self.physical.set_sensor_fault(None);
+    }
+
+    /// The currently injected sensor fault, if any.
+    pub fn sensor_fault(&self) -> Option<SensorFault> {
+        self.physical.sensor_fault()
+    }
+
+    /// `true` while the firmware is crashed (between
+    /// [`crash`](Self::crash) and [`restart`](Self::restart)).
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Records lost across all firmware crashes so far.
+    pub fn records_lost_to_crashes(&self) -> u64 {
+        self.records_lost_to_crashes
+    }
+
+    /// Simulates a firmware crash: every unacknowledged buffered record is
+    /// lost (the store-and-forward buffer is volatile), the registration
+    /// state machine dies and the firmware latches
+    /// [`PowerState::Fault`]. The electrical load keeps drawing — a crashed
+    /// charger still charges — which is exactly the reported-vs-measured gap
+    /// the aggregator's complementary measurement exposes. Returns the
+    /// number of records lost.
+    pub fn crash(&mut self, _now: SimTime) -> usize {
+        let lost = self.store.clear();
+        self.records_lost_to_crashes += lost as u64;
+        self.crashed = true;
+        self.network.shutdown();
+        self.middleware.raise_fault();
+        self.last_tick = None;
+        lost
+    }
+
+    /// Reboots a crashed firmware at `now`: the fault state clears, the RTC
+    /// re-synchronizes, and — when still electrically connected — aggregator
+    /// discovery restarts so the device re-registers and resumes reporting.
+    pub fn restart(&mut self, now: SimTime) {
+        self.crashed = false;
+        self.middleware.reset(now);
+        self.rtc.synchronize(now);
+        self.last_tick = None;
+        if self.physical.is_plugged() {
+            self.network.start_discovery(now);
+        }
+    }
+
     /// One Tmeasure tick: advance the network state machine, take a
     /// measurement when plugged, and emit any packets that must be published.
     pub fn on_measure_tick(&mut self, now: SimTime, radio: &RadioEnvironment) -> Vec<Outbound> {
         let mut out = Vec::new();
+        // A crashed firmware neither measures nor speaks; the load keeps
+        // drawing through true_grid_current regardless.
+        if self.crashed {
+            return out;
+        }
 
         // 1. Advance the handshake / registration state machine.
         let (commands, events) = self.network.poll(now, radio, self.position);
@@ -257,6 +325,9 @@ impl MeteringDevice {
     /// Handles a packet addressed to this device.
     pub fn on_packet(&mut self, packet: &Packet, now: SimTime) -> Vec<Outbound> {
         let mut out = Vec::new();
+        if self.crashed {
+            return out;
+        }
         let (commands, events) = self.network.handle_packet(packet, now);
         self.apply_net_commands(commands, &mut out);
         self.apply_net_events(events);
@@ -558,6 +629,74 @@ mod tests {
         let forecast = d.forecaster().forecast(1).unwrap();
         assert!((forecast - 120.0).abs() < 10.0, "forecast {forecast}");
         assert!(!d.measured_series().is_empty());
+    }
+
+    #[test]
+    fn crash_loses_buffer_and_restart_recovers() {
+        let radio = radio();
+        let mut d = test_device();
+        d.boot(SimTime::ZERO);
+        d.plug_in(
+            SimTime::from_millis(100),
+            BranchId(0),
+            Position::new(1.0, 0.0),
+        );
+        let mut now = register(&mut d, &radio, SimTime::from_millis(100));
+        for _ in 0..5 {
+            now += SimDuration::from_millis(100);
+            d.on_measure_tick(now, &radio);
+        }
+        assert!(d.buffered_records() > 0);
+        let lost = d.crash(now);
+        assert!(lost > 0);
+        assert!(d.is_crashed());
+        assert_eq!(d.records_lost_to_crashes(), lost as u64);
+        assert_eq!(d.buffered_records(), 0, "volatile buffer lost");
+        assert!(!d.is_registered());
+        assert_eq!(d.power_state(), PowerState::Fault);
+        // While crashed the firmware is silent and deaf...
+        now += SimDuration::from_millis(100);
+        assert!(d.on_measure_tick(now, &radio).is_empty());
+        assert!(d
+            .on_packet(&Packet::Nack { device: d.id() }, now)
+            .is_empty());
+        // ...but the electrical load keeps drawing.
+        assert!(d.true_grid_current(now).value() > 0.0);
+        // Reboot: discovery restarts and the device re-registers.
+        now += SimDuration::from_millis(100);
+        d.restart(now);
+        assert!(!d.is_crashed());
+        assert_eq!(d.power_state(), PowerState::Idle);
+        register(&mut d, &radio, now);
+        assert!(d.is_registered());
+    }
+
+    #[test]
+    fn injected_sensor_fault_shapes_reports() {
+        use rtem_sensors::fault::{SensorFault, SensorFaultKind};
+        let radio = radio();
+        let mut d = test_device();
+        d.boot(SimTime::ZERO);
+        d.plug_in(
+            SimTime::from_millis(100),
+            BranchId(0),
+            Position::new(1.0, 0.0),
+        );
+        let mut now = register(&mut d, &radio, SimTime::from_millis(100));
+        d.inject_sensor_fault(SensorFault::new(
+            SensorFaultKind::StuckAt { level_ma: 7.0 },
+            now,
+        ));
+        assert!(d.sensor_fault().is_some());
+        now += SimDuration::from_millis(100);
+        d.on_measure_tick(now, &radio);
+        let (_, last) = *d.measured_series().last().unwrap();
+        assert_eq!(last.value(), 7.0, "stuck reading reported");
+        d.clear_sensor_fault();
+        now += SimDuration::from_millis(100);
+        d.on_measure_tick(now, &radio);
+        let (_, healed) = *d.measured_series().last().unwrap();
+        assert_eq!(healed.value(), 120.0, "honest reading after healing");
     }
 
     #[test]

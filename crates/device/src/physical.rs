@@ -10,6 +10,7 @@
 use rtem_net::packet::MeasurementRecord;
 use rtem_net::DeviceId;
 use rtem_sensors::energy::{EnergyAccumulator, Milliamps, Millivolts};
+use rtem_sensors::fault::SensorFault;
 use rtem_sensors::grid::BranchId;
 use rtem_sensors::ina219::Ina219Model;
 use rtem_sensors::profile::LoadProfile;
@@ -43,6 +44,7 @@ pub struct PhysicalLayer {
     device: DeviceId,
     load: Box<dyn LoadProfile + Send>,
     sensor: Ina219Model,
+    fault: Option<SensorFault>,
     accumulator: EnergyAccumulator,
     plug: PlugState,
     last_sample_at: Option<SimTime>,
@@ -72,12 +74,26 @@ impl PhysicalLayer {
             device,
             load: Box::new(load),
             sensor,
+            fault: None,
             accumulator: EnergyAccumulator::new(supply),
             plug: PlugState::Unplugged,
             last_sample_at: None,
             next_sequence: 0,
             samples_taken: 0,
         }
+    }
+
+    /// Installs (or clears) a sensor fault. While a fault is installed every
+    /// sample is distorted by it *after* the INA219 error terms; the
+    /// ground-truth grid current is unaffected, so the aggregator's own
+    /// complementary measurement can expose the discrepancy.
+    pub fn set_sensor_fault(&mut self, fault: Option<SensorFault>) {
+        self.fault = fault;
+    }
+
+    /// The currently installed sensor fault, if any.
+    pub fn sensor_fault(&self) -> Option<SensorFault> {
+        self.fault
     }
 
     /// The owning device's id.
@@ -130,7 +146,10 @@ impl PhysicalLayer {
             return None;
         }
         let true_current = self.load.current_at(now);
-        let measured = self.sensor.measure(true_current);
+        let mut measured = self.sensor.measure(true_current);
+        if let Some(fault) = &self.fault {
+            measured = fault.distort(measured, now);
+        }
         if let Some(prev) = self.last_sample_at {
             let dt = now.saturating_duration_since(prev);
             self.accumulator.add_sample(measured, dt);
@@ -257,6 +276,29 @@ mod tests {
         p.sample(SimTime::from_secs(10));
         let record = p.build_record(0, 1, Milliamps::new(100.0), false);
         assert_eq!(record.charge_uas, 0, "gap must not be billed");
+    }
+
+    #[test]
+    fn sensor_fault_distorts_samples_but_not_ground_truth() {
+        use rtem_sensors::fault::{SensorFault, SensorFaultKind};
+        let mut p = layer(150.0);
+        p.plug_in(BranchId(0));
+        p.set_sensor_fault(Some(SensorFault::new(
+            SensorFaultKind::StuckAt { level_ma: 10.0 },
+            SimTime::ZERO,
+        )));
+        assert!(p.sensor_fault().is_some());
+        let s = p.sample(SimTime::from_millis(100)).unwrap();
+        assert_eq!(s.true_current.value(), 150.0, "truth untouched");
+        assert_eq!(s.measured_current.value(), 10.0, "reading stuck");
+        assert_eq!(
+            p.true_grid_current(SimTime::from_millis(100)).value(),
+            150.0
+        );
+        // Healing restores honest readings.
+        p.set_sensor_fault(None);
+        let s = p.sample(SimTime::from_millis(200)).unwrap();
+        assert_eq!(s.measured_current.value(), 150.0);
     }
 
     #[test]

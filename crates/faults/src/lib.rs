@@ -1,0 +1,31 @@
+//! # rtem-faults — declarative fault injection for the metering testbed
+//!
+//! Part of the `rtem` workspace reproducing *Real-Time Energy Monitoring in
+//! IoT-enabled Mobile Devices* (DATE 2020).
+//!
+//! The paper's core claim is that decentralized metering stays accurate and
+//! auditable under real-world degradation: tampered readings, lossy links,
+//! flaky devices. This crate is the vocabulary for *injecting* exactly those
+//! conditions into a simulated run, as plain schedulable data:
+//!
+//! * [`event`] — the six fault families as typed [`FaultEvent`]s
+//!   (sensor faults, meter tampering, link degradation bursts, device
+//!   crash/restart, aggregator outage with failover, byzantine consensus
+//!   voters), plus the [`FaultRecord`] lifecycle bookkeeping and the
+//!   [`DetectionSignal`] taxonomy.
+//! * [`plan`] — the [`FaultPlan`] collecting events into one validated,
+//!   reusable value, mirroring how `ScenarioSpec` treats topology scripts.
+//!
+//! The crate is deliberately *descriptive*: it knows what a fault is, not
+//! how to apply one. Injection hook points live in the simulation world
+//! (`rtem_core::simulation::World::schedule_fault`) and the run-level
+//! resilience accounting lives in the `rtem::faults` facade module.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod plan;
+
+pub use event::{DetectionSignal, FaultEvent, FaultFamily, FaultRecord, LinkTarget};
+pub use plan::{FaultPlan, FaultPlanError};

@@ -178,6 +178,43 @@ impl BackhaulMesh {
         }
     }
 
+    /// Every connected undirected pair, each listed once with the lower
+    /// address first.
+    pub fn link_pairs(&self) -> Vec<(AggregatorAddr, AggregatorAddr)> {
+        self.links
+            .keys()
+            .filter(|(a, b)| a.0 < b.0)
+            .copied()
+            .collect()
+    }
+
+    /// The configuration of the directed `a -> b` link, if it exists (links
+    /// are created symmetrically, so both directions normally agree).
+    pub fn link_config(&self, a: AggregatorAddr, b: AggregatorAddr) -> Option<LinkConfig> {
+        self.links.get(&(a, b)).map(|l| *l.model.config())
+    }
+
+    /// Replaces the quality of the `a <-> b` link in both directions,
+    /// preserving the per-direction offered/lost counters (unlike
+    /// [`connect`](Self::connect), which installs fresh links). Returns
+    /// `false` when the pair is not connected. Used by fault injection to
+    /// degrade and restore backhaul links in place.
+    pub fn reconfigure(
+        &mut self,
+        a: AggregatorAddr,
+        b: AggregatorAddr,
+        config: LinkConfig,
+    ) -> bool {
+        let mut found = false;
+        for key in [(a, b), (b, a)] {
+            if let Some(link) = self.links.get_mut(&key) {
+                link.model.reconfigure(config);
+                found = true;
+            }
+        }
+        found
+    }
+
     /// Neighbours directly connected to `addr`.
     pub fn neighbours(&self, addr: AggregatorAddr) -> Vec<AggregatorAddr> {
         self.links
@@ -459,6 +496,46 @@ mod tests {
         }
         assert_eq!(mesh.sent(), 10);
         assert_eq!(mesh.lost(), 0);
+    }
+
+    #[test]
+    fn reconfigure_degrades_both_directions_and_lists_pairs() {
+        let mut mesh = two_node_mesh();
+        assert_eq!(
+            mesh.link_pairs(),
+            vec![(AggregatorAddr(1), AggregatorAddr(2))]
+        );
+        assert_eq!(
+            mesh.link_config(AggregatorAddr(1), AggregatorAddr(2)),
+            Some(LinkConfig::backhaul())
+        );
+        let dead = LinkConfig {
+            loss_probability: 1.0,
+            ..LinkConfig::backhaul()
+        };
+        assert!(mesh.reconfigure(AggregatorAddr(1), AggregatorAddr(2), dead));
+        for from in [1u32, 2] {
+            mesh.send(
+                AggregatorAddr(from),
+                AggregatorAddr(3 - from),
+                verify_packet(),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        }
+        assert!(mesh.drain_due(SimTime::from_secs(10)).is_empty());
+        assert_eq!(mesh.lost(), 2);
+        // Restore: delivery resumes.
+        assert!(mesh.reconfigure(AggregatorAddr(1), AggregatorAddr(2), LinkConfig::backhaul()));
+        mesh.send(
+            AggregatorAddr(1),
+            AggregatorAddr(2),
+            verify_packet(),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        assert_eq!(mesh.drain_due(SimTime::from_secs(10)).len(), 1);
+        assert!(!mesh.reconfigure(AggregatorAddr(1), AggregatorAddr(9), LinkConfig::backhaul()));
     }
 
     #[test]

@@ -226,9 +226,42 @@ impl MqttBroker {
         }
     }
 
+    /// Resumes a disconnected client's session in place: subscriptions,
+    /// link configuration and offered/lost counters all survive (unlike
+    /// [`connect`](Self::connect), which installs a fresh link). Returns
+    /// `false` for unknown clients.
+    pub fn reconnect(&mut self, id: ClientId) -> bool {
+        match self.clients.get_mut(&id) {
+            Some(client) => {
+                client.connected = true;
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Returns `true` if the client is currently connected.
     pub fn is_connected(&self, id: ClientId) -> bool {
         self.clients.get(&id).is_some_and(|c| c.connected)
+    }
+
+    /// The access-link configuration of a connected client, if it exists.
+    pub fn link_config(&self, id: ClientId) -> Option<LinkConfig> {
+        self.clients.get(&id).map(|c| *c.link.config())
+    }
+
+    /// Replaces a client's access-link quality mid-run, preserving its
+    /// offered/lost counters (unlike [`connect`](Self::connect), which
+    /// installs a fresh link). Returns `false` for unknown clients. Used by
+    /// fault injection to degrade and restore links in place.
+    pub fn reconfigure_link(&mut self, id: ClientId, config: LinkConfig) -> bool {
+        match self.clients.get_mut(&id) {
+            Some(client) => {
+                client.link.reconfigure(config);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Subscribes `id` to a topic filter.
@@ -586,6 +619,73 @@ mod tests {
                 "retransmission arrived too early: {offset_ms} ms"
             );
         }
+    }
+
+    #[test]
+    fn reconnect_resumes_the_session_without_touching_the_link() {
+        let mut b = broker();
+        b.connect(ClientId(1), LinkConfig::ideal());
+        b.connect(ClientId(2), LinkConfig::ideal());
+        b.subscribe(ClientId(2), "#").unwrap();
+        // Degrade mid-session, then bounce the client.
+        let slow = LinkConfig {
+            base_latency: SimDuration::from_millis(25),
+            ..LinkConfig::ideal()
+        };
+        b.reconfigure_link(ClientId(2), slow);
+        b.disconnect(ClientId(2));
+        assert!(b.reconnect(ClientId(2)));
+        assert!(b.is_connected(ClientId(2)));
+        // Subscription and the degraded link both survived the bounce.
+        b.publish(
+            ClientId(1),
+            "t",
+            Bytes::new(),
+            QoS::AtMostOnce,
+            SimTime::ZERO,
+        )
+        .unwrap();
+        assert_eq!(b.next_delivery_at(), Some(SimTime::from_millis(25)));
+        assert!(!b.reconnect(ClientId(9)));
+    }
+
+    #[test]
+    fn reconfigure_link_degrades_and_restores_in_place() {
+        let mut b = broker();
+        b.connect(ClientId(1), LinkConfig::ideal());
+        b.connect(ClientId(2), LinkConfig::ideal());
+        b.subscribe(ClientId(2), "#").unwrap();
+        assert_eq!(b.link_config(ClientId(2)), Some(LinkConfig::ideal()));
+        // Degrade to total loss: QoS0 publishes stop arriving.
+        let dead = LinkConfig {
+            loss_probability: 1.0,
+            ..LinkConfig::ideal()
+        };
+        assert!(b.reconfigure_link(ClientId(2), dead));
+        let n = b
+            .publish(
+                ClientId(1),
+                "t",
+                Bytes::new(),
+                QoS::AtMostOnce,
+                SimTime::ZERO,
+            )
+            .unwrap();
+        assert_eq!(n, 0);
+        // Restore: traffic flows again, subscriptions intact.
+        assert!(b.reconfigure_link(ClientId(2), LinkConfig::ideal()));
+        let n = b
+            .publish(
+                ClientId(1),
+                "t",
+                Bytes::new(),
+                QoS::AtMostOnce,
+                SimTime::ZERO,
+            )
+            .unwrap();
+        assert_eq!(n, 1);
+        assert!(!b.reconfigure_link(ClientId(9), LinkConfig::ideal()));
+        assert_eq!(b.link_config(ClientId(9)), None);
     }
 
     #[test]

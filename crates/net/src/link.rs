@@ -142,6 +142,20 @@ impl LinkModel {
         &self.config
     }
 
+    /// Replaces the link's configuration mid-run, preserving the offered and
+    /// lost counters and the RNG stream. This is what fault-injection bursts
+    /// use to degrade and later restore a live link without resetting its
+    /// observed loss-rate history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new configuration is invalid (see
+    /// [`LinkConfig::validate`]).
+    pub fn reconfigure(&mut self, config: LinkConfig) {
+        config.validate();
+        self.config = config;
+    }
+
     /// Offers a packet of `size_bytes` to the link and returns its fate.
     pub fn offer(&mut self, size_bytes: usize) -> Transit {
         self.offered += 1;
@@ -264,6 +278,37 @@ mod tests {
             ..LinkConfig::ideal()
         };
         let _ = LinkModel::new(cfg, rng());
+    }
+
+    #[test]
+    fn reconfigure_preserves_counters() {
+        let lossy = LinkConfig {
+            base_latency: SimDuration::from_millis(1),
+            jitter: SimDuration::ZERO,
+            loss_probability: 1.0,
+            bandwidth_bps: None,
+        };
+        let mut link = LinkModel::new(lossy, rng());
+        for _ in 0..10 {
+            assert_eq!(link.offer(64), Transit::Lost);
+        }
+        assert_eq!(link.lost(), 10);
+        link.reconfigure(LinkConfig::ideal());
+        assert_eq!(link.offer(64), Transit::Delivered(SimDuration::ZERO));
+        // The history survived the reconfiguration.
+        assert_eq!(link.offered(), 11);
+        assert_eq!(link.lost(), 10);
+        assert_eq!(*link.config(), LinkConfig::ideal());
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability")]
+    fn reconfigure_validates_the_new_config() {
+        let mut link = LinkModel::new(LinkConfig::ideal(), rng());
+        link.reconfigure(LinkConfig {
+            loss_probability: -0.5,
+            ..LinkConfig::ideal()
+        });
     }
 
     #[test]

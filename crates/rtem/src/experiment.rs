@@ -1,5 +1,6 @@
 //! The [`Experiment`] runner: spec in, [`RunReport`] out.
 
+use crate::faults::{build_resilience, FaultPlan};
 use crate::probe::{NullProbe, Probe};
 use crate::report::{BillLine, LedgerSummary, NetworkAccuracy, RunReport};
 use crate::runner::RunHandle;
@@ -69,6 +70,9 @@ impl Experiment {
                 }
             }
         }
+        for event in &self.spec.fault_plan.events {
+            world.schedule_fault(*event);
+        }
         Ok(world)
     }
 
@@ -92,15 +96,39 @@ impl Experiment {
     pub fn run(self) -> Result<RunReport, SpecError> {
         Ok(self.start()?.finish())
     }
+
+    /// Like [`run`](Experiment::run), but with the clean twin's mean
+    /// overhead already known, so the resilience accounting skips its own
+    /// baseline simulation. Used by [`Suite`](crate::suite::Suite), which
+    /// computes each distinct baseline once per grid instead of once per
+    /// cell.
+    pub(crate) fn run_with_clean_baseline(
+        self,
+        baseline: Option<f64>,
+    ) -> Result<RunReport, SpecError> {
+        let mut handle = self.start()?;
+        handle.set_clean_baseline(baseline);
+        Ok(handle.finish())
+    }
 }
 
-pub(crate) fn collect_report(spec: &ScenarioSpec, world: World, horizon: SimTime) -> RunReport {
+/// `clean_baseline`: `None` means "simulate the clean twin here"; `Some(x)`
+/// is a precomputed twin mean overhead (possibly itself `None` when the twin
+/// had no settled window).
+pub(crate) fn collect_report(
+    spec: &ScenarioSpec,
+    world: World,
+    horizon: SimTime,
+    clean_baseline: Option<Option<f64>>,
+) -> RunReport {
     let metrics = WorldMetrics::collect(&world);
     let handshakes = metrics.handshake_stats();
+    let faulted = !spec.fault_plan.is_empty();
 
     let mut accuracy = Vec::new();
     let mut ledgers = Vec::new();
     let mut bills = Vec::new();
+    let mut audit_findings = Vec::new();
     for addr in world.network_addresses() {
         accuracy.push(NetworkAccuracy {
             network: addr,
@@ -121,6 +149,9 @@ pub(crate) fn collect_report(spec: &ScenarioSpec, world: World, horizon: SimTime
             first_bad_block: audit.first_bad_block(),
             accounts_match_chain: aggregator.ledger().accounts_match_chain(),
         });
+        if faulted {
+            audit_findings.extend(audit.findings.iter().map(|f| (addr, *f)));
+        }
         for (device, bill) in aggregator.billing().iter() {
             bills.push(BillLine {
                 network: addr,
@@ -134,14 +165,35 @@ pub(crate) fn collect_report(spec: &ScenarioSpec, world: World, horizon: SimTime
         }
     }
 
-    RunReport {
+    let mut report = RunReport {
         metrics,
         accuracy,
         handshakes,
         ledgers,
         bills,
+        resilience: None,
         world,
+    };
+    if faulted {
+        // The accuracy-under-fault delta needs a clean twin: the identical
+        // spec minus the fault plan. Simulated here unless the caller (a
+        // Suite sharing one baseline across cells) already ran it.
+        let clean_overhead = match clean_baseline {
+            Some(precomputed) => precomputed,
+            None => Experiment::new(spec.clone().with_fault_plan(FaultPlan::new()))
+                .run()
+                .expect("a spec that validated with its plan validates without it")
+                .mean_overhead_percent(),
+        };
+        report.resilience = Some(build_resilience(
+            report.world.fault_records(),
+            &spec.fault_plan.events,
+            &audit_findings,
+            report.mean_overhead_percent(),
+            clean_overhead,
+        ));
     }
+    report
 }
 
 #[cfg(test)]

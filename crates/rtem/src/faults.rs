@@ -1,0 +1,178 @@
+//! Fault injection and resilience accounting — the facade over `rtem-faults`.
+//!
+//! Build a [`FaultPlan`] (six families: sensor faults, meter tampering,
+//! link-degradation bursts, device crash/restart, aggregator outage with
+//! failover, byzantine consensus voters), attach it to a
+//! [`ScenarioSpec`](crate::spec::ScenarioSpec) with
+//! [`with_fault_plan`](crate::spec::ScenarioSpec::with_fault_plan), and run
+//! the experiment as usual. The run's
+//! [`RunReport`](crate::report::RunReport) then carries a
+//! [`ResilienceReport`]: per-family injected vs. detected counts, detection
+//! latencies, audit findings attributed to tamper injections, and the
+//! accuracy-under-fault delta against a clean twin run of the same spec
+//! without the plan.
+//!
+//! ```
+//! use rtem::prelude::*;
+//!
+//! let plan = FaultPlan::new().tamper_at(SimTime::from_secs(22), AggregatorAddr(1));
+//! let spec = ScenarioSpec::paper_testbed(42)
+//!     .with_horizon(SimDuration::from_secs(40))
+//!     .with_fault_plan(plan);
+//! let report = Experiment::new(spec).run().unwrap();
+//! let resilience = report.resilience.as_ref().unwrap();
+//! assert_eq!(resilience.detection_rate(), Some(1.0));
+//! assert!(!report.all_ledgers_clean(), "the forgery is in the ledger");
+//! ```
+
+use rtem_chain::audit::Finding;
+use rtem_net::packet::AggregatorAddr;
+
+pub use rtem_faults::event::{DetectionSignal, FaultEvent, FaultFamily, FaultRecord, LinkTarget};
+pub use rtem_faults::plan::{FaultPlan, FaultPlanError};
+pub use rtem_sensors::fault::{SensorFault, SensorFaultKind};
+
+/// Per-family injected/detected accounting of one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FamilyResilience {
+    /// The family.
+    pub family: FaultFamily,
+    /// Faults of the family that actually took effect.
+    pub injected: usize,
+    /// Of those, how many the system recognized.
+    pub detected: usize,
+    /// Mean injection-to-detection latency over the detected ones, seconds.
+    pub mean_detection_latency_s: Option<f64>,
+    /// Worst detection latency, seconds.
+    pub max_detection_latency_s: Option<f64>,
+}
+
+impl FamilyResilience {
+    /// `detected / injected`, `None` when nothing was injected.
+    pub fn detection_rate(&self) -> Option<f64> {
+        (self.injected > 0).then(|| self.detected as f64 / self.injected as f64)
+    }
+}
+
+/// Resilience accounting of one faulted run.
+///
+/// Attached to [`RunReport::resilience`](crate::report::RunReport::resilience)
+/// whenever the spec's fault plan is non-empty. Deterministic: the same spec
+/// (plan included) and seed produce an identical report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilienceReport {
+    /// Lifecycle record of every scheduled fault, in plan order.
+    pub faults: Vec<FaultRecord>,
+    /// Per-family aggregation, ordered by family.
+    pub families: Vec<FamilyResilience>,
+    /// Mean Fig. 5 overhead of the faulted run, settled windows only.
+    pub faulted_mean_overhead_percent: Option<f64>,
+    /// Mean Fig. 5 overhead of the clean twin run (same spec, no plan).
+    pub clean_mean_overhead_percent: Option<f64>,
+    /// Post-run chain-audit findings across all networks.
+    pub audit_findings: usize,
+    /// Of those, how many land on a block a tamper injection forged.
+    pub audit_findings_attributed: usize,
+}
+
+impl ResilienceReport {
+    /// Faults that actually took effect.
+    pub fn injected(&self) -> usize {
+        self.faults.iter().filter(|f| f.injected()).count()
+    }
+
+    /// Faults the system recognized.
+    pub fn detected(&self) -> usize {
+        self.faults.iter().filter(|f| f.detected()).count()
+    }
+
+    /// Overall `detected / injected`, `None` when nothing took effect.
+    pub fn detection_rate(&self) -> Option<f64> {
+        let injected = self.injected();
+        (injected > 0).then(|| self.detected() as f64 / injected as f64)
+    }
+
+    /// The accounting of one family, if the plan contained it.
+    pub fn family(&self, family: FaultFamily) -> Option<&FamilyResilience> {
+        self.families.iter().find(|f| f.family == family)
+    }
+
+    /// How much the faults moved the Fig. 5 accuracy, in percentage points
+    /// (faulted minus clean twin). `None` when either run had no settled
+    /// window.
+    pub fn accuracy_delta_percent(&self) -> Option<f64> {
+        match (
+            self.faulted_mean_overhead_percent,
+            self.clean_mean_overhead_percent,
+        ) {
+            (Some(faulted), Some(clean)) => Some(faulted - clean),
+            _ => None,
+        }
+    }
+
+    /// Audit findings *not* explained by a scheduled tamper injection —
+    /// anything here means the run corrupted its ledgers on its own.
+    pub fn audit_findings_unattributed(&self) -> usize {
+        self.audit_findings - self.audit_findings_attributed
+    }
+}
+
+/// Assembles the report from the world's fault records, the final chain
+/// audits and the two runs' accuracy summaries.
+pub(crate) fn build_resilience(
+    records: Vec<FaultRecord>,
+    events: &[FaultEvent],
+    audit_findings: &[(AggregatorAddr, Finding)],
+    faulted_mean_overhead_percent: Option<f64>,
+    clean_mean_overhead_percent: Option<f64>,
+) -> ResilienceReport {
+    let mut families: Vec<FamilyResilience> = Vec::new();
+    for family in [
+        FaultFamily::Sensor,
+        FaultFamily::Tamper,
+        FaultFamily::Link,
+        FaultFamily::Crash,
+        FaultFamily::Outage,
+        FaultFamily::Byzantine,
+    ] {
+        let of_family: Vec<&FaultRecord> = records.iter().filter(|r| r.family == family).collect();
+        if of_family.is_empty() {
+            continue;
+        }
+        let latencies: Vec<f64> = of_family
+            .iter()
+            .filter_map(|r| r.detection_latency())
+            .map(|d| d.as_secs_f64())
+            .collect();
+        families.push(FamilyResilience {
+            family,
+            injected: of_family.iter().filter(|r| r.injected()).count(),
+            detected: of_family.iter().filter(|r| r.detected()).count(),
+            mean_detection_latency_s: (!latencies.is_empty())
+                .then(|| latencies.iter().sum::<f64>() / latencies.len() as f64),
+            max_detection_latency_s: latencies
+                .iter()
+                .copied()
+                .fold(None, |acc, l| Some(acc.map_or(l, |a: f64| a.max(l)))),
+        });
+    }
+
+    let attributed = audit_findings
+        .iter()
+        .filter(|(network, finding)| {
+            records.iter().any(|r| {
+                r.tampered_block == Some(finding.block_index)
+                    && events.get(r.id).and_then(FaultEvent::network) == Some(*network)
+            })
+        })
+        .count();
+
+    ResilienceReport {
+        faults: records,
+        families,
+        faulted_mean_overhead_percent,
+        clean_mean_overhead_percent,
+        audit_findings: audit_findings.len(),
+        audit_findings_attributed: attributed,
+    }
+}

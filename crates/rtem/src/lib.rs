@@ -21,8 +21,13 @@
 //!   sealed block, handshake completion, plug/unplug, anomaly) and the
 //!   ready-made [`RecordingProbe`](probe::RecordingProbe).
 //! * [`suite`] — the [`Suite`](suite::Suite): declarative sweeps (axes over
-//!   seeds, devices, links, sensors) executed on a thread pool into a
-//!   [`SuiteReport`](suite::SuiteReport) with cross-cell aggregates.
+//!   seeds, devices, links, sensors, fault plans) executed on a thread pool
+//!   into a [`SuiteReport`](suite::SuiteReport) with cross-cell aggregates.
+//! * [`faults`] — the fault-injection subsystem: a declarative
+//!   [`FaultPlan`](faults::FaultPlan) over six fault families (sensor,
+//!   tamper, link, crash, outage, byzantine) and the
+//!   [`ResilienceReport`](faults::ResilienceReport) accounting of injected
+//!   vs. detected faults, detection latency and accuracy-under-fault.
 //! * [`report`] — the [`RunReport`](report::RunReport) bundling world
 //!   metrics, Fig. 5 accuracy windows, Thandshake statistics, ledger audit
 //!   summaries and consolidated bills.
@@ -45,6 +50,7 @@
 #![warn(missing_docs)]
 
 pub mod experiment;
+pub mod faults;
 pub mod probe;
 pub mod report;
 pub mod runner;
@@ -70,6 +76,10 @@ pub use rtem_sim as sim;
 /// (`rtem::chain`, `rtem::net`, …).
 pub mod prelude {
     pub use crate::experiment::Experiment;
+    pub use crate::faults::{
+        DetectionSignal, FamilyResilience, FaultEvent, FaultFamily, FaultPlan, FaultPlanError,
+        FaultRecord, LinkTarget, ResilienceReport, SensorFault, SensorFaultKind,
+    };
     pub use crate::probe::{NullProbe, Probe, RecordingProbe, RunEvent};
     pub use crate::report::{BillLine, LedgerSummary, NetworkAccuracy, RunReport};
     pub use crate::runner::{NetworkProgress, RunHandle, RunProgress};

@@ -24,6 +24,7 @@
 use rtem_aggregator::verify::WindowVerdict;
 use rtem_core::simulation::WorldNotification;
 use rtem_device::network_mgmt::HandshakeBreakdown;
+use rtem_faults::event::{DetectionSignal, FaultFamily};
 use rtem_net::packet::{AggregatorAddr, DeviceId};
 use rtem_sim::time::SimTime;
 
@@ -67,6 +68,14 @@ pub trait Probe {
                 network,
             } => self.on_plug_in(*at, *device, *network),
             RunEvent::Unplugged { at, device } => self.on_unplug(*at, *device),
+            RunEvent::FaultInjected { at, id, family } => self.on_fault_injected(*at, *id, *family),
+            RunEvent::FaultCleared { at, id, family } => self.on_fault_cleared(*at, *id, *family),
+            RunEvent::FaultDetected {
+                at,
+                id,
+                family,
+                signal,
+            } => self.on_fault_detected(*at, *id, *family, *signal),
         }
     }
 
@@ -105,6 +114,27 @@ pub trait Probe {
     /// A device was unplugged.
     fn on_unplug(&mut self, at: SimTime, device: DeviceId) {
         let _ = (at, device);
+    }
+
+    /// A scheduled fault took effect.
+    fn on_fault_injected(&mut self, at: SimTime, id: usize, family: FaultFamily) {
+        let _ = (at, id, family);
+    }
+
+    /// A transient fault cleared.
+    fn on_fault_cleared(&mut self, at: SimTime, id: usize, family: FaultFamily) {
+        let _ = (at, id, family);
+    }
+
+    /// The system recognized an injected fault.
+    fn on_fault_detected(
+        &mut self,
+        at: SimTime,
+        id: usize,
+        family: FaultFamily,
+        signal: DetectionSignal,
+    ) {
+        let _ = (at, id, family, signal);
     }
 }
 
@@ -149,6 +179,16 @@ impl RecordingProbe {
     /// Number of unplug events.
     pub fn unplugs(&self) -> usize {
         self.count(|e| matches!(e, RunEvent::Unplugged { .. }))
+    }
+
+    /// Number of faults that took effect.
+    pub fn faults_injected(&self) -> usize {
+        self.count(|e| matches!(e, RunEvent::FaultInjected { .. }))
+    }
+
+    /// Number of faults the system recognized.
+    pub fn faults_detected(&self) -> usize {
+        self.count(|e| matches!(e, RunEvent::FaultDetected { .. }))
     }
 
     fn count(&self, f: impl Fn(&RunEvent) -> bool) -> usize {

@@ -107,6 +107,8 @@ pub struct RunReport {
     pub ledgers: Vec<LedgerSummary>,
     /// Consolidated per-device bills, ordered by network then device.
     pub bills: Vec<BillLine>,
+    /// Resilience accounting — present when the spec scheduled a fault plan.
+    pub resilience: Option<crate::faults::ResilienceReport>,
     pub(crate) world: World,
 }
 

@@ -51,6 +51,9 @@ pub struct RunHandle<P: Probe = NullProbe> {
     horizon: SimTime,
     position: SimTime,
     probe: P,
+    // Precomputed clean-twin overhead for the resilience accounting (set by
+    // Suite so a shared baseline is simulated once per grid, not per cell).
+    clean_baseline: Option<Option<f64>>,
     // Running Fig. 5 accuracy per network, extended incrementally so
     // repeated progress() polls stay O(new windows) instead of recomputing
     // the whole window history every call.
@@ -115,11 +118,16 @@ impl<P: Probe> RunHandle<P> {
             horizon,
             position: SimTime::ZERO,
             probe,
+            clean_baseline: None,
             running_accuracy: RefCell::new(BTreeMap::new()),
         };
         // Build-time milestones (the initial plug-ins) are already buffered.
         handle.pump();
         handle
+    }
+
+    pub(crate) fn set_clean_baseline(&mut self, baseline: Option<f64>) {
+        self.clean_baseline = Some(baseline);
     }
 
     /// The spec being run.
@@ -185,14 +193,14 @@ impl<P: Probe> RunHandle<P> {
     /// Runs the remainder of the horizon and collects the final report.
     pub fn finish(mut self) -> RunReport {
         self.run_to(self.horizon);
-        collect_report(&self.spec, self.world, self.horizon)
+        collect_report(&self.spec, self.world, self.horizon, self.clean_baseline)
     }
 
     /// Like [`finish`](Self::finish), but also hands the probe back for
     /// inspection.
     pub fn finish_probed(mut self) -> (RunReport, P) {
         self.run_to(self.horizon);
-        let report = collect_report(&self.spec, self.world, self.horizon);
+        let report = collect_report(&self.spec, self.world, self.horizon, self.clean_baseline);
         (report, self.probe)
     }
 

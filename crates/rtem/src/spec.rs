@@ -14,6 +14,8 @@ use core::fmt;
 use rtem_core::scenario::{DeviceLoad, ScenarioBuilder};
 use rtem_core::simulation::WorldConfig;
 use rtem_device::network_mgmt::HandshakeTiming;
+use rtem_faults::event::FaultEvent;
+use rtem_faults::plan::{FaultPlan, FaultPlanError};
 use rtem_net::link::LinkConfig;
 use rtem_net::packet::{AggregatorAddr, DeviceId};
 use rtem_sensors::ina219::Ina219Config;
@@ -120,6 +122,9 @@ pub enum SpecError {
         /// When the event was scheduled.
         at: SimTime,
     },
+    /// The spec's fault plan failed its own validation (unknown targets,
+    /// inverted timelines, degenerate parameters).
+    InvalidFaultPlan(FaultPlanError),
 }
 
 impl fmt::Display for SpecError {
@@ -154,6 +159,7 @@ impl fmt::Display for SpecError {
             SpecError::ScriptEventAfterHorizon { at } => {
                 write!(f, "script event at {at:?} is after the horizon")
             }
+            SpecError::InvalidFaultPlan(error) => write!(f, "invalid fault plan: {error}"),
         }
     }
 }
@@ -209,6 +215,11 @@ pub struct ScenarioSpec {
     pub sensor: Ina219Config,
     /// Scripted topology changes applied during the run.
     pub script: Vec<ScriptEvent>,
+    /// Scheduled fault injections applied during the run (the resilience
+    /// counterpart of `script`). A non-empty plan makes the run's
+    /// [`RunReport`](crate::report::RunReport) carry a
+    /// [`ResilienceReport`](crate::faults::ResilienceReport).
+    pub fault_plan: FaultPlan,
 }
 
 impl ScenarioSpec {
@@ -231,6 +242,7 @@ impl ScenarioSpec {
             handshake: HandshakeTiming::testbed(),
             sensor: Ina219Config::testbed(),
             script: Vec::new(),
+            fault_plan: FaultPlan::new(),
         }
     }
 
@@ -343,6 +355,18 @@ impl ScenarioSpec {
         self
     }
 
+    /// Replaces the fault plan.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> ScenarioSpec {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Appends one fault event to the plan.
+    pub fn with_fault(mut self, event: FaultEvent) -> ScenarioSpec {
+        self.fault_plan.events.push(event);
+        self
+    }
+
     /// All device ids the spec generates, in network-major order.
     pub fn device_ids(&self) -> Vec<DeviceId> {
         (0..self.networks)
@@ -426,6 +450,9 @@ impl ScenarioSpec {
                 return Err(SpecError::ScriptEventAfterHorizon { at: event.at() });
             }
         }
+        self.fault_plan
+            .validate(&devices, &networks, horizon)
+            .map_err(SpecError::InvalidFaultPlan)?;
         Ok(())
     }
 
@@ -541,6 +568,24 @@ mod tests {
             spec.validate(),
             Err(SpecError::ScriptEventAfterHorizon { .. })
         ));
+    }
+
+    #[test]
+    fn fault_plan_targets_are_checked() {
+        let plan = FaultPlan::new().sensor_stuck_at(SimTime::from_secs(1), DeviceId(4242), 10.0);
+        let spec = ScenarioSpec::paper_testbed(1).with_fault_plan(plan);
+        assert_eq!(
+            spec.validate(),
+            Err(SpecError::InvalidFaultPlan(FaultPlanError::UnknownDevice {
+                device: DeviceId(4242)
+            }))
+        );
+        // A valid plan against the generated population passes.
+        let plan = FaultPlan::new()
+            .sensor_stuck_at(SimTime::from_secs(1), ScenarioSpec::device_id(0, 0), 10.0)
+            .tamper_at(SimTime::from_secs(2), ScenarioSpec::network_addr(1));
+        let spec = ScenarioSpec::paper_testbed(1).with_fault_plan(plan);
+        assert_eq!(spec.validate(), Ok(()));
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //! ```
 
 use crate::experiment::Experiment;
+use crate::faults::FaultPlan;
 use crate::report::RunReport;
 use crate::spec::{ScenarioSpec, SpecError};
 use core::fmt;
@@ -44,6 +45,7 @@ pub struct Suite {
     devices_per_network: Vec<u32>,
     links: Vec<(String, LinkConfig, LinkConfig)>,
     sensors: Vec<(String, Ina219Config)>,
+    fault_plans: Vec<(String, FaultPlan)>,
     threads: Option<usize>,
 }
 
@@ -60,6 +62,8 @@ pub struct CellKey {
     pub link: Option<String>,
     /// Label of the cell's sensor model, if the axis was swept.
     pub sensor: Option<String>,
+    /// Label of the cell's fault plan, if the axis was swept.
+    pub fault_plan: Option<String>,
 }
 
 impl fmt::Display for CellKey {
@@ -70,6 +74,9 @@ impl fmt::Display for CellKey {
         }
         if let Some(sensor) = &self.sensor {
             write!(f, " sensor={sensor}")?;
+        }
+        if let Some(fault_plan) = &self.fault_plan {
+            write!(f, " faults={fault_plan}")?;
         }
         Ok(())
     }
@@ -132,6 +139,9 @@ pub struct SuiteAggregates {
     /// Thandshake (seconds) over every completed handshake of every cell;
     /// `None` when no handshake completed.
     pub handshake_latency_s: Option<AggregateStats>,
+    /// Fault detection rate over the cells that injected faults; `None`
+    /// when no cell carried a fault plan.
+    pub fault_detection_rate: Option<AggregateStats>,
     /// Wall-clock runtime (seconds) of the individual cells.
     pub cell_runtime_s: AggregateStats,
 }
@@ -171,6 +181,7 @@ impl Suite {
             devices_per_network: Vec::new(),
             links: Vec::new(),
             sensors: Vec::new(),
+            fault_plans: Vec::new(),
             threads: None,
         }
     }
@@ -211,6 +222,22 @@ impl Suite {
         self
     }
 
+    /// Sweeps the fault-plan axis: labelled [`FaultPlan`]s, one resilience
+    /// scenario per label. Cells with a non-empty plan produce a
+    /// [`ResilienceReport`](crate::faults::ResilienceReport) in their run
+    /// report; an empty plan is the usual way to keep a clean baseline cell
+    /// in the same grid.
+    pub fn over_fault_plans(
+        mut self,
+        plans: impl IntoIterator<Item = (impl Into<String>, FaultPlan)>,
+    ) -> Suite {
+        self.fault_plans = plans
+            .into_iter()
+            .map(|(label, plan)| (label.into(), plan))
+            .collect();
+        self
+    }
+
     /// Fixes the worker-thread count. Unset, the suite uses the machine's
     /// available parallelism (capped at the cell count).
     pub fn with_threads(mut self, threads: usize) -> Suite {
@@ -224,6 +251,7 @@ impl Suite {
             * self.devices_per_network.len().max(1)
             * self.links.len().max(1)
             * self.sensors.len().max(1)
+            * self.fault_plans.len().max(1)
     }
 
     /// `true` when the grid is degenerate (never: every axis defaults to the
@@ -255,33 +283,44 @@ impl Suite {
         } else {
             self.sensors.iter().map(Some).collect()
         };
+        let fault_plans: Vec<Option<&(String, FaultPlan)>> = if self.fault_plans.is_empty() {
+            vec![None]
+        } else {
+            self.fault_plans.iter().map(Some).collect()
+        };
 
         let mut cells = Vec::with_capacity(self.len());
         for &seed in &seeds {
             for &devices_per_network in &devices {
                 for link in &links {
                     for sensor in &sensors {
-                        let mut spec = self
-                            .base
-                            .clone()
-                            .with_seed(seed)
-                            .with_devices_per_network(devices_per_network);
-                        if let Some((_, wifi, backhaul)) = link {
-                            spec = spec.with_links(*wifi, *backhaul);
+                        for fault_plan in &fault_plans {
+                            let mut spec = self
+                                .base
+                                .clone()
+                                .with_seed(seed)
+                                .with_devices_per_network(devices_per_network);
+                            if let Some((_, wifi, backhaul)) = link {
+                                spec = spec.with_links(*wifi, *backhaul);
+                            }
+                            if let Some((_, sensor)) = sensor {
+                                spec = spec.with_sensor(*sensor);
+                            }
+                            if let Some((_, plan)) = fault_plan {
+                                spec = spec.with_fault_plan(plan.clone());
+                            }
+                            cells.push((
+                                CellKey {
+                                    index: cells.len(),
+                                    seed,
+                                    devices_per_network,
+                                    link: link.map(|(label, _, _)| label.clone()),
+                                    sensor: sensor.map(|(label, _)| label.clone()),
+                                    fault_plan: fault_plan.map(|(label, _)| label.clone()),
+                                },
+                                spec,
+                            ));
                         }
-                        if let Some((_, sensor)) = sensor {
-                            spec = spec.with_sensor(*sensor);
-                        }
-                        cells.push((
-                            CellKey {
-                                index: cells.len(),
-                                seed,
-                                devices_per_network,
-                                link: link.map(|(label, _, _)| label.clone()),
-                                sensor: sensor.map(|(label, _)| label.clone()),
-                            },
-                            spec,
-                        ));
                     }
                 }
             }
@@ -297,6 +336,25 @@ impl Suite {
         for (_, spec) in &cells {
             spec.validate()?;
         }
+        // Faulted cells need a clean twin for the accuracy-under-fault
+        // delta. Cells sweeping only the fault-plan axis share the same
+        // twin, so simulate each distinct clean spec once up front instead
+        // of once per cell inside the pool.
+        let mut baselines: Vec<(ScenarioSpec, Option<f64>)> = Vec::new();
+        for (_, spec) in &cells {
+            if spec.fault_plan.is_empty() {
+                continue;
+            }
+            let clean = spec.clone().with_fault_plan(FaultPlan::new());
+            if !baselines.iter().any(|(s, _)| *s == clean) {
+                let overhead = Experiment::new(clean.clone())
+                    .run()
+                    .expect("cell specs were validated above")
+                    .mean_overhead_percent();
+                baselines.push((clean, overhead));
+            }
+        }
+        let baselines = &baselines;
         let threads = self
             .threads
             .unwrap_or_else(|| {
@@ -318,9 +376,22 @@ impl Suite {
                         break;
                     };
                     let cell_started = Instant::now();
-                    let report = Experiment::new(spec.clone())
-                        .run()
-                        .expect("cell specs were validated before the pool started");
+                    let baseline = (!spec.fault_plan.is_empty()).then(|| {
+                        let clean = spec.clone().with_fault_plan(FaultPlan::new());
+                        baselines
+                            .iter()
+                            .find(|(s, _)| *s == clean)
+                            .map(|(_, overhead)| *overhead)
+                            .expect("baseline precomputed for every faulted cell")
+                    });
+                    let report = match baseline {
+                        Some(overhead) => Experiment::new(spec.clone())
+                            .run_with_clean_baseline(overhead)
+                            .expect("cell specs were validated before the pool started"),
+                        None => Experiment::new(spec.clone())
+                            .run()
+                            .expect("cell specs were validated before the pool started"),
+                    };
                     *slots[index].lock().expect("result slot") =
                         Some((report, cell_started.elapsed()));
                 });
@@ -358,6 +429,7 @@ impl Suite {
 fn aggregate(cells: &[SuiteCell]) -> SuiteAggregates {
     let mut overheads = Vec::new();
     let mut handshakes = Vec::new();
+    let mut detection_rates = Vec::new();
     let mut runtimes = Vec::new();
     for cell in cells {
         for accuracy in &cell.report.accuracy {
@@ -370,11 +442,20 @@ fn aggregate(cells: &[SuiteCell]) -> SuiteAggregates {
                 .values()
                 .map(|b| b.total().as_secs_f64()),
         );
+        if let Some(rate) = cell
+            .report
+            .resilience
+            .as_ref()
+            .and_then(|r| r.detection_rate())
+        {
+            detection_rates.push(rate);
+        }
         runtimes.push(cell.wall.as_secs_f64());
     }
     SuiteAggregates {
         accuracy_overhead_percent: AggregateStats::from_values(&overheads),
         handshake_latency_s: AggregateStats::from_values(&handshakes),
+        fault_detection_rate: AggregateStats::from_values(&detection_rates),
         cell_runtime_s: AggregateStats::from_values(&runtimes)
             .expect("a suite always has at least one cell"),
     }
@@ -447,7 +528,33 @@ mod tests {
             devices_per_network: 3,
             link: Some("lossy".into()),
             sensor: None,
+            fault_plan: Some("tamper-x2".into()),
         };
-        assert_eq!(key.to_string(), "seed=9 devices=3 link=lossy");
+        assert_eq!(
+            key.to_string(),
+            "seed=9 devices=3 link=lossy faults=tamper-x2"
+        );
+    }
+
+    #[test]
+    fn fault_plan_axis_expands_the_grid() {
+        use crate::faults::FaultPlan;
+        use rtem_net::packet::AggregatorAddr;
+        use rtem_sim::time::SimTime;
+        let suite = Suite::new(ScenarioSpec::paper_testbed(0))
+            .over_seeds([1, 2])
+            .over_fault_plans([
+                ("clean", FaultPlan::new()),
+                (
+                    "tamper",
+                    FaultPlan::new().tamper_at(SimTime::from_secs(20), AggregatorAddr(1)),
+                ),
+            ]);
+        assert_eq!(suite.len(), 4);
+        let cells = suite.cells();
+        assert_eq!(cells[0].0.fault_plan.as_deref(), Some("clean"));
+        assert_eq!(cells[1].0.fault_plan.as_deref(), Some("tamper"));
+        assert!(cells[0].1.fault_plan.is_empty());
+        assert_eq!(cells[1].1.fault_plan.len(), 1);
     }
 }

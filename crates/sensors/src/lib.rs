@@ -18,6 +18,8 @@
 //!   the paper cites, gain error, quantization and noise.
 //! * [`grid`] — the star-topology electrical network with ohmic losses that
 //!   makes the aggregator-side measurement exceed the device sum (Fig. 5).
+//! * [`fault`] — deterministic sensor failure shapes (stuck-at, drift,
+//!   periodic spikes) applied by the fault-injection subsystem.
 //!
 //! # Examples
 //!
@@ -40,11 +42,13 @@
 #![warn(missing_docs)]
 
 pub mod energy;
+pub mod fault;
 pub mod grid;
 pub mod ina219;
 pub mod profile;
 
 pub use energy::{EnergyAccumulator, MilliampSeconds, Milliamps, Millivolts, MilliwattHours};
+pub use fault::{SensorFault, SensorFaultKind};
 pub use grid::{Branch, BranchId, GridNetwork, GridSnapshot};
 pub use ina219::{Ina219Config, Ina219Model, ShuntRange};
 pub use profile::{

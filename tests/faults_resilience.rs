@@ -1,0 +1,198 @@
+//! Integration tests of the fault-injection & resilience subsystem, against
+//! the facade only: a `FaultPlan` on a `ScenarioSpec` must inject, be
+//! detected by the right signal, and produce a deterministic
+//! `ResilienceReport`.
+
+use rtem::prelude::*;
+
+fn faulted_spec(seed: u64) -> ScenarioSpec {
+    let home = ScenarioSpec::network_addr(0);
+    let victim = ScenarioSpec::device_id(0, 0);
+    let plan = FaultPlan::new()
+        .sensor_stuck_at(SimTime::from_secs(20), victim, 5.0)
+        .tamper_at(SimTime::from_secs(25), home);
+    ScenarioSpec::paper_testbed(seed)
+        .with_horizon(SimDuration::from_secs(50))
+        .with_fault_plan(plan)
+}
+
+#[test]
+fn same_plan_and_seed_is_byte_identical() {
+    let a = Experiment::new(faulted_spec(11)).run().unwrap();
+    let b = Experiment::new(faulted_spec(11)).run().unwrap();
+    let ra = a.resilience.as_ref().expect("faulted run has resilience");
+    let rb = b.resilience.as_ref().unwrap();
+    assert_eq!(ra, rb, "resilience must be deterministic");
+    assert_eq!(format!("{ra:?}"), format!("{rb:?}"), "byte-identical");
+    // And a different seed produces a different world (sanity).
+    let c = Experiment::new(faulted_spec(12)).run().unwrap();
+    assert_eq!(c.resilience.as_ref().unwrap().faults.len(), ra.faults.len());
+}
+
+#[test]
+fn tamper_is_detected_by_the_chain_audit_and_attributed() {
+    let home = ScenarioSpec::network_addr(0);
+    let spec = ScenarioSpec::paper_testbed(7)
+        .with_horizon(SimDuration::from_secs(45))
+        .with_fault_plan(FaultPlan::new().tamper_at(SimTime::from_secs(22), home));
+    let report = Experiment::new(spec).run().unwrap();
+    let resilience = report.resilience.as_ref().unwrap();
+    assert_eq!(resilience.detection_rate(), Some(1.0));
+    let tamper = resilience.family(FaultFamily::Tamper).unwrap();
+    assert_eq!(tamper.injected, 1);
+    assert_eq!(tamper.detected, 1);
+    assert!(tamper.mean_detection_latency_s.unwrap() <= 10.0);
+    // The forgery ends up in the final ledger audit, attributed to the
+    // injection — nothing unexplained.
+    assert!(!report.all_ledgers_clean());
+    assert!(resilience.audit_findings >= 1);
+    assert_eq!(
+        resilience.audit_findings_attributed,
+        resilience.audit_findings
+    );
+    assert_eq!(resilience.audit_findings_unattributed(), 0);
+    // The forged block also breaks the account cache consistency check.
+    let ledger = report.ledger(home).unwrap();
+    assert!(!ledger.audit_clean);
+    assert!(ledger.first_bad_block.is_some());
+    // The detection signal names the forged block.
+    let record = &resilience.faults[0];
+    assert!(matches!(
+        record.signal,
+        Some(DetectionSignal::ChainAudit { block_index }) if Some(block_index) == record.tampered_block
+    ));
+}
+
+#[test]
+fn clean_run_has_no_resilience_report() {
+    let spec = ScenarioSpec::paper_testbed(3).with_horizon(SimDuration::from_secs(20));
+    let report = Experiment::new(spec).run().unwrap();
+    assert!(report.resilience.is_none());
+}
+
+#[test]
+fn stuck_sensor_moves_accuracy_and_is_detected() {
+    let victim = ScenarioSpec::device_id(0, 0);
+    let spec = ScenarioSpec::paper_testbed(21)
+        .with_horizon(SimDuration::from_secs(60))
+        .with_fault_plan(FaultPlan::new().sensor_stuck_at(SimTime::from_secs(20), victim, 5.0));
+    let report = Experiment::new(spec).run().unwrap();
+    let resilience = report.resilience.as_ref().unwrap();
+    let sensor = resilience.family(FaultFamily::Sensor).unwrap();
+    assert_eq!(sensor.detected, 1);
+    assert_eq!(
+        resilience.faults[0].signal,
+        Some(DetectionSignal::AnomalousWindow)
+    );
+    // Under-reporting widens the aggregator-over-devices gap vs. the twin.
+    let delta = resilience.accuracy_delta_percent().unwrap();
+    assert!(delta > 5.0, "accuracy delta {delta:.2} should be large");
+    // The chain itself stays honest — this is a sensor fault, not tampering.
+    assert!(report.all_ledgers_clean());
+}
+
+#[test]
+fn outage_with_failover_keeps_devices_reporting() {
+    let home = ScenarioSpec::network_addr(0);
+    let backup = ScenarioSpec::network_addr(1);
+    let spec = ScenarioSpec::paper_testbed(31)
+        .with_horizon(SimDuration::from_secs(90))
+        .with_fault_plan(FaultPlan::new().outage_between(
+            SimTime::from_secs(30),
+            SimTime::from_secs(60),
+            home,
+            Some(backup),
+        ));
+    let report = Experiment::new(spec).run().unwrap();
+    let resilience = report.resilience.as_ref().unwrap();
+    let outage = resilience.family(FaultFamily::Outage).unwrap();
+    assert_eq!(outage.injected, 1);
+    assert_eq!(outage.detected, 1);
+    // The backup collected roamed consumption for the home network's
+    // devices while it was dark.
+    let backup_agg = report.world().aggregator(backup).unwrap();
+    assert!(backup_agg
+        .registry()
+        .is_member(ScenarioSpec::device_id(0, 0)));
+    // Devices are home again after recovery.
+    assert_eq!(
+        report.world().device_network(ScenarioSpec::device_id(0, 0)),
+        Some(home)
+    );
+}
+
+#[test]
+fn byzantine_minority_is_detected_majority_is_not() {
+    let network = ScenarioSpec::network_addr(0);
+    let run = |voters: u32| {
+        let spec = ScenarioSpec::paper_testbed(41)
+            .with_horizon(SimDuration::from_secs(60))
+            .with_fault_plan(FaultPlan::new().byzantine_between(
+                SimTime::from_secs(20),
+                SimTime::from_secs(50),
+                network,
+                voters,
+            ));
+        Experiment::new(spec).run().unwrap()
+    };
+    let minority = run(1);
+    let resilience = minority.resilience.as_ref().unwrap();
+    assert_eq!(resilience.detection_rate(), Some(1.0));
+    assert!(matches!(
+        resilience.faults[0].signal,
+        Some(DetectionSignal::ConsensusRejected { .. })
+    ));
+    let majority = run(2);
+    let resilience = majority.resilience.as_ref().unwrap();
+    assert_eq!(
+        resilience.detection_rate(),
+        Some(0.0),
+        "a colluding quorum commits its forgeries unnoticed"
+    );
+}
+
+#[test]
+fn streaming_and_batch_agree_and_probes_see_faults() {
+    let spec = faulted_spec(51);
+    let batch = Experiment::new(spec.clone()).run().unwrap();
+    let handle = Experiment::new(spec)
+        .start_probed(RecordingProbe::default())
+        .unwrap();
+    let (streamed, probe) = handle.finish_probed();
+    assert_eq!(batch.resilience, streamed.resilience);
+    assert_eq!(probe.faults_injected(), 2);
+    assert!(probe.faults_detected() >= 1);
+    // Typed fault events appear in the recorded stream with their ids.
+    assert!(probe
+        .events()
+        .iter()
+        .any(|e| matches!(e, RunEvent::FaultInjected { id: 0, .. })));
+}
+
+#[test]
+fn suite_sweeps_fault_plans_in_parallel() {
+    let home = ScenarioSpec::network_addr(0);
+    let base = ScenarioSpec::paper_testbed(61).with_horizon(SimDuration::from_secs(40));
+    let report = Suite::new(base)
+        .over_fault_plans([
+            ("clean", FaultPlan::new()),
+            (
+                "tamper",
+                FaultPlan::new().tamper_at(SimTime::from_secs(22), home),
+            ),
+        ])
+        .with_threads(2)
+        .run()
+        .unwrap();
+    assert_eq!(report.cells.len(), 2);
+    assert!(report.cells[0].report.resilience.is_none());
+    let faulted = report.cells[1].report.resilience.as_ref().unwrap();
+    assert_eq!(faulted.detection_rate(), Some(1.0));
+    let rate = report.aggregates.fault_detection_rate.unwrap();
+    assert_eq!(rate.count, 1, "only the faulted cell contributes");
+    assert_eq!(rate.mean, 1.0);
+    assert_eq!(
+        report.cells[1].key.to_string(),
+        "seed=61 devices=2 faults=tamper"
+    );
+}
