@@ -1,0 +1,240 @@
+//! Scale sweep: wall-clock cost of full experiment runs at fleet sizes —
+//! the first datapoint of the performance trajectory. Sweeps
+//! 10/100/1000/5000 devices on a single network and writes the grid as
+//! machine-readable `BENCH_scale.json`.
+//!
+//! ```bash
+//! cargo run --release -p rtem-bench --bin scale_sweep              # full sweep
+//! cargo run --release -p rtem-bench --bin scale_sweep -- --smoke   # CI gate
+//! cargo run --release -p rtem-bench --bin scale_sweep -- --cell 1000 --horizon 600
+//! ```
+//!
+//! `--smoke` runs a 10-device calibration cell plus the 100-device cell
+//! and fails (exit 1) if the 100-device wall time regressed more than 2x
+//! over the committed `BENCH_scale.json` snapshot — judged on both the
+//! absolute wall time and the 100:10 ratio, so a slower CI runner does
+//! not trip the gate but a reintroduced population scan (which inflates
+//! the ratio) does. Smoke results go to `BENCH_scale_smoke.json`; the
+//! committed snapshot is read-only to the gate. `--cell N` times a
+//! single cell and prints it without touching any snapshot (used to
+//! measure baselines).
+//!
+//! Reading the numbers: `sim_x_realtime` is simulated seconds per
+//! wall-clock second — the "runs as fast as the hardware allows" gauge.
+//! The per-cell `reports_accepted` / `ledger_entries` sanity-check that
+//! the sweep exercises the full pipeline (sampling → MQTT → verification
+//! window → sealed block), not an idle world.
+
+use rtem::prelude::*;
+use std::time::Instant;
+
+const SEED: u64 = 1202;
+
+/// Wall time of the 1000-device / 600 s cell on the pre-index-redesign
+/// event loop (commit 61166ac, same machine class as the committed
+/// snapshot). Kept so the sweep can report its speedup against the seed
+/// loop; refresh it only when re-measuring the old loop deliberately.
+const SEED_LOOP_1K_WALL_MS: u64 = 141_069;
+
+struct CellResult {
+    devices: u32,
+    horizon_s: u64,
+    wall_ms: u128,
+    sim_x_realtime: f64,
+    blocks: usize,
+    ledger_entries: usize,
+    reports_accepted: u64,
+    mean_overhead_percent: Option<f64>,
+}
+
+fn run_cell(devices: u32, horizon_s: u64) -> CellResult {
+    let spec =
+        ScenarioSpec::single_network(devices, SEED).with_horizon(SimDuration::from_secs(horizon_s));
+    let start = Instant::now();
+    let report = Experiment::new(spec).run().expect("sweep cells are valid");
+    let wall = start.elapsed();
+    let network = &report.metrics.networks[0];
+    CellResult {
+        devices,
+        horizon_s,
+        wall_ms: wall.as_millis(),
+        sim_x_realtime: horizon_s as f64 / wall.as_secs_f64(),
+        blocks: network.blocks,
+        ledger_entries: network.ledger_entries,
+        reports_accepted: network.reports_accepted,
+        mean_overhead_percent: report.mean_overhead_percent(),
+    }
+}
+
+fn json_num(value: Option<f64>) -> String {
+    match value {
+        Some(v) if v.is_finite() => format!("{v:.4}"),
+        _ => "null".to_string(),
+    }
+}
+
+fn cell_json(cell: &CellResult) -> String {
+    format!(
+        concat!(
+            "    {{\"devices\": {}, \"horizon_s\": {}, \"wall_ms\": {}, ",
+            "\"sim_x_realtime\": {:.1}, \"blocks\": {}, \"ledger_entries\": {}, ",
+            "\"reports_accepted\": {}, \"mean_overhead_percent\": {}}}"
+        ),
+        cell.devices,
+        cell.horizon_s,
+        cell.wall_ms,
+        cell.sim_x_realtime,
+        cell.blocks,
+        cell.ledger_entries,
+        cell.reports_accepted,
+        json_num(cell.mean_overhead_percent),
+    )
+}
+
+/// The full sweep owns the committed `BENCH_scale.json`; the smoke gate
+/// writes next to it so a local `--smoke` run can never clobber the
+/// committed perf trajectory it compares against.
+fn snapshot_path(mode: &str) -> &'static str {
+    if mode == "smoke" {
+        "BENCH_scale_smoke.json"
+    } else {
+        "BENCH_scale.json"
+    }
+}
+
+fn write_snapshot(cells: &[CellResult], mode: &str) {
+    let speedup_1k = cells
+        .iter()
+        .find(|c| c.devices == 1000 && c.horizon_s == 600)
+        .map(|c| SEED_LOOP_1K_WALL_MS as f64 / c.wall_ms as f64);
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"scale_sweep\",\n",
+            "  \"mode\": \"{}\",\n",
+            "  \"scenario\": {{\"networks\": 1, \"seed\": {}, \"t_measure_ms\": 100, ",
+            "\"verification_window_s\": 10}},\n",
+            "  \"cells\": [\n{}\n  ],\n",
+            "  \"seed_baseline\": {{\"devices\": 1000, \"horizon_s\": 600, ",
+            "\"wall_ms\": {}, \"speedup\": {}}}\n",
+            "}}\n"
+        ),
+        mode,
+        SEED,
+        cells.iter().map(cell_json).collect::<Vec<_>>().join(",\n"),
+        SEED_LOOP_1K_WALL_MS,
+        json_num(speedup_1k),
+    );
+    let path = snapshot_path(mode);
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+}
+
+/// Extracts `wall_ms` of the `devices`-device cell from a committed
+/// `BENCH_scale.json` (the cells put `devices` first and `wall_ms` third,
+/// so a line scan suffices — no JSON parser in the offline vendor set).
+fn committed_wall_ms(snapshot: &str, devices: u32) -> Option<u128> {
+    let marker = format!("\"devices\": {devices},");
+    let line = snapshot.lines().find(|l| l.contains(&marker))?;
+    let tail = line.split("\"wall_ms\": ").nth(1)?;
+    tail.split(|c: char| !c.is_ascii_digit())
+        .next()?
+        .parse()
+        .ok()
+}
+
+fn arg_value(args: &[String], flag: &str) -> Option<u64> {
+    let i = args.iter().position(|a| a == flag)?;
+    args.get(i + 1)?.parse().ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    if let Some(devices) = arg_value(&args, "--cell") {
+        let horizon = arg_value(&args, "--horizon").unwrap_or(600);
+        let cell = run_cell(devices as u32, horizon);
+        println!("{}", cell_json(&cell).trim_start());
+        return;
+    }
+
+    if args.iter().any(|a| a == "--smoke") {
+        const SMOKE_DEVICES: u32 = 100;
+        const CALIBRATION_DEVICES: u32 = 10;
+        let committed = std::fs::read_to_string("BENCH_scale.json").ok();
+        let committed_smoke = committed
+            .as_deref()
+            .and_then(|s| committed_wall_ms(s, SMOKE_DEVICES));
+        let committed_calibration = committed
+            .as_deref()
+            .and_then(|s| committed_wall_ms(s, CALIBRATION_DEVICES));
+        // The calibration cell prices this machine: an absolute wall-ms
+        // comparison alone would flag any runner slower than the machine
+        // the snapshot was committed from, so a regression must also show
+        // up in the 100:10-device *ratio*, where machine speed cancels and
+        // a reintroduced population scan cannot hide.
+        let calibration = run_cell(CALIBRATION_DEVICES, 600);
+        let cell = run_cell(SMOKE_DEVICES, 600);
+        println!("{}", cell_json(&calibration).trim_start());
+        println!("{}", cell_json(&cell).trim_start());
+        let (Some(committed_smoke), Some(committed_calibration)) =
+            (committed_smoke, committed_calibration)
+        else {
+            eprintln!("# no committed BENCH_scale.json cells to compare against");
+            write_snapshot(&[calibration, cell], "smoke");
+            return;
+        };
+        let wall_limit = committed_smoke.saturating_mul(2).max(1000);
+        let committed_ratio = committed_smoke as f64 / committed_calibration.max(1) as f64;
+        let ratio = cell.wall_ms as f64 / calibration.wall_ms.max(1) as f64;
+        println!(
+            "# {SMOKE_DEVICES}-device cell: {} ms (committed {} ms, limit {} ms); \
+             100:10 ratio {:.2} (committed {:.2}, limit {:.2})",
+            cell.wall_ms,
+            committed_smoke,
+            wall_limit,
+            ratio,
+            committed_ratio,
+            committed_ratio * 2.0,
+        );
+        let regressed = cell.wall_ms > wall_limit && ratio > committed_ratio * 2.0;
+        write_snapshot(&[calibration, cell], "smoke");
+        if regressed {
+            eprintln!("# FAIL: >2x regression over the committed snapshot");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    // Full sweep. The 5000-device cell runs a shorter horizon: it exists to
+    // show the slope stays linear in fleet size, and 600 simulated seconds
+    // of 5k devices would mostly measure allocator pressure from the ~30M
+    // ledger records the run produces.
+    let grid: &[(u32, u64)] = &[(10, 600), (100, 600), (1000, 600), (5000, 120)];
+    println!("# Scale sweep ({} cells)", grid.len());
+    println!("devices,horizon_s,wall_ms,sim_x_realtime,blocks,ledger_entries,reports_accepted");
+    let mut cells = Vec::new();
+    for &(devices, horizon_s) in grid {
+        let cell = run_cell(devices, horizon_s);
+        println!(
+            "{},{},{},{:.1},{},{},{}",
+            cell.devices,
+            cell.horizon_s,
+            cell.wall_ms,
+            cell.sim_x_realtime,
+            cell.blocks,
+            cell.ledger_entries,
+            cell.reports_accepted,
+        );
+        cells.push(cell);
+    }
+    write_snapshot(&cells, "full");
+    if let Some(cell) = cells.iter().find(|c| c.devices == 1000) {
+        println!(
+            "# 1k devices x 600 s: {} ms ({:.0}x vs the seed loop's {} ms)",
+            cell.wall_ms,
+            SEED_LOOP_1K_WALL_MS as f64 / cell.wall_ms as f64,
+            SEED_LOOP_1K_WALL_MS,
+        );
+    }
+    println!("# wrote BENCH_scale.json");
+}

@@ -11,9 +11,9 @@
 //! hash chain. This crate assembles the substrate crates into that
 //! architecture and provides the experiment harnesses:
 //!
-//! * [`simulation`] — the [`World`]: devices, aggregators,
-//!   grids, MQTT broker and backhaul driven by simulated time (the
-//!   replacement for the paper's hardware testbed).
+//! * [`simulation`] — the [`World`](simulation::World): devices,
+//!   aggregators, grids, MQTT broker and backhaul driven by simulated time
+//!   (the replacement for the paper's hardware testbed).
 //! * [`scenario`] — builders for the paper's testbed topology and variants.
 //! * [`metrics`] — Fig. 5 accuracy windows, Thandshake statistics, run
 //!   summaries.
@@ -48,26 +48,8 @@ pub mod mobility;
 pub mod scenario;
 pub mod simulation;
 
-// Superseded flat re-exports, kept for backwards compatibility only. The
-// supported public surface is the `rtem` facade crate: experiments are
-// declared as an `rtem::prelude::ScenarioSpec` and run through
-// `rtem::prelude::Experiment` instead of hand-assembling `ScenarioBuilder` /
-// `WorldConfig`; everything below stays reachable through the module paths
-// (`rtem::scenario`, `rtem::simulation`, ...).
-#[doc(hidden)]
-pub use centralized::{CapabilityMatrix, CentralizedMeter, MeteringComparison};
-#[doc(hidden)]
-pub use consensus::{ConsensusError, QuorumConsensus, RoundOutcome, Vote};
-#[doc(hidden)]
-pub use loadbalance::{plan_balance, BalancePlan, NetworkLoad, Relocation};
-#[doc(hidden)]
-pub use metrics::{
-    accuracy_windows, device_trace, AccuracyWindow, DeviceTrace, HandshakeStats, NetworkSummary,
-    WorldMetrics,
-};
-#[doc(hidden)]
-pub use mobility::{run_mobility, thandshake_statistics, MobilityConfig, MobilityOutcome};
-#[doc(hidden)]
-pub use scenario::{DeviceLoad, ScenarioBuilder};
-#[doc(hidden)]
-pub use simulation::{World, WorldConfig};
+// The pre-facade flat re-exports (`rtem_core::ScenarioBuilder`,
+// `rtem_core::World`, ...) were `#[doc(hidden)]` compatibility shims for one
+// release and have been removed: the supported public surface is the `rtem`
+// facade crate, and everything in this crate stays reachable through the
+// module paths (`rtem::scenario`, `rtem::simulation`, ...).

@@ -66,29 +66,48 @@ pub fn accuracy_windows_from(
     };
     let entries = aggregator.ledger().all_entries();
     let series = aggregator.network_series();
-    let mut windows = Vec::new();
-    let mut start = SimTime::ZERO + window * first_index as u64;
-    let mut index = first_index;
-    while start + window <= horizon {
-        let end = start + window;
-        let mut per_device: BTreeMap<u64, f64> = BTreeMap::new();
-        for entry in &entries {
-            let entry_end = SimTime::from_micros(entry.interval_end_us);
-            if entry_end >= start && entry_end < end {
-                *per_device.entry(entry.device_id).or_default() += entry.charge_mas();
-            }
+
+    // How many whole windows fit between `first_index` and the horizon.
+    let first_start = SimTime::ZERO + window * first_index as u64;
+    let mut count = 0usize;
+    while first_start + window * (count as u64 + 1) <= horizon {
+        count += 1;
+    }
+    if count == 0 {
+        return Vec::new();
+    }
+
+    // Bucket the ledger entries by window in one pass instead of rescanning
+    // the whole ledger once per window (windows and entries both grow with
+    // the run, so the rescan was quadratic in the horizon). Entry order —
+    // and therefore floating-point accumulation order — per (window,
+    // device) bucket is unchanged.
+    let window_us = window.as_micros();
+    let mut per_window: Vec<BTreeMap<u64, f64>> = vec![BTreeMap::new(); count];
+    for entry in &entries {
+        if entry.interval_end_us < first_start.as_micros() {
+            continue;
         }
+        let bucket = ((entry.interval_end_us - first_start.as_micros()) / window_us) as usize;
+        if let Some(per_device) = per_window.get_mut(bucket) {
+            *per_device.entry(entry.device_id).or_default() += entry.charge_mas();
+        }
+    }
+
+    let mut windows = Vec::with_capacity(count);
+    let mut start = first_start;
+    for (offset, per_device) in per_window.into_iter().enumerate() {
+        let end = start + window;
         let devices_total: f64 = per_device.values().sum();
         let aggregator_mas = series.window(start, end).integrate();
         windows.push(AccuracyWindow {
-            index,
+            index: first_index + offset,
             start,
             per_device_mas: per_device,
             devices_total_mas: devices_total,
             aggregator_mas,
         });
         start = end;
-        index += 1;
     }
     windows
 }
@@ -171,8 +190,7 @@ impl WorldMetrics {
     /// Collects the metrics from a world.
     pub fn collect(world: &World) -> WorldMetrics {
         let networks = world
-            .network_addresses()
-            .into_iter()
+            .networks()
             .filter_map(|addr| {
                 let agg = world.aggregator(addr)?;
                 Some(NetworkSummary {
@@ -188,14 +206,8 @@ impl WorldMetrics {
             })
             .collect();
         let handshakes = world
-            .device_ids()
-            .into_iter()
-            .filter_map(|id| {
-                world
-                    .device(id)
-                    .and_then(|d| d.last_handshake())
-                    .map(|h| (id.0, h))
-            })
+            .devices()
+            .filter_map(|(id, device)| device.last_handshake().map(|h| (id.0, h)))
             .collect();
         WorldMetrics {
             now: world.now(),

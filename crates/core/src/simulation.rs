@@ -23,7 +23,7 @@ use rtem_net::rssi::{PathLossModel, Position, RadioEnvironment};
 use rtem_sensors::fault::SensorFault;
 use rtem_sensors::grid::{Branch, BranchId, GridNetwork};
 use rtem_sim::prelude::*;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Events driving the world.
 #[derive(Debug, Clone, PartialEq)]
@@ -200,6 +200,22 @@ struct NetworkSite {
     grid: GridNetwork,
     position: Position,
     client: ClientId,
+    /// Devices currently plugged into this network's grid, with the branch
+    /// each occupies. Mirrors the global `device_sites` map so per-network
+    /// work (upstream sampling, outage failover, consensus validator sets)
+    /// touches only the site's own population instead of scanning every
+    /// device in the world. Keyed by device id, so iteration order matches
+    /// the whole-population scans this index replaced.
+    members: BTreeMap<DeviceId, BranchId>,
+}
+
+/// What a broker [`ClientId`] resolves to — maintained on device/network
+/// creation so per-delivery routing is an index lookup, not a scan over the
+/// whole population.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Endpoint {
+    Device(DeviceId),
+    Site(AggregatorAddr),
 }
 
 /// Runtime state of one scheduled fault. The externally visible lifecycle
@@ -256,6 +272,21 @@ pub struct World {
     /// Networks whose aggregator is currently dark, mapped to the fault that
     /// took them down.
     down_sites: BTreeMap<AggregatorAddr, usize>,
+    /// Broker-client routing index (see [`Endpoint`]).
+    client_endpoints: BTreeMap<ClientId, Endpoint>,
+    /// Times with a broker-poll event already scheduled, so a burst of
+    /// publishes arms one wakeup per delivery time instead of one per
+    /// publish. Dropping only *exact-time* duplicates keeps the event
+    /// stream behaviorally identical: a duplicate poll at an already-armed
+    /// time always fires after the armed one and drains nothing.
+    armed_broker_polls: BTreeSet<SimTime>,
+    /// Same as `armed_broker_polls`, for the backhaul mesh.
+    armed_backhaul_polls: BTreeSet<SimTime>,
+    /// Scratch buffer for device outbound packets, reused across ticks so
+    /// the per-device tick path stays allocation-free.
+    outbound_scratch: Vec<rtem_device::device::Outbound>,
+    /// Scratch buffer for per-branch loads during upstream sampling.
+    loads_scratch: Vec<(BranchId, rtem_sensors::energy::Milliamps)>,
 }
 
 impl core::fmt::Debug for World {
@@ -302,6 +333,11 @@ impl World {
             notifications: Vec::new(),
             faults: Vec::new(),
             down_sites: BTreeMap::new(),
+            client_endpoints: BTreeMap::new(),
+            armed_broker_polls: BTreeSet::new(),
+            armed_backhaul_polls: BTreeSet::new(),
+            outbound_scratch: Vec::new(),
+            loads_scratch: Vec::new(),
         }
     }
 
@@ -335,10 +371,11 @@ impl World {
             .subscribe(client, &uplink_topic(addr))
             .expect("aggregator subscription");
         self.backhaul.join(addr);
-        for other in self.sites.keys().copied().collect::<Vec<_>>() {
+        for &other in self.sites.keys() {
             self.backhaul.connect(addr, other, self.config.backhaul);
         }
         self.radio.place_aggregator(addr, position);
+        self.client_endpoints.insert(client, Endpoint::Site(addr));
         self.sites.insert(
             addr,
             NetworkSite {
@@ -346,6 +383,7 @@ impl World {
                 grid: GridNetwork::new(),
                 position,
                 client,
+                members: BTreeMap::new(),
             },
         );
         // Periodic aggregator-side sampling and verification windows.
@@ -371,6 +409,7 @@ impl World {
             .subscribe(client, &downlink_topic(id))
             .expect("device subscription");
         self.device_clients.insert(id, client);
+        self.client_endpoints.insert(client, Endpoint::Device(id));
         self.devices.insert(id, device);
         // Start the measurement timer.
         self.scheduler.schedule(
@@ -503,8 +542,14 @@ impl World {
                     WorldEvent::WindowEnd(addr),
                 );
             }
-            WorldEvent::BrokerPoll => self.drain_broker(now),
-            WorldEvent::BackhaulPoll => self.drain_backhaul(now),
+            WorldEvent::BrokerPoll => {
+                self.armed_broker_polls.remove(&now);
+                self.drain_broker(now);
+            }
+            WorldEvent::BackhaulPoll => {
+                self.armed_backhaul_polls.remove(&now);
+                self.drain_backhaul(now);
+            }
             WorldEvent::PlugIn { device, network } => self.do_plug_in(device, network, now),
             WorldEvent::Unplug(device) => self.do_unplug(device, now),
             WorldEvent::RemoveDevice { device, home } => {
@@ -549,17 +594,22 @@ impl World {
     }
 
     fn handle_measure_tick(&mut self, device_id: DeviceId, now: SimTime) {
-        let (outbound, handshake_before) = {
+        let mut outbound = std::mem::take(&mut self.outbound_scratch);
+        outbound.clear();
+        let handshake_before = {
             let Some(device) = self.devices.get_mut(&device_id) else {
+                self.outbound_scratch = outbound;
                 return;
             };
             let before = device.last_handshake();
-            (device.on_measure_tick(now, &self.radio), before)
+            device.on_measure_tick_into(now, &self.radio, &mut outbound);
+            before
         };
         self.note_handshake(device_id, handshake_before, now);
-        for out in outbound {
+        for out in outbound.drain(..) {
             self.publish_uplink(device_id, out.to, out.packet, now);
         }
+        self.outbound_scratch = outbound;
         self.scheduler.schedule(
             now + self.config.t_measure,
             WorldEvent::MeasureTick(device_id),
@@ -578,10 +628,12 @@ impl World {
         }
         // Ground truth: sum the true currents of devices plugged into this
         // network's grid, evaluate the grid (losses) and let the aggregator's
-        // own sensor observe the upstream total.
-        let mut loads: Vec<(BranchId, rtem_sensors::energy::Milliamps)> = Vec::new();
-        for (&device_id, &(site_addr, branch)) in &self.device_sites {
-            if site_addr == addr {
+        // own sensor observe the upstream total. The site's member index
+        // makes this one batch over the network's own population.
+        let mut loads = std::mem::take(&mut self.loads_scratch);
+        loads.clear();
+        if let Some(site) = self.sites.get(&addr) {
+            for (&device_id, &branch) in &site.members {
                 if let Some(device) = self.devices.get_mut(&device_id) {
                     loads.push((branch, device.true_grid_current(now)));
                 }
@@ -592,6 +644,7 @@ impl World {
             site.aggregator
                 .observe_upstream(now, snapshot.upstream_total);
         }
+        self.loads_scratch = loads;
         self.scheduler.schedule(
             now + self.config.upstream_sample_interval,
             WorldEvent::UpstreamSample(addr),
@@ -604,11 +657,13 @@ impl World {
         if let Some((old_addr, old_branch)) = self.device_sites.remove(&device_id) {
             if let Some(old_site) = self.sites.get_mut(&old_addr) {
                 old_site.grid.remove_branch(old_branch);
+                old_site.members.remove(&device_id);
             }
         }
         let site = self.sites.get_mut(&network).expect("unknown network");
         let branch = site.grid.add_branch(Branch::default());
         let position = Position::new(site.position.x + 2.0, site.position.y + 1.0);
+        site.members.insert(device_id, branch);
         self.device_sites.insert(device_id, (network, branch));
         let device = self.devices.get_mut(&device_id).expect("device exists");
         device.plug_in(now, branch, position);
@@ -623,6 +678,7 @@ impl World {
         if let Some((addr, branch)) = self.device_sites.remove(&device_id) {
             if let Some(site) = self.sites.get_mut(&addr) {
                 site.grid.remove_branch(branch);
+                site.members.remove(&device_id);
             }
         }
         if let Some(device) = self.devices.get_mut(&device_id) {
@@ -668,14 +724,18 @@ impl World {
     fn arm_broker_poll(&mut self, now: SimTime) {
         if let Some(at) = self.broker.next_delivery_at() {
             let at = if at <= now { now } else { at };
-            self.scheduler.schedule(at, WorldEvent::BrokerPoll);
+            if self.armed_broker_polls.insert(at) {
+                self.scheduler.schedule(at, WorldEvent::BrokerPoll);
+            }
         }
     }
 
     fn arm_backhaul_poll(&mut self, now: SimTime) {
         if let Some(at) = self.backhaul.next_delivery_at() {
             let at = if at <= now { now } else { at };
-            self.scheduler.schedule(at, WorldEvent::BackhaulPoll);
+            if self.armed_backhaul_polls.insert(at) {
+                self.scheduler.schedule(at, WorldEvent::BackhaulPoll);
+            }
         }
     }
 
@@ -685,34 +745,32 @@ impl World {
             let Ok(packet) = Packet::decode(&delivery.payload) else {
                 continue;
             };
-            // Uplink to an aggregator?
-            if let Some((&addr, _)) = self
-                .sites
-                .iter()
-                .find(|(_, site)| site.client == delivery.to)
-            {
-                let out = {
-                    let site = self.sites.get_mut(&addr).expect("site exists");
-                    site.aggregator.handle_device_packet(&packet, now)
-                };
-                self.route_aggregator_output(addr, out, now);
-                continue;
-            }
-            // Downlink to a device?
-            if let Some((&device_id, _)) = self
-                .device_clients
-                .iter()
-                .find(|(_, &client)| client == delivery.to)
-            {
-                let (outbound, handshake_before) = {
-                    let device = self.devices.get_mut(&device_id).expect("device exists");
-                    let before = device.last_handshake();
-                    (device.on_packet(&packet, now), before)
-                };
-                self.note_handshake(device_id, handshake_before, now);
-                for out in outbound {
-                    self.publish_uplink(device_id, out.to, out.packet, now);
+            match self.client_endpoints.get(&delivery.to) {
+                // Uplink to an aggregator.
+                Some(&Endpoint::Site(addr)) => {
+                    let out = {
+                        let site = self.sites.get_mut(&addr).expect("site exists");
+                        site.aggregator.handle_device_packet(&packet, now)
+                    };
+                    self.route_aggregator_output(addr, out, now);
                 }
+                // Downlink to a device.
+                Some(&Endpoint::Device(device_id)) => {
+                    let mut outbound = std::mem::take(&mut self.outbound_scratch);
+                    outbound.clear();
+                    let handshake_before = {
+                        let device = self.devices.get_mut(&device_id).expect("device exists");
+                        let before = device.last_handshake();
+                        device.on_packet_into(&packet, now, &mut outbound);
+                        before
+                    };
+                    self.note_handshake(device_id, handshake_before, now);
+                    for out in outbound.drain(..) {
+                        self.publish_uplink(device_id, out.to, out.packet, now);
+                    }
+                    self.outbound_scratch = outbound;
+                }
+                None => {}
             }
         }
         self.arm_broker_poll(now);
@@ -827,17 +885,19 @@ impl World {
                         // device clients (downlink deliveries to devices)
                         // and the aggregator clients (uplink deliveries of
                         // device reports) — the broker charges each
-                        // delivery against its recipient's link.
-                        let mut clients: Vec<ClientId> = self
-                            .device_clients
-                            .iter()
-                            .filter(|(dev, _)| {
-                                network.map_or(true, |n| {
-                                    self.device_sites.get(dev).map(|(a, _)| *a) == Some(n)
-                                })
-                            })
-                            .map(|(_, c)| *c)
-                            .collect();
+                        // delivery against its recipient's link. A scoped
+                        // burst reads the target site's member index; only
+                        // a medium-wide burst walks the whole population.
+                        let mut clients: Vec<ClientId> = match network {
+                            Some(n) => self
+                                .sites
+                                .get(&n)
+                                .into_iter()
+                                .flat_map(|site| site.members.keys())
+                                .map(|dev| self.device_clients[dev])
+                                .collect(),
+                            None => self.device_clients.values().copied().collect(),
+                        };
                         clients.extend(
                             self.sites
                                 .iter()
@@ -884,12 +944,8 @@ impl World {
                 self.down_sites.insert(network, id);
                 if let Some(backup) = failover {
                     if self.sites.contains_key(&backup) {
-                        let moved: Vec<DeviceId> = self
-                            .device_sites
-                            .iter()
-                            .filter(|(_, (a, _))| *a == network)
-                            .map(|(d, _)| *d)
-                            .collect();
+                        let moved: Vec<DeviceId> =
+                            self.sites[&network].members.keys().copied().collect();
                         for device in &moved {
                             self.do_plug_in(*device, backup, now);
                         }
@@ -904,11 +960,10 @@ impl World {
                 // The validator set is the network's current population; the
                 // first `voters` of it (id order) collude.
                 let validators: Vec<DeviceId> = self
-                    .device_sites
-                    .iter()
-                    .filter(|(_, (a, _))| *a == network)
-                    .map(|(d, _)| *d)
-                    .collect();
+                    .sites
+                    .get(&network)
+                    .map(|site| site.members.keys().copied().collect())
+                    .unwrap_or_default();
                 if validators.len() >= 2 {
                     let byzantine = (voters as usize).min(validators.len());
                     self.faults[id].consensus = Some((
@@ -1254,13 +1309,37 @@ impl World {
     }
 
     /// All aggregator addresses in the world.
+    ///
+    /// Allocates; callers on a per-step path should prefer
+    /// [`networks`](Self::networks).
     pub fn network_addresses(&self) -> Vec<AggregatorAddr> {
         self.sites.keys().copied().collect()
     }
 
     /// All device ids in the world.
+    ///
+    /// Allocates; callers on a per-step path should prefer
+    /// [`devices`](Self::devices).
     pub fn device_ids(&self) -> Vec<DeviceId> {
         self.devices.keys().copied().collect()
+    }
+
+    /// Iterates the aggregator addresses in ascending order, without
+    /// cloning the index ([`network_addresses`](Self::network_addresses)
+    /// does).
+    pub fn networks(&self) -> impl Iterator<Item = AggregatorAddr> + '_ {
+        self.sites.keys().copied()
+    }
+
+    /// Iterates `(id, device)` pairs in ascending id order, without cloning
+    /// the index ([`device_ids`](Self::device_ids) does).
+    pub fn devices(&self) -> impl Iterator<Item = (DeviceId, &MeteringDevice)> + '_ {
+        self.devices.iter().map(|(&id, device)| (id, device))
+    }
+
+    /// Number of devices in the world.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
     }
 
     /// Collects the summary metrics of the run so far.

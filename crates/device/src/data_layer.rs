@@ -43,12 +43,30 @@ pub enum StoreOutcome {
 /// assert_eq!(batch.len(), 1);
 /// assert!(batch[0].backfilled, "retransmitted records are marked backfilled");
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct LocalStore {
     capacity: usize,
+    /// Backing storage. The live records are `records[head..]`; everything
+    /// before `head` is already evicted or acknowledged and awaits the next
+    /// compaction. The offset turns eviction and in-order acknowledgment
+    /// into pointer bumps instead of `Vec::remove(0)` memmoves — at fleet
+    /// scale an unregistered device fills its whole store and then evicts
+    /// on *every* measurement tick, which made the old representation
+    /// quadratic in the run horizon.
     records: Vec<MeasurementRecord>,
+    head: usize,
     evicted: u64,
     total_stored: u64,
+}
+
+impl PartialEq for LocalStore {
+    fn eq(&self, other: &Self) -> bool {
+        // Equality is over the logical contents, not the compaction state.
+        self.capacity == other.capacity
+            && self.evicted == other.evicted
+            && self.total_stored == other.total_stored
+            && self.peek_all() == other.peek_all()
+    }
 }
 
 impl LocalStore {
@@ -62,6 +80,7 @@ impl LocalStore {
         LocalStore {
             capacity,
             records: Vec::new(),
+            head: 0,
             evicted: 0,
             total_stored: 0,
         }
@@ -74,12 +93,22 @@ impl LocalStore {
 
     /// Number of records currently buffered.
     pub fn len(&self) -> usize {
-        self.records.len()
+        self.records.len() - self.head
     }
 
     /// Returns `true` if nothing is buffered.
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.head == self.records.len()
+    }
+
+    /// Drops the dead prefix once it outgrows the live contents, keeping the
+    /// backing vector within 2x of the live size (amortized O(1) per
+    /// eviction/acknowledgment).
+    fn maybe_compact(&mut self) {
+        if self.head > self.capacity.max(self.records.len() - self.head) {
+            self.records.drain(..self.head);
+            self.head = 0;
+        }
     }
 
     /// Number of records dropped because the store overflowed.
@@ -96,9 +125,10 @@ impl LocalStore {
     /// newest data is the most valuable for billing continuity).
     pub fn push(&mut self, record: MeasurementRecord) -> StoreOutcome {
         self.total_stored += 1;
-        if self.records.len() == self.capacity {
-            self.records.remove(0);
+        if self.len() == self.capacity {
+            self.head += 1;
             self.evicted += 1;
+            self.maybe_compact();
             self.records.push(record);
             StoreOutcome::StoredEvictingOldest
         } else {
@@ -111,9 +141,9 @@ impl LocalStore {
     /// each as backfilled. If the transmission later fails they must be
     /// re-pushed by the caller.
     pub fn drain_for_transmission(&mut self, max: usize) -> Vec<MeasurementRecord> {
-        let take = max.min(self.records.len());
+        let take = max.min(self.len());
         self.records
-            .drain(..take)
+            .drain(self.head..self.head + take)
             .map(|mut r| {
                 r.backfilled = true;
                 r
@@ -123,23 +153,44 @@ impl LocalStore {
 
     /// Returns the buffered records without removing them.
     pub fn peek_all(&self) -> &[MeasurementRecord] {
-        &self.records
+        &self.records[self.head..]
     }
 
     /// Drops every buffered record — a firmware crash losing the volatile
     /// store-and-forward buffer. Returns how many records were lost.
     pub fn clear(&mut self) -> usize {
-        let lost = self.records.len();
+        let lost = self.len();
         self.records.clear();
+        self.head = 0;
         lost
     }
 
     /// Drops every record with `sequence <= through_sequence` — called when
     /// the aggregator acknowledges receipt.
     pub fn acknowledge_through(&mut self, through_sequence: u64) -> usize {
-        let before = self.records.len();
-        self.records.retain(|r| r.sequence > through_sequence);
-        before - self.records.len()
+        let before = self.len();
+        // Records are pushed in ascending sequence order, so acknowledged
+        // records form a prefix — pruning is an offset bump.
+        while self.head < self.records.len() && self.records[self.head].sequence <= through_sequence
+        {
+            self.head += 1;
+        }
+        // Re-pushed backfill can break monotonicity; fall back to filtering
+        // the (now small) live remainder only when it actually happened.
+        if self
+            .peek_all()
+            .iter()
+            .any(|r| r.sequence <= through_sequence)
+        {
+            let kept: Vec<MeasurementRecord> = self
+                .records
+                .drain(self.head..)
+                .filter(|r| r.sequence > through_sequence)
+                .collect();
+            self.records.extend(kept);
+        }
+        self.maybe_compact();
+        before - self.len()
     }
 
     /// Integrity digest over the buffered records (in order). The device
@@ -147,7 +198,7 @@ impl LocalStore {
     /// sampling and transmission is detectable.
     pub fn integrity_digest(&self) -> Digest {
         let mut hasher = Sha256::new();
-        for r in &self.records {
+        for r in self.peek_all() {
             hasher.update(&r.canonical_bytes());
         }
         hasher.finalize()
@@ -155,7 +206,7 @@ impl LocalStore {
 
     /// Total charge buffered, in microamp-seconds.
     pub fn buffered_charge_uas(&self) -> u64 {
-        self.records.iter().map(|r| r.charge_uas).sum()
+        self.peek_all().iter().map(|r| r.charge_uas).sum()
     }
 }
 

@@ -12,7 +12,8 @@ use crate::packet::{AggregatorAddr, Packet};
 use rtem_sim::rng::SimRng;
 use rtem_sim::time::SimTime;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
 use std::error::Error;
 use std::fmt;
 
@@ -61,6 +62,36 @@ struct MeshLink {
     model: LinkModel,
 }
 
+/// In-flight entry ordered by `(at, seq)`, reproducing the old linear
+/// queue's stable sort-by-arrival over insertion order.
+#[derive(Debug)]
+struct PendingBackhaul {
+    seq: u64,
+    delivery: BackhaulDelivery,
+}
+
+impl PartialEq for PendingBackhaul {
+    fn eq(&self, other: &Self) -> bool {
+        self.delivery.at == other.delivery.at && self.seq == other.seq
+    }
+}
+impl Eq for PendingBackhaul {}
+impl PartialOrd for PendingBackhaul {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for PendingBackhaul {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap inverted so the earliest arrival pops first.
+        other
+            .delivery
+            .at
+            .cmp(&self.delivery.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
 /// The aggregator mesh network.
 ///
 /// # Examples
@@ -95,8 +126,13 @@ struct MeshLink {
 pub struct BackhaulMesh {
     members: BTreeSet<AggregatorAddr>,
     links: BTreeMap<(AggregatorAddr, AggregatorAddr), MeshLink>,
+    /// Adjacency index mirroring `links`, so neighbour lookups and the BFS
+    /// router touch only a node's own edges instead of scanning every link
+    /// in the mesh.
+    adjacency: BTreeMap<AggregatorAddr, BTreeSet<AggregatorAddr>>,
     rng: SimRng,
-    in_flight: VecDeque<BackhaulDelivery>,
+    in_flight: BinaryHeap<PendingBackhaul>,
+    next_seq: u64,
     sent: u64,
     lost: u64,
     link_seq: u64,
@@ -108,8 +144,10 @@ impl BackhaulMesh {
         BackhaulMesh {
             members: BTreeSet::new(),
             links: BTreeMap::new(),
+            adjacency: BTreeMap::new(),
             rng,
-            in_flight: VecDeque::new(),
+            in_flight: BinaryHeap::new(),
+            next_seq: 0,
             sent: 0,
             lost: 0,
             link_seq: 0,
@@ -141,6 +179,13 @@ impl BackhaulMesh {
     pub fn leave(&mut self, addr: AggregatorAddr) -> bool {
         let was_member = self.members.remove(&addr);
         self.links.retain(|(a, b), _| *a != addr && *b != addr);
+        if let Some(neighbours) = self.adjacency.remove(&addr) {
+            for other in neighbours {
+                if let Some(set) = self.adjacency.get_mut(&other) {
+                    set.remove(&addr);
+                }
+            }
+        }
         was_member
     }
 
@@ -175,6 +220,7 @@ impl BackhaulMesh {
                     model: LinkModel::new(config, self.rng.derive(0xBAC0 + self.link_seq)),
                 },
             );
+            self.adjacency.entry(key.0).or_default().insert(key.1);
         }
     }
 
@@ -217,11 +263,10 @@ impl BackhaulMesh {
 
     /// Neighbours directly connected to `addr`.
     pub fn neighbours(&self, addr: AggregatorAddr) -> Vec<AggregatorAddr> {
-        self.links
-            .keys()
-            .filter(|(a, _)| *a == addr)
-            .map(|(_, b)| *b)
-            .collect()
+        self.adjacency
+            .get(&addr)
+            .map(|set| set.iter().copied().collect())
+            .unwrap_or_default()
     }
 
     /// Finds the fewest-hops route between two members (breadth-first).
@@ -239,11 +284,18 @@ impl BackhaulMesh {
         if from == to {
             return Ok(vec![from]);
         }
+        // Direct link: the one-hop route is always fewest-hops, and it is
+        // exactly what the breadth-first search below would return — this
+        // fast path keeps the (fully-meshed) common case O(log n).
+        if self.links.contains_key(&(from, to)) {
+            return Ok(vec![from, to]);
+        }
+        let empty = BTreeSet::new();
         let mut visited: BTreeMap<AggregatorAddr, AggregatorAddr> = BTreeMap::new();
         let mut queue = VecDeque::from([from]);
         visited.insert(from, from);
         while let Some(current) = queue.pop_front() {
-            for next in self.neighbours(current) {
+            for &next in self.adjacency.get(&current).unwrap_or(&empty) {
                 if visited.contains_key(&next) {
                     continue;
                 }
@@ -304,12 +356,16 @@ impl BackhaulMesh {
                 }
             }
         }
-        self.in_flight.push_back(BackhaulDelivery {
-            to,
-            from,
-            packet,
-            at: arrival,
-            hops,
+        self.next_seq += 1;
+        self.in_flight.push(PendingBackhaul {
+            seq: self.next_seq,
+            delivery: BackhaulDelivery {
+                to,
+                from,
+                packet,
+                at: arrival,
+                hops,
+            },
         });
         Ok(())
     }
@@ -317,22 +373,18 @@ impl BackhaulMesh {
     /// Removes and returns deliveries due at or before `now`, in arrival order.
     pub fn drain_due(&mut self, now: SimTime) -> Vec<BackhaulDelivery> {
         let mut due = Vec::new();
-        let mut rest = VecDeque::with_capacity(self.in_flight.len());
-        while let Some(d) = self.in_flight.pop_front() {
-            if d.at <= now {
-                due.push(d);
-            } else {
-                rest.push_back(d);
+        while let Some(pending) = self.in_flight.peek() {
+            if pending.delivery.at > now {
+                break;
             }
+            due.push(self.in_flight.pop().expect("peeked delivery").delivery);
         }
-        self.in_flight = rest;
-        due.sort_by_key(|d| d.at);
         due
     }
 
     /// Earliest pending delivery time.
     pub fn next_delivery_at(&self) -> Option<SimTime> {
-        self.in_flight.iter().map(|d| d.at).min()
+        self.in_flight.peek().map(|p| p.delivery.at)
     }
 
     /// Messages accepted by [`send`](Self::send).

@@ -13,7 +13,8 @@ use bytes::Bytes;
 use rtem_sim::rng::SimRng;
 use rtem_sim::time::SimTime;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, VecDeque};
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 use std::error::Error;
 use std::fmt;
 
@@ -75,9 +76,37 @@ pub struct Delivery {
     pub retransmission: bool,
 }
 
+/// A delivery waiting in the time-ordered in-flight queue. Ordered by
+/// `(at, seq)` — arrival time with the publish sequence as tie-breaker —
+/// which reproduces exactly the order the old linear queue produced with
+/// its stable sort-by-arrival over insertion order.
 #[derive(Debug, Clone)]
 struct PendingDelivery {
+    seq: u64,
     delivery: Delivery,
+}
+
+impl PartialEq for PendingDelivery {
+    fn eq(&self, other: &Self) -> bool {
+        self.delivery.at == other.delivery.at && self.seq == other.seq
+    }
+}
+impl Eq for PendingDelivery {}
+impl PartialOrd for PendingDelivery {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for PendingDelivery {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest delivery pops
+        // first.
+        other
+            .delivery
+            .at
+            .cmp(&self.delivery.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
 }
 
 #[derive(Debug)]
@@ -85,6 +114,11 @@ struct Client {
     link: LinkModel,
     subscriptions: Vec<String>,
     connected: bool,
+}
+
+/// Returns `true` if the filter contains an MQTT wildcard level.
+fn filter_has_wildcard(filter: &str) -> bool {
+    filter.split('/').any(|l| l == "+" || l == "#")
 }
 
 /// Validates a concrete topic (no wildcards allowed).
@@ -168,8 +202,18 @@ pub fn topic_matches(filter: &str, topic: &str) -> bool {
 #[derive(Debug)]
 pub struct MqttBroker {
     clients: BTreeMap<ClientId, Client>,
+    /// Subscription index for wildcard-free filters: filter string (which
+    /// for these filters matches exactly one topic) → subscribed clients.
+    /// Keeping the sets ordered by client id preserves the delivery order
+    /// the unindexed broker produced by scanning the client map.
+    exact_subscriptions: BTreeMap<String, BTreeSet<ClientId>>,
+    /// Clients holding at least one wildcard filter; only these pay a
+    /// per-publish filter match. The simulation's metering topics are all
+    /// exact, so this set is empty on the hot path.
+    wildcard_subscribers: BTreeSet<ClientId>,
     rng: SimRng,
-    in_flight: VecDeque<PendingDelivery>,
+    in_flight: BinaryHeap<PendingDelivery>,
+    next_seq: u64,
     published: u64,
     delivered: u64,
     dropped: u64,
@@ -181,8 +225,11 @@ impl MqttBroker {
     pub fn new(rng: SimRng) -> Self {
         MqttBroker {
             clients: BTreeMap::new(),
+            exact_subscriptions: BTreeMap::new(),
+            wildcard_subscribers: BTreeSet::new(),
             rng,
-            in_flight: VecDeque::new(),
+            in_flight: BinaryHeap::new(),
+            next_seq: 0,
             published: 0,
             delivered: 0,
             dropped: 0,
@@ -277,6 +324,14 @@ impl MqttBroker {
             .ok_or(BrokerError::UnknownClient(id))?;
         if !client.subscriptions.iter().any(|f| f == filter) {
             client.subscriptions.push(filter.to_string());
+            if filter_has_wildcard(filter) {
+                self.wildcard_subscribers.insert(id);
+            } else {
+                self.exact_subscriptions
+                    .entry(filter.to_string())
+                    .or_default()
+                    .insert(id);
+            }
         }
         Ok(())
     }
@@ -289,7 +344,20 @@ impl MqttBroker {
             .ok_or(BrokerError::UnknownClient(id))?;
         let before = client.subscriptions.len();
         client.subscriptions.retain(|f| f != filter);
-        Ok(client.subscriptions.len() != before)
+        let removed = client.subscriptions.len() != before;
+        if removed {
+            if filter_has_wildcard(filter) {
+                if !client.subscriptions.iter().any(|f| filter_has_wildcard(f)) {
+                    self.wildcard_subscribers.remove(&id);
+                }
+            } else if let Some(subscribers) = self.exact_subscriptions.get_mut(filter) {
+                subscribers.remove(&id);
+                if subscribers.is_empty() {
+                    self.exact_subscriptions.remove(filter);
+                }
+            }
+        }
+        Ok(removed)
     }
 
     /// Publishes a message at simulated time `now`.
@@ -316,16 +384,27 @@ impl MqttBroker {
             return Err(BrokerError::UnknownClient(from));
         }
         self.published += 1;
-        let subscribers: Vec<ClientId> = self
-            .clients
-            .iter()
-            .filter(|(id, c)| {
-                **id != from
-                    && c.connected
-                    && c.subscriptions.iter().any(|f| topic_matches(f, topic))
-            })
-            .map(|(id, _)| *id)
+        // Exact-filter subscribers come straight out of the index; only
+        // clients holding wildcard filters are matched per publish. The
+        // merge keeps client-id order (the order the unindexed broker
+        // scanned the client map in) and drops duplicates — a client can
+        // match through both an exact and a wildcard filter.
+        let exact = self.exact_subscriptions.get(topic);
+        let wildcard = self.wildcard_subscribers.iter().filter(|id| {
+            self.clients[id]
+                .subscriptions
+                .iter()
+                .any(|f| topic_matches(f, topic))
+        });
+        let mut subscribers: Vec<ClientId> = exact
+            .into_iter()
+            .flatten()
+            .chain(wildcard)
+            .copied()
+            .filter(|&id| id != from && self.clients[&id].connected)
             .collect();
+        subscribers.sort_unstable();
+        subscribers.dedup();
 
         let mut scheduled = 0;
         for to in subscribers {
@@ -348,7 +427,9 @@ impl MqttBroker {
             };
             match delivered {
                 Some((delay, retransmission)) => {
-                    self.in_flight.push_back(PendingDelivery {
+                    self.next_seq += 1;
+                    self.in_flight.push(PendingDelivery {
+                        seq: self.next_seq,
                         delivery: Delivery {
                             to,
                             from,
@@ -370,16 +451,12 @@ impl MqttBroker {
     /// arrival time.
     pub fn drain_due(&mut self, now: SimTime) -> Vec<Delivery> {
         let mut due: Vec<Delivery> = Vec::new();
-        let mut remaining = VecDeque::with_capacity(self.in_flight.len());
-        while let Some(pending) = self.in_flight.pop_front() {
-            if pending.delivery.at <= now {
-                due.push(pending.delivery);
-            } else {
-                remaining.push_back(pending);
+        while let Some(pending) = self.in_flight.peek() {
+            if pending.delivery.at > now {
+                break;
             }
+            due.push(self.in_flight.pop().expect("peeked delivery").delivery);
         }
-        self.in_flight = remaining;
-        due.sort_by_key(|d| d.at);
         self.delivered += due.len() as u64;
         due
     }
@@ -387,7 +464,7 @@ impl MqttBroker {
     /// Earliest pending delivery time, if any (lets the simulation loop know
     /// when to wake the broker).
     pub fn next_delivery_at(&self) -> Option<SimTime> {
-        self.in_flight.iter().map(|p| p.delivery.at).min()
+        self.in_flight.peek().map(|p| p.delivery.at)
     }
 
     /// Number of messages accepted by `publish`.

@@ -210,7 +210,7 @@ impl<P: Probe> RunHandle<P> {
         let mut sealed_blocks = 0;
         let mut networks = Vec::new();
         let mut cache = self.running_accuracy.borrow_mut();
-        for addr in self.world.network_addresses() {
+        for addr in self.world.networks() {
             let Some(aggregator) = self.world.aggregator(addr) else {
                 continue;
             };
@@ -247,10 +247,7 @@ impl<P: Probe> RunHandle<P> {
         drop(cache);
         let mut completed_handshakes = 0;
         let mut handshakes_in_flight = 0;
-        for id in self.world.device_ids() {
-            let Some(device) = self.world.device(id) else {
-                continue;
-            };
+        for (_, device) in self.world.devices() {
             if device.last_handshake().is_some() {
                 completed_handshakes += 1;
             }

@@ -32,12 +32,27 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-/// A declarative sweep: one base spec, up to four axes, a worker pool.
+/// A declarative sweep: one base spec, up to five axes, a worker pool.
 ///
 /// Axes left unset contribute the base spec's value as a single grid point.
 /// Cells are enumerated in a fixed order (seed-major, then devices, then
-/// link, then sensor), and the report lists them in that order regardless
-/// of how many threads executed them.
+/// link, then sensor, then fault plan), and the report lists them in that
+/// order regardless of how many threads executed them.
+///
+/// # Examples
+///
+/// ```
+/// use rtem::prelude::*;
+///
+/// let base = ScenarioSpec::paper_testbed(0).with_horizon(SimDuration::from_secs(15));
+/// let report = Suite::new(base)
+///     .over_seeds([7, 8, 9])
+///     .with_threads(3)
+///     .run()
+///     .unwrap();
+/// assert_eq!(report.cells.len(), 3);
+/// assert_eq!(report.cells[1].key.seed, 8, "grid order is fixed");
+/// ```
 #[derive(Debug, Clone)]
 pub struct Suite {
     base: ScenarioSpec,

@@ -1,0 +1,161 @@
+//! Golden-snapshot determinism at scale: the event-scheduler redesign (and
+//! any future hot-path work) must not perturb a run's observable output by
+//! even one bit. Each golden scenario's [`RunReport`] is reduced to a
+//! canonical text rendering and compared — as a SHA-256 digest — against
+//! the committed fixture captured on the pre-redesign loop.
+//!
+//! Regenerate deliberately (after an *intentional* behavior change) with:
+//!
+//! ```bash
+//! RTEM_UPDATE_GOLDEN=1 cargo test --test scale_determinism
+//! ```
+//!
+//! On mismatch, set `RTEM_DUMP_GOLDEN=1` to write the full rendering next
+//! to the fixture for diffing.
+
+use rtem::chain::sha256::Sha256;
+use rtem::net::link::LinkConfig;
+use rtem::prelude::*;
+use std::path::PathBuf;
+
+// Relative to this test's owning crate (`crates/rtem`), which declares the
+// workspace-level tests via explicit `[[test]]` paths.
+const FIXTURE: &str = "../../tests/fixtures/scale_golden.txt";
+
+/// Canonical text rendering of everything a [`RunReport`] exposes. `Debug`
+/// floats print shortest-roundtrip, so two renderings are equal iff every
+/// metric is bit-identical.
+fn render(report: &RunReport) -> String {
+    format!(
+        "metrics: {:#?}\naccuracy: {:#?}\nhandshakes: {:#?}\nledgers: {:#?}\nbills: {:#?}\nresilience: {:#?}\nfault_records: {:#?}\n",
+        report.metrics,
+        report.accuracy,
+        report.handshakes,
+        report.ledgers,
+        report.bills,
+        report.resilience,
+        report.world().fault_records(),
+    )
+}
+
+fn digest(report: &RunReport) -> String {
+    Sha256::digest(render(report).as_bytes()).to_hex()
+}
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(FIXTURE)
+}
+
+/// The 200-device fleet cell the scheduler redesign is benchmarked on.
+fn fleet_spec(seed: u64) -> ScenarioSpec {
+    ScenarioSpec::single_network(200, seed).with_horizon(SimDuration::from_secs(60))
+}
+
+/// A smaller scenario exercising every subsystem the report can surface:
+/// multi-network topology, scripted mobility into an initially-empty
+/// network, and a fault plan (sensor + tamper + scoped link burst).
+fn kitchen_sink_spec() -> ScenarioSpec {
+    let mobile = ScenarioSpec::device_id(0, 0);
+    let dest = ScenarioSpec::network_addr(3);
+    let plan = FaultPlan::new()
+        .sensor_stuck_at(SimTime::from_secs(20), ScenarioSpec::device_id(1, 2), 5.0)
+        .tamper_at(SimTime::from_secs(25), ScenarioSpec::network_addr(1))
+        .link_burst(
+            SimTime::from_secs(30),
+            SimTime::from_secs(40),
+            LinkTarget::Wifi {
+                network: Some(ScenarioSpec::network_addr(2)),
+            },
+            LinkConfig {
+                loss_probability: 0.6,
+                ..LinkConfig::wifi()
+            },
+        );
+    ScenarioSpec::paper_testbed(777)
+        .with_networks(3)
+        .with_devices_per_network(8)
+        .with_empty_networks(1)
+        .with_horizon(SimDuration::from_secs(60))
+        .unplug_at(SimTime::from_secs(22), mobile)
+        .plug_in_at(SimTime::from_secs(32), mobile, dest)
+        .with_fault_plan(plan)
+}
+
+fn golden_cases() -> Vec<(&'static str, ScenarioSpec)> {
+    vec![
+        ("fleet_200x60s", fleet_spec(4242)),
+        ("kitchen_sink_3x8", kitchen_sink_spec()),
+    ]
+}
+
+#[test]
+fn golden_reports_match_committed_fixtures() {
+    let mut lines = Vec::new();
+    let mut renderings = Vec::new();
+    for (name, spec) in golden_cases() {
+        let report = Experiment::new(spec).run().expect("golden specs are valid");
+        lines.push(format!("{name} {}", digest(&report)));
+        renderings.push((name, render(&report)));
+    }
+    let produced = lines.join("\n") + "\n";
+
+    let path = fixture_path();
+    if std::env::var("RTEM_UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &produced).unwrap();
+        return;
+    }
+    let committed = std::fs::read_to_string(&path)
+        .expect("tests/fixtures/scale_golden.txt committed (RTEM_UPDATE_GOLDEN=1 to create)");
+    if produced != committed {
+        if std::env::var("RTEM_DUMP_GOLDEN").is_ok() {
+            for (name, rendering) in &renderings {
+                let dump = path.with_file_name(format!("scale_golden_{name}.dump"));
+                std::fs::write(&dump, rendering).unwrap();
+                eprintln!("dumped {}", dump.display());
+            }
+        }
+        panic!(
+            "RunReport diverged from the committed golden snapshot.\n\
+             produced:\n{produced}\ncommitted:\n{committed}\n\
+             If the change is intentional, regenerate with RTEM_UPDATE_GOLDEN=1; \
+             set RTEM_DUMP_GOLDEN=1 to write full renderings for diffing."
+        );
+    }
+}
+
+#[test]
+fn fleet_report_is_thread_count_invariant() {
+    // The same 200-device cell, run through a Suite on 1 vs 4 worker
+    // threads alongside a second seed: per-cell digests must be identical,
+    // and the fleet cell must also match a direct Experiment run.
+    let base = fleet_spec(4242).with_horizon(SimDuration::from_secs(45));
+    let suite = |threads| {
+        Suite::new(base.clone())
+            .over_seeds([4242, 9])
+            .with_threads(threads)
+            .run()
+            .expect("suite specs are valid")
+    };
+    let single = suite(1);
+    let pooled = suite(4);
+    assert_eq!(single.cells.len(), 2);
+    assert_eq!(pooled.cells.len(), 2);
+    for (a, b) in single.cells.iter().zip(&pooled.cells) {
+        assert_eq!(a.key, b.key, "grid order is thread-count invariant");
+        assert_eq!(
+            digest(&a.report),
+            digest(&b.report),
+            "cell {} diverged across thread counts",
+            a.key
+        );
+    }
+    let direct = Experiment::new(base.with_seed(4242))
+        .run()
+        .expect("valid spec");
+    assert_eq!(
+        digest(&single.cells[0].report),
+        digest(&direct),
+        "suite execution must not perturb the run"
+    );
+}
