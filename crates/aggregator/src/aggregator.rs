@@ -7,7 +7,7 @@
 //! memberships, verification, forwarding) and bills the devices whose master
 //! membership it holds.
 
-use crate::billing::{BillingEngine, CollectionOrigin};
+use crate::billing::{BillingEngine, CollectionOrigin, Tariff};
 use crate::membership::{MembershipError, MembershipRegistry};
 use crate::verify::{EntropyDetector, VerifierConfig, WindowVerdict, WindowVerifier};
 use rtem_chain::ledger::{LedgerEntry, MeteringLedger};
@@ -50,8 +50,8 @@ pub struct AggregatorConfig {
     pub verifier: VerifierConfig,
     /// Sensor model for the aggregator's own system-level measurement.
     pub sensor: Ina219Config,
-    /// Flat billing price per mWh.
-    pub price_per_mwh: f64,
+    /// Tariff applied to every billed record.
+    pub tariff: Tariff,
 }
 
 impl AggregatorConfig {
@@ -62,7 +62,7 @@ impl AggregatorConfig {
             slots: SlotTable::testbed(),
             verifier: VerifierConfig::default(),
             sensor: Ina219Config::testbed(),
-            price_per_mwh: 1.0,
+            tariff: Tariff::flat(1.0),
         }
     }
 }
@@ -77,6 +77,19 @@ pub struct Aggregator {
     billing: BillingEngine,
     sensor: Ina219Model,
     pending_temporary: BTreeMap<DeviceId, AggregatorAddr>,
+    /// Highest sequence processed at this aggregator, per device, across
+    /// every path that stages or bills a record: direct master reports,
+    /// temporary-member (collector) reports, and roaming forwards. Guards
+    /// each path against the others and against itself across
+    /// re-registrations: a device that missed its last ack retransmits
+    /// already-processed records — at a foreign collector (whose forward
+    /// would re-bill them at home), back at home (where re-registration
+    /// resets `last_acked_sequence`), or at the same collector again
+    /// (which would double-stage them and double-count the verification
+    /// window). Device sequences are monotone for life (crashes do not
+    /// reset them), and a sequence at or below this mark was either
+    /// processed or cumulatively acked away, so skipping it is exact.
+    processed_through: BTreeMap<DeviceId, u64>,
     // Traces for the evaluation figures.
     network_series: TimeSeries,
     reported_series: TimeSeries,
@@ -111,9 +124,10 @@ impl Aggregator {
             ledger,
             verifier: WindowVerifier::new(config.verifier),
             entropy: EntropyDetector::testbed(),
-            billing: BillingEngine::new(config.price_per_mwh, Millivolts::usb_bus()),
+            billing: BillingEngine::new(config.tariff, Millivolts::usb_bus()),
             sensor: Ina219Model::new(config.sensor, rng.derive(0xA66)),
             pending_temporary: BTreeMap::new(),
+            processed_through: BTreeMap::new(),
             network_series: TimeSeries::new(format!("{} network current (mA)", config.address)),
             reported_series: TimeSeries::new(format!("{} reported sum (mA)", config.address)),
             device_series: BTreeMap::new(),
@@ -309,10 +323,25 @@ impl Aggregator {
         let already_acked = membership.last_acked_sequence;
 
         let mut report_sum_ma = 0.0;
+        let mut fresh_for_home: Vec<MeasurementRecord> = Vec::new();
         for record in records {
             // Ignore duplicates the device retransmitted before seeing our ack.
             if already_acked.is_some_and(|acked| record.sequence <= acked) {
                 continue;
+            }
+            // Ignore records this aggregator already processed under an
+            // *earlier* membership — re-registration resets the ack filter
+            // above, so a device that missed its final ack before
+            // unplugging replays already-staged records here.
+            if self
+                .processed_through
+                .get(&device)
+                .is_some_and(|&mark| record.sequence <= mark)
+            {
+                continue;
+            }
+            if membership.kind == MembershipKind::Temporary {
+                fresh_for_home.push(*record);
             }
             report_sum_ma += record.mean_current_ma();
             self.entropy.observe(device, record.mean_current_ma());
@@ -327,6 +356,8 @@ impl Aggregator {
                     self.billing.bill_record(
                         device,
                         record.charge_uas,
+                        record.interval_start_us,
+                        record.interval_end_us,
                         record.backfilled,
                         CollectionOrigin::Home,
                     );
@@ -335,18 +366,24 @@ impl Aggregator {
                     // Forward on behalf of the home network (cost centre).
                 }
             }
+            let mark = self.processed_through.entry(device).or_insert(0);
+            *mark = (*mark).max(record.sequence);
             self.window_reported_sum_mas += record.charge_mas();
         }
 
-        // Forward roaming consumption to the home aggregator.
-        if membership.kind == MembershipKind::Temporary {
+        // Forward roaming consumption to the home aggregator — only the
+        // records that survived duplicate filtering. Forwarding the raw
+        // report would re-forward retransmitted records (device missed our
+        // ack) and the home network, which bills forwards unconditionally,
+        // would double-bill them.
+        if membership.kind == MembershipKind::Temporary && !fresh_for_home.is_empty() {
             if let Some(home) = membership.home {
                 out.to_aggregators.push((
                     home,
                     Packet::ForwardedConsumption {
                         device,
                         collector: self.address,
-                        records: records.to_vec(),
+                        records: fresh_for_home,
                     },
                 ));
             }
@@ -433,14 +470,29 @@ impl Aggregator {
                 // We are the home network: bill the roaming consumption and
                 // commit it to our ledger as well.
                 for record in records {
+                    // Skip records already processed here (billed directly,
+                    // or billed via an earlier forward) — retransmitted
+                    // after a lost ack and collected anew by the foreign
+                    // network.
+                    if self
+                        .processed_through
+                        .get(device)
+                        .is_some_and(|&mark| record.sequence <= mark)
+                    {
+                        continue;
+                    }
                     self.billing.bill_record(
                         *device,
                         record.charge_uas,
+                        record.interval_start_us,
+                        record.interval_end_us,
                         record.backfilled,
                         CollectionOrigin::Roaming {
                             collector: *collector,
                         },
                     );
+                    let mark = self.processed_through.entry(*device).or_insert(0);
+                    *mark = (*mark).max(record.sequence);
                     self.stage_entry(*device, self.address, record);
                     let series = self
                         .device_series
@@ -752,6 +804,134 @@ mod tests {
         assert!(home.device_series(DeviceId(1)).is_some());
         // The foreign aggregator does not bill the roaming device itself.
         assert!(foreign.billing().bill(DeviceId(1)).is_none());
+    }
+
+    #[test]
+    fn forwarded_records_already_billed_directly_are_skipped() {
+        // The device was home for seqs 0..=1 (billed directly), missed the
+        // final ack, unplugged, and retransmitted at a foreign collector,
+        // whose forward carries the stale seq 1 plus the fresh seq 2.
+        let mut home = aggregator(1);
+        home.register_master(DeviceId(1), SimTime::ZERO).unwrap();
+        home.handle_device_packet(
+            &Packet::ConsumptionReport {
+                device: DeviceId(1),
+                master: Some(AggregatorAddr(1)),
+                records: vec![record(DeviceId(1), 0, 100.0), record(DeviceId(1), 1, 100.0)],
+            },
+            SimTime::from_secs(1),
+        );
+        assert_eq!(home.billing().bill(DeviceId(1)).unwrap().records, 2);
+        home.handle_backhaul(
+            AggregatorAddr(2),
+            &Packet::ForwardedConsumption {
+                device: DeviceId(1),
+                collector: AggregatorAddr(2),
+                records: vec![record(DeviceId(1), 1, 100.0), record(DeviceId(1), 2, 100.0)],
+            },
+            SimTime::from_secs(20),
+        );
+        let bill = home.billing().bill(DeviceId(1)).unwrap();
+        assert_eq!(bill.records, 3, "seq 1 must not be billed twice");
+        assert_eq!(bill.charge_uas, 30_000);
+        assert_eq!(bill.roaming_charge_uas, 10_000, "only seq 2 roamed");
+        // The ledger saw each sequence exactly once too.
+        home.end_window(SimTime::from_secs(30));
+        assert_eq!(home.ledger().account(1).unwrap().entries, 3);
+    }
+
+    #[test]
+    fn rebilling_guard_survives_reregistration_in_both_directions() {
+        let mut home = aggregator(1);
+        home.register_master(DeviceId(1), SimTime::ZERO).unwrap();
+        // Direction 1: roaming-billed records replayed directly at home.
+        // Seqs 0..=1 arrive as a foreign forward and are billed as roaming.
+        home.handle_backhaul(
+            AggregatorAddr(2),
+            &Packet::ForwardedConsumption {
+                device: DeviceId(1),
+                collector: AggregatorAddr(2),
+                records: vec![record(DeviceId(1), 0, 100.0), record(DeviceId(1), 1, 100.0)],
+            },
+            SimTime::from_secs(5),
+        );
+        // The device comes home, re-registers (fresh membership: the ack
+        // filter is reset) and retransmits the never-acked seqs 0..=1 plus
+        // a fresh seq 2.
+        home.registry.remove(DeviceId(1)).unwrap();
+        home.register_master(DeviceId(1), SimTime::from_secs(10))
+            .unwrap();
+        home.handle_device_packet(
+            &Packet::ConsumptionReport {
+                device: DeviceId(1),
+                master: Some(AggregatorAddr(1)),
+                records: vec![
+                    record(DeviceId(1), 0, 100.0),
+                    record(DeviceId(1), 1, 100.0),
+                    record(DeviceId(1), 2, 100.0),
+                ],
+            },
+            SimTime::from_secs(11),
+        );
+        let bill = home.billing().bill(DeviceId(1)).unwrap();
+        assert_eq!(bill.records, 3, "roaming-billed seqs re-billed directly");
+        assert_eq!(bill.charge_uas, 30_000);
+
+        // Direction 2: home-billed records replayed after an unplug/replug
+        // at home (another fresh membership).
+        home.registry.remove(DeviceId(1)).unwrap();
+        home.register_master(DeviceId(1), SimTime::from_secs(20))
+            .unwrap();
+        home.handle_device_packet(
+            &Packet::ConsumptionReport {
+                device: DeviceId(1),
+                master: Some(AggregatorAddr(1)),
+                records: vec![record(DeviceId(1), 2, 100.0), record(DeviceId(1), 3, 100.0)],
+            },
+            SimTime::from_secs(21),
+        );
+        let bill = home.billing().bill(DeviceId(1)).unwrap();
+        assert_eq!(bill.records, 4, "home-billed seq 2 re-billed after replug");
+        assert_eq!(bill.charge_uas, 40_000);
+        // The ledger matches: one entry per sequence.
+        home.end_window(SimTime::from_secs(30));
+        assert_eq!(home.ledger().account(1).unwrap().entries, 4);
+    }
+
+    #[test]
+    fn retransmitted_roaming_report_is_not_reforwarded() {
+        let mut home = aggregator(1);
+        let mut foreign = aggregator(2);
+        home.register_master(DeviceId(1), SimTime::ZERO).unwrap();
+        foreign
+            .registry
+            .register(
+                DeviceId(1),
+                MembershipKind::Temporary,
+                Some(AggregatorAddr(1)),
+                SimTime::from_secs(10),
+            )
+            .unwrap();
+        let report = Packet::ConsumptionReport {
+            device: DeviceId(1),
+            master: Some(AggregatorAddr(1)),
+            records: vec![record(DeviceId(1), 0, 200.0)],
+        };
+        // First delivery forwards once; the device misses the ack and
+        // retransmits the identical report.
+        let first = foreign.handle_device_packet(&report, SimTime::from_secs(11));
+        assert_eq!(first.to_aggregators.len(), 1);
+        let second = foreign.handle_device_packet(&report, SimTime::from_secs(12));
+        assert!(
+            second.to_aggregators.is_empty(),
+            "retransmitted duplicates must not be re-forwarded (home would double-bill)"
+        );
+        // Home bills the single forward exactly once.
+        let (_, forwarded) = &first.to_aggregators[0];
+        home.handle_backhaul(AggregatorAddr(2), forwarded, SimTime::from_secs(11));
+        let bill = home.billing().bill(DeviceId(1)).unwrap();
+        assert_eq!(bill.records, 1);
+        assert_eq!(bill.charge_uas, 20_000);
     }
 
     #[test]

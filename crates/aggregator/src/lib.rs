@@ -43,6 +43,9 @@ pub mod membership;
 pub mod verify;
 
 pub use aggregator::{Aggregator, AggregatorConfig, AggregatorOutput};
-pub use billing::{BillingEngine, CollectionOrigin, DeviceBill};
+pub use billing::{
+    BillingEngine, CollectionOrigin, CostBreakdown, DeviceBill, Tariff, TariffError, TierRate,
+    TouWindow,
+};
 pub use membership::{Membership, MembershipError, MembershipRegistry};
 pub use verify::{EntropyDetector, VerifierConfig, WindowVerdict, WindowVerifier};

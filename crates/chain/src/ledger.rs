@@ -152,6 +152,13 @@ impl MeteringLedger {
         self.staged.len()
     }
 
+    /// The entries staged for the next block, in staging order. Billing
+    /// reconciliation needs them: records billed after the last sealed
+    /// window are staged but not yet committed.
+    pub fn staged_entries(&self) -> &[LedgerEntry] {
+        &self.staged
+    }
+
     /// Commits all staged entries as one block sealed by `writer`.
     ///
     /// Committing with nothing staged is allowed and produces an empty block

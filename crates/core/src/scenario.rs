@@ -15,6 +15,7 @@ use rtem_net::rssi::Position;
 use rtem_sensors::ina219::Ina219Config;
 use rtem_sensors::profile::{ChargingProfile, CompositeProfile, WifiBurstProfile};
 use rtem_sim::prelude::*;
+use rtem_workloads::WorkloadModel;
 
 /// Distance between neighbouring networks, in metres.
 ///
@@ -50,6 +51,11 @@ pub struct ScenarioBuilder {
     pub devices_per_network: u32,
     /// Load profile attached to every device.
     pub load: DeviceLoad,
+    /// Diurnal workload model overriding `load` when set: each device draws
+    /// its [`WorkloadModel`]-built profile instead of the legacy
+    /// [`DeviceLoad`] shape (the reporting-firmware overlay stays either
+    /// way).
+    pub workload: Option<WorkloadModel>,
     /// World configuration (Tmeasure, link quality, windows, seed).
     pub world: WorldConfig,
     /// Handshake timing used by the devices.
@@ -64,6 +70,7 @@ impl Default for ScenarioBuilder {
             networks: 2,
             devices_per_network: 2,
             load: DeviceLoad::EspCharging,
+            workload: None,
             world: WorldConfig::default(),
             handshake: HandshakeTiming::testbed(),
             sensor: Ina219Config::testbed(),
@@ -102,6 +109,12 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Sets a diurnal workload model, overriding the legacy load shapes.
+    pub fn with_workload(mut self, workload: WorkloadModel) -> Self {
+        self.workload = Some(workload);
+        self
+    }
+
     /// Sets the verification window length.
     pub fn with_verification_window(mut self, window: SimDuration) -> Self {
         self.world.verification_window = window;
@@ -125,8 +138,15 @@ impl ScenarioBuilder {
         DeviceId(u64::from(network) * u64::from(DEVICE_ID_BLOCK) + u64::from(j) + 1)
     }
 
-    fn build_load(&self, rng: &SimRng, stream: u64) -> CompositeProfile {
+    fn build_load(&self, rng: &SimRng, stream: u64, ordinal: u64) -> CompositeProfile {
         let composite = CompositeProfile::new();
+        if let Some(workload) = &self.workload {
+            // The workload replaces the electrical load; the reporting
+            // firmware's own draw stays, exactly like the legacy shapes.
+            return composite
+                .push(workload.build_for_device(ordinal, rng.derive(stream)))
+                .push(WifiBurstProfile::esp32_reporting(rng.derive(stream + 1)));
+        }
         match self.load {
             DeviceLoad::EspCharging => composite
                 .push(ChargingProfile::esp32_testbed(rng.derive(stream)))
@@ -153,7 +173,8 @@ impl ScenarioBuilder {
             let addr = Self::network_addr(n);
             for j in 0..self.devices_per_network {
                 let id = Self::device_id(n, j);
-                let load = self.build_load(&rng, u64::from(n) * 1000 + u64::from(j) * 10);
+                let ordinal = u64::from(n) * u64::from(self.devices_per_network) + u64::from(j);
+                let load = self.build_load(&rng, u64::from(n) * 1000 + u64::from(j) * 10, ordinal);
                 let device = MeteringDevice::new(
                     DeviceConfig::testbed(id),
                     load,

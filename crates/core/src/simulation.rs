@@ -10,6 +10,7 @@
 use crate::consensus::{QuorumConsensus, RoundOutcome, Vote};
 use crate::metrics::WorldMetrics;
 use rtem_aggregator::aggregator::{Aggregator, AggregatorConfig};
+use rtem_aggregator::billing::Tariff;
 use rtem_aggregator::verify::WindowVerdict;
 use rtem_chain::ledger::LedgerEntry;
 use rtem_device::device::MeteringDevice;
@@ -178,6 +179,8 @@ pub struct WorldConfig {
     pub wifi: LinkConfig,
     /// Backhaul link quality between aggregators.
     pub backhaul: LinkConfig,
+    /// Tariff every aggregator's billing engine applies.
+    pub tariff: Tariff,
     /// Random seed for the whole world.
     pub seed: u64,
 }
@@ -190,6 +193,7 @@ impl Default for WorldConfig {
             verification_window: SimDuration::from_secs(10),
             wifi: LinkConfig::wifi(),
             backhaul: LinkConfig::backhaul(),
+            tariff: Tariff::default(),
             seed: 42,
         }
     }
@@ -362,7 +366,10 @@ impl World {
     /// Adds a network (aggregator + its grid) at `position`.
     pub fn add_network(&mut self, addr: AggregatorAddr, position: Position) {
         let aggregator = Aggregator::new(
-            AggregatorConfig::testbed(addr),
+            AggregatorConfig {
+                tariff: self.config.tariff.clone(),
+                ..AggregatorConfig::testbed(addr)
+            },
             self.rng.derive(0xA000 + u64::from(addr.0)),
         );
         let client = aggregator_client(addr);

@@ -12,7 +12,14 @@ use rtem_sensors::energy::{MilliampSeconds, Millivolts, MilliwattHours};
 use rtem_sim::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
-/// A simple time-of-use tariff in currency units per mWh.
+/// A simple peak/off-peak tariff in currency units per mWh, used by the
+/// *device-local* [`BillingEstimator`] only.
+///
+/// This is deliberately not the aggregator's richer
+/// `rtem_aggregator::billing::Tariff` (flat / time-of-use / tiered /
+/// demand-charge): a device-sized firmware keeps a two-rate approximation
+/// of its operator's schedule, and the authoritative bill is always the
+/// one the home aggregator computes.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Tariff {
     /// Price per mWh during the peak window.
@@ -59,8 +66,14 @@ impl Tariff {
     }
 }
 
-/// Device-local billing estimate: mirrors what the home aggregator will bill
-/// so the owner can see cost in real time.
+/// Device-local billing estimate so the owner can see cost in real time.
+///
+/// An *estimate*, not a mirror: it prices the device's own (pre-ack) meter
+/// readings under the device's two-rate [`Tariff`] approximation, so it
+/// tracks the aggregator's consolidated bill closely under a flat tariff
+/// and only approximately under the aggregator's richer structures
+/// (tiered ladders and demand charges need state only the home network
+/// has).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BillingEstimator {
     tariff: Tariff,

@@ -161,6 +161,8 @@ pub(crate) fn collect_report(
                 records: bill.records,
                 backfilled_records: bill.backfilled_records,
                 cost: bill.cost,
+                breakdown: bill.breakdown,
+                peak_demand_ma: bill.peak_demand_ma,
             });
         }
     }

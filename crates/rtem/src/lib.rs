@@ -67,6 +67,7 @@ pub use rtem_device as device;
 pub use rtem_net as net;
 pub use rtem_sensors as sensors;
 pub use rtem_sim as sim;
+pub use rtem_workloads as workloads;
 
 /// Convenient glob-import of the curated facade surface.
 ///
@@ -87,6 +88,7 @@ pub mod prelude {
     pub use crate::suite::{
         AggregateStats, CellKey, Suite, SuiteAggregates, SuiteCell, SuiteReport,
     };
+    pub use rtem_aggregator::billing::{CostBreakdown, Tariff, TariffError, TierRate, TouWindow};
     pub use rtem_core::metrics::{
         AccuracyWindow, DeviceTrace, HandshakeStats, NetworkSummary, WorldMetrics,
     };
@@ -99,4 +101,5 @@ pub mod prelude {
     pub use rtem_sensors::energy::{MilliampSeconds, Milliamps, Millivolts, MilliwattHours};
     pub use rtem_sim::rng::SimRng;
     pub use rtem_sim::time::{SimDuration, SimTime};
+    pub use rtem_workloads::{WorkloadError, WorkloadModel};
 }

@@ -1,5 +1,6 @@
 //! The bundled result of one [`Experiment`](crate::experiment::Experiment) run.
 
+use rtem_aggregator::billing::CostBreakdown;
 use rtem_core::metrics::{AccuracyWindow, HandshakeStats, WorldMetrics};
 use rtem_core::simulation::World;
 use rtem_net::packet::{AggregatorAddr, DeviceId};
@@ -71,6 +72,12 @@ pub struct BillLine {
     pub backfilled_records: u64,
     /// Accumulated cost in currency units.
     pub cost: f64,
+    /// Per-component decomposition of `cost` (volumetric / demand /
+    /// roaming share).
+    pub breakdown: CostBreakdown,
+    /// Peak sliding-window mean draw, mA (non-zero only under a
+    /// demand-charge tariff).
+    pub peak_demand_ma: f64,
 }
 
 impl BillLine {
@@ -138,6 +145,11 @@ impl RunReport {
     /// The bill of one device, wherever its home network is.
     pub fn bill(&self, device: DeviceId) -> Option<&BillLine> {
         self.bills.iter().find(|b| b.device == device)
+    }
+
+    /// Total billed cost across every network's bills.
+    pub fn total_billed_cost(&self) -> f64 {
+        self.bills.iter().map(|b| b.cost).sum()
     }
 
     /// `true` when every network's ledger audits clean.

@@ -11,6 +11,7 @@
 //! [`Experiment`]: crate::experiment::Experiment
 
 use core::fmt;
+use rtem_aggregator::billing::{Tariff, TariffError};
 use rtem_core::scenario::{DeviceLoad, ScenarioBuilder};
 use rtem_core::simulation::WorldConfig;
 use rtem_device::network_mgmt::HandshakeTiming;
@@ -20,6 +21,7 @@ use rtem_net::link::LinkConfig;
 use rtem_net::packet::{AggregatorAddr, DeviceId};
 use rtem_sensors::ina219::Ina219Config;
 use rtem_sim::time::{SimDuration, SimTime};
+use rtem_workloads::{WorkloadError, WorkloadModel};
 
 /// One scripted topology change applied during a run.
 ///
@@ -77,7 +79,7 @@ impl ScriptEvent {
 }
 
 /// Why a [`ScenarioSpec`] failed validation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum SpecError {
     /// The spec declares zero networks — there is nothing to meter.
     NoNetworks,
@@ -125,6 +127,12 @@ pub enum SpecError {
     /// The spec's fault plan failed its own validation (unknown targets,
     /// inverted timelines, degenerate parameters).
     InvalidFaultPlan(FaultPlanError),
+    /// The spec's tariff failed its own validation (overlapping time-of-use
+    /// windows, empty tier ladders, negative rates …).
+    InvalidTariff(TariffError),
+    /// The spec's workload model failed its own validation (negative
+    /// magnitudes, inverted business hours, empty mixes …).
+    InvalidWorkload(WorkloadError),
 }
 
 impl fmt::Display for SpecError {
@@ -160,6 +168,8 @@ impl fmt::Display for SpecError {
                 write!(f, "script event at {at:?} is after the horizon")
             }
             SpecError::InvalidFaultPlan(error) => write!(f, "invalid fault plan: {error}"),
+            SpecError::InvalidTariff(error) => write!(f, "invalid tariff: {error}"),
+            SpecError::InvalidWorkload(error) => write!(f, "invalid workload: {error}"),
         }
     }
 }
@@ -195,6 +205,12 @@ pub struct ScenarioSpec {
     pub empty_networks: u32,
     /// Load profile attached to every device.
     pub load: DeviceLoad,
+    /// Diurnal workload model overriding `load` when set (see
+    /// [`WorkloadModel`]): the [`Mix`](WorkloadModel::Mix) variant assigns
+    /// component workloads round-robin by device ordinal.
+    pub workload: Option<WorkloadModel>,
+    /// Tariff every aggregator's billing engine applies.
+    pub tariff: Tariff,
     /// Random seed for the whole world (same seed, same run).
     pub seed: u64,
     /// How long to simulate.
@@ -232,6 +248,8 @@ impl ScenarioSpec {
             devices_per_network: 2,
             empty_networks: 0,
             load: DeviceLoad::EspCharging,
+            workload: None,
+            tariff: Tariff::default(),
             seed,
             horizon: SimDuration::from_secs(100),
             t_measure: world.t_measure,
@@ -287,6 +305,28 @@ impl ScenarioSpec {
     /// Sets the per-device load.
     pub fn with_load(mut self, load: DeviceLoad) -> ScenarioSpec {
         self.load = load;
+        self
+    }
+
+    /// Sets a diurnal workload model, overriding the legacy
+    /// [`DeviceLoad`] shapes.
+    ///
+    /// ```
+    /// use rtem::prelude::*;
+    ///
+    /// let spec = ScenarioSpec::paper_testbed(1)
+    ///     .with_workload(WorkloadModel::neighborhood())
+    ///     .with_tariff(Tariff::evening_peak(1.0));
+    /// assert_eq!(spec.validate(), Ok(()));
+    /// ```
+    pub fn with_workload(mut self, workload: WorkloadModel) -> ScenarioSpec {
+        self.workload = Some(workload);
+        self
+    }
+
+    /// Sets the tariff the aggregators bill under.
+    pub fn with_tariff(mut self, tariff: Tariff) -> ScenarioSpec {
+        self.tariff = tariff;
         self
     }
 
@@ -453,6 +493,10 @@ impl ScenarioSpec {
         self.fault_plan
             .validate(&devices, &networks, horizon)
             .map_err(SpecError::InvalidFaultPlan)?;
+        self.tariff.validate().map_err(SpecError::InvalidTariff)?;
+        if let Some(workload) = &self.workload {
+            workload.validate().map_err(SpecError::InvalidWorkload)?;
+        }
         Ok(())
     }
 
@@ -464,12 +508,14 @@ impl ScenarioSpec {
             networks: self.networks,
             devices_per_network: self.devices_per_network,
             load: self.load,
+            workload: self.workload.clone(),
             world: WorldConfig {
                 t_measure: self.t_measure,
                 upstream_sample_interval: self.upstream_sample_interval,
                 verification_window: self.verification_window,
                 wifi: self.wifi,
                 backhaul: self.backhaul,
+                tariff: self.tariff.clone(),
                 seed: self.seed,
             },
             handshake: self.handshake,
@@ -585,6 +631,65 @@ mod tests {
             .sensor_stuck_at(SimTime::from_secs(1), ScenarioSpec::device_id(0, 0), 10.0)
             .tamper_at(SimTime::from_secs(2), ScenarioSpec::network_addr(1));
         let spec = ScenarioSpec::paper_testbed(1).with_fault_plan(plan);
+        assert_eq!(spec.validate(), Ok(()));
+    }
+
+    #[test]
+    fn invalid_tariffs_are_rejected_with_typed_errors() {
+        use rtem_aggregator::billing::TouWindow;
+        let overlapping = Tariff::TimeOfUse {
+            windows: vec![
+                TouWindow::new(6 * 3600, 12 * 3600, 2.0),
+                TouWindow::new(10 * 3600, 14 * 3600, 3.0),
+            ],
+            off_window_price_per_mwh: 1.0,
+        };
+        let spec = ScenarioSpec::paper_testbed(1).with_tariff(overlapping);
+        assert_eq!(
+            spec.validate(),
+            Err(SpecError::InvalidTariff(
+                TariffError::OverlappingTouWindows {
+                    first: 0,
+                    second: 1
+                }
+            ))
+        );
+        let spec = ScenarioSpec::paper_testbed(1).with_tariff(Tariff::Tiered { tiers: Vec::new() });
+        assert_eq!(
+            spec.validate(),
+            Err(SpecError::InvalidTariff(TariffError::EmptyTierLadder))
+        );
+        let spec = ScenarioSpec::paper_testbed(1).with_tariff(Tariff::flat(-0.5));
+        assert_eq!(
+            spec.validate(),
+            Err(SpecError::InvalidTariff(TariffError::NegativeRate {
+                rate: -0.5
+            }))
+        );
+        // A valid tariff passes through.
+        let spec = ScenarioSpec::paper_testbed(1).with_tariff(Tariff::evening_peak(1.0));
+        assert_eq!(spec.validate(), Ok(()));
+    }
+
+    #[test]
+    fn invalid_workloads_are_rejected_with_typed_errors() {
+        let spec = ScenarioSpec::paper_testbed(1).with_workload(WorkloadModel::Mix(Vec::new()));
+        assert_eq!(
+            spec.validate(),
+            Err(SpecError::InvalidWorkload(WorkloadError::EmptyMix))
+        );
+        let spec = ScenarioSpec::paper_testbed(1).with_workload(WorkloadModel::EvFleet {
+            chargers: 0,
+            sessions_per_day: 4.0,
+            session_cc_ma: 2000.0,
+            session_cc_s: 3600,
+            session_taper_s: 600,
+        });
+        assert_eq!(
+            spec.validate(),
+            Err(SpecError::InvalidWorkload(WorkloadError::ZeroChargers))
+        );
+        let spec = ScenarioSpec::paper_testbed(1).with_workload(WorkloadModel::neighborhood());
         assert_eq!(spec.validate(), Ok(()));
     }
 

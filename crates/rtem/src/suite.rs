@@ -26,18 +26,21 @@ use crate::faults::FaultPlan;
 use crate::report::RunReport;
 use crate::spec::{ScenarioSpec, SpecError};
 use core::fmt;
+use rtem_aggregator::billing::Tariff;
 use rtem_net::link::LinkConfig;
 use rtem_sensors::ina219::Ina219Config;
+use rtem_workloads::WorkloadModel;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-/// A declarative sweep: one base spec, up to five axes, a worker pool.
+/// A declarative sweep: one base spec, up to seven axes, a worker pool.
 ///
 /// Axes left unset contribute the base spec's value as a single grid point.
 /// Cells are enumerated in a fixed order (seed-major, then devices, then
-/// link, then sensor, then fault plan), and the report lists them in that
-/// order regardless of how many threads executed them.
+/// link, then sensor, then workload, then tariff, then fault plan), and the
+/// report lists them in that order regardless of how many threads executed
+/// them.
 ///
 /// # Examples
 ///
@@ -60,6 +63,8 @@ pub struct Suite {
     devices_per_network: Vec<u32>,
     links: Vec<(String, LinkConfig, LinkConfig)>,
     sensors: Vec<(String, Ina219Config)>,
+    workloads: Vec<(String, WorkloadModel)>,
+    tariffs: Vec<(String, Tariff)>,
     fault_plans: Vec<(String, FaultPlan)>,
     threads: Option<usize>,
 }
@@ -77,6 +82,10 @@ pub struct CellKey {
     pub link: Option<String>,
     /// Label of the cell's sensor model, if the axis was swept.
     pub sensor: Option<String>,
+    /// Label of the cell's workload model, if the axis was swept.
+    pub workload: Option<String>,
+    /// Label of the cell's tariff, if the axis was swept.
+    pub tariff: Option<String>,
     /// Label of the cell's fault plan, if the axis was swept.
     pub fault_plan: Option<String>,
 }
@@ -89,6 +98,12 @@ impl fmt::Display for CellKey {
         }
         if let Some(sensor) = &self.sensor {
             write!(f, " sensor={sensor}")?;
+        }
+        if let Some(workload) = &self.workload {
+            write!(f, " workload={workload}")?;
+        }
+        if let Some(tariff) = &self.tariff {
+            write!(f, " tariff={tariff}")?;
         }
         if let Some(fault_plan) = &self.fault_plan {
             write!(f, " faults={fault_plan}")?;
@@ -196,6 +211,8 @@ impl Suite {
             devices_per_network: Vec::new(),
             links: Vec::new(),
             sensors: Vec::new(),
+            workloads: Vec::new(),
+            tariffs: Vec::new(),
             fault_plans: Vec::new(),
             threads: None,
         }
@@ -237,6 +254,34 @@ impl Suite {
         self
     }
 
+    /// Sweeps the workload axis: labelled [`WorkloadModel`]s. Pass
+    /// `(model.label(), model)` pairs or custom labels; each cell's spec
+    /// gets the model via
+    /// [`with_workload`](ScenarioSpec::with_workload).
+    pub fn over_workloads(
+        mut self,
+        workloads: impl IntoIterator<Item = (impl Into<String>, WorkloadModel)>,
+    ) -> Suite {
+        self.workloads = workloads
+            .into_iter()
+            .map(|(label, workload)| (label.into(), workload))
+            .collect();
+        self
+    }
+
+    /// Sweeps the tariff axis: labelled [`Tariff`]s applied to every
+    /// aggregator's billing engine.
+    pub fn over_tariffs(
+        mut self,
+        tariffs: impl IntoIterator<Item = (impl Into<String>, Tariff)>,
+    ) -> Suite {
+        self.tariffs = tariffs
+            .into_iter()
+            .map(|(label, tariff)| (label.into(), tariff))
+            .collect();
+        self
+    }
+
     /// Sweeps the fault-plan axis: labelled [`FaultPlan`]s, one resilience
     /// scenario per label. Cells with a non-empty plan produce a
     /// [`ResilienceReport`](crate::faults::ResilienceReport) in their run
@@ -266,6 +311,8 @@ impl Suite {
             * self.devices_per_network.len().max(1)
             * self.links.len().max(1)
             * self.sensors.len().max(1)
+            * self.workloads.len().max(1)
+            * self.tariffs.len().max(1)
             * self.fault_plans.len().max(1)
     }
 
@@ -298,6 +345,16 @@ impl Suite {
         } else {
             self.sensors.iter().map(Some).collect()
         };
+        let workloads: Vec<Option<&(String, WorkloadModel)>> = if self.workloads.is_empty() {
+            vec![None]
+        } else {
+            self.workloads.iter().map(Some).collect()
+        };
+        let tariffs: Vec<Option<&(String, Tariff)>> = if self.tariffs.is_empty() {
+            vec![None]
+        } else {
+            self.tariffs.iter().map(Some).collect()
+        };
         let fault_plans: Vec<Option<&(String, FaultPlan)>> = if self.fault_plans.is_empty() {
             vec![None]
         } else {
@@ -309,32 +366,44 @@ impl Suite {
             for &devices_per_network in &devices {
                 for link in &links {
                     for sensor in &sensors {
-                        for fault_plan in &fault_plans {
-                            let mut spec = self
-                                .base
-                                .clone()
-                                .with_seed(seed)
-                                .with_devices_per_network(devices_per_network);
-                            if let Some((_, wifi, backhaul)) = link {
-                                spec = spec.with_links(*wifi, *backhaul);
+                        for workload in &workloads {
+                            for tariff in &tariffs {
+                                for fault_plan in &fault_plans {
+                                    let mut spec = self
+                                        .base
+                                        .clone()
+                                        .with_seed(seed)
+                                        .with_devices_per_network(devices_per_network);
+                                    if let Some((_, wifi, backhaul)) = link {
+                                        spec = spec.with_links(*wifi, *backhaul);
+                                    }
+                                    if let Some((_, sensor)) = sensor {
+                                        spec = spec.with_sensor(*sensor);
+                                    }
+                                    if let Some((_, model)) = workload {
+                                        spec = spec.with_workload(model.clone());
+                                    }
+                                    if let Some((_, tariff)) = tariff {
+                                        spec = spec.with_tariff(tariff.clone());
+                                    }
+                                    if let Some((_, plan)) = fault_plan {
+                                        spec = spec.with_fault_plan(plan.clone());
+                                    }
+                                    cells.push((
+                                        CellKey {
+                                            index: cells.len(),
+                                            seed,
+                                            devices_per_network,
+                                            link: link.map(|(label, _, _)| label.clone()),
+                                            sensor: sensor.map(|(label, _)| label.clone()),
+                                            workload: workload.map(|(label, _)| label.clone()),
+                                            tariff: tariff.map(|(label, _)| label.clone()),
+                                            fault_plan: fault_plan.map(|(label, _)| label.clone()),
+                                        },
+                                        spec,
+                                    ));
+                                }
                             }
-                            if let Some((_, sensor)) = sensor {
-                                spec = spec.with_sensor(*sensor);
-                            }
-                            if let Some((_, plan)) = fault_plan {
-                                spec = spec.with_fault_plan(plan.clone());
-                            }
-                            cells.push((
-                                CellKey {
-                                    index: cells.len(),
-                                    seed,
-                                    devices_per_network,
-                                    link: link.map(|(label, _, _)| label.clone()),
-                                    sensor: sensor.map(|(label, _)| label.clone()),
-                                    fault_plan: fault_plan.map(|(label, _)| label.clone()),
-                                },
-                                spec,
-                            ));
                         }
                     }
                 }
@@ -543,12 +612,40 @@ mod tests {
             devices_per_network: 3,
             link: Some("lossy".into()),
             sensor: None,
+            workload: Some("residential".into()),
+            tariff: Some("tou-2w".into()),
             fault_plan: Some("tamper-x2".into()),
         };
         assert_eq!(
             key.to_string(),
-            "seed=9 devices=3 link=lossy faults=tamper-x2"
+            "seed=9 devices=3 link=lossy workload=residential tariff=tou-2w faults=tamper-x2"
         );
+    }
+
+    #[test]
+    fn workload_and_tariff_axes_expand_the_grid() {
+        let suite = Suite::new(ScenarioSpec::paper_testbed(0))
+            .over_workloads([
+                ("residential", WorkloadModel::residential()),
+                ("ev-fleet", WorkloadModel::ev_fleet()),
+            ])
+            .over_tariffs([
+                ("flat", Tariff::flat(1.0)),
+                ("tou", Tariff::evening_peak(1.0)),
+                ("tiered", Tariff::two_tier(1.0, 100.0)),
+            ]);
+        assert_eq!(suite.len(), 6);
+        let cells = suite.cells();
+        assert_eq!(cells[0].0.workload.as_deref(), Some("residential"));
+        assert_eq!(cells[0].0.tariff.as_deref(), Some("flat"));
+        assert_eq!(cells[1].0.tariff.as_deref(), Some("tou"));
+        assert_eq!(cells[3].0.workload.as_deref(), Some("ev-fleet"));
+        assert_eq!(
+            cells[0].1.workload,
+            Some(WorkloadModel::residential()),
+            "the cell's spec carries the swept workload"
+        );
+        assert_eq!(cells[4].1.tariff, Tariff::evening_peak(1.0));
     }
 
     #[test]

@@ -291,6 +291,16 @@ impl LoadProfile for WifiBurstProfile {
     }
 }
 
+impl LoadProfile for Box<dyn LoadProfile + Send> {
+    fn current_at(&mut self, now: SimTime) -> Milliamps {
+        (**self).current_at(now)
+    }
+
+    fn label(&self) -> String {
+        (**self).label()
+    }
+}
+
 /// Sums several profiles (e.g. charging + reporting firmware).
 #[derive(Default)]
 pub struct CompositeProfile {

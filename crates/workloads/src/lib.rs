@@ -1,0 +1,27 @@
+//! Diurnal workload models for the metering simulation.
+//!
+//! The paper's testbed meters one class of load: ESP32-class boards charging
+//! a battery. Real deployments meter a *neighborhood* — homes with morning
+//! and evening peaks, shops with business-hours plateaus, shared EV chargers
+//! serviced by an arrival process, rooftop PV pushing the midday draw towards
+//! zero. This crate provides those shapes as declarative, seed-deterministic
+//! [`WorkloadModel`]s that compile down to the sensor layer's
+//! [`LoadProfile`](rtem_sensors::profile::LoadProfile) trait, so the
+//! INA219 observation path and everything above it is untouched: a workload
+//! is just another ground-truth current source.
+//!
+//! Determinism contract: a built profile's output is a pure function of the
+//! model parameters, the seed it was built with and the sample-time sequence.
+//! Per-day stochastic structure (appliance events, charge-session arrivals,
+//! cloud cover) is derived from a per-day child stream of the seed, so two
+//! runs with the same scenario seed replay identically.
+
+#![forbid(unsafe_code)]
+
+pub mod model;
+pub mod profiles;
+
+pub use model::{WorkloadError, WorkloadModel};
+pub use profiles::{
+    CommercialProfile, EvFleetProfile, ResidentialProfile, SolarOffsetProfile, SECONDS_PER_DAY,
+};

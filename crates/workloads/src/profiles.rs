@@ -1,0 +1,587 @@
+//! The stateful profiles [`WorkloadModel`](crate::model::WorkloadModel)
+//! compiles down to.
+//!
+//! Each profile is an implementation of the sensor layer's
+//! [`LoadProfile`] trait: a ground-truth current as a function of global
+//! simulation time (interpreted as wall-clock time of day, wrapping every
+//! 24 h). Smooth diurnal structure is a pure function of the time of day;
+//! stochastic structure (appliance events, charge-session arrivals, cloud
+//! cover) is derived lazily from a per-day child of the build seed, so the
+//! output never depends on how often the profile is sampled.
+
+use rtem_sensors::energy::Milliamps;
+use rtem_sensors::profile::{ChargingProfile, LoadProfile};
+use rtem_sim::rng::SimRng;
+use rtem_sim::time::{SimDuration, SimTime};
+
+/// Seconds in one simulated day.
+pub const SECONDS_PER_DAY: u64 = 86_400;
+
+/// Smooth unit bump centred at `centre_s` with width `sigma_s`, evaluated at
+/// second-of-day `t_s` (both tails wrap across midnight).
+fn bump(t_s: f64, centre_s: f64, sigma_s: f64) -> f64 {
+    let day = SECONDS_PER_DAY as f64;
+    // Evaluate against the closest image of the centre so a peak near
+    // midnight is continuous across the wrap.
+    let mut d = (t_s - centre_s).abs();
+    d = d.min(day - d);
+    (-0.5 * (d / sigma_s).powi(2)).exp()
+}
+
+fn day_of(now: SimTime) -> u64 {
+    now.as_micros() / (SECONDS_PER_DAY * 1_000_000)
+}
+
+fn second_of_day(now: SimTime) -> f64 {
+    (now.as_micros() % (SECONDS_PER_DAY * 1_000_000)) as f64 / 1e6
+}
+
+/// One stochastic appliance event inside a residential day.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct ApplianceEvent {
+    start_s: f64,
+    end_s: f64,
+    amplitude_ma: f64,
+}
+
+/// A home: always-on base draw, morning/evening occupancy peaks and
+/// stochastic appliance events.
+#[derive(Debug, Clone)]
+pub struct ResidentialProfile {
+    base_ma: f64,
+    morning_peak_ma: f64,
+    evening_peak_ma: f64,
+    events_per_day: f64,
+    appliance_ma: f64,
+    /// Root of the per-day event streams (never advanced, only derived).
+    day_seed: SimRng,
+    /// Call-sequence jitter, like every other profile's ripple.
+    jitter: SimRng,
+    cached_day: Option<(u64, Vec<ApplianceEvent>)>,
+}
+
+impl ResidentialProfile {
+    /// Creates a residential profile; see
+    /// [`WorkloadModel::Residential`](crate::model::WorkloadModel::Residential)
+    /// for the parameter meanings.
+    pub fn new(
+        base_ma: f64,
+        morning_peak_ma: f64,
+        evening_peak_ma: f64,
+        events_per_day: f64,
+        appliance_ma: f64,
+        rng: SimRng,
+    ) -> Self {
+        ResidentialProfile {
+            base_ma,
+            morning_peak_ma,
+            evening_peak_ma,
+            events_per_day,
+            appliance_ma,
+            day_seed: rng.derive(0xD1),
+            jitter: rng.derive(0xD2),
+            cached_day: None,
+        }
+    }
+
+    fn events_for(&mut self, day: u64) -> &[ApplianceEvent] {
+        if self.cached_day.as_ref().map(|(d, _)| *d) != Some(day) {
+            let mut rng = self.day_seed.derive(day);
+            let mut events = Vec::new();
+            if self.events_per_day > 0.0 {
+                // Poisson process over the day: exponential inter-arrivals.
+                let mean_gap_s = SECONDS_PER_DAY as f64 / self.events_per_day;
+                let mut t = rng.exponential(mean_gap_s);
+                while t < SECONDS_PER_DAY as f64 {
+                    let duration_s = rng.uniform(20.0 * 60.0, 90.0 * 60.0);
+                    let amplitude_ma = self.appliance_ma * rng.uniform(0.4, 1.0);
+                    events.push(ApplianceEvent {
+                        start_s: t,
+                        end_s: t + duration_s,
+                        amplitude_ma,
+                    });
+                    t += rng.exponential(mean_gap_s);
+                }
+            }
+            self.cached_day = Some((day, events));
+        }
+        &self.cached_day.as_ref().expect("cached above").1
+    }
+}
+
+impl LoadProfile for ResidentialProfile {
+    fn current_at(&mut self, now: SimTime) -> Milliamps {
+        let t = second_of_day(now);
+        let mut level = self.base_ma
+            + self.morning_peak_ma * bump(t, 7.5 * 3600.0, 1.3 * 3600.0)
+            + self.evening_peak_ma * bump(t, 19.5 * 3600.0, 2.2 * 3600.0);
+        for event in self.events_for(day_of(now)) {
+            if t >= event.start_s && t < event.end_s {
+                level += event.amplitude_ma;
+            }
+        }
+        let noise = self.jitter.normal(0.0, 3.0);
+        Milliamps::new((level + noise).max(0.0))
+    }
+
+    fn label(&self) -> String {
+        format!("residential {:.0} mA base", self.base_ma)
+    }
+}
+
+/// A shop or office: business-hours plateau, ramps and HVAC cycling.
+#[derive(Debug, Clone)]
+pub struct CommercialProfile {
+    closed_ma: f64,
+    open_ma: f64,
+    open_s: u64,
+    close_s: u64,
+    weekends_closed: bool,
+    jitter: SimRng,
+}
+
+/// Length of the opening/closing ramps, seconds.
+const RAMP_S: f64 = 1800.0;
+
+impl CommercialProfile {
+    /// Creates a commercial profile; see
+    /// [`WorkloadModel::Commercial`](crate::model::WorkloadModel::Commercial)
+    /// for the parameter meanings.
+    pub fn new(
+        closed_ma: f64,
+        open_ma: f64,
+        open_s: u64,
+        close_s: u64,
+        weekends_closed: bool,
+        rng: SimRng,
+    ) -> Self {
+        CommercialProfile {
+            closed_ma,
+            open_ma,
+            open_s,
+            close_s,
+            weekends_closed,
+            jitter: rng.derive(0xC1),
+        }
+    }
+
+    /// Occupancy fraction (0 closed, 1 open plateau) at second-of-day `t`.
+    fn occupancy(&self, t: f64) -> f64 {
+        let open = self.open_s as f64;
+        let close = self.close_s as f64;
+        if t < open || t >= close {
+            0.0
+        } else {
+            // Ramp up after opening, ramp down into closing.
+            let up = ((t - open) / RAMP_S).min(1.0);
+            let down = ((close - t) / RAMP_S).min(1.0);
+            up.min(down)
+        }
+    }
+}
+
+impl LoadProfile for CommercialProfile {
+    fn current_at(&mut self, now: SimTime) -> Milliamps {
+        let day = day_of(now);
+        let weekend = self.weekends_closed && day % 7 >= 5;
+        let t = second_of_day(now);
+        let occupancy = if weekend { 0.0 } else { self.occupancy(t) };
+        // HVAC duty cycling while occupied: a 30-minute sinusoid.
+        let hvac = 0.08 * self.open_ma * (t / 1800.0 * core::f64::consts::TAU).sin() * occupancy;
+        let level = self.closed_ma + (self.open_ma - self.closed_ma) * occupancy + hvac;
+        let noise = self.jitter.normal(0.0, 2.0);
+        Milliamps::new((level + noise).max(0.0))
+    }
+
+    fn label(&self) -> String {
+        format!(
+            "commercial {:.0} mA {:02}:00-{:02}:00",
+            self.open_ma,
+            self.open_s / 3600,
+            self.close_s / 3600
+        )
+    }
+}
+
+/// One queued charge session at the shared site.
+#[derive(Debug, Clone)]
+struct Session {
+    start: SimTime,
+    end: SimTime,
+    charge: ChargingProfile,
+}
+
+/// A shared EV charging site: an arrival process queued onto a fixed number
+/// of charge points, each session a CC/CV [`ChargingProfile`].
+#[derive(Debug, Clone)]
+pub struct EvFleetProfile {
+    chargers: u32,
+    sessions_per_day: f64,
+    session_cc_ma: f64,
+    session_cc: SimDuration,
+    session_taper: SimDuration,
+    day_seed: SimRng,
+    /// When each charge point next becomes free, in microseconds.
+    charger_free_us: Vec<u64>,
+    sessions: Vec<Session>,
+    /// Highest day whose arrivals have been generated (`None` before any).
+    generated_through: Option<u64>,
+}
+
+impl EvFleetProfile {
+    /// Creates an EV-fleet profile; see
+    /// [`WorkloadModel::EvFleet`](crate::model::WorkloadModel::EvFleet) for
+    /// the parameter meanings.
+    pub fn new(
+        chargers: u32,
+        sessions_per_day: f64,
+        session_cc_ma: f64,
+        session_cc_s: u64,
+        session_taper_s: u64,
+        rng: SimRng,
+    ) -> Self {
+        EvFleetProfile {
+            chargers,
+            sessions_per_day,
+            session_cc_ma,
+            session_cc: SimDuration::from_secs(session_cc_s),
+            session_taper: SimDuration::from_secs(session_taper_s),
+            day_seed: rng.derive(0xE1),
+            charger_free_us: vec![0; chargers as usize],
+            sessions: Vec::new(),
+            generated_through: None,
+        }
+    }
+
+    /// Total footprint of one session on its charge point: the CC phase
+    /// plus three taper time constants (past which the CC/CV current has
+    /// decayed below 5 % of bulk).
+    fn session_len(&self) -> SimDuration {
+        self.session_cc + SimDuration::from_micros(3 * self.session_taper.as_micros())
+    }
+
+    fn generate_day(&mut self, day: u64) {
+        let mut rng = self.day_seed.derive(day);
+        // Arrival count: Poisson via exponential inter-arrival times.
+        let mean_gap_s = SECONDS_PER_DAY as f64 / self.sessions_per_day;
+        let mut arrivals_s: Vec<f64> = Vec::new();
+        let mut t = rng.exponential(mean_gap_s);
+        while t < SECONDS_PER_DAY as f64 {
+            arrivals_s.push(t);
+            t += rng.exponential(mean_gap_s);
+        }
+        // Re-draw each arrival's time of day with an evening bias (vehicles
+        // come back from service), keeping the count from the process above.
+        for arrival in &mut arrivals_s {
+            *arrival = if rng.chance(0.65) {
+                rng.uniform(17.0 * 3600.0, 23.0 * 3600.0)
+            } else {
+                rng.uniform(7.0 * 3600.0, 17.0 * 3600.0)
+            };
+        }
+        arrivals_s.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+
+        let session_len_us = self.session_len().as_micros();
+        for (i, arrival_s) in arrivals_s.iter().enumerate() {
+            let arrival_us = day * SECONDS_PER_DAY * 1_000_000 + (*arrival_s * 1e6) as u64;
+            // First charge point to free up takes the vehicle; a busy site
+            // queues it until then.
+            let (slot, free_at) = self
+                .charger_free_us
+                .iter()
+                .copied()
+                .enumerate()
+                .min_by_key(|&(_, free)| free)
+                .expect("at least one charger");
+            let start_us = arrival_us.max(free_at);
+            self.charger_free_us[slot] = start_us + session_len_us;
+            self.sessions.push(Session {
+                start: SimTime::from_micros(start_us),
+                end: SimTime::from_micros(start_us + session_len_us),
+                charge: ChargingProfile::new(
+                    self.session_cc_ma,
+                    self.session_cc,
+                    self.session_taper,
+                    0.0,
+                    rng.derive(0xEE00 + i as u64),
+                ),
+            });
+        }
+    }
+
+    fn ensure_generated(&mut self, day: u64) {
+        let from = match self.generated_through {
+            Some(done) if done >= day => return,
+            Some(done) => done + 1,
+            None => 0,
+        };
+        for d in from..=day {
+            self.generate_day(d);
+        }
+        self.generated_through = Some(day);
+    }
+}
+
+impl LoadProfile for EvFleetProfile {
+    fn current_at(&mut self, now: SimTime) -> Milliamps {
+        self.ensure_generated(day_of(now));
+        // Retire sessions that ended over an hour ago; the grace period
+        // keeps slightly out-of-order sampling (plug-in replays) exact.
+        self.sessions
+            .retain(|s| s.end + SimDuration::from_secs(3600) > now);
+        let mut total = 0.0;
+        for session in &mut self.sessions {
+            if session.start <= now && now < session.end {
+                let local = SimTime::from_micros(now.as_micros() - session.start.as_micros());
+                total += session.charge.current_at(local).value();
+            }
+        }
+        Milliamps::new(total.max(0.0))
+    }
+
+    fn label(&self) -> String {
+        format!("ev fleet {}x{:.0} mA", self.chargers, self.session_cc_ma)
+    }
+}
+
+/// Number of cloud-cover slots per day (15-minute resolution).
+const CLOUD_SLOTS: usize = 96;
+
+/// Rooftop PV behind the meter: the inner load minus a midday generation
+/// bell scaled by per-day cloud cover, clipped at zero at the meter.
+pub struct SolarOffsetProfile {
+    inner: Box<dyn LoadProfile + Send>,
+    peak_generation_ma: f64,
+    day_seed: SimRng,
+    cached_day: Option<(u64, [f64; CLOUD_SLOTS])>,
+}
+
+impl core::fmt::Debug for SolarOffsetProfile {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("SolarOffsetProfile")
+            .field("peak_generation_ma", &self.peak_generation_ma)
+            .finish()
+    }
+}
+
+impl SolarOffsetProfile {
+    /// Wraps `inner` behind a panel with the given clear-sky peak.
+    pub fn new(inner: Box<dyn LoadProfile + Send>, peak_generation_ma: f64, rng: SimRng) -> Self {
+        SolarOffsetProfile {
+            inner,
+            peak_generation_ma,
+            day_seed: rng.derive(0x0501),
+            cached_day: None,
+        }
+    }
+
+    fn cloud_factors(&mut self, day: u64) -> &[f64; CLOUD_SLOTS] {
+        if self.cached_day.as_ref().map(|(d, _)| *d) != Some(day) {
+            let mut rng = self.day_seed.derive(day);
+            // One overcast factor for the day, plus per-15-minute passing
+            // clouds on top of it.
+            let day_factor = rng.uniform(0.35, 1.0);
+            let mut slots = [0.0; CLOUD_SLOTS];
+            for slot in &mut slots {
+                *slot = day_factor * rng.uniform(0.7, 1.0);
+            }
+            self.cached_day = Some((day, slots));
+        }
+        &self.cached_day.as_ref().expect("cached above").1
+    }
+
+    /// Generation at `now`, before subtraction (mA).
+    pub fn generation_at(&mut self, now: SimTime) -> Milliamps {
+        let t = second_of_day(now);
+        let bell = bump(t, 13.0 * 3600.0, 3.5 * 3600.0);
+        let slot = ((t / 900.0) as usize).min(CLOUD_SLOTS - 1);
+        let factor = self.cloud_factors(day_of(now))[slot];
+        Milliamps::new(self.peak_generation_ma * bell * factor)
+    }
+}
+
+impl LoadProfile for SolarOffsetProfile {
+    fn current_at(&mut self, now: SimTime) -> Milliamps {
+        let load = self.inner.current_at(now);
+        let generation = self.generation_at(now);
+        // The meter sits downstream of the panel: net export reads as zero,
+        // never as negative consumption.
+        Milliamps::new((load.value() - generation.value()).max(0.0))
+    }
+
+    fn label(&self) -> String {
+        format!(
+            "{} - solar {:.0} mA",
+            self.inner.label(),
+            self.peak_generation_ma
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::seed_from_u64(2024)
+    }
+
+    /// Mean current over one simulated hour, sampled every 10 s.
+    fn hour_mean(profile: &mut impl LoadProfile, day: u64, hour: u64) -> f64 {
+        let start = day * SECONDS_PER_DAY + hour * 3600;
+        let n = 360;
+        (0..n)
+            .map(|i| {
+                profile
+                    .current_at(SimTime::from_secs(start + i * 10))
+                    .value()
+            })
+            .sum::<f64>()
+            / n as f64
+    }
+
+    #[test]
+    fn residential_peaks_morning_and_evening() {
+        let mut p = ResidentialProfile::new(80.0, 250.0, 450.0, 0.0, 0.0, rng());
+        let night = hour_mean(&mut p, 0, 3);
+        let morning = hour_mean(&mut p, 0, 7);
+        let evening = hour_mean(&mut p, 0, 19);
+        assert!(morning > night + 100.0, "morning {morning} night {night}");
+        assert!(evening > morning, "evening {evening} morning {morning}");
+    }
+
+    #[test]
+    fn residential_appliance_events_add_load() {
+        let mut quiet = ResidentialProfile::new(80.0, 0.0, 0.0, 0.0, 0.0, rng());
+        let mut busy = ResidentialProfile::new(80.0, 0.0, 0.0, 8.0, 900.0, rng());
+        let quiet_day: f64 = (0..24).map(|h| hour_mean(&mut quiet, 1, h)).sum();
+        let busy_day: f64 = (0..24).map(|h| hour_mean(&mut busy, 1, h)).sum();
+        assert!(
+            busy_day > quiet_day + 100.0,
+            "busy {busy_day} quiet {quiet_day}"
+        );
+    }
+
+    #[test]
+    fn residential_events_replay_identically_per_day() {
+        let mut a = ResidentialProfile::new(80.0, 250.0, 450.0, 5.0, 900.0, rng());
+        let mut b = ResidentialProfile::new(80.0, 250.0, 450.0, 5.0, 900.0, rng());
+        // Sample b on a coarser grid first: cached-day regeneration must not
+        // depend on the sampling pattern.
+        let _ = b.current_at(SimTime::from_secs(5 * SECONDS_PER_DAY));
+        for s in (0..SECONDS_PER_DAY).step_by(997) {
+            let at = SimTime::from_secs(2 * SECONDS_PER_DAY + s);
+            // Jitter advances per call, so compare the deterministic part by
+            // zeroing it out via fresh clones sampled identically.
+            let mut a2 = a.clone();
+            let mut b2 = b.clone();
+            a2.jitter = SimRng::seed_from_u64(0);
+            b2.jitter = SimRng::seed_from_u64(0);
+            assert_eq!(a2.current_at(at), b2.current_at(at), "diverged at {at}");
+        }
+        let _ = (a.current_at(SimTime::ZERO), b.current_at(SimTime::ZERO));
+    }
+
+    #[test]
+    fn commercial_plateau_inside_business_hours() {
+        let mut p = CommercialProfile::new(40.0, 650.0, 8 * 3600, 18 * 3600, false, rng());
+        let night = hour_mean(&mut p, 0, 2);
+        let noon = hour_mean(&mut p, 0, 12);
+        assert!(night < 60.0, "night {night}");
+        assert!(noon > 500.0, "noon {noon}");
+    }
+
+    #[test]
+    fn commercial_weekend_stays_closed() {
+        let mut p = CommercialProfile::new(40.0, 650.0, 8 * 3600, 18 * 3600, true, rng());
+        let weekday_noon = hour_mean(&mut p, 1, 12);
+        let saturday_noon = hour_mean(&mut p, 5, 12);
+        assert!(weekday_noon > 500.0, "weekday {weekday_noon}");
+        assert!(saturday_noon < 60.0, "saturday {saturday_noon}");
+    }
+
+    #[test]
+    fn ev_fleet_draws_in_bulk_charge_quanta() {
+        let mut p = EvFleetProfile::new(2, 8.0, 2000.0, 2 * 3600, 30 * 60, rng());
+        // Over a week of evenings the site must see substantial draw, and
+        // the instantaneous draw can never exceed every charger at bulk
+        // (plus ripple).
+        let mut peak: f64 = 0.0;
+        let mut total = 0.0;
+        let mut n = 0u64;
+        for s in (0..7 * SECONDS_PER_DAY).step_by(300) {
+            let i = p.current_at(SimTime::from_secs(s)).value();
+            peak = peak.max(i);
+            total += i;
+            n += 1;
+        }
+        let mean = total / n as f64;
+        assert!(peak > 1500.0, "no session ever ran (peak {peak})");
+        assert!(
+            peak < 2.0 * 2000.0 * 1.1,
+            "more sessions than chargers (peak {peak})"
+        );
+        assert!(mean > 50.0, "mean {mean}");
+    }
+
+    #[test]
+    fn ev_fleet_queues_beyond_charger_count() {
+        // One charger, many arrivals: the queue must serialize sessions, so
+        // the draw never exceeds one bulk charge (plus ripple).
+        let mut p = EvFleetProfile::new(1, 12.0, 2000.0, 3600, 600, rng());
+        for s in (0..3 * SECONDS_PER_DAY).step_by(120) {
+            let i = p.current_at(SimTime::from_secs(s)).value();
+            assert!(
+                i < 2000.0 * 1.15,
+                "queued sessions overlapped: {i} mA at {s} s"
+            );
+        }
+    }
+
+    #[test]
+    fn solar_offsets_midday_and_clips_at_zero() {
+        let base = Box::new(CommercialProfile::new(
+            30.0,
+            30.0,
+            1,
+            2,
+            false,
+            rng().derive(1),
+        ));
+        // A 30 mA flat load behind an 800 mA panel: midday net must clip at
+        // zero rather than export.
+        let mut p = SolarOffsetProfile::new(base, 800.0, rng());
+        let mut midday_min: f64 = f64::INFINITY;
+        for s in (11 * 3600..15 * 3600).step_by(60) {
+            let i = p.current_at(SimTime::from_secs(s)).value();
+            assert!(i >= 0.0);
+            midday_min = midday_min.min(i);
+        }
+        let night = p.current_at(SimTime::from_secs(2 * 3600)).value();
+        assert_eq!(midday_min, 0.0, "panel never covered the base load");
+        assert!(night > 20.0, "night load {night} must be unaffected");
+    }
+
+    #[test]
+    fn solar_generation_is_zero_at_night() {
+        let base = Box::new(ResidentialProfile::new(80.0, 0.0, 0.0, 0.0, 0.0, rng()));
+        let mut p = SolarOffsetProfile::new(base, 600.0, rng().derive(9));
+        assert!(p.generation_at(SimTime::from_secs(3600)).value() < 10.0);
+        assert!(p.generation_at(SimTime::from_secs(13 * 3600)).value() > 50.0);
+    }
+
+    #[test]
+    fn labels_are_descriptive() {
+        assert!(ResidentialProfile::new(80.0, 1.0, 1.0, 0.0, 0.0, rng())
+            .label()
+            .contains("residential"));
+        assert!(
+            CommercialProfile::new(40.0, 650.0, 8 * 3600, 18 * 3600, true, rng())
+                .label()
+                .contains("08:00-18:00")
+        );
+        assert!(EvFleetProfile::new(3, 6.0, 2000.0, 3600, 600, rng())
+            .label()
+            .contains("ev fleet 3x"));
+    }
+}

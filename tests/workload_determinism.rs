@@ -1,0 +1,163 @@
+//! Golden-snapshot determinism for the workload & tariff subsystem: a full
+//! simulated day of the neighborhood mix (residential + EV fleet + solar)
+//! must replay bit-identically, per-day stochastic structure included. The
+//! [`RunReport`] is reduced to a canonical text rendering and compared — as
+//! a SHA-256 digest — against the committed fixture, exactly like the PR 4
+//! scale goldens it sits alongside.
+//!
+//! Regenerate deliberately (after an *intentional* behavior change) with:
+//!
+//! ```bash
+//! RTEM_UPDATE_GOLDEN=1 cargo test --test workload_determinism
+//! ```
+//!
+//! On mismatch, set `RTEM_DUMP_GOLDEN=1` to write the full rendering next
+//! to the fixture for diffing.
+
+use rtem::chain::sha256::Sha256;
+use rtem::prelude::*;
+use std::path::PathBuf;
+
+// Relative to this test's owning crate (`crates/rtem`), which declares the
+// workspace-level tests via explicit `[[test]]` paths.
+const FIXTURE: &str = "../../tests/fixtures/workload_golden.txt";
+
+/// Canonical text rendering of everything a [`RunReport`] exposes. `Debug`
+/// floats print shortest-roundtrip, so two renderings are equal iff every
+/// metric is bit-identical.
+fn render(report: &RunReport) -> String {
+    format!(
+        "metrics: {:#?}\naccuracy: {:#?}\nhandshakes: {:#?}\nledgers: {:#?}\nbills: {:#?}\n",
+        report.metrics, report.accuracy, report.handshakes, report.ledgers, report.bills,
+    )
+}
+
+fn digest(report: &RunReport) -> String {
+    Sha256::digest(render(report).as_bytes()).to_hex()
+}
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(FIXTURE)
+}
+
+/// 24 simulated hours of the residential + EV + solar mix under the
+/// evening-peak time-of-use tariff: every workload generator's per-day
+/// stochastic structure (appliance events, charge-session arrivals and
+/// queueing, cloud cover) feeds the digest.
+fn neighborhood_day_spec() -> ScenarioSpec {
+    let mut spec = ScenarioSpec::paper_testbed(1202)
+        .with_devices_per_network(3)
+        .with_workload(WorkloadModel::Mix(vec![
+            WorkloadModel::residential(),
+            WorkloadModel::ev_fleet(),
+            WorkloadModel::solar_home(),
+        ]))
+        .with_tariff(Tariff::evening_peak(1.0))
+        .with_horizon(SimDuration::from_secs(24 * 3600))
+        .with_verification_window(SimDuration::from_secs(3600));
+    spec.t_measure = SimDuration::from_secs(1);
+    spec.upstream_sample_interval = SimDuration::from_secs(1);
+    spec
+}
+
+/// A shorter cell under the demand-charge tariff, pinning the sliding-window
+/// peak accounting (the only tariff with cross-record billing state).
+fn demand_charge_spec() -> ScenarioSpec {
+    let mut spec = ScenarioSpec::paper_testbed(77)
+        .with_devices_per_network(3)
+        .with_workload(WorkloadModel::neighborhood())
+        .with_tariff(Tariff::DemandCharge {
+            price_per_mwh: 1.0,
+            demand_price_per_ma: 0.05,
+            window: SimDuration::from_secs(900),
+        })
+        .with_horizon(SimDuration::from_secs(6 * 3600))
+        .with_verification_window(SimDuration::from_secs(1800));
+    spec.t_measure = SimDuration::from_secs(1);
+    spec.upstream_sample_interval = SimDuration::from_secs(1);
+    spec
+}
+
+fn golden_cases() -> Vec<(&'static str, ScenarioSpec)> {
+    vec![
+        ("neighborhood_24h", neighborhood_day_spec()),
+        ("demand_charge_6h", demand_charge_spec()),
+    ]
+}
+
+#[test]
+fn workload_reports_match_committed_fixtures() {
+    let mut lines = Vec::new();
+    let mut renderings = Vec::new();
+    for (name, spec) in golden_cases() {
+        let report = Experiment::new(spec).run().expect("golden specs are valid");
+        assert!(
+            report.all_ledgers_clean(),
+            "{name}: golden run must audit clean"
+        );
+        lines.push(format!("{name} {}", digest(&report)));
+        renderings.push((name, render(&report)));
+    }
+    let produced = lines.join("\n") + "\n";
+
+    let path = fixture_path();
+    if std::env::var("RTEM_UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &produced).unwrap();
+        return;
+    }
+    let committed = std::fs::read_to_string(&path)
+        .expect("tests/fixtures/workload_golden.txt committed (RTEM_UPDATE_GOLDEN=1 to create)");
+    if produced != committed {
+        if std::env::var("RTEM_DUMP_GOLDEN").is_ok() {
+            for (name, rendering) in &renderings {
+                let dump = path.with_file_name(format!("workload_golden_{name}.dump"));
+                std::fs::write(&dump, rendering).unwrap();
+                eprintln!("dumped {}", dump.display());
+            }
+        }
+        panic!(
+            "workload RunReport diverged from the committed golden snapshot.\n\
+             produced:\n{produced}\ncommitted:\n{committed}\n\
+             If the change is intentional, regenerate with RTEM_UPDATE_GOLDEN=1; \
+             set RTEM_DUMP_GOLDEN=1 to write full renderings for diffing."
+        );
+    }
+}
+
+#[test]
+fn workload_suite_cell_matches_direct_run() {
+    // The same neighborhood day through a Suite's workload/tariff axes must
+    // produce the byte-identical report: axis plumbing must not perturb the
+    // spec it hands each cell.
+    let mut base = ScenarioSpec::paper_testbed(1202)
+        .with_devices_per_network(3)
+        .with_horizon(SimDuration::from_secs(2 * 3600))
+        .with_verification_window(SimDuration::from_secs(3600));
+    base.t_measure = SimDuration::from_secs(1);
+    base.upstream_sample_interval = SimDuration::from_secs(1);
+
+    let mix = WorkloadModel::Mix(vec![
+        WorkloadModel::residential(),
+        WorkloadModel::ev_fleet(),
+        WorkloadModel::solar_home(),
+    ]);
+    let suite_report = Suite::new(base.clone())
+        .over_workloads([(mix.label(), mix.clone())])
+        .over_tariffs([("tou", Tariff::evening_peak(1.0))])
+        .run()
+        .expect("valid suite");
+    assert_eq!(suite_report.cells.len(), 1);
+
+    let direct = Experiment::new(
+        base.with_workload(mix)
+            .with_tariff(Tariff::evening_peak(1.0)),
+    )
+    .run()
+    .expect("valid spec");
+    assert_eq!(
+        digest(&suite_report.cells[0].report),
+        digest(&direct),
+        "suite axes must hand the cell exactly the declared spec"
+    );
+}
