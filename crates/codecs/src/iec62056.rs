@@ -1,0 +1,296 @@
+//! IEC 62056-21 Mode C/D ASCII telegrams.
+//!
+//! The classic optical-port / D0 readout format: an identification line
+//! (`/` + manufacturer flag + baud identification + meter id), then a data
+//! block bracketed by STX … `!` CR LF ETX, closed by a one-byte block
+//! check character (BCC) — the XOR of every byte after STX up to and
+//! including ETX. Data lines are OBIS-coded `address(value)` pairs; the
+//! consumption batch rides one `99.129.0` line per record with
+//! semicolon-separated decimal fields, so the encoding is lossless for the
+//! simulator's full `u64` ranges.
+//!
+//! ```text
+//! /RTM5\2RTEM104
+//! <STX>1-0:0.0.0(104)
+//! 1-0:96.1.0(2)
+//! 1-0:99.128.0(1)
+//! 1-0:99.129.0(104;0;0;1000000;5250000;5250000;L)
+//! !
+//! <ETX><BCC>
+//! ```
+
+use crate::telegram::{CodecError, Telegram};
+use rtem_net::packet::{AggregatorAddr, DeviceId, MeasurementRecord};
+
+const STX: u8 = 0x02;
+const ETX: u8 = 0x03;
+/// Identification-line prefix: manufacturer flag `RTM`, baud id `5`
+/// (9600 Bd), `\2` mode C escape, then the meter identification.
+const IDENT_PREFIX: &str = "/RTM5\\2RTEM";
+/// OBIS address carrying the meter identification.
+const OBIS_DEVICE: &str = "1-0:0.0.0";
+/// OBIS address carrying the addressed collector (`@` when unknown).
+const OBIS_MASTER: &str = "1-0:96.1.0";
+/// OBIS address carrying the record count of the batch.
+const OBIS_COUNT: &str = "1-0:99.128.0";
+/// OBIS address carrying one measurement record per line.
+const OBIS_RECORD: &str = "1-0:99.129.0";
+
+/// XOR block check over the bytes after STX through ETX inclusive.
+fn bcc(block: &[u8]) -> u8 {
+    block.iter().fold(0, |acc, b| acc ^ b)
+}
+
+/// Encodes a telegram as an IEC 62056-21 readout.
+pub fn encode(telegram: &Telegram) -> Vec<u8> {
+    let mut block = String::new();
+    block.push_str(&format!("{OBIS_DEVICE}({})\r\n", telegram.device.0));
+    match telegram.master {
+        Some(addr) => block.push_str(&format!("{OBIS_MASTER}({})\r\n", addr.0)),
+        None => block.push_str(&format!("{OBIS_MASTER}(@)\r\n")),
+    }
+    block.push_str(&format!("{OBIS_COUNT}({})\r\n", telegram.records.len()));
+    for r in &telegram.records {
+        block.push_str(&format!(
+            "{OBIS_RECORD}({};{};{};{};{};{};{})\r\n",
+            r.device.0,
+            r.sequence,
+            r.interval_start_us,
+            r.interval_end_us,
+            r.mean_current_ua,
+            r.charge_uas,
+            if r.backfilled { 'B' } else { 'L' },
+        ));
+    }
+    block.push_str("!\r\n");
+
+    let mut out = Vec::with_capacity(block.len() + 32);
+    out.extend_from_slice(format!("{IDENT_PREFIX}{}\r\n", telegram.device.0).as_bytes());
+    out.push(STX);
+    out.extend_from_slice(block.as_bytes());
+    out.push(ETX);
+    // The BCC covers everything after STX, ETX included.
+    let check = bcc(&out[out.len() - block.len() - 1..]);
+    out.push(check);
+    out
+}
+
+fn parse_u64(field: &str, what: &'static str) -> Result<u64, CodecError> {
+    if field.is_empty() || !field.bytes().all(|b| b.is_ascii_digit()) {
+        return Err(CodecError::Semantic(what));
+    }
+    field.parse::<u64>().map_err(|_| CodecError::Semantic(what))
+}
+
+/// Splits one `address(value)` data line.
+fn split_line(line: &str) -> Result<(&str, &str), CodecError> {
+    let open = line
+        .find('(')
+        .ok_or(CodecError::Semantic("data line has no value parenthesis"))?;
+    if !line.ends_with(')') {
+        return Err(CodecError::Semantic("data line is not ')'-terminated"));
+    }
+    Ok((&line[..open], &line[open + 1..line.len() - 1]))
+}
+
+/// Parses an IEC 62056-21 readout back into a telegram.
+///
+/// # Errors
+///
+/// Framing errors for a missing identification line, STX/ETX bracket or
+/// BCC byte; a checksum error when the BCC does not match; semantic
+/// errors for malformed OBIS lines, field counts, or an identification
+/// line that contradicts the data block.
+pub fn parse(bytes: &[u8]) -> Result<Telegram, CodecError> {
+    if bytes.first() != Some(&b'/') {
+        return Err(CodecError::Framing("identification line must start with /"));
+    }
+    let stx = bytes
+        .iter()
+        .position(|&b| b == STX)
+        .ok_or(CodecError::Framing("no STX after the identification line"))?;
+    // The BCC is the final byte; ETX must immediately precede it.
+    if bytes.len() < stx + 3 {
+        return Err(CodecError::Framing("telegram truncated before ETX"));
+    }
+    let (check_found, etx) = (bytes[bytes.len() - 1], bytes[bytes.len() - 2]);
+    if etx != ETX {
+        return Err(CodecError::Framing("ETX missing before the block check"));
+    }
+    let computed = bcc(&bytes[stx + 1..bytes.len() - 1]);
+    if computed != check_found {
+        return Err(CodecError::Checksum {
+            expected: computed as u16,
+            found: check_found as u16,
+        });
+    }
+
+    let ident = &bytes[..stx];
+    let ident = std::str::from_utf8(ident)
+        .map_err(|_| CodecError::Semantic("identification line is not ASCII"))?;
+    let ident_device = ident
+        .strip_prefix(IDENT_PREFIX)
+        .and_then(|rest| rest.strip_suffix("\r\n"))
+        .ok_or(CodecError::Semantic("unknown identification line"))?;
+    let ident_device = parse_u64(ident_device, "identification meter id is not a number")?;
+
+    let block = std::str::from_utf8(&bytes[stx + 1..bytes.len() - 2])
+        .map_err(|_| CodecError::Semantic("data block is not ASCII"))?;
+    let mut lines = block.split("\r\n");
+    let mut device = None;
+    let mut master = None;
+    let mut declared = None;
+    let mut records = Vec::new();
+    let mut terminated = false;
+    for line in &mut lines {
+        if line == "!" {
+            terminated = true;
+            break;
+        }
+        let (address, value) = split_line(line)?;
+        match address {
+            OBIS_DEVICE => {
+                device = Some(DeviceId(parse_u64(value, "meter id is not a number")?));
+            }
+            OBIS_MASTER => {
+                if value != "@" {
+                    let addr = parse_u64(value, "collector address is not a number")?;
+                    let addr = u32::try_from(addr)
+                        .map_err(|_| CodecError::Semantic("collector address overflows u32"))?;
+                    master = Some(AggregatorAddr(addr));
+                }
+            }
+            OBIS_COUNT => {
+                declared = Some(parse_u64(value, "record count is not a number")?);
+            }
+            OBIS_RECORD => {
+                let mut fields = value.split(';');
+                let mut next = |what| -> Result<u64, CodecError> {
+                    parse_u64(
+                        fields
+                            .next()
+                            .ok_or(CodecError::Semantic("record line has too few fields"))?,
+                        what,
+                    )
+                };
+                let record = MeasurementRecord {
+                    device: DeviceId(next("record meter id")?),
+                    sequence: next("record sequence")?,
+                    interval_start_us: next("record interval start")?,
+                    interval_end_us: next("record interval end")?,
+                    mean_current_ua: next("record mean current")?,
+                    charge_uas: next("record charge")?,
+                    backfilled: match fields.next() {
+                        Some("B") => true,
+                        Some("L") => false,
+                        _ => return Err(CodecError::Semantic("record flag must be B or L")),
+                    },
+                };
+                if fields.next().is_some() {
+                    return Err(CodecError::Semantic("record line has too many fields"));
+                }
+                records.push(record);
+            }
+            _ => return Err(CodecError::Semantic("unknown OBIS address")),
+        }
+    }
+    if !terminated {
+        return Err(CodecError::Semantic("data block lacks the ! terminator"));
+    }
+    if lines.next() != Some("") || lines.next().is_some() {
+        return Err(CodecError::Semantic("trailing data after the ! terminator"));
+    }
+    let device = device.ok_or(CodecError::Semantic("no meter-id data line"))?;
+    if device.0 != ident_device {
+        return Err(CodecError::Semantic(
+            "identification line and data block disagree on the meter id",
+        ));
+    }
+    let declared = declared.ok_or(CodecError::Semantic("no record-count data line"))?;
+    if declared != records.len() as u64 {
+        return Err(CodecError::Semantic(
+            "record count does not match the record lines",
+        ));
+    }
+    Ok(Telegram {
+        device,
+        master,
+        records,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Telegram {
+        let device = DeviceId(104);
+        Telegram::new(
+            device,
+            Some(AggregatorAddr(2)),
+            vec![MeasurementRecord {
+                device,
+                sequence: 9,
+                interval_start_us: 9_000_000,
+                interval_end_us: 10_000_000,
+                mean_current_ua: 5_250_123,
+                charge_uas: 5_250_123,
+                backfilled: true,
+            }],
+        )
+    }
+
+    #[test]
+    fn telegram_is_printable_ascii_with_control_brackets() {
+        let bytes = encode(&sample());
+        let text = String::from_utf8_lossy(&bytes);
+        assert!(text.starts_with("/RTM5\\2RTEM104\r\n"));
+        assert!(text.contains("1-0:99.129.0(104;9;9000000;10000000;5250123;5250123;B)"));
+        assert!(text.contains("!\r\n"));
+    }
+
+    #[test]
+    fn bcc_flip_is_a_checksum_error() {
+        let mut bytes = encode(&sample());
+        let n = bytes.len();
+        bytes[n - 10] ^= 0x01; // inside the data block
+        assert!(matches!(parse(&bytes), Err(CodecError::Checksum { .. })));
+    }
+
+    #[test]
+    fn missing_brackets_are_framing_errors() {
+        let bytes = encode(&sample());
+        assert!(matches!(parse(&bytes[1..]), Err(CodecError::Framing(_))));
+        assert!(matches!(
+            parse(&bytes[..bytes.len() - 2]),
+            Err(CodecError::Framing(_))
+        ));
+    }
+
+    #[test]
+    fn no_master_encodes_as_at_sign() {
+        let mut t = sample();
+        t.master = None;
+        let bytes = encode(&t);
+        assert!(String::from_utf8_lossy(&bytes).contains("1-0:96.1.0(@)"));
+        assert_eq!(parse(&bytes).unwrap(), t);
+    }
+
+    #[test]
+    fn mangled_count_with_fixed_bcc_is_semantic() {
+        // An attacker (or our fault injector) who fixes up the BCC still
+        // trips the record-count cross check.
+        let mut t = sample();
+        t.records.clear();
+        let mut bytes = encode(&t);
+        let pos = bytes
+            .windows(14)
+            .position(|w| w == b"99.128.0(0)\r\n!")
+            .unwrap();
+        bytes[pos + 9] = b'7';
+        let stx = bytes.iter().position(|&b| b == STX).unwrap();
+        let n = bytes.len();
+        bytes[n - 1] = bcc(&bytes[stx + 1..n - 1]);
+        assert!(matches!(parse(&bytes), Err(CodecError::Semantic(_))));
+    }
+}

@@ -1,0 +1,244 @@
+//! Modbus RTU register-read framing.
+//!
+//! The batch is carried as a chain of function-0x03 (read holding
+//! registers) response ADUs: `[unit, 0x03, byte_count, data…, crc_lo,
+//! crc_hi]` with CRC-16/MODBUS over everything before the CRC. A response
+//! carries at most 125 registers (250 data bytes), so large reports chain
+//! multiple frames: the first frame is the 16-byte register-map header
+//! (device id, master, record count), each following frame packs up to
+//! five 25-register records. All register data is big-endian, the
+//! conventional Modbus byte order.
+
+use crate::crc::crc16_modbus;
+use crate::telegram::{CodecError, Telegram};
+use rtem_net::packet::{AggregatorAddr, DeviceId, MeasurementRecord};
+
+const FUNCTION_READ_HOLDING: u8 = 0x03;
+/// Register-map header: device id (4 registers), master (2), count (2).
+const HEADER_BYTES: usize = 16;
+/// One record occupies 25 registers: six u64 fields plus a flag register.
+const RECORD_BYTES: usize = 50;
+/// 125 registers — the Modbus spec's response ceiling — is five records.
+const RECORDS_PER_FRAME: usize = 5;
+/// Sentinel in the master registers for "no master addressed".
+const NO_MASTER: u32 = u32::MAX;
+
+/// Modbus unit ids run 1..=247; the device id is folded into that range
+/// (the true 64-bit id rides in the register map).
+fn unit_id(device: DeviceId) -> u8 {
+    (device.0 % 247) as u8 + 1
+}
+
+/// Appends one response ADU around the given register data.
+fn put_frame(out: &mut Vec<u8>, unit: u8, data: &[u8]) {
+    debug_assert!(data.len() <= 250 && !data.is_empty());
+    let start = out.len();
+    out.push(unit);
+    out.push(FUNCTION_READ_HOLDING);
+    out.push(data.len() as u8);
+    out.extend_from_slice(data);
+    let crc = crc16_modbus(&out[start..]);
+    out.extend_from_slice(&crc.to_le_bytes()); // CRC is low-byte-first
+}
+
+fn put_record(data: &mut Vec<u8>, r: &MeasurementRecord) {
+    data.extend_from_slice(&r.device.0.to_be_bytes());
+    data.extend_from_slice(&r.sequence.to_be_bytes());
+    data.extend_from_slice(&r.interval_start_us.to_be_bytes());
+    data.extend_from_slice(&r.interval_end_us.to_be_bytes());
+    data.extend_from_slice(&r.mean_current_ua.to_be_bytes());
+    data.extend_from_slice(&r.charge_uas.to_be_bytes());
+    // Flag register: backfilled bit in the high byte, zero fill low.
+    data.push(u8::from(r.backfilled));
+    data.push(0);
+}
+
+/// Encodes a telegram as a chain of Modbus RTU response frames.
+pub fn encode(telegram: &Telegram) -> Vec<u8> {
+    let unit = unit_id(telegram.device);
+    let mut out = Vec::with_capacity(32 + telegram.records.len() * 55);
+
+    let mut header = Vec::with_capacity(HEADER_BYTES);
+    header.extend_from_slice(&telegram.device.0.to_be_bytes());
+    header.extend_from_slice(&telegram.master.map_or(NO_MASTER, |a| a.0).to_be_bytes());
+    header.extend_from_slice(&(telegram.records.len() as u32).to_be_bytes());
+    put_frame(&mut out, unit, &header);
+
+    for chunk in telegram.records.chunks(RECORDS_PER_FRAME) {
+        let mut data = Vec::with_capacity(chunk.len() * RECORD_BYTES);
+        for r in chunk {
+            put_record(&mut data, r);
+        }
+        put_frame(&mut out, unit, &data);
+    }
+    out
+}
+
+fn get_u64(data: &[u8], at: usize) -> u64 {
+    u64::from_be_bytes(data[at..at + 8].try_into().expect("8-byte slice"))
+}
+
+/// Parses a chain of Modbus RTU response frames back into a telegram.
+///
+/// # Errors
+///
+/// Framing errors for truncated or impossible frames; a checksum error on
+/// any frame whose CRC mismatches; semantic errors for wrong function
+/// codes, a unit id drifting between chained frames, or register data
+/// that contradicts the header's record count.
+pub fn parse(bytes: &[u8]) -> Result<Telegram, CodecError> {
+    if bytes.is_empty() {
+        return Err(CodecError::Framing("empty frame chain"));
+    }
+    let mut data = Vec::new();
+    let mut unit = None;
+    let mut pos = 0;
+    while pos < bytes.len() {
+        let rest = &bytes[pos..];
+        if rest.len() < 5 {
+            return Err(CodecError::Framing("frame shorter than the ADU minimum"));
+        }
+        let byte_count = rest[2] as usize;
+        let frame_len = 3 + byte_count + 2;
+        if byte_count == 0 || byte_count > 250 {
+            return Err(CodecError::Framing("impossible byte count"));
+        }
+        if rest.len() < frame_len {
+            return Err(CodecError::Framing("frame truncated mid-ADU"));
+        }
+        let frame = &rest[..frame_len];
+        let found = u16::from_le_bytes([frame[frame_len - 2], frame[frame_len - 1]]);
+        let computed = crc16_modbus(&frame[..frame_len - 2]);
+        if computed != found {
+            return Err(CodecError::Checksum {
+                expected: computed,
+                found,
+            });
+        }
+        if frame[1] != FUNCTION_READ_HOLDING {
+            return Err(CodecError::Semantic("unexpected Modbus function code"));
+        }
+        match unit {
+            None => unit = Some(frame[0]),
+            Some(u) if u == frame[0] => {}
+            Some(_) => {
+                return Err(CodecError::Semantic(
+                    "unit id changes between chained frames",
+                ))
+            }
+        }
+        data.extend_from_slice(&frame[3..frame_len - 2]);
+        pos += frame_len;
+    }
+
+    if data.len() < HEADER_BYTES {
+        return Err(CodecError::Semantic("register map lacks the header"));
+    }
+    let device = DeviceId(get_u64(&data, 0));
+    let master_raw = u32::from_be_bytes(data[8..12].try_into().expect("4-byte slice"));
+    let master = (master_raw != NO_MASTER).then_some(AggregatorAddr(master_raw));
+    let count = u32::from_be_bytes(data[12..16].try_into().expect("4-byte slice")) as usize;
+    if data.len() != HEADER_BYTES + count * RECORD_BYTES {
+        return Err(CodecError::Semantic(
+            "register data does not match the declared record count",
+        ));
+    }
+    if unit != Some(unit_id(device)) {
+        return Err(CodecError::Semantic(
+            "unit id does not match the device registers",
+        ));
+    }
+    let mut records = Vec::with_capacity(count);
+    for i in 0..count {
+        let at = HEADER_BYTES + i * RECORD_BYTES;
+        let flag = data[at + 48];
+        if flag > 1 || data[at + 49] != 0 {
+            return Err(CodecError::Semantic("record flag register out of range"));
+        }
+        records.push(MeasurementRecord {
+            device: DeviceId(get_u64(&data, at)),
+            sequence: get_u64(&data, at + 8),
+            interval_start_us: get_u64(&data, at + 16),
+            interval_end_us: get_u64(&data, at + 24),
+            mean_current_ua: get_u64(&data, at + 32),
+            charge_uas: get_u64(&data, at + 40),
+            backfilled: flag == 1,
+        });
+    }
+    Ok(Telegram {
+        device,
+        master,
+        records,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: u64) -> Telegram {
+        let device = DeviceId(301);
+        let records = (0..n)
+            .map(|seq| MeasurementRecord {
+                device,
+                sequence: seq,
+                interval_start_us: seq * 7,
+                interval_end_us: seq * 7 + 7,
+                mean_current_ua: 1000 + seq,
+                charge_uas: 2000 + seq,
+                backfilled: false,
+            })
+            .collect();
+        Telegram::new(device, None, records)
+    }
+
+    #[test]
+    fn frames_chain_at_five_records_each() {
+        // Header frame (16 data bytes) + three record frames: 5 + 5 + 2.
+        let bytes = encode(&sample(12));
+        let frame_lens: Vec<usize> = [16, 250, 250, 100].iter().map(|d| 3 + d + 2).collect();
+        assert_eq!(bytes.len(), frame_lens.iter().sum::<usize>());
+        assert_eq!(bytes[0], unit_id(DeviceId(301)));
+        assert_eq!(bytes[1], FUNCTION_READ_HOLDING);
+        assert_eq!(bytes[2], 16);
+    }
+
+    #[test]
+    fn crc_flip_in_any_frame_is_a_checksum_error() {
+        let mut bytes = encode(&sample(7));
+        bytes[40] ^= 0x80; // inside the second frame's register data
+        assert!(matches!(parse(&bytes), Err(CodecError::Checksum { .. })));
+    }
+
+    #[test]
+    fn truncation_is_a_framing_error() {
+        let bytes = encode(&sample(2));
+        assert!(matches!(
+            parse(&bytes[..bytes.len() - 3]),
+            Err(CodecError::Framing(_))
+        ));
+    }
+
+    #[test]
+    fn count_mismatch_with_sealed_crcs_is_semantic() {
+        // Drop the last record frame entirely: every remaining frame still
+        // has a valid CRC, but the header count no longer matches.
+        let bytes = encode(&sample(6)); // header + 5-record + 1-record frames
+        let last_frame = 3 + RECORD_BYTES + 2;
+        assert!(matches!(
+            parse(&bytes[..bytes.len() - last_frame]),
+            Err(CodecError::Semantic(_))
+        ));
+    }
+
+    #[test]
+    fn foreign_unit_id_is_semantic() {
+        let mut bytes = encode(&sample(0));
+        bytes[0] ^= 0x01;
+        // Re-seal the single frame's CRC so only the unit check can fire.
+        let n = bytes.len();
+        let crc = crc16_modbus(&bytes[..n - 2]);
+        bytes[n - 2..].copy_from_slice(&crc.to_le_bytes());
+        assert!(matches!(parse(&bytes), Err(CodecError::Semantic(_))));
+    }
+}

@@ -1,0 +1,319 @@
+//! Smart Message Language (SML) binary transport.
+//!
+//! An SML file opens with the escape sequence `1B 1B 1B 1B 01 01 01 01`,
+//! carries TL-field (type/length) encoded data, and closes with
+//! `1B 1B 1B 1B 1A <pad> <crc16>` where `<pad>` is the number of fill
+//! bytes inserted to round the file to a multiple of four and the CRC-16
+//! (X-25 flavor) covers everything from the first escape byte through the
+//! pad byte.
+//!
+//! TL fields follow the SML rules: the high nibble is the type (`0x4`
+//! boolean, `0x6` unsigned, `0x7` list), the low nibble the length —
+//! including the TL byte itself for primitives, the entry count for
+//! lists. Lengths that overflow one nibble chain continuation TL bytes
+//! (bit 7 set), four more length bits each. The consumption batch is one
+//! outer list `[version, device, master, record-list]`, each record a
+//! seven-element list of its fields.
+
+use crate::crc::crc16_x25;
+use crate::telegram::{CodecError, Telegram};
+use rtem_net::packet::{AggregatorAddr, DeviceId, MeasurementRecord};
+
+const ESCAPE: [u8; 4] = [0x1B; 4];
+const BEGIN: [u8; 4] = [0x01; 4];
+const END_MARK: u8 = 0x1A;
+/// Protocol version element opening the outer list.
+const VERSION: u64 = 1;
+/// Sentinel for "no master addressed" in the master element.
+const NO_MASTER: u64 = u64::MAX;
+
+const TYPE_BOOL: u8 = 0x4;
+const TYPE_UNSIGNED: u8 = 0x6;
+const TYPE_LIST: u8 = 0x7;
+
+/// Appends a TL field for the given type nibble and length, chaining
+/// continuation bytes when the length overflows one nibble.
+fn put_tl(out: &mut Vec<u8>, ty: u8, len: usize) {
+    let mut nibbles = Vec::new();
+    let mut rest = len;
+    loop {
+        nibbles.push((rest & 0xF) as u8);
+        rest >>= 4;
+        if rest == 0 {
+            break;
+        }
+    }
+    // Most-significant nibble first; every byte but the last sets bit 7.
+    for (i, nibble) in nibbles.iter().rev().enumerate() {
+        let ty_nibble = if i == 0 { ty << 4 } else { 0 };
+        let more = if i + 1 < nibbles.len() { 0x80 } else { 0 };
+        out.push(more | ty_nibble & 0x70 | nibble);
+    }
+}
+
+fn put_u64(out: &mut Vec<u8>, value: u64) {
+    // TL (1) + eight big-endian value bytes; length includes the TL byte.
+    put_tl(out, TYPE_UNSIGNED, 9);
+    out.extend_from_slice(&value.to_be_bytes());
+}
+
+fn put_bool(out: &mut Vec<u8>, value: bool) {
+    put_tl(out, TYPE_BOOL, 2);
+    out.push(u8::from(value));
+}
+
+/// Encodes a telegram as an SML file.
+pub fn encode(telegram: &Telegram) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32 + telegram.records.len() * 60);
+    out.extend_from_slice(&ESCAPE);
+    out.extend_from_slice(&BEGIN);
+
+    put_tl(&mut out, TYPE_LIST, 4);
+    put_u64(&mut out, VERSION);
+    put_u64(&mut out, telegram.device.0);
+    put_u64(&mut out, telegram.master.map_or(NO_MASTER, |a| a.0 as u64));
+    put_tl(&mut out, TYPE_LIST, telegram.records.len());
+    for r in &telegram.records {
+        put_tl(&mut out, TYPE_LIST, 7);
+        put_u64(&mut out, r.device.0);
+        put_u64(&mut out, r.sequence);
+        put_u64(&mut out, r.interval_start_us);
+        put_u64(&mut out, r.interval_end_us);
+        put_u64(&mut out, r.mean_current_ua);
+        put_u64(&mut out, r.charge_uas);
+        put_bool(&mut out, r.backfilled);
+    }
+
+    // Pad the file to a multiple of four (fill bytes count in the pad
+    // byte), then close with the end escape and the CRC.
+    let pad = (4 - (out.len() + 8) % 4) % 4;
+    out.extend(std::iter::repeat(0x00).take(pad));
+    out.extend_from_slice(&ESCAPE);
+    out.push(END_MARK);
+    out.push(pad as u8);
+    let crc = crc16_x25(&out);
+    out.extend_from_slice(&crc.to_be_bytes());
+    out
+}
+
+/// Cursor over the TL-encoded body.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], CodecError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or(CodecError::Semantic(what))?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// Reads one TL field, returning (type nibble, length).
+    fn tl(&mut self) -> Result<(u8, usize), CodecError> {
+        let first = self.take(1, "body ends inside a TL field")?[0];
+        let ty = (first >> 4) & 0x7;
+        let mut len = (first & 0xF) as usize;
+        let mut more = first & 0x80 != 0;
+        let mut chained = 1;
+        while more {
+            let next = self.take(1, "body ends inside a chained TL field")?[0];
+            if next & 0x70 != 0 {
+                return Err(CodecError::Semantic(
+                    "chained TL byte carries a type nibble",
+                ));
+            }
+            if chained >= 16 {
+                return Err(CodecError::Semantic("TL chain longer than 16 bytes"));
+            }
+            len = (len << 4) | (next & 0xF) as usize;
+            more = next & 0x80 != 0;
+            chained += 1;
+        }
+        Ok((ty, len))
+    }
+
+    fn expect_list(&mut self, entries: Option<usize>) -> Result<usize, CodecError> {
+        let (ty, len) = self.tl()?;
+        if ty != TYPE_LIST {
+            return Err(CodecError::Semantic("expected a list TL field"));
+        }
+        if let Some(expected) = entries {
+            if len != expected {
+                return Err(CodecError::Semantic("list has the wrong entry count"));
+            }
+        }
+        Ok(len)
+    }
+
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        let (ty, len) = self.tl()?;
+        if ty != TYPE_UNSIGNED || len != 9 {
+            return Err(CodecError::Semantic("expected a 9-byte unsigned TL field"));
+        }
+        let raw = self.take(8, "unsigned field truncated")?;
+        Ok(u64::from_be_bytes(raw.try_into().expect("8-byte slice")))
+    }
+
+    fn bool(&mut self) -> Result<bool, CodecError> {
+        let (ty, len) = self.tl()?;
+        if ty != TYPE_BOOL || len != 2 {
+            return Err(CodecError::Semantic("expected a boolean TL field"));
+        }
+        match self.take(1, "boolean field truncated")?[0] {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(CodecError::Semantic("boolean field is neither 0 nor 1")),
+        }
+    }
+}
+
+/// Parses an SML file back into a telegram.
+///
+/// # Errors
+///
+/// Framing errors for missing escape sequences, a bad end marker or an
+/// impossible pad; a checksum error when the CRC-16 trailer mismatches;
+/// semantic errors for TL-structure violations inside a checksum-valid
+/// file.
+pub fn parse(bytes: &[u8]) -> Result<Telegram, CodecError> {
+    if bytes.len() < 16 {
+        return Err(CodecError::Framing("file shorter than the SML envelope"));
+    }
+    if bytes[..4] != ESCAPE || bytes[4..8] != BEGIN {
+        return Err(CodecError::Framing("missing SML start escape"));
+    }
+    let trailer = &bytes[bytes.len() - 8..];
+    if trailer[..4] != ESCAPE || trailer[4] != END_MARK {
+        return Err(CodecError::Framing("missing SML end escape"));
+    }
+    let pad = trailer[5] as usize;
+    if pad > 3 || bytes.len() % 4 != 0 {
+        return Err(CodecError::Framing("impossible pad length"));
+    }
+    let crc_found = u16::from_be_bytes([trailer[6], trailer[7]]);
+    let computed = crc16_x25(&bytes[..bytes.len() - 2]);
+    if computed != crc_found {
+        return Err(CodecError::Checksum {
+            expected: computed,
+            found: crc_found,
+        });
+    }
+
+    let body_end = bytes.len() - 8 - pad;
+    if body_end < 8 || bytes[body_end..bytes.len() - 8].iter().any(|&b| b != 0) {
+        return Err(CodecError::Semantic("pad bytes are not zero fill"));
+    }
+    let mut reader = Reader {
+        bytes: &bytes[8..body_end],
+        pos: 0,
+    };
+    reader.expect_list(Some(4))?;
+    if reader.u64()? != VERSION {
+        return Err(CodecError::Semantic("unsupported SML payload version"));
+    }
+    let device = DeviceId(reader.u64()?);
+    let master = match reader.u64()? {
+        NO_MASTER => None,
+        raw => Some(AggregatorAddr(u32::try_from(raw).map_err(|_| {
+            CodecError::Semantic("master element overflows u32")
+        })?)),
+    };
+    let count = reader.expect_list(None)?;
+    let mut records = Vec::new();
+    for _ in 0..count {
+        reader.expect_list(Some(7))?;
+        records.push(MeasurementRecord {
+            device: DeviceId(reader.u64()?),
+            sequence: reader.u64()?,
+            interval_start_us: reader.u64()?,
+            interval_end_us: reader.u64()?,
+            mean_current_ua: reader.u64()?,
+            charge_uas: reader.u64()?,
+            backfilled: reader.bool()?,
+        });
+    }
+    if reader.pos != reader.bytes.len() {
+        return Err(CodecError::Semantic("trailing bytes after the record list"));
+    }
+    Ok(Telegram {
+        device,
+        master,
+        records,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: u64) -> Telegram {
+        let device = DeviceId(205);
+        let records = (0..n)
+            .map(|seq| MeasurementRecord {
+                device,
+                sequence: seq,
+                interval_start_us: seq,
+                interval_end_us: seq + 1,
+                mean_current_ua: seq * 3,
+                charge_uas: seq * 5,
+                backfilled: seq % 2 == 1,
+            })
+            .collect();
+        Telegram::new(device, Some(AggregatorAddr(3)), records)
+    }
+
+    #[test]
+    fn file_is_escape_delimited_and_four_aligned() {
+        let bytes = encode(&sample(2));
+        assert_eq!(&bytes[..8], &[0x1B, 0x1B, 0x1B, 0x1B, 1, 1, 1, 1]);
+        assert_eq!(bytes.len() % 4, 0);
+        assert_eq!(bytes[bytes.len() - 4], END_MARK);
+    }
+
+    #[test]
+    fn long_record_lists_use_chained_tl_fields() {
+        // 23 records overflow the 4-bit list-length nibble; the chained TL
+        // encoding must still round-trip exactly.
+        let t = sample(23);
+        assert_eq!(parse(&encode(&t)).unwrap(), t);
+        let t = sample(300);
+        assert_eq!(parse(&encode(&t)).unwrap(), t);
+    }
+
+    #[test]
+    fn crc_flip_is_a_checksum_error() {
+        let mut bytes = encode(&sample(1));
+        bytes[10] ^= 0x20;
+        assert!(matches!(parse(&bytes), Err(CodecError::Checksum { .. })));
+    }
+
+    #[test]
+    fn truncation_is_a_framing_error() {
+        let bytes = encode(&sample(1));
+        for cut in [0, 3, 7, bytes.len() - 1] {
+            assert!(
+                matches!(parse(&bytes[..cut]), Err(CodecError::Framing(_))),
+                "cut {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn crc_fixed_type_confusion_is_semantic() {
+        // Flip an unsigned TL into a list TL and re-seal the CRC: the
+        // structure check must still reject it.
+        let mut bytes = encode(&sample(1));
+        let pos = bytes.iter().position(|&b| b == 0x69).unwrap();
+        bytes[pos] = 0x79;
+        let n = bytes.len();
+        let crc = crc16_x25(&bytes[..n - 2]);
+        bytes[n - 2..].copy_from_slice(&crc.to_be_bytes());
+        assert!(matches!(parse(&bytes), Err(CodecError::Semantic(_))));
+    }
+}

@@ -1,0 +1,280 @@
+//! OMS / wireless M-Bus frame format A.
+//!
+//! Each frame opens with block 1 — `L` (length of all frame bytes after
+//! `L`, CRCs excluded), the C field (`0x44`, SND-NR), the two-byte
+//! encoded manufacturer ID and the six-byte address field (ident,
+//! version, device type) — sealed by a CRC-16/EN-13757. Block 2 starts
+//! with the CI field (`0xA1`, manufacturer-specific data) followed by up
+//! to 15 payload bytes and its own CRC; further blocks carry up to 16
+//! payload bytes each, every block CRC-sealed. `L` tops out at 255, so
+//! large reports chain multiple frames; the payload stream across the
+//! chain is a 16-byte header (device id, master, record count) followed
+//! by the fixed-width record images.
+
+use crate::crc::crc16_en13757;
+use crate::telegram::{CodecError, Telegram};
+use rtem_net::packet::{AggregatorAddr, DeviceId, MeasurementRecord};
+
+/// C field: SND-NR, the unsolicited meter transmission.
+const C_SND_NR: u8 = 0x44;
+/// CI field: manufacturer-specific data block.
+const CI_MANUFACTURER: u8 = 0xA1;
+/// Manufacturer "RTM" per EN 62056-21 flag encoding: ((R-64)<<10) |
+/// ((T-64)<<5) | (M-64), transmitted little-endian.
+const MANUFACTURER: u16 =
+    ((b'R' - 64) as u16) << 10 | ((b'T' - 64) as u16) << 5 | (b'M' - 64) as u16;
+/// Address-field version byte.
+const VERSION: u8 = 0x05;
+/// Address-field device type: electricity meter.
+const DEVICE_TYPE: u8 = 0x02;
+/// Payload-stream header: device id (8), master (4), record count (4).
+const HEADER_BYTES: usize = 16;
+/// Fixed-width record image in the payload stream.
+const RECORD_BYTES: usize = 49;
+/// `L` counts C + M + A + CI + payload = 10 + payload, and is a u8.
+const MAX_PAYLOAD_PER_FRAME: usize = 255 - 10;
+/// Sentinel in the master header field for "no master addressed".
+const NO_MASTER: u32 = u32::MAX;
+
+fn put_record(data: &mut Vec<u8>, r: &MeasurementRecord) {
+    data.extend_from_slice(&r.device.0.to_le_bytes());
+    data.extend_from_slice(&r.sequence.to_le_bytes());
+    data.extend_from_slice(&r.interval_start_us.to_le_bytes());
+    data.extend_from_slice(&r.interval_end_us.to_le_bytes());
+    data.extend_from_slice(&r.mean_current_ua.to_le_bytes());
+    data.extend_from_slice(&r.charge_uas.to_le_bytes());
+    data.push(u8::from(r.backfilled));
+}
+
+/// Appends a block followed by its CRC.
+fn put_block(out: &mut Vec<u8>, block: &[u8]) {
+    out.extend_from_slice(block);
+    out.extend_from_slice(&crc16_en13757(block).to_be_bytes());
+}
+
+/// Appends one frame-format-A frame around a payload slice.
+fn put_frame(out: &mut Vec<u8>, device: DeviceId, payload: &[u8]) {
+    debug_assert!(payload.len() <= MAX_PAYLOAD_PER_FRAME);
+    let mut block1 = Vec::with_capacity(10);
+    block1.push((10 + payload.len()) as u8); // L
+    block1.push(C_SND_NR);
+    block1.extend_from_slice(&MANUFACTURER.to_le_bytes());
+    block1.extend_from_slice(&(device.0 as u32).to_le_bytes()); // ident
+    block1.push(VERSION);
+    block1.push(DEVICE_TYPE);
+    put_block(out, &block1);
+
+    // Block 2 is CI + the first 15 payload bytes; blocks 3+ take 16 each.
+    let split = payload.len().min(15);
+    let mut block2 = Vec::with_capacity(16);
+    block2.push(CI_MANUFACTURER);
+    block2.extend_from_slice(&payload[..split]);
+    put_block(out, &block2);
+    for chunk in payload[split..].chunks(16) {
+        put_block(out, chunk);
+    }
+}
+
+/// Encodes a telegram as a chain of wireless M-Bus format-A frames.
+pub fn encode(telegram: &Telegram) -> Vec<u8> {
+    let mut stream = Vec::with_capacity(HEADER_BYTES + telegram.records.len() * RECORD_BYTES);
+    stream.extend_from_slice(&telegram.device.0.to_le_bytes());
+    stream.extend_from_slice(&telegram.master.map_or(NO_MASTER, |a| a.0).to_le_bytes());
+    stream.extend_from_slice(&(telegram.records.len() as u32).to_le_bytes());
+    for r in &telegram.records {
+        put_record(&mut stream, r);
+    }
+
+    let mut out = Vec::with_capacity(stream.len() + stream.len() / 8 + 32);
+    for payload in stream.chunks(MAX_PAYLOAD_PER_FRAME) {
+        put_frame(&mut out, telegram.device, payload);
+    }
+    out
+}
+
+/// Verifies and strips one CRC-sealed block of `len` content bytes.
+fn take_block<'a>(bytes: &mut &'a [u8], len: usize) -> Result<&'a [u8], CodecError> {
+    if bytes.len() < len + 2 {
+        return Err(CodecError::Framing("frame truncated mid-block"));
+    }
+    let (block, rest) = bytes.split_at(len);
+    let found = u16::from_be_bytes([rest[0], rest[1]]);
+    let computed = crc16_en13757(block);
+    if computed != found {
+        return Err(CodecError::Checksum {
+            expected: computed,
+            found,
+        });
+    }
+    *bytes = &rest[2..];
+    Ok(block)
+}
+
+fn get_u64_le(data: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(data[at..at + 8].try_into().expect("8-byte slice"))
+}
+
+/// Parses a chain of wireless M-Bus frames back into a telegram.
+///
+/// # Errors
+///
+/// Framing errors for truncated frames or an `L` field shorter than the
+/// frame header; checksum errors when any block CRC mismatches; semantic
+/// errors for wrong C/CI fields, a foreign manufacturer, an address field
+/// that contradicts the payload header, or a record-count mismatch.
+pub fn parse(mut bytes: &[u8]) -> Result<Telegram, CodecError> {
+    if bytes.is_empty() {
+        return Err(CodecError::Framing("empty frame chain"));
+    }
+    let mut stream = Vec::new();
+    let mut ident = None;
+    while !bytes.is_empty() {
+        let length = bytes[0] as usize;
+        if length < 10 {
+            return Err(CodecError::Framing("L field shorter than the frame header"));
+        }
+        let block1 = take_block(&mut bytes, 10)?;
+        if block1[1] != C_SND_NR {
+            return Err(CodecError::Semantic("unexpected C field"));
+        }
+        if u16::from_le_bytes([block1[2], block1[3]]) != MANUFACTURER {
+            return Err(CodecError::Semantic("foreign manufacturer id"));
+        }
+        if block1[8] != VERSION || block1[9] != DEVICE_TYPE {
+            return Err(CodecError::Semantic("unexpected version or device type"));
+        }
+        let frame_ident = u32::from_le_bytes(block1[4..8].try_into().expect("4-byte slice"));
+        match ident {
+            None => ident = Some(frame_ident),
+            Some(i) if i == frame_ident => {}
+            Some(_) => {
+                return Err(CodecError::Semantic(
+                    "address ident changes between chained frames",
+                ))
+            }
+        }
+        let mut payload_left = length - 10;
+        let block2 = take_block(&mut bytes, payload_left.min(15) + 1)?;
+        if block2[0] != CI_MANUFACTURER {
+            return Err(CodecError::Semantic("unexpected CI field"));
+        }
+        stream.extend_from_slice(&block2[1..]);
+        payload_left -= block2.len() - 1;
+        while payload_left > 0 {
+            let block = take_block(&mut bytes, payload_left.min(16))?;
+            stream.extend_from_slice(block);
+            payload_left -= block.len();
+        }
+    }
+
+    if stream.len() < HEADER_BYTES {
+        return Err(CodecError::Semantic("payload stream lacks the header"));
+    }
+    let device = DeviceId(get_u64_le(&stream, 0));
+    let master_raw = u32::from_le_bytes(stream[8..12].try_into().expect("4-byte slice"));
+    let master = (master_raw != NO_MASTER).then_some(AggregatorAddr(master_raw));
+    let count = u32::from_le_bytes(stream[12..16].try_into().expect("4-byte slice")) as usize;
+    if stream.len() != HEADER_BYTES + count * RECORD_BYTES {
+        return Err(CodecError::Semantic(
+            "payload stream does not match the declared record count",
+        ));
+    }
+    if ident != Some(device.0 as u32) {
+        return Err(CodecError::Semantic(
+            "address ident does not match the payload device id",
+        ));
+    }
+    let mut records = Vec::with_capacity(count);
+    for i in 0..count {
+        let at = HEADER_BYTES + i * RECORD_BYTES;
+        let flag = stream[at + 48];
+        if flag > 1 {
+            return Err(CodecError::Semantic("record flag byte out of range"));
+        }
+        records.push(MeasurementRecord {
+            device: DeviceId(get_u64_le(&stream, at)),
+            sequence: get_u64_le(&stream, at + 8),
+            interval_start_us: get_u64_le(&stream, at + 16),
+            interval_end_us: get_u64_le(&stream, at + 24),
+            mean_current_ua: get_u64_le(&stream, at + 32),
+            charge_uas: get_u64_le(&stream, at + 40),
+            backfilled: flag == 1,
+        });
+    }
+    Ok(Telegram {
+        device,
+        master,
+        records,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: u64) -> Telegram {
+        let device = DeviceId(4_000_000_007);
+        let records = (0..n)
+            .map(|seq| MeasurementRecord {
+                device,
+                sequence: seq,
+                interval_start_us: seq * 11,
+                interval_end_us: seq * 11 + 11,
+                mean_current_ua: 42 + seq,
+                charge_uas: 43 + seq,
+                backfilled: seq % 4 == 0,
+            })
+            .collect();
+        Telegram::new(device, Some(AggregatorAddr(1)), records)
+    }
+
+    #[test]
+    fn manufacturer_id_encodes_rtm() {
+        // (18<<10)|(20<<5)|13 = 0x4A8D.
+        assert_eq!(MANUFACTURER, 0x4A8D);
+        let bytes = encode(&sample(0));
+        assert_eq!(&bytes[2..4], &MANUFACTURER.to_le_bytes());
+    }
+
+    #[test]
+    fn multi_frame_chains_round_trip() {
+        // 16 + 20*49 = 996 payload bytes: five frames at L=255 max.
+        for n in [4, 20, 61] {
+            let t = sample(n);
+            assert_eq!(parse(&encode(&t)).unwrap(), t, "{n} records");
+        }
+    }
+
+    #[test]
+    fn block_crc_flip_is_a_checksum_error() {
+        let mut bytes = encode(&sample(3));
+        let n = bytes.len();
+        bytes[n - 5] ^= 0x10; // inside the final data block
+        assert!(matches!(parse(&bytes), Err(CodecError::Checksum { .. })));
+    }
+
+    #[test]
+    fn truncation_is_a_framing_error() {
+        let bytes = encode(&sample(3));
+        assert!(matches!(
+            parse(&bytes[..bytes.len() - 1]),
+            Err(CodecError::Framing(_))
+        ));
+    }
+
+    #[test]
+    fn zero_length_field_is_a_framing_error() {
+        let mut bytes = encode(&sample(0));
+        bytes[0] = 3;
+        assert!(matches!(parse(&bytes), Err(CodecError::Framing(_))));
+    }
+
+    #[test]
+    fn ident_mismatch_with_sealed_crcs_is_semantic() {
+        let mut bytes = encode(&sample(0));
+        bytes[4] ^= 0xFF; // ident byte in block 1
+        let crc = crc16_en13757(&bytes[..10]);
+        bytes[10..12].copy_from_slice(&crc.to_be_bytes());
+        assert!(matches!(parse(&bytes), Err(CodecError::Semantic(_))));
+    }
+}

@@ -6,6 +6,7 @@
 //! variants used by the scalability and ablation experiments).
 
 use crate::simulation::{World, WorldConfig};
+use rtem_codecs::MeterKind;
 use rtem_device::application::Tariff;
 use rtem_device::device::MeteringDevice;
 use rtem_device::middleware::DeviceConfig;
@@ -56,6 +57,11 @@ pub struct ScenarioBuilder {
     /// [`DeviceLoad`] shape (the reporting-firmware overlay stays either
     /// way).
     pub workload: Option<WorkloadModel>,
+    /// Meter protocols assigned to the generated devices, round-robin by
+    /// device ordinal (the same ordinal that picks workload variants).
+    /// Empty means every device speaks [`MeterKind::Internal`] — the native
+    /// packet encoding, byte-identical with earlier testbed revisions.
+    pub meter_kinds: Vec<MeterKind>,
     /// World configuration (Tmeasure, link quality, windows, seed).
     pub world: WorldConfig,
     /// Handshake timing used by the devices.
@@ -71,6 +77,7 @@ impl Default for ScenarioBuilder {
             devices_per_network: 2,
             load: DeviceLoad::EspCharging,
             workload: None,
+            meter_kinds: Vec::new(),
             world: WorldConfig::default(),
             handshake: HandshakeTiming::testbed(),
             sensor: Ina219Config::testbed(),
@@ -112,6 +119,14 @@ impl ScenarioBuilder {
     /// Sets a diurnal workload model, overriding the legacy load shapes.
     pub fn with_workload(mut self, workload: WorkloadModel) -> Self {
         self.workload = Some(workload);
+        self
+    }
+
+    /// Sets the meter protocols the fleet speaks, assigned round-robin by
+    /// device ordinal. One entry gives a homogeneous fleet; several give a
+    /// heterogeneous mix. Empty (the default) keeps the native encoding.
+    pub fn with_meter_kinds(mut self, kinds: Vec<MeterKind>) -> Self {
+        self.meter_kinds = kinds;
         self
     }
 
@@ -184,6 +199,10 @@ impl ScenarioBuilder {
                     rng.derive(0xDE71CE + id.0),
                 );
                 world.add_device(device);
+                if !self.meter_kinds.is_empty() {
+                    let kind = self.meter_kinds[ordinal as usize % self.meter_kinds.len()];
+                    world.set_meter_kind(id, kind);
+                }
                 world.plug_in_now(id, addr);
             }
         }
@@ -231,6 +250,38 @@ mod tests {
         assert_eq!(builder.load, DeviceLoad::ReportingOnly);
         assert_eq!(builder.world.verification_window, SimDuration::from_secs(5));
         assert_eq!(builder.sensor, Ina219Config::ideal());
+    }
+
+    #[test]
+    fn meter_kinds_assign_round_robin_by_ordinal() {
+        let world = ScenarioBuilder::paper_testbed(3)
+            .with_meter_kinds(vec![MeterKind::Iec62056, MeterKind::Sml])
+            .build();
+        // Two networks × two devices = ordinals 0..4 in network-major order.
+        assert_eq!(
+            world.meter_kind(ScenarioBuilder::device_id(0, 0)),
+            MeterKind::Iec62056
+        );
+        assert_eq!(
+            world.meter_kind(ScenarioBuilder::device_id(0, 1)),
+            MeterKind::Sml
+        );
+        assert_eq!(
+            world.meter_kind(ScenarioBuilder::device_id(1, 0)),
+            MeterKind::Iec62056
+        );
+        assert_eq!(
+            world.meter_kind(ScenarioBuilder::device_id(1, 1)),
+            MeterKind::Sml
+        );
+    }
+
+    #[test]
+    fn default_fleet_speaks_internal() {
+        let world = ScenarioBuilder::paper_testbed(3).build();
+        for id in world.device_ids() {
+            assert_eq!(world.meter_kind(id), MeterKind::Internal);
+        }
     }
 
     #[test]

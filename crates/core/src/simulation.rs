@@ -13,13 +13,16 @@ use rtem_aggregator::aggregator::{Aggregator, AggregatorConfig};
 use rtem_aggregator::billing::Tariff;
 use rtem_aggregator::verify::WindowVerdict;
 use rtem_chain::ledger::LedgerEntry;
+use rtem_codecs::{CodecError, MeterKind, Telegram};
 use rtem_device::device::MeteringDevice;
 use rtem_device::network_mgmt::HandshakeBreakdown;
-use rtem_faults::event::{DetectionSignal, FaultEvent, FaultFamily, FaultRecord, LinkTarget};
+use rtem_faults::event::{
+    CorruptionMode, DetectionSignal, FaultEvent, FaultFamily, FaultRecord, LinkTarget,
+};
 use rtem_net::backhaul::{BackhaulDelivery, BackhaulMesh};
 use rtem_net::broker::{ClientId, MqttBroker, QoS};
 use rtem_net::link::LinkConfig;
-use rtem_net::packet::{AggregatorAddr, DeviceId, Packet};
+use rtem_net::packet::{AggregatorAddr, DeviceId, MeasurementRecord, Packet};
 use rtem_net::rssi::{PathLossModel, Position, RadioEnvironment};
 use rtem_sensors::fault::SensorFault;
 use rtem_sensors::grid::{Branch, BranchId, GridNetwork};
@@ -222,6 +225,49 @@ enum Endpoint {
     Site(AggregatorAddr),
 }
 
+/// Wire-level accounting for the meter-codec boundary.
+///
+/// Counters accumulate over the whole run and cover only device → aggregator
+/// consumption reports — the traffic the meter protocol actually frames.
+/// Reports from `MeterKind::Internal` devices count toward the native
+/// columns only; reports from real-protocol devices count toward both, so
+/// `telegram_bytes / native_bytes` is the framing overhead of the chosen
+/// protocol mix over the simulator's packed binary encoding.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireStats {
+    /// Consumption reports encoded as real-protocol telegrams.
+    pub telegrams_sent: u64,
+    /// Total telegram payload bytes put on the wire (excludes the
+    /// transport envelope).
+    pub telegram_bytes: u64,
+    /// What the same reports cost in the native packet encoding.
+    pub native_bytes: u64,
+    /// Measurement records carried by all reports, native or telegram.
+    pub records_sent: u64,
+    /// Telegrams the receiving aggregator parsed successfully.
+    pub telegrams_parsed: u64,
+    /// Telegrams the receiving aggregator rejected with a [`CodecError`].
+    pub parse_failures: u64,
+    /// Reports mutated by an active telegram-corruption fault before
+    /// transmission (counted whether or not the receiver noticed).
+    pub corrupted_injected: u64,
+}
+
+/// One telegram captured by the world's optional wire log (see
+/// [`World::enable_telegram_log`]): the bytes a device actually put on the
+/// wire, after any fault-injected corruption.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelegramLogEntry {
+    /// When the device transmitted the telegram.
+    pub at: SimTime,
+    /// The transmitting device.
+    pub device: DeviceId,
+    /// The protocol family the device speaks.
+    pub kind: MeterKind,
+    /// The raw telegram bytes as transmitted.
+    pub bytes: Vec<u8>,
+}
+
 /// Runtime state of one scheduled fault. The externally visible lifecycle
 /// lives in the embedded [`FaultRecord`]; the rest is what the world needs
 /// to apply, attribute and undo the fault.
@@ -242,6 +288,9 @@ struct FaultRuntime {
     /// Shadow consensus group for byzantine faults: the group, its validator
     /// set in id order, and how many of them (from the front) are byzantine.
     consensus: Option<(QuorumConsensus, Vec<DeviceId>, usize)>,
+    /// Private stream for telegram-corruption faults, derived at injection
+    /// time so corruption draws never perturb the world's main stream.
+    corruption_rng: Option<SimRng>,
 }
 
 impl FaultRuntime {
@@ -255,6 +304,7 @@ impl FaultRuntime {
             failover_moved: Vec::new(),
             queued_backhaul: Vec::new(),
             consensus: None,
+            corruption_rng: None,
         }
     }
 }
@@ -291,6 +341,15 @@ pub struct World {
     outbound_scratch: Vec<rtem_device::device::Outbound>,
     /// Scratch buffer for per-branch loads during upstream sampling.
     loads_scratch: Vec<(BranchId, rtem_sensors::energy::Milliamps)>,
+    /// Which meter protocol each device speaks. Absent means
+    /// [`MeterKind::Internal`] — the native packet encoding, byte-identical
+    /// with every earlier revision of the testbed.
+    device_meter_kinds: BTreeMap<DeviceId, MeterKind>,
+    /// Wire-level accounting at the meter-codec boundary.
+    wire: WireStats,
+    /// Optional capture of every telegram put on the wire (golden-fixture
+    /// tests); `None` keeps the hot path allocation-free.
+    telegram_log: Option<Vec<TelegramLogEntry>>,
 }
 
 impl core::fmt::Debug for World {
@@ -300,6 +359,73 @@ impl core::fmt::Debug for World {
             .field("devices", &self.devices.len())
             .field("networks", &self.sites.len())
             .finish()
+    }
+}
+
+/// Mangles raw telegram bytes per the fault's declared mode. A `None` rng
+/// (fault never armed) leaves the bytes untouched.
+fn corrupt_bytes(bytes: &mut Vec<u8>, mode: CorruptionMode, rng: Option<&mut SimRng>) {
+    let Some(rng) = rng else { return };
+    if bytes.is_empty() {
+        return;
+    }
+    match mode {
+        CorruptionMode::BitFlip { flips } => {
+            for _ in 0..flips.max(1) {
+                let bit = rng.next_below(bytes.len() as u64 * 8) as usize;
+                bytes[bit / 8] ^= 1 << (bit % 8);
+            }
+        }
+        CorruptionMode::Truncate => {
+            let keep = rng.next_below(bytes.len() as u64) as usize;
+            bytes.truncate(keep);
+        }
+        CorruptionMode::MangleField => {
+            let start = rng.next_below(bytes.len() as u64) as usize;
+            let span = (1 + rng.next_below(8) as usize).min(bytes.len() - start);
+            for byte in &mut bytes[start..start + span] {
+                *byte = rng.next_u64() as u8;
+            }
+        }
+    }
+}
+
+/// The `Internal`-kind analogue of [`corrupt_bytes`]: with no telegram
+/// framing to damage, the fault lands directly on the record values — which
+/// the packed native encoding then carries without complaint.
+fn corrupt_records(
+    records: &mut Vec<MeasurementRecord>,
+    mode: CorruptionMode,
+    rng: Option<&mut SimRng>,
+) {
+    let Some(rng) = rng else { return };
+    if records.is_empty() {
+        return;
+    }
+    // Corrupted values stay within 32 bits: wildly wrong for any plausible
+    // interval (reports run in the thousands of µA·s), while keeping the
+    // billing accumulators a run sums them into far from u64 overflow.
+    match mode {
+        CorruptionMode::BitFlip { flips } => {
+            for _ in 0..flips.max(1) {
+                let idx = rng.next_below(records.len() as u64) as usize;
+                let bit = 1u64 << rng.next_below(32);
+                if rng.chance(0.5) {
+                    records[idx].mean_current_ua ^= bit;
+                } else {
+                    records[idx].charge_uas ^= bit;
+                }
+            }
+        }
+        CorruptionMode::Truncate => {
+            let keep = rng.next_below(records.len() as u64) as usize;
+            records.truncate(keep);
+        }
+        CorruptionMode::MangleField => {
+            let idx = rng.next_below(records.len() as u64) as usize;
+            records[idx].mean_current_ua = rng.next_below(1 << 32);
+            records[idx].charge_uas = rng.next_below(1 << 32);
+        }
     }
 }
 
@@ -342,6 +468,9 @@ impl World {
             armed_backhaul_polls: BTreeSet::new(),
             outbound_scratch: Vec::new(),
             loads_scratch: Vec::new(),
+            device_meter_kinds: BTreeMap::new(),
+            wire: WireStats::default(),
+            telegram_log: None,
         }
     }
 
@@ -481,6 +610,53 @@ impl World {
     /// Lifecycle records of every scheduled fault, in scheduling order.
     pub fn fault_records(&self) -> Vec<FaultRecord> {
         self.faults.iter().map(|f| f.record).collect()
+    }
+
+    /// Declares which meter protocol `device` speaks on its access link.
+    ///
+    /// Consumption reports from the device are encoded through the matching
+    /// `rtem-codecs` encoder before transmission and parsed back on the
+    /// aggregator side. Devices never assigned a kind speak
+    /// [`MeterKind::Internal`], the native packet encoding.
+    pub fn set_meter_kind(&mut self, device: DeviceId, kind: MeterKind) {
+        if kind == MeterKind::Internal {
+            self.device_meter_kinds.remove(&device);
+        } else {
+            self.device_meter_kinds.insert(device, kind);
+        }
+    }
+
+    /// The meter protocol `device` speaks ([`MeterKind::Internal`] unless
+    /// assigned otherwise).
+    pub fn meter_kind(&self, device: DeviceId) -> MeterKind {
+        self.device_meter_kinds
+            .get(&device)
+            .copied()
+            .unwrap_or(MeterKind::Internal)
+    }
+
+    /// Wire-level accounting at the meter-codec boundary.
+    pub fn wire_stats(&self) -> WireStats {
+        self.wire
+    }
+
+    /// Starts capturing every telegram put on the wire. Intended for
+    /// golden-fixture tests; off by default to keep the hot path
+    /// allocation-free.
+    pub fn enable_telegram_log(&mut self) {
+        self.telegram_log.get_or_insert_with(Vec::new);
+    }
+
+    /// Drains the captured telegrams (empty unless
+    /// [`enable_telegram_log`](Self::enable_telegram_log) was called).
+    pub fn take_telegram_log(&mut self) -> Vec<TelegramLogEntry> {
+        self.telegram_log
+            .take()
+            .map(|log| {
+                self.telegram_log = Some(Vec::new());
+                log
+            })
+            .unwrap_or_default()
     }
 
     /// Runs the world until `horizon`.
@@ -704,12 +880,163 @@ impl World {
         packet: Packet,
         now: SimTime,
     ) {
+        let packet = self.lower_to_wire(device_id, packet, now);
         let client = self.device_clients[&device_id];
         let payload = packet.encode();
         let _ = self
             .broker
             .publish(client, &uplink_topic(to), payload, QoS::AtLeastOnce, now);
         self.arm_broker_poll(now);
+    }
+
+    /// The meter-codec boundary on the transmit side: consumption reports
+    /// from real-protocol devices are re-framed as telegram bytes, and any
+    /// active telegram-corruption fault targeting the device mutates the
+    /// report here — on the wire for real codecs, in the record values for
+    /// `Internal` (whose packed encoding has no checksum to trip, so the
+    /// corruption sails through undetected).
+    fn lower_to_wire(&mut self, device_id: DeviceId, packet: Packet, _now: SimTime) -> Packet {
+        let Packet::ConsumptionReport {
+            device,
+            master,
+            mut records,
+        } = packet
+        else {
+            return packet;
+        };
+        let kind = self.meter_kind(device_id);
+        self.wire.records_sent += records.len() as u64;
+        if kind == MeterKind::Internal {
+            if let Some((fault, mode)) = self.active_corruption_draw(device_id) {
+                corrupt_records(
+                    &mut records,
+                    mode,
+                    self.faults[fault].corruption_rng.as_mut(),
+                );
+                self.wire.corrupted_injected += 1;
+            }
+            let packet = Packet::ConsumptionReport {
+                device,
+                master,
+                records,
+            };
+            self.wire.native_bytes += packet.encoded_len() as u64;
+            return packet;
+        }
+        let telegram = Telegram::new(device, master, records);
+        let mut bytes = rtem_codecs::encode(kind, &telegram)
+            .expect("every real meter kind encodes every telegram");
+        self.wire.native_bytes += Packet::ConsumptionReport {
+            device: telegram.device,
+            master: telegram.master,
+            records: telegram.records,
+        }
+        .encoded_len() as u64;
+        if let Some((fault, mode)) = self.active_corruption_draw(device_id) {
+            corrupt_bytes(&mut bytes, mode, self.faults[fault].corruption_rng.as_mut());
+            self.wire.corrupted_injected += 1;
+        }
+        self.wire.telegrams_sent += 1;
+        self.wire.telegram_bytes += bytes.len() as u64;
+        if let Some(log) = self.telegram_log.as_mut() {
+            log.push(TelegramLogEntry {
+                at: _now,
+                device: device_id,
+                kind,
+                bytes: bytes.clone(),
+            });
+        }
+        Packet::Telegram {
+            device: device_id,
+            codec: kind.code(),
+            payload: bytes,
+        }
+    }
+
+    /// Rolls the per-telegram corruption dice for every *active* corruption
+    /// fault targeting `device`: returns the first fault whose draw comes up
+    /// corrupt, together with its mangling mode.
+    fn active_corruption_draw(&mut self, device: DeviceId) -> Option<(usize, CorruptionMode)> {
+        for (id, fault) in self.faults.iter_mut().enumerate() {
+            let FaultEvent::TelegramCorruption {
+                device: target,
+                mode,
+                per_mille,
+                ..
+            } = fault.event
+            else {
+                continue;
+            };
+            if target != device
+                || fault.record.injected_at.is_none()
+                || fault.record.cleared_at.is_some()
+            {
+                continue;
+            }
+            let Some(rng) = fault.corruption_rng.as_mut() else {
+                continue;
+            };
+            if rng.next_below(1000) < u64::from(per_mille) {
+                return Some((id, mode));
+            }
+        }
+        None
+    }
+
+    /// The meter-codec boundary on the receive side: runs the codec named by
+    /// the envelope over the telegram bytes and reconstructs the native
+    /// consumption report. Returns `None` when the telegram does not parse —
+    /// the rejection is counted, and if an active corruption fault targets
+    /// the device the rejection is credited to it as its detection signal.
+    fn parse_telegram(
+        &mut self,
+        device: DeviceId,
+        codec: u8,
+        payload: &[u8],
+        now: SimTime,
+    ) -> Option<Packet> {
+        let parsed = match MeterKind::from_code(codec).filter(|k| *k != MeterKind::Internal) {
+            Some(kind) => rtem_codecs::parse(kind, payload),
+            None => Err(CodecError::Semantic("unknown codec discriminant")),
+        };
+        match parsed {
+            Ok(telegram) if telegram.device == device => {
+                self.wire.telegrams_parsed += 1;
+                Some(Packet::ConsumptionReport {
+                    device: telegram.device,
+                    master: telegram.master,
+                    records: telegram.records,
+                })
+            }
+            Ok(_) => {
+                self.note_parse_failure(device, codec, now);
+                None
+            }
+            Err(_) => {
+                self.note_parse_failure(device, codec, now);
+                None
+            }
+        }
+    }
+
+    fn note_parse_failure(&mut self, device: DeviceId, codec: u8, now: SimTime) {
+        self.wire.parse_failures += 1;
+        let undetected: Vec<usize> = self
+            .faults
+            .iter()
+            .enumerate()
+            .filter(|(_, fault)| {
+                matches!(
+                    fault.event,
+                    FaultEvent::TelegramCorruption { device: target, .. } if target == device
+                ) && fault.record.injected_at.is_some()
+                    && fault.record.detected_at.is_none()
+            })
+            .map(|(id, _)| id)
+            .collect();
+        for id in undetected {
+            self.mark_detected(id, now, DetectionSignal::TelegramRejected { codec });
+        }
     }
 
     fn publish_downlink(&mut self, from: AggregatorAddr, packet: Packet, now: SimTime) {
@@ -755,6 +1082,25 @@ impl World {
             match self.client_endpoints.get(&delivery.to) {
                 // Uplink to an aggregator.
                 Some(&Endpoint::Site(addr)) => {
+                    // The meter-codec boundary on the receive side: telegram
+                    // envelopes are parsed back into consumption reports
+                    // before the aggregator sees them. A telegram that fails
+                    // its codec is dropped here — no acknowledgment goes
+                    // back, so the device retries from local storage.
+                    let packet = match packet {
+                        Packet::Telegram {
+                            device,
+                            codec,
+                            payload,
+                        } => {
+                            let Some(report) = self.parse_telegram(device, codec, &payload, now)
+                            else {
+                                continue;
+                            };
+                            report
+                        }
+                        other => other,
+                    };
                     let out = {
                         let site = self.sites.get_mut(&addr).expect("site exists");
                         site.aggregator.handle_device_packet(&packet, now)
@@ -981,6 +1327,15 @@ impl World {
                 }
                 self.note_fault_injected(id, now);
             }
+            FaultEvent::TelegramCorruption { device, .. } => {
+                if !self.devices.contains_key(&device) {
+                    return;
+                }
+                // The fault's draws come from a derived stream so arming it
+                // never perturbs the world's main sequence.
+                self.faults[id].corruption_rng = Some(self.rng.derive(0xC0DE_C000 + id as u64));
+                self.note_fault_injected(id, now);
+            }
         }
     }
 
@@ -1053,6 +1408,9 @@ impl World {
                 self.faults[id].consensus = None;
             }
             FaultEvent::MeterTamper { .. } => {}
+            FaultEvent::TelegramCorruption { .. } => {
+                self.faults[id].corruption_rng = None;
+            }
         }
         self.faults[id].record.cleared_at = Some(now);
         self.notifications.push(WorldNotification::FaultCleared {
@@ -1704,5 +2062,136 @@ mod tests {
         assert_eq!(world.device_ids().len(), 2);
         assert!(world.device(DeviceId(99)).is_none());
         assert!(world.aggregator(AggregatorAddr(9)).is_none());
+    }
+
+    #[test]
+    fn real_codec_fleet_reports_flow_end_to_end() {
+        let mut world = two_network_world();
+        world.set_meter_kind(DeviceId(1), MeterKind::Sml);
+        world.set_meter_kind(DeviceId(2), MeterKind::WirelessMbus);
+        world.run_until(SimTime::from_secs(30));
+        let agg = world.aggregator(AggregatorAddr(1)).unwrap();
+        assert_eq!(agg.registry().len(), 2, "both devices registered");
+        assert!(agg.reports_accepted() > 10, "reports flowed over telegrams");
+        let wire = world.wire_stats();
+        assert!(wire.telegrams_sent > 10);
+        assert_eq!(wire.telegrams_parsed, wire.telegrams_sent);
+        assert_eq!(wire.parse_failures, 0);
+        assert_eq!(wire.corrupted_injected, 0);
+        assert!(
+            wire.telegram_bytes > wire.native_bytes,
+            "real framing costs more than the packed native encoding \
+             ({} telegram bytes vs {} native)",
+            wire.telegram_bytes,
+            wire.native_bytes
+        );
+    }
+
+    #[test]
+    fn internal_fleet_has_untouched_wire_stats_shape() {
+        let mut world = two_network_world();
+        world.run_until(SimTime::from_secs(20));
+        let wire = world.wire_stats();
+        assert_eq!(wire.telegrams_sent, 0);
+        assert_eq!(wire.telegram_bytes, 0);
+        assert!(wire.records_sent > 0, "native reports still accounted");
+        assert!(wire.native_bytes > 0);
+    }
+
+    #[test]
+    fn telegram_corruption_is_detected_on_checksummed_codecs() {
+        let mut world = two_network_world();
+        world.set_meter_kind(DeviceId(1), MeterKind::Iec62056);
+        let id = world.schedule_fault(FaultEvent::TelegramCorruption {
+            at: SimTime::from_secs(15),
+            until: SimTime::from_secs(25),
+            device: DeviceId(1),
+            mode: CorruptionMode::BitFlip { flips: 3 },
+            per_mille: 1000,
+        });
+        world.run_until(SimTime::from_secs(40));
+        let record = world.fault_records()[id];
+        assert!(record.injected());
+        assert!(record.detected(), "checksummed codec rejects the frames");
+        assert!(matches!(
+            record.signal,
+            Some(DetectionSignal::TelegramRejected { .. })
+        ));
+        let wire = world.wire_stats();
+        assert!(wire.corrupted_injected > 0);
+        assert!(wire.parse_failures > 0);
+        // After the burst clears, reports get through again and the device's
+        // storage-backed retries recover the dropped window.
+        let agg = world.aggregator(AggregatorAddr(1)).unwrap();
+        assert!(agg.reports_accepted() > 10, "fleet recovered after burst");
+    }
+
+    #[test]
+    fn internal_encoding_misses_the_same_corruption() {
+        let mut world = two_network_world();
+        let id = world.schedule_fault(FaultEvent::TelegramCorruption {
+            at: SimTime::from_secs(15),
+            until: SimTime::from_secs(25),
+            device: DeviceId(1),
+            mode: CorruptionMode::BitFlip { flips: 3 },
+            per_mille: 1000,
+        });
+        world.run_until(SimTime::from_secs(40));
+        let record = world.fault_records()[id];
+        assert!(record.injected());
+        assert!(
+            !record.detected(),
+            "the packed native encoding has no checksum to trip"
+        );
+        let wire = world.wire_stats();
+        assert!(wire.corrupted_injected > 0, "values were mangled");
+        assert_eq!(wire.parse_failures, 0, "nothing ever failed to parse");
+    }
+
+    #[test]
+    fn corruption_fault_run_is_deterministic_and_slicing_invariant() {
+        let plan = |world: &mut World| {
+            world.set_meter_kind(DeviceId(1), MeterKind::ModbusRtu);
+            world.schedule_fault(FaultEvent::TelegramCorruption {
+                at: SimTime::from_secs(15),
+                until: SimTime::from_secs(35),
+                device: DeviceId(1),
+                mode: CorruptionMode::MangleField,
+                per_mille: 500,
+            });
+        };
+        let mut a = two_network_world();
+        plan(&mut a);
+        a.run_until(SimTime::from_secs(50));
+        let mut b = two_network_world();
+        plan(&mut b);
+        let mut t = SimTime::ZERO;
+        while t < SimTime::from_secs(50) {
+            t += SimDuration::from_millis(3_300);
+            b.run_until(t.min(SimTime::from_secs(50)));
+        }
+        assert_eq!(a.fault_records(), b.fault_records());
+        assert_eq!(a.take_notifications(), b.take_notifications());
+        assert_eq!(a.metrics(), b.metrics());
+        assert_eq!(a.wire_stats(), b.wire_stats());
+    }
+
+    #[test]
+    fn telegram_log_captures_wire_bytes() {
+        let mut world = two_network_world();
+        world.set_meter_kind(DeviceId(1), MeterKind::Sml);
+        world.enable_telegram_log();
+        world.run_until(SimTime::from_secs(20));
+        let log = world.take_telegram_log();
+        assert!(!log.is_empty());
+        assert!(log.iter().all(|e| e.device == DeviceId(1)));
+        assert!(log.iter().all(|e| e.kind == MeterKind::Sml));
+        assert_eq!(
+            log.iter().map(|e| e.bytes.len() as u64).sum::<u64>(),
+            world.wire_stats().telegram_bytes
+        );
+        // The log keeps capturing after a drain.
+        world.run_until(SimTime::from_secs(25));
+        assert!(!world.take_telegram_log().is_empty());
     }
 }

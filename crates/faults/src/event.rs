@@ -14,7 +14,7 @@ use rtem_sensors::fault::SensorFaultKind;
 use rtem_sim::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
-/// The six fault families the subsystem can inject.
+/// The seven fault families the subsystem can inject.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum FaultFamily {
     /// A device's sensor misbehaves (stuck-at, drift, spikes).
@@ -32,6 +32,9 @@ pub enum FaultFamily {
     /// A fraction of a network's devices vote byzantine in the device-level
     /// consensus extension.
     Byzantine,
+    /// A device's outgoing meter telegrams are corrupted on the wire
+    /// (bit flips, truncation, field mangling at the codec boundary).
+    Corruption,
 }
 
 impl fmt::Display for FaultFamily {
@@ -43,8 +46,40 @@ impl fmt::Display for FaultFamily {
             FaultFamily::Crash => "crash",
             FaultFamily::Outage => "outage",
             FaultFamily::Byzantine => "byzantine",
+            FaultFamily::Corruption => "corruption",
         };
         write!(f, "{name}")
+    }
+}
+
+/// How a [`FaultEvent::TelegramCorruption`] fault mangles each telegram.
+///
+/// The corruption is applied to the encoded telegram bytes just before
+/// transmission, from a seeded per-fault random stream, so a corrupted run
+/// is exactly as reproducible as a clean one. Checksummed meter codecs
+/// reject the damage with a typed parse error at the aggregator; the
+/// internal record format has no checksum, so the same fault silently
+/// lands wrong values in the ledger instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CorruptionMode {
+    /// Flip `flips` random payload bits per telegram.
+    BitFlip {
+        /// Bits flipped per telegram (at least 1 to have any effect).
+        flips: u8,
+    },
+    /// Cut the telegram off at a random point.
+    Truncate,
+    /// Overwrite a random span of the telegram with random bytes.
+    MangleField,
+}
+
+impl fmt::Display for CorruptionMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CorruptionMode::BitFlip { flips } => write!(f, "bitflip x{flips}"),
+            CorruptionMode::Truncate => write!(f, "truncate"),
+            CorruptionMode::MangleField => write!(f, "mangle"),
+        }
     }
 }
 
@@ -146,6 +181,23 @@ pub enum FaultEvent {
         /// Number of colluding (byzantine) validators.
         voters: u32,
     },
+    /// Between `at` and `until`, each consumption telegram `device`
+    /// transmits is corrupted per `mode` with probability `per_mille`/1000
+    /// (seeded, deterministic). Detection happens when the aggregator-side
+    /// codec rejects a malformed frame; devices speaking the internal
+    /// format are silently mis-metered instead.
+    TelegramCorruption {
+        /// Corruption window start.
+        at: SimTime,
+        /// Corruption window end.
+        until: SimTime,
+        /// The device whose uplink is corrupted.
+        device: DeviceId,
+        /// The damage applied to each affected telegram.
+        mode: CorruptionMode,
+        /// Per-telegram corruption probability in thousandths (0–1000).
+        per_mille: u16,
+    },
 }
 
 impl FaultEvent {
@@ -157,7 +209,8 @@ impl FaultEvent {
             | FaultEvent::LinkDegrade { at, .. }
             | FaultEvent::DeviceCrash { at, .. }
             | FaultEvent::AggregatorOutage { at, .. }
-            | FaultEvent::ByzantineVoters { at, .. } => at,
+            | FaultEvent::ByzantineVoters { at, .. }
+            | FaultEvent::TelegramCorruption { at, .. } => at,
         }
     }
 
@@ -170,6 +223,7 @@ impl FaultEvent {
             FaultEvent::DeviceCrash { restart_at, .. } => Some(restart_at),
             FaultEvent::AggregatorOutage { until, .. } => Some(until),
             FaultEvent::ByzantineVoters { until, .. } => Some(until),
+            FaultEvent::TelegramCorruption { until, .. } => Some(until),
         }
     }
 
@@ -182,15 +236,16 @@ impl FaultEvent {
             FaultEvent::DeviceCrash { .. } => FaultFamily::Crash,
             FaultEvent::AggregatorOutage { .. } => FaultFamily::Outage,
             FaultEvent::ByzantineVoters { .. } => FaultFamily::Byzantine,
+            FaultEvent::TelegramCorruption { .. } => FaultFamily::Corruption,
         }
     }
 
     /// The device the event targets, for the device-scoped families.
     pub fn device(&self) -> Option<DeviceId> {
         match *self {
-            FaultEvent::SensorFault { device, .. } | FaultEvent::DeviceCrash { device, .. } => {
-                Some(device)
-            }
+            FaultEvent::SensorFault { device, .. }
+            | FaultEvent::DeviceCrash { device, .. }
+            | FaultEvent::TelegramCorruption { device, .. } => Some(device),
             _ => None,
         }
     }
@@ -232,6 +287,13 @@ pub enum DetectionSignal {
     RecoveryBackfill {
         /// Number of backfilled records in the recovery block.
         records: usize,
+    },
+    /// The aggregator-side meter codec rejected a malformed telegram with a
+    /// typed parse error — only possible for checksummed meter protocols;
+    /// the internal record format misses the same corruption silently.
+    TelegramRejected {
+        /// Codec discriminant of the rejected telegram's meter protocol.
+        codec: u8,
     },
 }
 
@@ -358,6 +420,23 @@ mod tests {
         };
         assert_eq!(byz.family(), FaultFamily::Byzantine);
         assert_eq!(format!("{}", byz.family()), "byzantine");
+
+        let corruption = FaultEvent::TelegramCorruption {
+            at: SimTime::from_secs(6),
+            until: SimTime::from_secs(12),
+            device: DeviceId(2),
+            mode: CorruptionMode::BitFlip { flips: 3 },
+            per_mille: 1000,
+        };
+        assert_eq!(corruption.family(), FaultFamily::Corruption);
+        assert_eq!(corruption.device(), Some(DeviceId(2)));
+        assert_eq!(corruption.network(), None);
+        assert_eq!(corruption.clears_at(), Some(SimTime::from_secs(12)));
+        assert_eq!(format!("{}", corruption.family()), "corruption");
+        assert_eq!(
+            format!("{}", CorruptionMode::BitFlip { flips: 3 }),
+            "bitflip x3"
+        );
     }
 
     #[test]

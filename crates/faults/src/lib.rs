@@ -8,11 +8,12 @@
 //! flaky devices. This crate is the vocabulary for *injecting* exactly those
 //! conditions into a simulated run, as plain schedulable data:
 //!
-//! * [`event`] — the six fault families as typed [`FaultEvent`]s
+//! * [`event`] — the seven fault families as typed [`FaultEvent`]s
 //!   (sensor faults, meter tampering, link degradation bursts, device
 //!   crash/restart, aggregator outage with failover, byzantine consensus
-//!   voters), plus the [`FaultRecord`] lifecycle bookkeeping and the
-//!   [`DetectionSignal`] taxonomy.
+//!   voters, telegram corruption at the meter-codec boundary), plus the
+//!   [`FaultRecord`] lifecycle bookkeeping and the [`DetectionSignal`]
+//!   taxonomy.
 //! * [`plan`] — the [`FaultPlan`] collecting events into one validated,
 //!   reusable value, mirroring how `ScenarioSpec` treats topology scripts.
 //!
@@ -27,5 +28,7 @@
 pub mod event;
 pub mod plan;
 
-pub use event::{DetectionSignal, FaultEvent, FaultFamily, FaultRecord, LinkTarget};
+pub use event::{
+    CorruptionMode, DetectionSignal, FaultEvent, FaultFamily, FaultRecord, LinkTarget,
+};
 pub use plan::{FaultPlan, FaultPlanError};

@@ -6,7 +6,7 @@
 //! impossible plan fails with a typed [`FaultPlanError`] before anything
 //! runs.
 
-use crate::event::{FaultEvent, LinkTarget};
+use crate::event::{CorruptionMode, FaultEvent, LinkTarget};
 use core::fmt;
 use rtem_net::link::LinkConfig;
 use rtem_net::packet::{AggregatorAddr, DeviceId};
@@ -41,6 +41,9 @@ pub enum FaultPlanError {
     },
     /// A byzantine event declares zero colluding voters — nothing to inject.
     ZeroByzantineVoters,
+    /// A telegram-corruption event can never damage anything: zero
+    /// per-telegram probability, or a bit-flip mode flipping zero bits.
+    IneffectiveCorruption,
     /// An outage names itself as its own failover target.
     FailoverIsTarget {
         /// The network failing over to itself.
@@ -81,6 +84,12 @@ impl fmt::Display for FaultPlanError {
             }
             FaultPlanError::ZeroByzantineVoters => {
                 write!(f, "byzantine fault declares zero colluding voters")
+            }
+            FaultPlanError::IneffectiveCorruption => {
+                write!(
+                    f,
+                    "telegram corruption declares zero probability or zero bit flips"
+                )
             }
             FaultPlanError::FailoverIsTarget { network } => {
                 write!(f, "outage of {network:?} fails over to itself")
@@ -238,6 +247,26 @@ impl FaultPlan {
         })
     }
 
+    /// Appends a telegram-corruption window on `device`'s uplink. Every
+    /// consumption telegram the device transmits in the window is damaged
+    /// per `mode` with probability `per_mille`/1000.
+    pub fn telegram_corruption_between(
+        self,
+        at: SimTime,
+        until: SimTime,
+        device: DeviceId,
+        mode: CorruptionMode,
+        per_mille: u16,
+    ) -> FaultPlan {
+        self.with(FaultEvent::TelegramCorruption {
+            at,
+            until,
+            device,
+            mode,
+            per_mille,
+        })
+    }
+
     /// Checks every event against the scenario population and horizon,
     /// returning the first inconsistency found.
     pub fn validate(
@@ -274,6 +303,11 @@ impl FaultPlan {
             match *event {
                 FaultEvent::ByzantineVoters { voters: 0, .. } => {
                     return Err(FaultPlanError::ZeroByzantineVoters);
+                }
+                FaultEvent::TelegramCorruption {
+                    per_mille, mode, ..
+                } if per_mille == 0 || mode == CorruptionMode::BitFlip { flips: 0 } => {
+                    return Err(FaultPlanError::IneffectiveCorruption);
                 }
                 FaultEvent::AggregatorOutage {
                     network,
@@ -367,8 +401,15 @@ mod tests {
                 SimTime::from_secs(95),
                 AggregatorAddr(2),
                 1,
+            )
+            .telegram_corruption_between(
+                SimTime::from_secs(12),
+                SimTime::from_secs(48),
+                DeviceId(1),
+                CorruptionMode::BitFlip { flips: 2 },
+                800,
             );
-        assert_eq!(plan.len(), 6);
+        assert_eq!(plan.len(), 7);
         assert!(!plan.is_empty());
         assert_eq!(
             plan.validate(&devices, &networks, SimTime::from_secs(100)),
@@ -456,6 +497,28 @@ mod tests {
             Err(FaultPlanError::FailoverIsTarget {
                 network: AggregatorAddr(1)
             })
+        );
+        let plan = FaultPlan::new().telegram_corruption_between(
+            SimTime::from_secs(1),
+            SimTime::from_secs(2),
+            DeviceId(1),
+            CorruptionMode::Truncate,
+            0,
+        );
+        assert_eq!(
+            plan.validate(&devices, &networks, horizon),
+            Err(FaultPlanError::IneffectiveCorruption)
+        );
+        let plan = FaultPlan::new().telegram_corruption_between(
+            SimTime::from_secs(1),
+            SimTime::from_secs(2),
+            DeviceId(1),
+            CorruptionMode::BitFlip { flips: 0 },
+            1000,
+        );
+        assert_eq!(
+            plan.validate(&devices, &networks, horizon),
+            Err(FaultPlanError::IneffectiveCorruption)
         );
         let bad_link = LinkConfig {
             base_latency: SimDuration::from_millis(1),

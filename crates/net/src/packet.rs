@@ -256,6 +256,20 @@ pub enum Packet {
         /// Device to remove.
         device: DeviceId,
     },
+    /// Device → aggregator: a consumption report encoded as a real
+    /// meter-protocol telegram (see the `rtem-codecs` crate). The envelope
+    /// carries the raw telegram bytes plus the codec discriminant so the
+    /// aggregator knows which parser to apply; the device id is repeated
+    /// here for routing and diagnostics even when the telegram body is
+    /// corrupted beyond parsing.
+    Telegram {
+        /// Reporting device.
+        device: DeviceId,
+        /// Codec discriminant (`rtem_codecs::MeterKind::code`).
+        codec: u8,
+        /// Raw telegram bytes as produced by the device's meter codec.
+        payload: Vec<u8>,
+    },
 }
 
 /// Whether a membership is the device's permanent (master) one or a
@@ -300,6 +314,7 @@ const TAG_VERIFY_RESP: u8 = 0x08;
 const TAG_FORWARDED: u8 = 0x09;
 const TAG_TRANSFER: u8 = 0x0A;
 const TAG_REMOVE: u8 = 0x0B;
+const TAG_TELEGRAM: u8 = 0x0C;
 
 const NO_ADDR: u32 = u32::MAX;
 
@@ -433,6 +448,17 @@ impl Packet {
                 buf.put_u8(TAG_REMOVE);
                 buf.put_u64_le(device.0);
             }
+            Packet::Telegram {
+                device,
+                codec,
+                payload,
+            } => {
+                buf.put_u8(TAG_TELEGRAM);
+                buf.put_u64_le(device.0);
+                buf.put_u8(*codec);
+                buf.put_u32_le(payload.len() as u32);
+                buf.put_slice(payload);
+            }
         }
         buf.freeze()
     }
@@ -556,6 +582,25 @@ impl Packet {
                     device: DeviceId(buf.get_u64_le()),
                 })
             }
+            TAG_TELEGRAM => {
+                need(13, &buf)?;
+                let device = DeviceId(buf.get_u64_le());
+                let codec = buf.get_u8();
+                let declared = buf.get_u32_le() as usize;
+                if buf.remaining() < declared {
+                    return Err(DecodeError::BadLength {
+                        declared,
+                        remaining: buf.remaining(),
+                    });
+                }
+                let mut payload = vec![0u8; declared];
+                buf.copy_to_slice(&mut payload);
+                Ok(Packet::Telegram {
+                    device,
+                    codec,
+                    payload,
+                })
+            }
             other => Err(DecodeError::UnknownTag(other)),
         }
     }
@@ -573,7 +618,8 @@ impl Packet {
             | Packet::MembershipVerifyResponse { device, .. }
             | Packet::ForwardedConsumption { device, .. }
             | Packet::TransferMembership { device, .. }
-            | Packet::RemoveDevice { device } => Some(*device),
+            | Packet::RemoveDevice { device }
+            | Packet::Telegram { device, .. } => Some(*device),
         }
     }
 
@@ -667,6 +713,16 @@ mod tests {
             Packet::RemoveDevice {
                 device: DeviceId(6),
             },
+            Packet::Telegram {
+                device: DeviceId(7),
+                codec: 2,
+                payload: vec![0x1B, 0x1B, 0x1B, 0x1B, 0x01, 0x01, 0x01, 0x01],
+            },
+            Packet::Telegram {
+                device: DeviceId(7),
+                codec: 1,
+                payload: Vec::new(),
+            },
         ]
     }
 
@@ -723,6 +779,22 @@ mod tests {
         buf.put_u64_le(1);
         buf.put_u32_le(NO_ADDR);
         buf.put_u16_le(100);
+        let bytes = buf.freeze();
+        assert!(matches!(
+            Packet::decode(&bytes),
+            Err(DecodeError::BadLength { .. })
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_bad_telegram_length() {
+        // Telegram envelope declaring 50 payload bytes but carrying 2.
+        let mut buf = BytesMut::new();
+        buf.put_u8(TAG_TELEGRAM);
+        buf.put_u64_le(7);
+        buf.put_u8(3);
+        buf.put_u32_le(50);
+        buf.put_slice(&[0xAA, 0xBB]);
         let bytes = buf.freeze();
         assert!(matches!(
             Packet::decode(&bytes),

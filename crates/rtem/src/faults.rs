@@ -1,8 +1,9 @@
 //! Fault injection and resilience accounting — the facade over `rtem-faults`.
 //!
-//! Build a [`FaultPlan`] (six families: sensor faults, meter tampering,
+//! Build a [`FaultPlan`] (seven families: sensor faults, meter tampering,
 //! link-degradation bursts, device crash/restart, aggregator outage with
-//! failover, byzantine consensus voters), attach it to a
+//! failover, byzantine consensus voters, telegram corruption at the
+//! meter-codec boundary), attach it to a
 //! [`ScenarioSpec`](crate::spec::ScenarioSpec) with
 //! [`with_fault_plan`](crate::spec::ScenarioSpec::with_fault_plan), and run
 //! the experiment as usual. The run's
@@ -28,7 +29,9 @@
 use rtem_chain::audit::Finding;
 use rtem_net::packet::AggregatorAddr;
 
-pub use rtem_faults::event::{DetectionSignal, FaultEvent, FaultFamily, FaultRecord, LinkTarget};
+pub use rtem_faults::event::{
+    CorruptionMode, DetectionSignal, FaultEvent, FaultFamily, FaultRecord, LinkTarget,
+};
 pub use rtem_faults::plan::{FaultPlan, FaultPlanError};
 pub use rtem_sensors::fault::{SensorFault, SensorFaultKind};
 
@@ -134,6 +137,7 @@ pub(crate) fn build_resilience(
         FaultFamily::Crash,
         FaultFamily::Outage,
         FaultFamily::Byzantine,
+        FaultFamily::Corruption,
     ] {
         let of_family: Vec<&FaultRecord> = records.iter().filter(|r| r.family == family).collect();
         if of_family.is_empty() {

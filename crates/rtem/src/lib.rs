@@ -2,10 +2,10 @@
 //!
 //! This workspace reproduces *Real-Time Energy Monitoring in IoT-enabled
 //! Mobile Devices* (Shivaraman et al., DATE 2020, arXiv:2004.14804) as a
-//! deterministic simulation. The substrate lives in seven crates
-//! (`rtem-sim`, `rtem-net`, `rtem-sensors`, `rtem-chain`, `rtem-device`,
-//! `rtem-aggregator`, `rtem-core`); **this crate is the supported public
-//! surface over all of them**:
+//! deterministic simulation. The substrate lives in eight crates
+//! (`rtem-sim`, `rtem-net`, `rtem-sensors`, `rtem-chain`, `rtem-codecs`,
+//! `rtem-device`, `rtem-aggregator`, `rtem-core`); **this crate is the
+//! supported public surface over all of them**:
 //!
 //! * [`spec`] — the declarative [`ScenarioSpec`](spec::ScenarioSpec):
 //!   networks, devices per network, load, link quality, seed, horizon and
@@ -24,8 +24,8 @@
 //!   seeds, devices, links, sensors, fault plans) executed on a thread pool
 //!   into a [`SuiteReport`](suite::SuiteReport) with cross-cell aggregates.
 //! * [`faults`] — the fault-injection subsystem: a declarative
-//!   [`FaultPlan`](faults::FaultPlan) over six fault families (sensor,
-//!   tamper, link, crash, outage, byzantine) and the
+//!   [`FaultPlan`](faults::FaultPlan) over seven fault families (sensor,
+//!   tamper, link, crash, outage, byzantine, telegram corruption) and the
 //!   [`ResilienceReport`](faults::ResilienceReport) accounting of injected
 //!   vs. detected faults, detection latency and accuracy-under-fault.
 //! * [`report`] — the [`RunReport`](report::RunReport) bundling world
@@ -63,6 +63,7 @@ pub use rtem_core::{centralized, consensus, loadbalance, metrics, mobility, scen
 // Stable module paths into the substrate crates.
 pub use rtem_aggregator as aggregator;
 pub use rtem_chain as chain;
+pub use rtem_codecs as codecs;
 pub use rtem_device as device;
 pub use rtem_net as net;
 pub use rtem_sensors as sensors;
@@ -78,8 +79,8 @@ pub use rtem_workloads as workloads;
 pub mod prelude {
     pub use crate::experiment::Experiment;
     pub use crate::faults::{
-        DetectionSignal, FamilyResilience, FaultEvent, FaultFamily, FaultPlan, FaultPlanError,
-        FaultRecord, LinkTarget, ResilienceReport, SensorFault, SensorFaultKind,
+        CorruptionMode, DetectionSignal, FamilyResilience, FaultEvent, FaultFamily, FaultPlan,
+        FaultPlanError, FaultRecord, LinkTarget, ResilienceReport, SensorFault, SensorFaultKind,
     };
     pub use crate::probe::{NullProbe, Probe, RecordingProbe, RunEvent};
     pub use crate::report::{BillLine, LedgerSummary, NetworkAccuracy, RunReport};
@@ -89,6 +90,7 @@ pub mod prelude {
         AggregateStats, CellKey, Suite, SuiteAggregates, SuiteCell, SuiteReport,
     };
     pub use rtem_aggregator::billing::{CostBreakdown, Tariff, TariffError, TierRate, TouWindow};
+    pub use rtem_codecs::{CodecError, MeterKind, Telegram};
     pub use rtem_core::metrics::{
         AccuracyWindow, DeviceTrace, HandshakeStats, NetworkSummary, WorldMetrics,
     };

@@ -12,6 +12,7 @@
 
 use core::fmt;
 use rtem_aggregator::billing::{Tariff, TariffError};
+use rtem_codecs::MeterKind;
 use rtem_core::scenario::{DeviceLoad, ScenarioBuilder};
 use rtem_core::simulation::WorldConfig;
 use rtem_device::network_mgmt::HandshakeTiming;
@@ -209,6 +210,11 @@ pub struct ScenarioSpec {
     /// [`WorkloadModel`]): the [`Mix`](WorkloadModel::Mix) variant assigns
     /// component workloads round-robin by device ordinal.
     pub workload: Option<WorkloadModel>,
+    /// Meter protocols the fleet speaks, assigned round-robin by device
+    /// ordinal (see [`MeterKind`]). Empty means every device speaks
+    /// `MeterKind::Internal`, the native packet encoding — bit-identical
+    /// behavior with every earlier revision of the testbed.
+    pub meter_kinds: Vec<MeterKind>,
     /// Tariff every aggregator's billing engine applies.
     pub tariff: Tariff,
     /// Random seed for the whole world (same seed, same run).
@@ -249,6 +255,7 @@ impl ScenarioSpec {
             empty_networks: 0,
             load: DeviceLoad::EspCharging,
             workload: None,
+            meter_kinds: Vec::new(),
             tariff: Tariff::default(),
             seed,
             horizon: SimDuration::from_secs(100),
@@ -321,6 +328,22 @@ impl ScenarioSpec {
     /// ```
     pub fn with_workload(mut self, workload: WorkloadModel) -> ScenarioSpec {
         self.workload = Some(workload);
+        self
+    }
+
+    /// Sets the meter protocols the fleet speaks, assigned round-robin by
+    /// device ordinal. One entry gives a homogeneous fleet, several a
+    /// heterogeneous mix; empty (the default) keeps the native encoding.
+    ///
+    /// ```
+    /// use rtem::prelude::*;
+    ///
+    /// let spec = ScenarioSpec::paper_testbed(1)
+    ///     .with_meter_kinds(vec![MeterKind::Sml, MeterKind::ModbusRtu]);
+    /// assert_eq!(spec.validate(), Ok(()));
+    /// ```
+    pub fn with_meter_kinds(mut self, kinds: Vec<MeterKind>) -> ScenarioSpec {
+        self.meter_kinds = kinds;
         self
     }
 
@@ -509,6 +532,7 @@ impl ScenarioSpec {
             devices_per_network: self.devices_per_network,
             load: self.load,
             workload: self.workload.clone(),
+            meter_kinds: self.meter_kinds.clone(),
             world: WorldConfig {
                 t_measure: self.t_measure,
                 upstream_sample_interval: self.upstream_sample_interval,

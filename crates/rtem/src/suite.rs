@@ -27,6 +27,7 @@ use crate::report::RunReport;
 use crate::spec::{ScenarioSpec, SpecError};
 use core::fmt;
 use rtem_aggregator::billing::Tariff;
+use rtem_codecs::MeterKind;
 use rtem_net::link::LinkConfig;
 use rtem_sensors::ina219::Ina219Config;
 use rtem_workloads::WorkloadModel;
@@ -34,13 +35,13 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-/// A declarative sweep: one base spec, up to seven axes, a worker pool.
+/// A declarative sweep: one base spec, up to eight axes, a worker pool.
 ///
 /// Axes left unset contribute the base spec's value as a single grid point.
 /// Cells are enumerated in a fixed order (seed-major, then devices, then
-/// link, then sensor, then workload, then tariff, then fault plan), and the
-/// report lists them in that order regardless of how many threads executed
-/// them.
+/// link, then sensor, then workload, then meter kinds, then tariff, then
+/// fault plan), and the report lists them in that order regardless of how
+/// many threads executed them.
 ///
 /// # Examples
 ///
@@ -64,6 +65,7 @@ pub struct Suite {
     links: Vec<(String, LinkConfig, LinkConfig)>,
     sensors: Vec<(String, Ina219Config)>,
     workloads: Vec<(String, WorkloadModel)>,
+    meter_kinds: Vec<(String, Vec<MeterKind>)>,
     tariffs: Vec<(String, Tariff)>,
     fault_plans: Vec<(String, FaultPlan)>,
     threads: Option<usize>,
@@ -84,6 +86,8 @@ pub struct CellKey {
     pub sensor: Option<String>,
     /// Label of the cell's workload model, if the axis was swept.
     pub workload: Option<String>,
+    /// Label of the cell's meter-protocol mix, if the axis was swept.
+    pub meter_kinds: Option<String>,
     /// Label of the cell's tariff, if the axis was swept.
     pub tariff: Option<String>,
     /// Label of the cell's fault plan, if the axis was swept.
@@ -101,6 +105,9 @@ impl fmt::Display for CellKey {
         }
         if let Some(workload) = &self.workload {
             write!(f, " workload={workload}")?;
+        }
+        if let Some(meter_kinds) = &self.meter_kinds {
+            write!(f, " meters={meter_kinds}")?;
         }
         if let Some(tariff) = &self.tariff {
             write!(f, " tariff={tariff}")?;
@@ -212,6 +219,7 @@ impl Suite {
             links: Vec::new(),
             sensors: Vec::new(),
             workloads: Vec::new(),
+            meter_kinds: Vec::new(),
             tariffs: Vec::new(),
             fault_plans: Vec::new(),
             threads: None,
@@ -269,6 +277,21 @@ impl Suite {
         self
     }
 
+    /// Sweeps the meter-protocol axis: labelled [`MeterKind`] mixes, each
+    /// assigned to the fleet round-robin by device ordinal via
+    /// [`with_meter_kinds`](ScenarioSpec::with_meter_kinds). An empty mix
+    /// labels a cell that keeps the native encoding.
+    pub fn over_meter_kinds(
+        mut self,
+        kinds: impl IntoIterator<Item = (impl Into<String>, Vec<MeterKind>)>,
+    ) -> Suite {
+        self.meter_kinds = kinds
+            .into_iter()
+            .map(|(label, kinds)| (label.into(), kinds))
+            .collect();
+        self
+    }
+
     /// Sweeps the tariff axis: labelled [`Tariff`]s applied to every
     /// aggregator's billing engine.
     pub fn over_tariffs(
@@ -312,6 +335,7 @@ impl Suite {
             * self.links.len().max(1)
             * self.sensors.len().max(1)
             * self.workloads.len().max(1)
+            * self.meter_kinds.len().max(1)
             * self.tariffs.len().max(1)
             * self.fault_plans.len().max(1)
     }
@@ -350,6 +374,11 @@ impl Suite {
         } else {
             self.workloads.iter().map(Some).collect()
         };
+        let meter_kinds: Vec<Option<&(String, Vec<MeterKind>)>> = if self.meter_kinds.is_empty() {
+            vec![None]
+        } else {
+            self.meter_kinds.iter().map(Some).collect()
+        };
         let tariffs: Vec<Option<&(String, Tariff)>> = if self.tariffs.is_empty() {
             vec![None]
         } else {
@@ -367,41 +396,49 @@ impl Suite {
                 for link in &links {
                     for sensor in &sensors {
                         for workload in &workloads {
-                            for tariff in &tariffs {
-                                for fault_plan in &fault_plans {
-                                    let mut spec = self
-                                        .base
-                                        .clone()
-                                        .with_seed(seed)
-                                        .with_devices_per_network(devices_per_network);
-                                    if let Some((_, wifi, backhaul)) = link {
-                                        spec = spec.with_links(*wifi, *backhaul);
+                            for meter_kind in &meter_kinds {
+                                for tariff in &tariffs {
+                                    for fault_plan in &fault_plans {
+                                        let mut spec = self
+                                            .base
+                                            .clone()
+                                            .with_seed(seed)
+                                            .with_devices_per_network(devices_per_network);
+                                        if let Some((_, wifi, backhaul)) = link {
+                                            spec = spec.with_links(*wifi, *backhaul);
+                                        }
+                                        if let Some((_, sensor)) = sensor {
+                                            spec = spec.with_sensor(*sensor);
+                                        }
+                                        if let Some((_, model)) = workload {
+                                            spec = spec.with_workload(model.clone());
+                                        }
+                                        if let Some((_, kinds)) = meter_kind {
+                                            spec = spec.with_meter_kinds(kinds.clone());
+                                        }
+                                        if let Some((_, tariff)) = tariff {
+                                            spec = spec.with_tariff(tariff.clone());
+                                        }
+                                        if let Some((_, plan)) = fault_plan {
+                                            spec = spec.with_fault_plan(plan.clone());
+                                        }
+                                        cells.push((
+                                            CellKey {
+                                                index: cells.len(),
+                                                seed,
+                                                devices_per_network,
+                                                link: link.map(|(label, _, _)| label.clone()),
+                                                sensor: sensor.map(|(label, _)| label.clone()),
+                                                workload: workload.map(|(label, _)| label.clone()),
+                                                meter_kinds: meter_kind
+                                                    .map(|(label, _)| label.clone()),
+                                                tariff: tariff.map(|(label, _)| label.clone()),
+                                                fault_plan: fault_plan
+                                                    .map(|(label, _)| label.clone()),
+                                            },
+                                            spec,
+                                        ));
                                     }
-                                    if let Some((_, sensor)) = sensor {
-                                        spec = spec.with_sensor(*sensor);
-                                    }
-                                    if let Some((_, model)) = workload {
-                                        spec = spec.with_workload(model.clone());
-                                    }
-                                    if let Some((_, tariff)) = tariff {
-                                        spec = spec.with_tariff(tariff.clone());
-                                    }
-                                    if let Some((_, plan)) = fault_plan {
-                                        spec = spec.with_fault_plan(plan.clone());
-                                    }
-                                    cells.push((
-                                        CellKey {
-                                            index: cells.len(),
-                                            seed,
-                                            devices_per_network,
-                                            link: link.map(|(label, _, _)| label.clone()),
-                                            sensor: sensor.map(|(label, _)| label.clone()),
-                                            workload: workload.map(|(label, _)| label.clone()),
-                                            tariff: tariff.map(|(label, _)| label.clone()),
-                                            fault_plan: fault_plan.map(|(label, _)| label.clone()),
-                                        },
-                                        spec,
-                                    ));
                                 }
                             }
                         }
@@ -613,13 +650,42 @@ mod tests {
             link: Some("lossy".into()),
             sensor: None,
             workload: Some("residential".into()),
+            meter_kinds: Some("mixed".into()),
             tariff: Some("tou-2w".into()),
             fault_plan: Some("tamper-x2".into()),
         };
         assert_eq!(
             key.to_string(),
-            "seed=9 devices=3 link=lossy workload=residential tariff=tou-2w faults=tamper-x2"
+            "seed=9 devices=3 link=lossy workload=residential meters=mixed tariff=tou-2w \
+             faults=tamper-x2"
         );
+    }
+
+    #[test]
+    fn meter_kind_axis_expands_the_grid() {
+        let suite = Suite::new(ScenarioSpec::paper_testbed(0))
+            .over_seeds([1, 2])
+            .over_meter_kinds([
+                ("internal", Vec::new()),
+                ("sml", vec![MeterKind::Sml]),
+                (
+                    "mixed",
+                    vec![
+                        MeterKind::Iec62056,
+                        MeterKind::Sml,
+                        MeterKind::ModbusRtu,
+                        MeterKind::WirelessMbus,
+                    ],
+                ),
+            ]);
+        assert_eq!(suite.len(), 6);
+        let cells = suite.cells();
+        assert_eq!(cells[0].0.meter_kinds.as_deref(), Some("internal"));
+        assert_eq!(cells[1].0.meter_kinds.as_deref(), Some("sml"));
+        assert_eq!(cells[2].0.meter_kinds.as_deref(), Some("mixed"));
+        assert!(cells[0].1.meter_kinds.is_empty());
+        assert_eq!(cells[1].1.meter_kinds, vec![MeterKind::Sml]);
+        assert_eq!(cells[2].1.meter_kinds.len(), 4);
     }
 
     #[test]

@@ -1,0 +1,219 @@
+//! Golden-snapshot locks for the meter-protocol codecs, in two directions:
+//!
+//! 1. The exact telegram bytes a short mixed-fleet run puts on the wire are
+//!    SHA-256-locked (per codec family and overall) against
+//!    `tests/fixtures/codec_golden.txt` — any change to an encoder, to the
+//!    round-robin fleet assignment, or to the record stream shows up here.
+//! 2. An *explicit* `MeterKind::Internal` fleet must reproduce the committed
+//!    `scale_golden.txt` / `workload_golden.txt` digests bit-identically:
+//!    opting into the codec axis with the internal kind is a no-op.
+//!
+//! Regenerate the telegram fixture deliberately with:
+//!
+//! ```bash
+//! RTEM_UPDATE_GOLDEN=1 cargo test --test codec_golden
+//! ```
+//!
+//! On mismatch, set `RTEM_DUMP_GOLDEN=1` to write the full telegram dump
+//! next to the fixture for diffing.
+
+use rtem::chain::sha256::Sha256;
+use rtem::net::link::LinkConfig;
+use rtem::prelude::*;
+use std::path::PathBuf;
+
+// Relative to this test's owning crate (`crates/rtem`), which declares the
+// workspace-level tests via explicit `[[test]]` paths.
+const FIXTURE: &str = "../../tests/fixtures/codec_golden.txt";
+
+const CASE: &str = "mixed_fleet_2x2_12s";
+const HORIZON_S: u64 = 12;
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(FIXTURE)
+}
+
+/// Four devices, one per real protocol family, for a few reporting rounds.
+fn mixed_fleet_spec() -> ScenarioSpec {
+    ScenarioSpec::paper_testbed(2026)
+        .with_horizon(SimDuration::from_secs(HORIZON_S))
+        .with_meter_kinds(MeterKind::REAL.to_vec())
+}
+
+/// One line per telegram: time, device, codec family, hex bytes. `Debug`
+/// on [`SimTime`] is microsecond-exact, so two dumps are equal iff every
+/// telegram left the device at the same tick with the same bytes.
+fn render_dump(log: &[rtem::simulation::TelegramLogEntry]) -> String {
+    let mut out = String::new();
+    for entry in log {
+        let hex: String = entry.bytes.iter().map(|b| format!("{b:02x}")).collect();
+        out.push_str(&format!(
+            "{:?} dev={} {} {hex}\n",
+            entry.at, entry.device.0, entry.kind
+        ));
+    }
+    out
+}
+
+#[test]
+fn mixed_fleet_telegram_bytes_match_committed_fixture() {
+    let spec = mixed_fleet_spec();
+    let mut world = Experiment::new(spec)
+        .build_world()
+        .expect("golden spec is valid");
+    world.enable_telegram_log();
+    world.run_until(SimTime::from_secs(HORIZON_S));
+    let log = world.take_telegram_log();
+
+    // Sanity before locking bytes: the fleet actually spoke, every family
+    // is represented, and the log accounts for every wire byte.
+    assert!(!log.is_empty(), "mixed fleet produced no telegrams");
+    for kind in MeterKind::REAL {
+        assert!(
+            log.iter().any(|e| e.kind == kind),
+            "no {kind} telegram in the dump"
+        );
+    }
+    let wire = world.wire_stats();
+    assert_eq!(
+        log.iter().map(|e| e.bytes.len() as u64).sum::<u64>(),
+        wire.telegram_bytes,
+        "telegram log and wire stats disagree"
+    );
+    assert_eq!(wire.parse_failures, 0, "clean run must parse everything");
+
+    let dump = render_dump(&log);
+    let mut lines = vec![format!(
+        "{CASE} all {}",
+        Sha256::digest(dump.as_bytes()).to_hex()
+    )];
+    for kind in MeterKind::REAL {
+        let of_kind: Vec<_> = log.iter().filter(|e| e.kind == kind).cloned().collect();
+        lines.push(format!(
+            "{CASE} {kind} {}",
+            Sha256::digest(render_dump(&of_kind).as_bytes()).to_hex()
+        ));
+    }
+    let produced = lines.join("\n") + "\n";
+
+    let path = fixture_path();
+    if std::env::var("RTEM_UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &produced).unwrap();
+        return;
+    }
+    let committed = std::fs::read_to_string(&path)
+        .expect("tests/fixtures/codec_golden.txt committed (RTEM_UPDATE_GOLDEN=1 to create)");
+    if produced != committed {
+        if std::env::var("RTEM_DUMP_GOLDEN").is_ok() {
+            let dump_path = path.with_file_name("codec_golden.dump");
+            std::fs::write(&dump_path, &dump).unwrap();
+            eprintln!("dumped {}", dump_path.display());
+        }
+        panic!(
+            "telegram bytes diverged from the committed golden snapshot.\n\
+             produced:\n{produced}\ncommitted:\n{committed}\n\
+             If the change is intentional, regenerate with RTEM_UPDATE_GOLDEN=1; \
+             set RTEM_DUMP_GOLDEN=1 to write the full telegram dump for diffing."
+        );
+    }
+}
+
+/// Reads `<case> <digest>` out of a committed fixture file.
+fn committed_digest(fixture: &str, case: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(fixture);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("{fixture} must be committed: {e}"));
+    text.lines()
+        .find_map(|line| line.strip_prefix(&format!("{case} ")))
+        .unwrap_or_else(|| panic!("{case} not found in {fixture}"))
+        .to_string()
+}
+
+// The two committed-golden specs, copied verbatim from their owning tests
+// (`tests/scale_determinism.rs`, `tests/workload_determinism.rs`) so this
+// test fails loudly if either drifts.
+
+fn kitchen_sink_spec() -> ScenarioSpec {
+    let mobile = ScenarioSpec::device_id(0, 0);
+    let dest = ScenarioSpec::network_addr(3);
+    let plan = FaultPlan::new()
+        .sensor_stuck_at(SimTime::from_secs(20), ScenarioSpec::device_id(1, 2), 5.0)
+        .tamper_at(SimTime::from_secs(25), ScenarioSpec::network_addr(1))
+        .link_burst(
+            SimTime::from_secs(30),
+            SimTime::from_secs(40),
+            LinkTarget::Wifi {
+                network: Some(ScenarioSpec::network_addr(2)),
+            },
+            LinkConfig {
+                loss_probability: 0.6,
+                ..LinkConfig::wifi()
+            },
+        );
+    ScenarioSpec::paper_testbed(777)
+        .with_networks(3)
+        .with_devices_per_network(8)
+        .with_empty_networks(1)
+        .with_horizon(SimDuration::from_secs(60))
+        .unplug_at(SimTime::from_secs(22), mobile)
+        .plug_in_at(SimTime::from_secs(32), mobile, dest)
+        .with_fault_plan(plan)
+}
+
+fn demand_charge_spec() -> ScenarioSpec {
+    let mut spec = ScenarioSpec::paper_testbed(77)
+        .with_devices_per_network(3)
+        .with_workload(WorkloadModel::neighborhood())
+        .with_tariff(Tariff::DemandCharge {
+            price_per_mwh: 1.0,
+            demand_price_per_ma: 0.05,
+            window: SimDuration::from_secs(900),
+        })
+        .with_horizon(SimDuration::from_secs(6 * 3600))
+        .with_verification_window(SimDuration::from_secs(1800));
+    spec.t_measure = SimDuration::from_secs(1);
+    spec.upstream_sample_interval = SimDuration::from_secs(1);
+    spec
+}
+
+#[test]
+fn explicit_internal_kind_reproduces_scale_golden_bit_identically() {
+    let spec = kitchen_sink_spec().with_meter_kinds(vec![MeterKind::Internal]);
+    let report = Experiment::new(spec).run().expect("golden spec is valid");
+    // Same rendering as tests/scale_determinism.rs.
+    let rendering = format!(
+        "metrics: {:#?}\naccuracy: {:#?}\nhandshakes: {:#?}\nledgers: {:#?}\nbills: {:#?}\nresilience: {:#?}\nfault_records: {:#?}\n",
+        report.metrics,
+        report.accuracy,
+        report.handshakes,
+        report.ledgers,
+        report.bills,
+        report.resilience,
+        report.world().fault_records(),
+    );
+    assert_eq!(
+        Sha256::digest(rendering.as_bytes()).to_hex(),
+        committed_digest("../../tests/fixtures/scale_golden.txt", "kitchen_sink_3x8"),
+        "MeterKind::Internal must leave the scale golden bit-identical"
+    );
+}
+
+#[test]
+fn explicit_internal_kind_reproduces_workload_golden_bit_identically() {
+    let spec = demand_charge_spec().with_meter_kinds(vec![MeterKind::Internal]);
+    let report = Experiment::new(spec).run().expect("golden spec is valid");
+    // Same rendering as tests/workload_determinism.rs.
+    let rendering = format!(
+        "metrics: {:#?}\naccuracy: {:#?}\nhandshakes: {:#?}\nledgers: {:#?}\nbills: {:#?}\n",
+        report.metrics, report.accuracy, report.handshakes, report.ledgers, report.bills,
+    );
+    assert_eq!(
+        Sha256::digest(rendering.as_bytes()).to_hex(),
+        committed_digest(
+            "../../tests/fixtures/workload_golden.txt",
+            "demand_charge_6h"
+        ),
+        "MeterKind::Internal must leave the workload golden bit-identical"
+    );
+}

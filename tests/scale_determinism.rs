@@ -127,12 +127,17 @@ fn golden_reports_match_committed_fixtures() {
 #[test]
 fn fleet_report_is_thread_count_invariant() {
     // The same 200-device cell, run through a Suite on 1 vs 4 worker
-    // threads alongside a second seed: per-cell digests must be identical,
-    // and the fleet cell must also match a direct Experiment run.
+    // threads alongside a mixed-protocol meter-kind cell: per-cell digests
+    // must be identical, and the internal-fleet cell must also match a
+    // direct Experiment run.
     let base = fleet_spec(4242).with_horizon(SimDuration::from_secs(45));
     let suite = |threads| {
         Suite::new(base.clone())
-            .over_seeds([4242, 9])
+            .over_seeds([4242])
+            .over_meter_kinds([
+                ("internal", Vec::new()),
+                ("mixed", MeterKind::REAL.to_vec()),
+            ])
             .with_threads(threads)
             .run()
             .expect("suite specs are valid")
