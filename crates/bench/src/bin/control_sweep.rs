@@ -1,0 +1,245 @@
+//! Fleet-command rollouts over the MQTT control plane: sweeps rollout
+//! shape x QoS x link quality over a 100-device single-network fleet as a
+//! parallel [`Suite`], reporting per-cell delivery/application/ack counts,
+//! rollout completion rate and end-to-end rollout latency — then writes the
+//! whole grid as machine-readable `BENCH_control.json` so the control-plane
+//! trajectory accumulates run over run.
+//!
+//! ```bash
+//! cargo run --release -p rtem-bench --bin control_sweep             # full grid
+//! cargo run --release -p rtem-bench --bin control_sweep -- --smoke  # CI smoke
+//! ```
+//!
+//! Reading the numbers: on the ideal link every rollout must complete —
+//! completion rate 1.0, every addressed device applies the command and the
+//! acknowledgment round-trip closes. That is the gate this binary asserts.
+//! On lossy links QoS-1/2 retransmission converges to the same completion,
+//! just later (visible in the rollout latency column); the staged rollout's
+//! latency is dominated by its stagger, which is the point of staging —
+//! blast radius control, not speed.
+//!
+//! `--smoke` shrinks the fleet and horizon so CI exercises the full
+//! pipeline in seconds; it writes to `BENCH_control_smoke.json` so a smoke
+//! run can never clobber the committed full-grid snapshot.
+
+use rtem::net::link::LinkConfig;
+use rtem::prelude::*;
+
+/// The swept rollout shapes: the same Tmeasure slowdown pushed through
+/// increasingly careful transports, plus a mute/resume round-trip.
+fn plans(at_s: u64, stagger_s: u64) -> Vec<(String, ControlPlan)> {
+    let t = SimTime::from_secs;
+    let stagger = SimDuration::from_secs(stagger_s);
+    let slowdown = FleetCommand::SetMeasureInterval {
+        interval: SimDuration::from_millis(500),
+    };
+    vec![
+        (
+            "staged/qos1".into(),
+            ControlPlan::new().staged_rollout(
+                t(at_s),
+                stagger,
+                &[10, 50, 100],
+                slowdown,
+                QoS::AtLeastOnce,
+                false,
+            ),
+        ),
+        (
+            "staged/qos2".into(),
+            ControlPlan::new().staged_rollout(
+                t(at_s),
+                stagger,
+                &[10, 50, 100],
+                slowdown,
+                QoS::ExactlyOnce,
+                false,
+            ),
+        ),
+        (
+            "staged/qos1-retained".into(),
+            ControlPlan::new().staged_rollout(
+                t(at_s),
+                stagger,
+                &[10, 50, 100],
+                slowdown,
+                QoS::AtLeastOnce,
+                true,
+            ),
+        ),
+        (
+            "blast/qos2-all".into(),
+            ControlPlan::new().command_with(
+                t(at_s),
+                CommandTarget::AllDevices,
+                slowdown,
+                QoS::ExactlyOnce,
+                false,
+            ),
+        ),
+        (
+            "mute-resume/qos1".into(),
+            ControlPlan::new()
+                .stop_reporting(t(at_s), CommandTarget::AllDevices)
+                .start_reporting(t(at_s + stagger_s), CommandTarget::AllDevices),
+        ),
+    ]
+}
+
+fn links(smoke: bool) -> Vec<(String, LinkConfig, LinkConfig)> {
+    let lossy = LinkConfig {
+        loss_probability: 0.3,
+        ..LinkConfig::wifi()
+    };
+    let mut links = vec![
+        (
+            "ideal".to_string(),
+            LinkConfig::ideal(),
+            LinkConfig::ideal(),
+        ),
+        (
+            "wifi".to_string(),
+            LinkConfig::wifi(),
+            LinkConfig::backhaul(),
+        ),
+    ];
+    if !smoke {
+        links.push(("lossy30".to_string(), lossy, LinkConfig::backhaul()));
+    }
+    links
+}
+
+fn json_num(value: Option<f64>) -> String {
+    match value {
+        Some(v) if v.is_finite() => format!("{v:.4}"),
+        _ => "null".to_string(),
+    }
+}
+
+fn main() {
+    const SEED: u64 = 1101;
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (mode, devices, horizon_s, at_s, stagger_s, path) = if smoke {
+        (
+            "smoke",
+            20u32,
+            45u64,
+            20u64,
+            5u64,
+            "BENCH_control_smoke.json",
+        )
+    } else {
+        ("full", 100u32, 80u64, 30u64, 10u64, "BENCH_control.json")
+    };
+
+    let base =
+        ScenarioSpec::single_network(devices, SEED).with_horizon(SimDuration::from_secs(horizon_s));
+    let suite = Suite::new(base)
+        .over_links(links(smoke))
+        .over_control_plans(plans(at_s, stagger_s));
+
+    println!(
+        "# Fleet-command rollouts over the control plane \
+         ({} cells, {devices} devices, {horizon_s} s each, {mode})",
+        suite.len()
+    );
+    println!("link,plan,commands,targets,applied,acked,completion_rate,rollout_latency_s,wire_bytes,wall_ms");
+    let report = suite.run().expect("sweep plans are valid");
+
+    let mut cells_json = Vec::new();
+    let mut clean_cells = 0usize;
+    let mut clean_complete = 0usize;
+    for cell in &report.cells {
+        let link = cell.key.link.as_deref().unwrap_or("?");
+        let plan = cell.key.control_plan.as_deref().unwrap_or("?");
+        let control = cell
+            .report
+            .control
+            .as_ref()
+            .expect("every cell carries a plan");
+        let completion = control.completion_rate();
+        let latency_s = control.rollout_latency().map(|d| d.as_secs_f64());
+        if link == "ideal" {
+            clean_cells += 1;
+            if completion == Some(1.0) {
+                clean_complete += 1;
+            }
+        }
+        println!(
+            "{link},{plan},{},{},{},{},{},{},{},{}",
+            control.commands(),
+            control.targets(),
+            control.applied(),
+            control.acked(),
+            json_num(completion),
+            json_num(latency_s),
+            control.wire_bytes(),
+            cell.wall.as_millis(),
+        );
+        cells_json.push(format!(
+            concat!(
+                "    {{\"link\": \"{}\", \"plan\": \"{}\", \"commands\": {}, ",
+                "\"targets\": {}, \"applied\": {}, \"rejected\": {}, \"acked\": {}, ",
+                "\"completion_rate\": {}, \"rollout_latency_s\": {}, ",
+                "\"wire_bytes\": {}, \"wall_ms\": {}}}"
+            ),
+            link,
+            plan,
+            control.commands(),
+            control.targets(),
+            control.applied(),
+            control.rejected(),
+            control.acked(),
+            json_num(completion),
+            json_num(latency_s),
+            control.wire_bytes(),
+            cell.wall.as_millis(),
+        ));
+    }
+
+    let clean_rate = if clean_cells > 0 {
+        clean_complete as f64 / clean_cells as f64
+    } else {
+        0.0
+    };
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"control_sweep\",\n",
+            "  \"mode\": \"{}\",\n",
+            "  \"scenario\": {{\"networks\": 1, \"devices_per_network\": {}, ",
+            "\"horizon_s\": {}, \"rollout_at_s\": {}, \"stagger_s\": {}, \"seed\": {}}},\n",
+            "  \"cells\": [\n{}\n  ],\n",
+            "  \"summary\": {{\"cells\": {}, \"ideal_link_cells\": {}, ",
+            "\"ideal_link_complete\": {}, \"threads\": {}, \"total_wall_ms\": {}}}\n",
+            "}}\n"
+        ),
+        mode,
+        devices,
+        horizon_s,
+        at_s,
+        stagger_s,
+        SEED,
+        cells_json.join(",\n"),
+        report.cells.len(),
+        clean_cells,
+        clean_complete,
+        report.threads_used,
+        report.wall.as_millis(),
+    );
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+
+    println!(
+        "\n# {} cells on {} threads in {} ms; {}/{} ideal-link rollouts complete",
+        report.cells.len(),
+        report.threads_used,
+        report.wall.as_millis(),
+        clean_complete,
+        clean_cells,
+    );
+    println!("# wrote {path}");
+    assert!(
+        (clean_rate - 1.0).abs() < f64::EPSILON,
+        "ideal-link rollouts must complete: {clean_complete}/{clean_cells}"
+    );
+}

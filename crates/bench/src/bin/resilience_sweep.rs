@@ -22,6 +22,13 @@
 //! aggregator, the parse rejection is the detection signal, and QoS-1
 //! retries re-deliver the records — corruption at full intensity still
 //! converges to detection rate 1.0 with no accuracy dent.
+//!
+//! One extra cell pairs the fault and control planes: a *misconfig storm*
+//! (retained bad Tmeasure blasted fleet-wide mid link-loss-burst, then a
+//! retained recovery command) that must end with every command acked —
+//! QoS-2 retransmission plus retained last-writer-wins is the recovery
+//! mechanism under test; QoS 1's bounded retry budget would abandon a
+//! command in the same burst.
 
 use rtem::net::link::LinkConfig;
 use rtem::prelude::*;
@@ -165,6 +172,51 @@ fn plans() -> Vec<(String, FaultPlan)> {
     ]
 }
 
+/// The misconfig-storm cell: a *retained* bad configuration (a 5 s
+/// Tmeasure, fifty times slower than the testbed's 100 ms) blasted to the
+/// whole fleet in the middle of a 70 % wifi loss burst, followed by a
+/// retained recovery command while the burst is still on. QoS-2
+/// retransmission must push both commands through the loss, retained
+/// delivery must catch any device that (re)connects late, and the recovery
+/// command must win last-writer-wins — the fleet ends the run back on the
+/// testbed interval with every command acked.
+fn misconfig_storm() -> ScenarioSpec {
+    let t = SimTime::from_secs;
+    let lossy = LinkConfig {
+        loss_probability: 0.7,
+        ..LinkConfig::wifi()
+    };
+    let faults =
+        FaultPlan::new().link_burst(t(20), t(40), LinkTarget::Wifi { network: None }, lossy);
+    // QoS 2, deliberately: QoS 1's bounded retry budget can abandon a
+    // command outright in a 70 % burst (a real finding of this grid), while
+    // the QoS 2 PUBLISH leg retransmits until the link carries it.
+    let storm = ControlPlan::new()
+        .command_with(
+            t(22),
+            CommandTarget::AllDevices,
+            FleetCommand::SetMeasureInterval {
+                interval: SimDuration::from_secs(5),
+            },
+            QoS::ExactlyOnce,
+            true,
+        )
+        .command_with(
+            t(35),
+            CommandTarget::AllDevices,
+            FleetCommand::SetMeasureInterval {
+                interval: SimDuration::from_millis(100),
+            },
+            QoS::ExactlyOnce,
+            true,
+        );
+    ScenarioSpec::paper_testbed(909)
+        .with_horizon(SimDuration::from_secs(60))
+        .with_meter_kinds(MeterKind::REAL.to_vec())
+        .with_fault_plan(faults)
+        .with_control_plan(storm)
+}
+
 fn json_num(value: Option<f64>) -> String {
     match value {
         Some(v) if v.is_finite() => format!("{v:.4}"),
@@ -247,6 +299,28 @@ fn main() {
         ));
     }
 
+    // The misconfig-storm cell pairs a fault plan with a control plan, which
+    // the cartesian axes cannot express for a single cell — run it on its
+    // own and report it as a dedicated section.
+    let storm_started = std::time::Instant::now();
+    let storm = Experiment::new(misconfig_storm())
+        .run()
+        .expect("misconfig-storm spec is valid");
+    let storm_wall = storm_started.elapsed();
+    let storm_control = storm.control.as_ref().expect("storm carries a plan");
+    let storm_resilience = storm.resilience.as_ref().expect("storm carries faults");
+    let storm_completion = storm_control.completion_rate();
+    println!(
+        "misconfig,storm,{},{},{},{},{},{},{}",
+        storm_control.targets(),
+        storm_control.acked(),
+        json_num(storm_completion),
+        json_num(storm_control.rollout_latency().map(|d| d.as_secs_f64())),
+        json_num(storm_resilience.accuracy_delta_percent()),
+        storm_resilience.audit_findings_attributed,
+        storm_wall.as_millis(),
+    );
+
     let tamper_rate = if tamper_injected > 0 {
         tamper_detected as f64 / tamper_injected as f64
     } else {
@@ -264,6 +338,9 @@ fn main() {
             "  \"scenario\": {{\"networks\": 2, \"devices_per_network\": 2, ",
             "\"horizon_s\": {}, \"seed\": {}, \"meter_kinds\": \"mixed-real\"}},\n",
             "  \"cells\": [\n{}\n  ],\n",
+            "  \"misconfig_storm\": {{\"commands\": {}, \"targets\": {}, \"applied\": {}, ",
+            "\"acked\": {}, \"completion_rate\": {}, \"rollout_latency_s\": {}, ",
+            "\"accuracy_delta_pts\": {}, \"wall_ms\": {}}},\n",
             "  \"summary\": {{\"cells\": {}, \"injected\": {}, \"detected\": {}, ",
             "\"tamper_detection_rate\": {}, \"corruption_detection_rate\": {}, ",
             "\"threads\": {}, \"total_wall_ms\": {}}}\n",
@@ -272,6 +349,14 @@ fn main() {
         HORIZON_S,
         SEED,
         cells_json.join(",\n"),
+        storm_control.commands(),
+        storm_control.targets(),
+        storm_control.applied(),
+        storm_control.acked(),
+        json_num(storm_completion),
+        json_num(storm_control.rollout_latency().map(|d| d.as_secs_f64())),
+        json_num(storm_resilience.accuracy_delta_percent()),
+        storm_wall.as_millis(),
         report.cells.len(),
         injected_total,
         detected_total,
@@ -300,5 +385,11 @@ fn main() {
     assert!(
         corruption_rate > 0.5,
         "telegram-corruption detection regressed: {corruption_rate}"
+    );
+    assert_eq!(
+        storm_completion,
+        Some(1.0),
+        "misconfig storm must recover: QoS-2 retransmission + retained \
+         delivery push both commands through the loss burst"
     );
 }

@@ -1,0 +1,24 @@
+//! Scriptable MQTT control plane for the metering fleet.
+//!
+//! This crate is purely *descriptive*: it knows what a fleet command is —
+//! its wire encoding, its per-device topics, which subset of the fleet it
+//! addresses and when — but not how a device applies one or how the world
+//! routes it. `rtem-core` interprets a [`ControlPlan`] by publishing each
+//! event's [`CommandFrame`] on the targeted devices' command topics through
+//! the simulated MQTT broker, and devices answer with a [`CommandAck`] on
+//! their status topic.
+//!
+//! The split mirrors `rtem-faults`: scenarios carry a validated plan, the
+//! world carries the machinery.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod command;
+pub mod plan;
+
+pub use command::{
+    command_topic, status_topic, CommandAck, CommandFrame, ControlDecodeError, FleetCommand,
+    TariffHint,
+};
+pub use plan::{CommandTarget, ControlError, ControlEvent, ControlPlan};

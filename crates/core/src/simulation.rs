@@ -14,6 +14,11 @@ use rtem_aggregator::billing::Tariff;
 use rtem_aggregator::verify::WindowVerdict;
 use rtem_chain::ledger::LedgerEntry;
 use rtem_codecs::{CodecError, MeterKind, Telegram};
+use rtem_control::{
+    command_topic, status_topic, CommandAck, CommandFrame, CommandTarget, ControlEvent,
+    FleetCommand,
+};
+use rtem_device::application::Tariff as DeviceTariff;
 use rtem_device::device::MeteringDevice;
 use rtem_device::network_mgmt::HandshakeBreakdown;
 use rtem_faults::event::{
@@ -58,6 +63,9 @@ enum WorldEvent {
     FaultStart(usize),
     /// Scheduled: a transient fault clears (index into the fault table).
     FaultEnd(usize),
+    /// Scheduled: a fleet command is published (index into the control
+    /// table).
+    ControlCommand(usize),
 }
 
 /// Observable milestone emitted while the world advances.
@@ -138,6 +146,29 @@ pub enum WorldNotification {
         /// The fault's family.
         family: FaultFamily,
     },
+    /// A fleet command was published on the control plane (see
+    /// [`World::schedule_control`]).
+    CommandPublished {
+        /// When the manager published the command.
+        at: SimTime,
+        /// The command's sequence number (its index in the control table).
+        seq: u32,
+        /// Human-readable command family (from `FleetCommand::label`).
+        label: &'static str,
+        /// Number of devices the command was addressed to.
+        targets: usize,
+    },
+    /// A device received a fleet command and applied (or rejected) it.
+    CommandApplied {
+        /// When the command frame was delivered and executed.
+        at: SimTime,
+        /// The command's sequence number.
+        seq: u32,
+        /// The device that executed it.
+        device: DeviceId,
+        /// Whether the device's firmware accepted the command.
+        applied: bool,
+    },
     /// The system recognized an injected fault — an anomalous verification
     /// window, a chain-audit finding, a rejected consensus round or a
     /// backfilled recovery block was attributed to it.
@@ -164,6 +195,8 @@ impl WorldNotification {
             | WorldNotification::Unplugged { at, .. }
             | WorldNotification::FaultInjected { at, .. }
             | WorldNotification::FaultCleared { at, .. }
+            | WorldNotification::CommandPublished { at, .. }
+            | WorldNotification::CommandApplied { at, .. }
             | WorldNotification::FaultDetected { at, .. } => at,
         }
     }
@@ -293,6 +326,47 @@ struct FaultRuntime {
     corruption_rng: Option<SimRng>,
 }
 
+/// Lifecycle accounting for one scheduled fleet command (see
+/// [`World::schedule_control`] and [`World::command_records`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommandRecord {
+    /// The command's sequence number — its index in the control table and
+    /// the `seq` its wire frames carry.
+    pub seq: u32,
+    /// When the manager published the command (`None` until it fires).
+    pub published_at: Option<SimTime>,
+    /// Devices the command was addressed to at publish time.
+    pub targets: usize,
+    /// Command frames delivered to device firmware, duplicates included.
+    pub delivered: usize,
+    /// Devices that accepted and executed the command.
+    pub applied: usize,
+    /// Devices whose firmware rejected the command (bad parameter).
+    pub rejected: usize,
+    /// Acknowledgments delivered back to the manager's status subscription.
+    pub acked: usize,
+    /// When the first acknowledgment reached the manager.
+    pub first_ack_at: Option<SimTime>,
+    /// When the last acknowledgment so far reached the manager — with
+    /// [`acked`](Self::acked)` == targets` this is the rollout completion
+    /// time.
+    pub last_ack_at: Option<SimTime>,
+    /// Wire bytes of delivered command frames (payload + topic + envelope,
+    /// the broker's own size model).
+    pub command_bytes: u64,
+    /// Wire bytes of delivered acknowledgments.
+    pub ack_bytes: u64,
+}
+
+/// Runtime state of one scheduled fleet command: the event, its public
+/// record, and which devices already executed it (so a retained redelivery
+/// or a session-resume replay is idempotent, like MQTT packet-id dedup).
+struct ControlRuntime {
+    event: ControlEvent,
+    record: CommandRecord,
+    applied_to: BTreeSet<DeviceId>,
+}
+
 impl FaultRuntime {
     fn new(id: usize, event: FaultEvent) -> FaultRuntime {
         FaultRuntime {
@@ -350,6 +424,21 @@ pub struct World {
     /// Optional capture of every telegram put on the wire (golden-fixture
     /// tests); `None` keeps the hot path allocation-free.
     telegram_log: Option<Vec<TelegramLogEntry>>,
+    /// Scheduled fleet commands (see [`World::schedule_control`]). Empty
+    /// unless a control plan was given, in which case the control plane's
+    /// broker clients and subscriptions exist at all.
+    controls: Vec<ControlRuntime>,
+    /// Whether the control plane (manager session, command/status
+    /// subscriptions, cohort order) has been set up.
+    control_ready: bool,
+    /// One seeded shuffle of the fleet, drawn from a derived stream when the
+    /// control plane comes up. A `Cohort { percent }` target takes the first
+    /// `percent` of this order, so the cohorts of a staged rollout nest.
+    cohort_order: Vec<DeviceId>,
+    /// Per-device Tmeasure overrides installed by `SetMeasureInterval`
+    /// commands. Empty in uncommanded runs, so the measurement cadence is
+    /// bit-identical with earlier revisions.
+    measure_overrides: BTreeMap<DeviceId, SimDuration>,
 }
 
 impl core::fmt::Debug for World {
@@ -433,6 +522,18 @@ fn device_client(device: DeviceId) -> ClientId {
     ClientId(device.0)
 }
 
+/// The fleet manager's broker session — the operator-side endpoint of the
+/// control plane, connected only when a control plan is scheduled.
+fn manager_client() -> ClientId {
+    ClientId(2_000_000)
+}
+
+/// How many devices a `percent` cohort selects out of `fleet` — rounded up,
+/// so a non-empty fleet always yields a non-empty cohort.
+fn cohort_size(fleet: usize, percent: u8) -> usize {
+    (fleet * usize::from(percent.min(100))).div_ceil(100)
+}
+
 fn aggregator_client(addr: AggregatorAddr) -> ClientId {
     ClientId(1_000_000 + u64::from(addr.0))
 }
@@ -471,6 +572,10 @@ impl World {
             device_meter_kinds: BTreeMap::new(),
             wire: WireStats::default(),
             telegram_log: None,
+            controls: Vec::new(),
+            control_ready: false,
+            cohort_order: Vec::new(),
+            measure_overrides: BTreeMap::new(),
         }
     }
 
@@ -612,6 +717,89 @@ impl World {
         self.faults.iter().map(|f| f.record).collect()
     }
 
+    /// Schedules a fleet command. At the event's time the manager session
+    /// publishes the command's wire frame on every targeted device's command
+    /// topic with the event's QoS and retain flag; each device applies the
+    /// command on delivery and acknowledges on its status topic, which the
+    /// manager subscribes to. The world emits
+    /// [`WorldNotification::CommandPublished`] / [`CommandApplied`] at the
+    /// corresponding hook points and keeps a [`CommandRecord`] per command
+    /// (see [`command_records`](Self::command_records)).
+    ///
+    /// The first call brings the control plane up: the manager connects on
+    /// an ideal operations link, every device present subscribes to its own
+    /// command topic, and the cohort order for staged rollouts is drawn from
+    /// a derived stream. Devices added afterwards are outside the control
+    /// plane. Uncommanded worlds never pay any of this — the broker's
+    /// client and subscription population is bit-identical with earlier
+    /// revisions.
+    ///
+    /// Returns the command's sequence number, which its wire frames,
+    /// notifications and record carry.
+    ///
+    /// [`CommandApplied`]: WorldNotification::CommandApplied
+    pub fn schedule_control(&mut self, event: ControlEvent) -> usize {
+        self.ensure_control_plane();
+        let id = self.controls.len();
+        self.scheduler
+            .schedule(event.at, WorldEvent::ControlCommand(id));
+        self.controls.push(ControlRuntime {
+            event,
+            record: CommandRecord {
+                seq: id as u32,
+                ..CommandRecord::default()
+            },
+            applied_to: BTreeSet::new(),
+        });
+        id
+    }
+
+    /// Lifecycle records of every scheduled fleet command, in scheduling
+    /// (= sequence-number) order.
+    pub fn command_records(&self) -> Vec<CommandRecord> {
+        self.controls.iter().map(|c| c.record).collect()
+    }
+
+    /// Devices a `Cohort { percent }` target resolves to right now — the
+    /// first `percent` of the seeded fleet shuffle, in id order. Empty until
+    /// the control plane is up.
+    pub fn cohort(&self, percent: u8) -> Vec<DeviceId> {
+        let take = cohort_size(self.cohort_order.len(), percent);
+        let mut cohort: Vec<DeviceId> = self.cohort_order[..take].to_vec();
+        cohort.sort_unstable();
+        cohort
+    }
+
+    fn ensure_control_plane(&mut self) {
+        if self.control_ready {
+            return;
+        }
+        self.control_ready = true;
+        let now = self.now();
+        self.broker.connect(manager_client(), LinkConfig::ideal());
+        let device_ids: Vec<DeviceId> = self.devices.keys().copied().collect();
+        for id in &device_ids {
+            let client = self.device_clients[id];
+            self.broker
+                .subscribe_at(client, &command_topic(*id), now)
+                .expect("device command subscription");
+            self.broker
+                .subscribe_at(manager_client(), &status_topic(*id), now)
+                .expect("manager status subscription");
+        }
+        // One seeded Fisher-Yates shuffle of the fleet, from a derived
+        // stream so bringing the control plane up never perturbs the
+        // world's main RNG sequence. Every cohort of the run is a prefix of
+        // this order, which is what makes staged-rollout cohorts nested.
+        let mut order = device_ids;
+        let mut rng = self.rng.derive(0xC047_0125);
+        for i in (1..order.len()).rev() {
+            let j = rng.next_below(i as u64 + 1) as usize;
+            order.swap(i, j);
+        }
+        self.cohort_order = order;
+    }
+
     /// Declares which meter protocol `device` speaks on its access link.
     ///
     /// Consumption reports from the device are encoded through the matching
@@ -747,6 +935,202 @@ impl World {
             }
             WorldEvent::FaultStart(id) => self.fault_start(id, now),
             WorldEvent::FaultEnd(id) => self.fault_end(id, now),
+            WorldEvent::ControlCommand(id) => self.control_fire(id, now),
+        }
+    }
+
+    /// Publishes a scheduled fleet command at its firing time.
+    fn control_fire(&mut self, id: usize, now: SimTime) {
+        let event = self.controls[id].event;
+        let targets: Vec<DeviceId> = match event.target {
+            CommandTarget::AllDevices => self.devices.keys().copied().collect(),
+            CommandTarget::Device(device) => self
+                .devices
+                .contains_key(&device)
+                .then_some(device)
+                .into_iter()
+                .collect(),
+            CommandTarget::Site(addr) => self
+                .sites
+                .get(&addr)
+                .map(|site| site.members.keys().copied().collect())
+                .unwrap_or_default(),
+            CommandTarget::Cohort { percent } => self.cohort(percent),
+        };
+        self.controls[id].record.published_at = Some(now);
+        self.controls[id].record.targets = targets.len();
+        let frame = CommandFrame {
+            seq: id as u32,
+            command: event.command,
+        };
+        let payload = frame.encode();
+        for device in &targets {
+            let _ = self.broker.publish_with(
+                manager_client(),
+                &command_topic(*device),
+                payload.clone(),
+                event.qos,
+                event.retain,
+                now,
+            );
+        }
+        self.notifications
+            .push(WorldNotification::CommandPublished {
+                at: now,
+                seq: id as u32,
+                label: event.command.label(),
+                targets: targets.len(),
+            });
+        self.arm_broker_poll(now);
+    }
+
+    /// A command frame reached a device: execute it once (retained
+    /// redeliveries and session-resume replays are idempotent) and
+    /// acknowledge on the device's status topic.
+    fn handle_command_delivery(
+        &mut self,
+        to: ClientId,
+        topic: &str,
+        payload: &bytes::Bytes,
+        now: SimTime,
+    ) {
+        let Some(&Endpoint::Device(device_id)) = self.client_endpoints.get(&to) else {
+            return;
+        };
+        let Ok(frame) = CommandFrame::decode(payload) else {
+            return;
+        };
+        let Some(runtime) = self.controls.get_mut(frame.seq as usize) else {
+            return;
+        };
+        runtime.record.delivered += 1;
+        runtime.record.command_bytes += (payload.len() + topic.len() + 8) as u64;
+        // A crashed firmware is deaf; its broker session is disconnected, so
+        // this only guards the crash-at-the-same-instant race. The queued
+        // replay (or the retained copy) catches the device after restart.
+        if self
+            .devices
+            .get(&device_id)
+            .map_or(true, |d| d.is_crashed())
+        {
+            return;
+        }
+        if !runtime.applied_to.insert(device_id) {
+            return;
+        }
+        let applied = self.apply_fleet_command(device_id, frame.command);
+        let runtime = &mut self.controls[frame.seq as usize];
+        if applied {
+            runtime.record.applied += 1;
+        } else {
+            runtime.record.rejected += 1;
+        }
+        self.notifications.push(WorldNotification::CommandApplied {
+            at: now,
+            seq: frame.seq,
+            device: device_id,
+            applied,
+        });
+        let ack = CommandAck {
+            device: device_id,
+            seq: frame.seq,
+            applied,
+        };
+        let client = self.device_clients[&device_id];
+        let _ = self.broker.publish(
+            client,
+            &status_topic(device_id),
+            ack.encode(),
+            QoS::AtLeastOnce,
+            now,
+        );
+        self.arm_broker_poll(now);
+    }
+
+    /// A device's acknowledgment reached the manager's status subscription.
+    fn handle_status_delivery(
+        &mut self,
+        to: ClientId,
+        topic: &str,
+        payload: &bytes::Bytes,
+        now: SimTime,
+    ) {
+        if to != manager_client() {
+            return;
+        }
+        let Ok(ack) = CommandAck::decode(payload) else {
+            return;
+        };
+        let Some(runtime) = self.controls.get_mut(ack.seq as usize) else {
+            return;
+        };
+        runtime.record.acked += 1;
+        runtime.record.ack_bytes += (payload.len() + topic.len() + 8) as u64;
+        if runtime.record.first_ack_at.is_none() {
+            runtime.record.first_ack_at = Some(now);
+        }
+        runtime.record.last_ack_at = Some(now);
+    }
+
+    /// Executes one fleet command on one device's firmware (or the world
+    /// state standing in for it). Returns whether the command was accepted.
+    fn apply_fleet_command(&mut self, device_id: DeviceId, command: FleetCommand) -> bool {
+        match command {
+            FleetCommand::SetMeasureInterval { interval } => {
+                let Some(device) = self.devices.get_mut(&device_id) else {
+                    return false;
+                };
+                if !device.set_measure_interval(interval) {
+                    return false;
+                }
+                // The already-armed tick fires at the old cadence once; the
+                // reschedule after it picks up the override.
+                self.measure_overrides.insert(device_id, interval);
+                true
+            }
+            FleetCommand::SetTariffHint(hint) => {
+                if !hint.is_valid() {
+                    return false;
+                }
+                let Some(device) = self.devices.get_mut(&device_id) else {
+                    return false;
+                };
+                device.set_tariff(DeviceTariff {
+                    peak_price_per_mwh: hint.peak_price_per_mwh,
+                    off_peak_price_per_mwh: hint.off_peak_price_per_mwh,
+                    peak_start_s: hint.peak_start_s,
+                    peak_end_s: hint.peak_end_s,
+                });
+                true
+            }
+            FleetCommand::SetMeterKind { kind } => {
+                if !self.devices.contains_key(&device_id) {
+                    return false;
+                }
+                self.set_meter_kind(device_id, kind);
+                true
+            }
+            FleetCommand::StartReporting => {
+                let Some(device) = self.devices.get_mut(&device_id) else {
+                    return false;
+                };
+                device.set_reporting(true);
+                true
+            }
+            FleetCommand::StopReporting => {
+                let Some(device) = self.devices.get_mut(&device_id) else {
+                    return false;
+                };
+                device.set_reporting(false);
+                true
+            }
+            FleetCommand::CrashRecoveryConfig { persist_store } => {
+                let Some(device) = self.devices.get_mut(&device_id) else {
+                    return false;
+                };
+                device.set_persist_store(persist_store);
+                true
+            }
         }
     }
 
@@ -793,10 +1177,15 @@ impl World {
             self.publish_uplink(device_id, out.to, out.packet, now);
         }
         self.outbound_scratch = outbound;
-        self.scheduler.schedule(
-            now + self.config.t_measure,
-            WorldEvent::MeasureTick(device_id),
-        );
+        // A `SetMeasureInterval` command overrides the world-wide Tmeasure
+        // per device; the map is empty in uncommanded runs.
+        let interval = self
+            .measure_overrides
+            .get(&device_id)
+            .copied()
+            .unwrap_or(self.config.t_measure);
+        self.scheduler
+            .schedule(now + interval, WorldEvent::MeasureTick(device_id));
         self.arm_broker_poll(now);
     }
 
@@ -1076,6 +1465,19 @@ impl World {
     fn drain_broker(&mut self, now: SimTime) {
         let deliveries = self.broker.drain_due(now);
         for delivery in deliveries {
+            // Control-plane traffic carries its own frames, not `Packet`s;
+            // route it by topic before attempting a packet decode. Metering
+            // topics end in /uplink or /downlink, so the suffix checks never
+            // misroute data-plane traffic (and no such delivery exists at
+            // all unless a control plan brought the subscriptions up).
+            if delivery.topic.ends_with("/command") {
+                self.handle_command_delivery(delivery.to, &delivery.topic, &delivery.payload, now);
+                continue;
+            }
+            if delivery.topic.ends_with("/status") {
+                self.handle_status_delivery(delivery.to, &delivery.topic, &delivery.payload, now);
+                continue;
+            }
             let Ok(packet) = Packet::decode(&delivery.payload) else {
                 continue;
             };
@@ -1367,8 +1769,11 @@ impl World {
                 if let Some(&client) = self.device_clients.get(&device) {
                     // Resume the MQTT session in place: a link burst active
                     // across the reboot keeps degrading this client, and
-                    // its offered/lost history survives.
-                    self.broker.reconnect(client);
+                    // its offered/lost history survives. The broker replays
+                    // QoS >= 1 messages queued during the crash plus any
+                    // retained config, so the rebooted device catches up.
+                    self.broker.reconnect(client, now);
+                    self.arm_broker_poll(now);
                 }
             }
             FaultEvent::AggregatorOutage {
@@ -1378,7 +1783,10 @@ impl World {
                 if let Some(site) = self.sites.get(&network) {
                     // The MQTT session resumes; the link (and whatever
                     // quality a concurrent burst set on it) is untouched.
-                    self.broker.reconnect(site.client);
+                    // Uplinks queued for the dark site's persistent session
+                    // replay now instead of being silently lost.
+                    self.broker.reconnect(site.client, now);
+                    self.arm_broker_poll(now);
                 }
                 // Replay the backhaul traffic that queued during the outage.
                 let queued = std::mem::take(&mut self.faults[id].queued_backhaul);
@@ -1850,6 +2258,120 @@ mod tests {
             "stepping must not perturb the run"
         );
         assert_eq!(a.take_notifications(), b.take_notifications());
+    }
+
+    #[test]
+    fn fleet_command_reaches_every_device_and_is_acked() {
+        use rtem_sim::time::SimDuration;
+        let mut world = two_network_world();
+        let seq = world.schedule_control(ControlEvent {
+            at: SimTime::from_secs(30),
+            target: CommandTarget::AllDevices,
+            command: FleetCommand::SetMeasureInterval {
+                interval: SimDuration::from_millis(500),
+            },
+            qos: QoS::AtLeastOnce,
+            retain: false,
+        });
+        world.run_until(SimTime::from_secs(60));
+        let record = world.command_records()[seq];
+        assert_eq!(record.published_at, Some(SimTime::from_secs(30)));
+        assert_eq!(record.targets, 2);
+        assert_eq!(record.applied, 2, "record {record:?}");
+        assert_eq!(record.rejected, 0);
+        assert_eq!(record.acked, 2);
+        assert!(record.first_ack_at.unwrap() >= SimTime::from_secs(30));
+        assert!(record.last_ack_at.unwrap() >= record.first_ack_at.unwrap());
+        assert!(record.command_bytes > 0 && record.ack_bytes > 0);
+        for dev in [1u64, 2] {
+            assert_eq!(
+                world.device(DeviceId(dev)).unwrap().measure_interval(),
+                SimDuration::from_millis(500)
+            );
+        }
+        let notifications = world.take_notifications();
+        assert!(notifications
+            .iter()
+            .any(|n| matches!(n, WorldNotification::CommandPublished { targets: 2, .. })));
+        assert_eq!(
+            notifications
+                .iter()
+                .filter(|n| matches!(n, WorldNotification::CommandApplied { applied: true, .. }))
+                .count(),
+            2
+        );
+        // The slower cadence sticks: ticks after the command are 500 ms
+        // apart, so far fewer records accumulate than at 100 ms.
+        let before = world.device(DeviceId(1)).unwrap().measured_series().len();
+        world.run_until(SimTime::from_secs(70));
+        let after = world.device(DeviceId(1)).unwrap().measured_series().len();
+        assert!(
+            (15..=25).contains(&(after - before)),
+            "10 s at 500 ms cadence, got {}",
+            after - before
+        );
+    }
+
+    #[test]
+    fn cohorts_nest_and_site_targets_scope() {
+        let mut world = two_network_world();
+        // Bring the control plane up via a benign command.
+        world.schedule_control(ControlEvent {
+            at: SimTime::from_secs(20),
+            target: CommandTarget::Site(AggregatorAddr(1)),
+            command: FleetCommand::StopReporting,
+            qos: QoS::AtLeastOnce,
+            retain: false,
+        });
+        let half = world.cohort(50);
+        let full = world.cohort(100);
+        assert_eq!(half.len(), 1, "50 % of 2 devices");
+        assert_eq!(full.len(), 2);
+        assert!(half.iter().all(|d| full.contains(d)), "cohorts nest");
+        // Both devices sit on network 1, so the site command hits both; a
+        // command to network 2 would target nobody.
+        world.schedule_control(ControlEvent {
+            at: SimTime::from_secs(21),
+            target: CommandTarget::Site(AggregatorAddr(2)),
+            command: FleetCommand::StartReporting,
+            qos: QoS::AtLeastOnce,
+            retain: false,
+        });
+        world.run_until(SimTime::from_secs(40));
+        let records = world.command_records();
+        assert_eq!(records[0].targets, 2);
+        assert_eq!(records[0].applied, 2);
+        assert_eq!(records[1].targets, 0);
+        // Muted devices buffer but no longer report.
+        assert!(!world.device(DeviceId(1)).unwrap().reporting_enabled());
+    }
+
+    #[test]
+    fn retained_command_catches_a_crashed_device_after_restart() {
+        let mut world = two_network_world();
+        world.schedule_fault(FaultEvent::DeviceCrash {
+            at: SimTime::from_secs(25),
+            restart_at: SimTime::from_secs(45),
+            device: DeviceId(1),
+        });
+        // Published mid-crash, retained: device 2 applies promptly, device 1
+        // catches up from its resumed session after the reboot.
+        let seq = world.schedule_control(ControlEvent {
+            at: SimTime::from_secs(30),
+            target: CommandTarget::AllDevices,
+            command: FleetCommand::CrashRecoveryConfig {
+                persist_store: true,
+            },
+            qos: QoS::AtLeastOnce,
+            retain: true,
+        });
+        world.run_until(SimTime::from_secs(40));
+        assert_eq!(world.command_records()[seq].applied, 1, "only device 2");
+        world.run_until(SimTime::from_secs(60));
+        let record = world.command_records()[seq];
+        assert_eq!(record.applied, 2, "replay after restart, record {record:?}");
+        assert_eq!(record.acked, 2);
+        assert!(world.device(DeviceId(1)).unwrap().persists_store());
     }
 
     #[test]

@@ -95,6 +95,17 @@ impl BillingEstimator {
         }
     }
 
+    /// Swaps the tariff going forward (remote management). Energy already
+    /// accounted keeps the price it was billed at.
+    pub fn set_tariff(&mut self, tariff: Tariff) {
+        self.tariff = tariff;
+    }
+
+    /// The tariff currently applied to new intervals.
+    pub fn tariff(&self) -> Tariff {
+        self.tariff
+    }
+
     /// Accounts one measurement interval's charge at time `at`.
     pub fn add_interval(&mut self, charge: MilliampSeconds, at: SimTime) {
         let energy = charge.energy_at(self.supply);

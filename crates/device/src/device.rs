@@ -54,6 +54,8 @@ pub struct MeteringDevice {
     reported_series: Vec<(SimTime, Milliamps)>,
     crashed: bool,
     records_lost_to_crashes: u64,
+    reporting_enabled: bool,
+    persist_store: bool,
 }
 
 impl core::fmt::Debug for MeteringDevice {
@@ -101,6 +103,8 @@ impl MeteringDevice {
             reported_series: Vec::new(),
             crashed: false,
             records_lost_to_crashes: 0,
+            reporting_enabled: true,
+            persist_store: false,
         }
     }
 
@@ -235,6 +239,46 @@ impl MeteringDevice {
         self.crashed
     }
 
+    /// Reconfigures Tmeasure at runtime (fleet command). Zero intervals are
+    /// rejected; returns whether the new interval was applied.
+    pub fn set_measure_interval(&mut self, interval: rtem_sim::time::SimDuration) -> bool {
+        self.middleware.set_measure_interval(interval)
+    }
+
+    /// The currently configured Tmeasure.
+    pub fn measure_interval(&self) -> rtem_sim::time::SimDuration {
+        self.middleware.config().t_measure
+    }
+
+    /// Enables or disables consumption reporting (fleet command). A muted
+    /// device keeps measuring and buffering — records drain in one backfilled
+    /// burst when reporting resumes.
+    pub fn set_reporting(&mut self, enabled: bool) {
+        self.reporting_enabled = enabled;
+    }
+
+    /// `true` while the device publishes consumption reports.
+    pub fn reporting_enabled(&self) -> bool {
+        self.reporting_enabled
+    }
+
+    /// Replaces the billing tariff going forward (fleet command).
+    pub fn set_tariff(&mut self, tariff: Tariff) {
+        self.billing.set_tariff(tariff);
+    }
+
+    /// Configures whether the store-and-forward buffer survives firmware
+    /// crashes (fleet command), modeling a firmware that journals records to
+    /// flash instead of RAM.
+    pub fn set_persist_store(&mut self, persist: bool) {
+        self.persist_store = persist;
+    }
+
+    /// `true` when buffered records survive a crash.
+    pub fn persists_store(&self) -> bool {
+        self.persist_store
+    }
+
     /// Records lost across all firmware crashes so far.
     pub fn records_lost_to_crashes(&self) -> u64 {
         self.records_lost_to_crashes
@@ -248,7 +292,13 @@ impl MeteringDevice {
     /// the aggregator's complementary measurement exposes. Returns the
     /// number of records lost.
     pub fn crash(&mut self, _now: SimTime) -> usize {
-        let lost = self.store.clear();
+        // A journaling firmware (CrashRecoveryConfig { persist_store: true })
+        // keeps its buffered records across the reboot.
+        let lost = if self.persist_store {
+            0
+        } else {
+            self.store.clear()
+        };
         self.records_lost_to_crashes += lost as u64;
         self.crashed = true;
         self.network.shutdown();
@@ -318,7 +368,11 @@ impl MeteringDevice {
             self.last_tick = Some(now);
         }
 
-        // 3. Report everything unacknowledged when registered.
+        // 3. Report everything unacknowledged when registered (unless a
+        // fleet command muted reporting — records keep accumulating).
+        if !self.reporting_enabled {
+            return;
+        }
         if let Some((aggregator, _kind, _slot)) = self.network.registration() {
             if !self.store.is_empty() {
                 let records = self.pending_records_for_report(now);
@@ -689,6 +743,81 @@ mod tests {
         assert_eq!(d.power_state(), PowerState::Idle);
         register(&mut d, &radio, now);
         assert!(d.is_registered());
+    }
+
+    #[test]
+    fn persisted_store_survives_crash() {
+        let radio = radio();
+        let mut d = test_device();
+        d.boot(SimTime::ZERO);
+        d.plug_in(
+            SimTime::from_millis(100),
+            BranchId(0),
+            Position::new(1.0, 0.0),
+        );
+        let mut now = register(&mut d, &radio, SimTime::from_millis(100));
+        d.set_persist_store(true);
+        for _ in 0..5 {
+            now += SimDuration::from_millis(100);
+            d.on_measure_tick(now, &radio);
+        }
+        let buffered = d.buffered_records();
+        assert!(buffered > 0);
+        assert_eq!(d.crash(now), 0, "journaled store loses nothing");
+        assert_eq!(d.buffered_records(), buffered);
+        assert_eq!(d.records_lost_to_crashes(), 0);
+        d.restart(now + SimDuration::from_millis(100));
+        register(&mut d, &radio, now + SimDuration::from_millis(100));
+        // Re-registration ticks keep measuring, so the journal only grows.
+        assert!(
+            d.buffered_records() >= buffered,
+            "records await re-reporting"
+        );
+    }
+
+    #[test]
+    fn muted_reporting_buffers_and_resumes() {
+        let radio = radio();
+        let mut d = test_device();
+        d.boot(SimTime::ZERO);
+        d.plug_in(
+            SimTime::from_millis(100),
+            BranchId(0),
+            Position::new(1.0, 0.0),
+        );
+        let mut now = register(&mut d, &radio, SimTime::from_millis(100));
+        d.set_reporting(false);
+        for _ in 0..5 {
+            now += SimDuration::from_millis(100);
+            let out = d.on_measure_tick(now, &radio);
+            assert!(
+                !out.iter()
+                    .any(|o| matches!(o.packet, Packet::ConsumptionReport { .. })),
+                "muted device must not report"
+            );
+        }
+        assert!(
+            d.buffered_records() > 0,
+            "measurement continues while muted"
+        );
+        d.set_reporting(true);
+        now += SimDuration::from_millis(100);
+        let out = d.on_measure_tick(now, &radio);
+        assert!(
+            out.iter()
+                .any(|o| matches!(o.packet, Packet::ConsumptionReport { .. })),
+            "reporting resumes with the buffered backlog"
+        );
+    }
+
+    #[test]
+    fn runtime_measure_interval_changes_are_validated() {
+        let mut d = test_device();
+        assert_eq!(d.measure_interval(), SimDuration::from_millis(100));
+        assert!(!d.set_measure_interval(SimDuration::ZERO));
+        assert_eq!(d.measure_interval(), SimDuration::from_millis(100));
+        assert!(d.set_measure_interval(SimDuration::from_millis(500)));
+        assert_eq!(d.measure_interval(), SimDuration::from_millis(500));
     }
 
     #[test]

@@ -117,6 +117,17 @@ impl Middleware {
         &self.config
     }
 
+    /// Reconfigures Tmeasure at runtime (remote management). Zero intervals
+    /// are rejected and leave the configuration unchanged; returns whether
+    /// the new interval was applied.
+    pub fn set_measure_interval(&mut self, interval: SimDuration) -> bool {
+        if interval.is_zero() {
+            return false;
+        }
+        self.config.t_measure = interval;
+        true
+    }
+
     /// Current power state.
     pub fn state(&self) -> PowerState {
         self.state

@@ -3,10 +3,31 @@
 //! The paper transfers consumption data from devices to the aggregator over
 //! MQTT on Wi-Fi. This module models the part of MQTT the architecture
 //! relies on: named clients, hierarchical topics with `+`/`#` wildcards,
-//! QoS 0/1 publishes, and per-client link quality (latency, jitter, loss)
-//! applied to every delivery. Delivery is integrated with the discrete-event
-//! simulation by letting the caller drain messages that are due at the
-//! current simulated time.
+//! QoS 0/1/2 publishes, retained messages, persistent-session resume, and
+//! per-client link quality (latency, jitter, loss) applied to every
+//! delivery. Delivery is integrated with the discrete-event simulation by
+//! letting the caller drain messages that are due at the current simulated
+//! time.
+//!
+//! Three control-plane mechanisms ride on top of plain delivery:
+//!
+//! * **QoS 2** models the PUBREC/PUBREL/PUBCOMP four-way handshake: the
+//!   PUBLISH leg is retransmitted until the link carries it (each lost
+//!   attempt adds one retransmission timeout), then the three handshake
+//!   frames each cross the link, with a lost PUBREC forcing a duplicate
+//!   PUBLISH that the subscriber suppresses by packet id. The subscriber
+//!   sees exactly one [`Delivery`]; the extra frames surface as latency and
+//!   in the [`qos2_handshake_bytes`](MqttBroker::qos2_handshake_bytes)
+//!   wire-overhead counters.
+//! * **Retained messages** keep the last retained payload per topic and
+//!   hand it to every client that subscribes mid-run
+//!   ([`subscribe_at`](MqttBroker::subscribe_at)) or resumes its session
+//!   ([`reconnect`](MqttBroker::reconnect)) — the classic
+//!   publish-config-with-`-r` pattern of fleet management.
+//! * **Session resume** queues QoS ≥ 1 publishes addressed to a
+//!   disconnected persistent session and replays them, in publish order,
+//!   when the session resumes. QoS 0 messages are dropped while
+//!   disconnected, exactly like a real broker.
 
 use crate::link::{LinkConfig, LinkModel, Transit};
 use bytes::Bytes;
@@ -30,13 +51,18 @@ impl fmt::Display for ClientId {
     }
 }
 
-/// MQTT quality-of-service level (QoS 2 is not used by the architecture).
+/// MQTT quality-of-service level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum QoS {
     /// Fire and forget.
     AtMostOnce,
     /// Delivery is retried until the subscriber-side ack is observed.
     AtLeastOnce,
+    /// Exactly-once delivery via the PUBREC/PUBREL/PUBCOMP four-way
+    /// handshake: the PUBLISH leg is retransmitted until it arrives and
+    /// duplicates forced by lost handshake frames are suppressed by packet
+    /// id, so a lossy link can neither drop nor duplicate the message.
+    ExactlyOnce,
 }
 
 /// Errors returned by broker operations.
@@ -72,8 +98,30 @@ pub struct Delivery {
     pub payload: Bytes,
     /// Simulated time at which the subscriber receives the message.
     pub at: SimTime,
-    /// Whether this delivery is a QoS-1 retransmission.
+    /// Whether the link lost at least one earlier attempt, making this
+    /// arrival a QoS ≥ 1 retransmission.
     pub retransmission: bool,
+    /// Whether this delivery replays a stored retained message (on session
+    /// resume or a fresh subscription) rather than a live publish.
+    pub retained: bool,
+}
+
+/// A QoS ≥ 1 message parked for a disconnected persistent session,
+/// replayed in publish order when the session resumes.
+#[derive(Debug, Clone)]
+struct QueuedMessage {
+    from: ClientId,
+    topic: String,
+    payload: Bytes,
+    qos: QoS,
+}
+
+/// The last retained payload published on one topic.
+#[derive(Debug, Clone)]
+struct RetainedMessage {
+    from: ClientId,
+    payload: Bytes,
+    qos: QoS,
 }
 
 /// A delivery waiting in the time-ordered in-flight queue. Ordered by
@@ -114,6 +162,9 @@ struct Client {
     link: LinkModel,
     subscriptions: Vec<String>,
     connected: bool,
+    /// QoS ≥ 1 messages published while this persistent session was
+    /// disconnected, awaiting replay on [`MqttBroker::reconnect`].
+    session_queue: Vec<QueuedMessage>,
 }
 
 /// Returns `true` if the filter contains an MQTT wildcard level.
@@ -211,14 +262,30 @@ pub struct MqttBroker {
     /// per-publish filter match. The simulation's metering topics are all
     /// exact, so this set is empty on the hot path.
     wildcard_subscribers: BTreeSet<ClientId>,
+    /// Last retained payload per topic (publish with `retain` to set,
+    /// publish an empty retained payload to clear).
+    retained: BTreeMap<String, RetainedMessage>,
     rng: SimRng,
     in_flight: BinaryHeap<PendingDelivery>,
     next_seq: u64,
     published: u64,
     delivered: u64,
     dropped: u64,
+    queued_for_resume: u64,
+    resumed: u64,
+    retained_delivered: u64,
+    qos2_handshake_frames: u64,
+    qos2_handshake_bytes: u64,
+    qos2_dup_suppressed: u64,
     max_retries: u32,
 }
+
+/// Size of a PUBREC/PUBREL/PUBCOMP control frame on the wire (MQTT fixed
+/// header + packet id).
+const QOS2_FRAME_BYTES: usize = 4;
+
+/// The PUBACK/PUBREC retransmission timeout added per lost attempt.
+const RETRY_TIMEOUT: rtem_sim::time::SimDuration = rtem_sim::time::SimDuration::from_millis(50);
 
 impl MqttBroker {
     /// Creates a broker with its own RNG stream for link randomness.
@@ -227,12 +294,19 @@ impl MqttBroker {
             clients: BTreeMap::new(),
             exact_subscriptions: BTreeMap::new(),
             wildcard_subscribers: BTreeSet::new(),
+            retained: BTreeMap::new(),
             rng,
             in_flight: BinaryHeap::new(),
             next_seq: 0,
             published: 0,
             delivered: 0,
             dropped: 0,
+            queued_for_resume: 0,
+            resumed: 0,
+            retained_delivered: 0,
+            qos2_handshake_frames: 0,
+            qos2_handshake_bytes: 0,
+            qos2_dup_suppressed: 0,
             max_retries: 5,
         }
     }
@@ -259,6 +333,7 @@ impl MqttBroker {
                         link: link_model,
                         subscriptions: Vec::new(),
                         connected: true,
+                        session_queue: Vec::new(),
                     },
                 );
             }
@@ -275,16 +350,25 @@ impl MqttBroker {
 
     /// Resumes a disconnected client's session in place: subscriptions,
     /// link configuration and offered/lost counters all survive (unlike
-    /// [`connect`](Self::connect), which installs a fresh link). Returns
-    /// `false` for unknown clients.
-    pub fn reconnect(&mut self, id: ClientId) -> bool {
-        match self.clients.get_mut(&id) {
-            Some(client) => {
-                client.connected = true;
-                true
-            }
-            None => false,
+    /// [`connect`](Self::connect), which installs a fresh link). Messages
+    /// queued for the persistent session while it was disconnected are
+    /// replayed in publish order, followed by the last retained payload of
+    /// every subscribed topic the queue replay did not already cover.
+    /// Returns `false` for unknown clients.
+    pub fn reconnect(&mut self, id: ClientId, now: SimTime) -> bool {
+        let Some(client) = self.clients.get_mut(&id) else {
+            return false;
+        };
+        client.connected = true;
+        let queue = std::mem::take(&mut client.session_queue);
+        let mut replayed_topics: BTreeSet<String> = BTreeSet::new();
+        for msg in queue {
+            self.resumed += 1;
+            replayed_topics.insert(msg.topic.clone());
+            self.schedule_delivery(id, msg.from, &msg.topic, &msg.payload, msg.qos, false, now);
         }
+        self.deliver_retained(id, None, &replayed_topics, now);
+        true
     }
 
     /// Returns `true` if the client is currently connected.
@@ -336,6 +420,28 @@ impl MqttBroker {
         Ok(())
     }
 
+    /// Subscribes `id` to a topic filter at simulated time `now` and, like a
+    /// real broker answering a fresh SUBSCRIBE, schedules delivery of the
+    /// last retained payload of every topic the filter matches. Use plain
+    /// [`subscribe`](Self::subscribe) for build-time wiring where no
+    /// retained state can exist yet.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the client is unknown or the filter is invalid.
+    pub fn subscribe_at(
+        &mut self,
+        id: ClientId,
+        filter: &str,
+        now: SimTime,
+    ) -> Result<(), BrokerError> {
+        self.subscribe(id, filter)?;
+        if self.clients[&id].connected {
+            self.deliver_retained(id, Some(filter), &BTreeSet::new(), now);
+        }
+        Ok(())
+    }
+
     /// Removes a subscription. Returns `true` if it existed.
     pub fn unsubscribe(&mut self, id: ClientId, filter: &str) -> Result<bool, BrokerError> {
         let client = self
@@ -366,7 +472,11 @@ impl MqttBroker {
     /// arrival time is `now` plus their access-link delay. With
     /// [`QoS::AtLeastOnce`] a delivery lost by the link model is retried
     /// (modelling the PUBACK timeout) up to the configured retry budget;
-    /// retries add one extra link round trip each.
+    /// retries add one extra link round trip each. With
+    /// [`QoS::ExactlyOnce`] the PUBLISH leg is retransmitted until the link
+    /// carries it, followed by the PUBREC/PUBREL/PUBCOMP handshake frames.
+    /// QoS ≥ 1 messages addressed to a disconnected persistent session are
+    /// queued and replayed on [`reconnect`](Self::reconnect).
     ///
     /// # Errors
     ///
@@ -379,11 +489,48 @@ impl MqttBroker {
         qos: QoS,
         now: SimTime,
     ) -> Result<usize, BrokerError> {
+        self.publish_with(from, topic, payload, qos, false, now)
+    }
+
+    /// Publishes a message with an explicit MQTT retain flag: `retain`
+    /// stores the payload as the topic's retained message (an empty retained
+    /// payload clears the slot, per MQTT), delivered to every later
+    /// [`subscribe_at`](Self::subscribe_at) and every
+    /// [`reconnect`](Self::reconnect)ed session subscribed to the topic.
+    /// Delivery to currently-connected subscribers is identical to
+    /// [`publish`](Self::publish).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the publisher is unknown or the topic is invalid.
+    pub fn publish_with(
+        &mut self,
+        from: ClientId,
+        topic: &str,
+        payload: Bytes,
+        qos: QoS,
+        retain: bool,
+        now: SimTime,
+    ) -> Result<usize, BrokerError> {
         validate_topic(topic)?;
         if !self.clients.contains_key(&from) {
             return Err(BrokerError::UnknownClient(from));
         }
         self.published += 1;
+        if retain {
+            if payload.is_empty() {
+                self.retained.remove(topic);
+            } else {
+                self.retained.insert(
+                    topic.to_string(),
+                    RetainedMessage {
+                        from,
+                        payload: payload.clone(),
+                        qos,
+                    },
+                );
+            }
+        }
         // Exact-filter subscribers come straight out of the index; only
         // clients holding wildcard filters are matched per publish. The
         // merge keeps client-id order (the order the unindexed broker
@@ -401,50 +548,183 @@ impl MqttBroker {
             .flatten()
             .chain(wildcard)
             .copied()
-            .filter(|&id| id != from && self.clients[&id].connected)
+            .filter(|&id| id != from)
             .collect();
         subscribers.sort_unstable();
         subscribers.dedup();
 
         let mut scheduled = 0;
         for to in subscribers {
-            let size = payload.len() + topic.len() + 8;
-            let mut attempt = 0u32;
-            let mut extra_delay = rtem_sim::time::SimDuration::ZERO;
-            let delivered = loop {
-                let client = self.clients.get_mut(&to).expect("subscriber exists");
-                match client.link.offer(size) {
-                    Transit::Delivered(d) => break Some((d + extra_delay, attempt > 0)),
-                    Transit::Lost => {
-                        if qos == QoS::AtMostOnce || attempt >= self.max_retries {
-                            break None;
-                        }
-                        // Model the PUBACK timeout before the retransmission.
-                        extra_delay += rtem_sim::time::SimDuration::from_millis(50);
-                        attempt += 1;
-                    }
-                }
-            };
-            match delivered {
-                Some((delay, retransmission)) => {
-                    self.next_seq += 1;
-                    self.in_flight.push(PendingDelivery {
-                        seq: self.next_seq,
-                        delivery: Delivery {
-                            to,
-                            from,
-                            topic: topic.to_string(),
-                            payload: payload.clone(),
-                            at: now + delay,
-                            retransmission,
-                        },
+            if !self.clients[&to].connected {
+                // Persistent session: QoS ≥ 1 messages are parked for
+                // replay on resume; QoS 0 is dropped on the floor, exactly
+                // like a real broker. No link randomness is consumed, so
+                // connected subscribers see identical draws either way.
+                if qos != QoS::AtMostOnce {
+                    self.queued_for_resume += 1;
+                    let client = self.clients.get_mut(&to).expect("subscriber exists");
+                    client.session_queue.push(QueuedMessage {
+                        from,
+                        topic: topic.to_string(),
+                        payload: payload.clone(),
+                        qos,
                     });
-                    scheduled += 1;
                 }
-                None => self.dropped += 1,
+                continue;
+            }
+            if self.schedule_delivery(to, from, topic, &payload, qos, false, now) {
+                scheduled += 1;
             }
         }
         Ok(scheduled)
+    }
+
+    /// Schedules one delivery to the connected client `to`, applying its
+    /// link model and the per-QoS retransmission policy. Returns `true` if
+    /// a delivery was scheduled; `false` means the message was dropped
+    /// after the QoS 0/1 retry budget, or — for QoS 2 over a fully-dead
+    /// link — parked in the session queue, since a link that loses every
+    /// frame is indistinguishable from a dropped session and the handshake
+    /// completes when the session resumes.
+    #[allow(clippy::too_many_arguments)]
+    fn schedule_delivery(
+        &mut self,
+        to: ClientId,
+        from: ClientId,
+        topic: &str,
+        payload: &Bytes,
+        qos: QoS,
+        retained: bool,
+        now: SimTime,
+    ) -> bool {
+        let size = payload.len() + topic.len() + 8;
+        if qos == QoS::ExactlyOnce {
+            let blacked_out = {
+                let client = self.clients.get(&to).expect("subscriber exists");
+                client.link.config().loss_probability >= 1.0
+            };
+            if blacked_out {
+                self.queued_for_resume += 1;
+                let client = self.clients.get_mut(&to).expect("subscriber exists");
+                client.session_queue.push(QueuedMessage {
+                    from,
+                    topic: topic.to_string(),
+                    payload: payload.clone(),
+                    qos,
+                });
+                return false;
+            }
+        }
+        let mut attempt = 0u32;
+        let mut extra_delay = rtem_sim::time::SimDuration::ZERO;
+        let delivered = loop {
+            let client = self.clients.get_mut(&to).expect("subscriber exists");
+            match client.link.offer(size) {
+                Transit::Delivered(d) => break Some((d + extra_delay, attempt > 0)),
+                Transit::Lost => {
+                    match qos {
+                        QoS::AtMostOnce => break None,
+                        QoS::AtLeastOnce if attempt >= self.max_retries => break None,
+                        // QoS 2 retransmits until the link carries the
+                        // PUBLISH: exactly-once delivery may be late but
+                        // never silently abandoned.
+                        _ => {}
+                    }
+                    // Model the PUBACK/PUBREC timeout before the
+                    // retransmission.
+                    extra_delay += RETRY_TIMEOUT;
+                    attempt += 1;
+                }
+            }
+        };
+        match delivered {
+            Some((delay, retransmission)) => {
+                self.next_seq += 1;
+                self.in_flight.push(PendingDelivery {
+                    seq: self.next_seq,
+                    delivery: Delivery {
+                        to,
+                        from,
+                        topic: topic.to_string(),
+                        payload: payload.clone(),
+                        at: now + delay,
+                        retransmission,
+                        retained,
+                    },
+                });
+                if qos == QoS::ExactlyOnce {
+                    self.complete_qos2_handshake(to, size);
+                }
+                true
+            }
+            None => {
+                self.dropped += 1;
+                false
+            }
+        }
+    }
+
+    /// Runs the PUBREC → PUBREL → PUBCOMP legs of a completed QoS-2
+    /// PUBLISH over the subscriber's link. A lost PUBREC forces the broker
+    /// to retransmit the PUBLISH with the DUP flag; the subscriber already
+    /// holds the packet id and suppresses the duplicate, so the handshake
+    /// only surfaces as wire overhead and the dup-suppression counter —
+    /// the message itself was delivered exactly once.
+    fn complete_qos2_handshake(&mut self, to: ClientId, publish_size: usize) {
+        for leg in 0..3u8 {
+            let mut attempt = 0u32;
+            loop {
+                self.qos2_handshake_frames += 1;
+                self.qos2_handshake_bytes += QOS2_FRAME_BYTES as u64;
+                let client = self.clients.get_mut(&to).expect("subscriber exists");
+                match client.link.offer(QOS2_FRAME_BYTES) {
+                    Transit::Delivered(_) => break,
+                    Transit::Lost => {
+                        if leg == 0 {
+                            self.qos2_dup_suppressed += 1;
+                            self.qos2_handshake_frames += 1;
+                            self.qos2_handshake_bytes += publish_size as u64;
+                        }
+                        attempt += 1;
+                        if attempt > self.max_retries {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Schedules delivery of every retained message matching `id`'s
+    /// subscriptions (or just the one `filter`, when given), skipping
+    /// topics in `skip` — the topics a session-resume queue replay already
+    /// covered with a newer payload.
+    fn deliver_retained(
+        &mut self,
+        id: ClientId,
+        only_filter: Option<&str>,
+        skip: &BTreeSet<String>,
+        now: SimTime,
+    ) {
+        let matching: Vec<(String, RetainedMessage)> = {
+            let client = &self.clients[&id];
+            self.retained
+                .iter()
+                .filter(|(topic, _)| !skip.contains(topic.as_str()))
+                .filter(|(topic, _)| match only_filter {
+                    Some(filter) => topic_matches(filter, topic),
+                    None => client
+                        .subscriptions
+                        .iter()
+                        .any(|filter| topic_matches(filter, topic)),
+                })
+                .map(|(topic, msg)| (topic.clone(), msg.clone()))
+                .collect()
+        };
+        for (topic, msg) in matching {
+            self.retained_delivered += 1;
+            self.schedule_delivery(id, msg.from, &topic, &msg.payload, msg.qos, true, now);
+        }
     }
 
     /// Removes and returns every delivery due at or before `now`, ordered by
@@ -480,6 +760,57 @@ impl MqttBroker {
     /// Number of deliveries abandoned after exhausting retries.
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// Number of QoS ≥ 1 messages parked for disconnected persistent
+    /// sessions (including QoS-2 messages parked for blacked-out links).
+    pub fn queued_for_resume(&self) -> u64 {
+        self.queued_for_resume
+    }
+
+    /// Number of parked messages replayed by session resumes.
+    pub fn resumed(&self) -> u64 {
+        self.resumed
+    }
+
+    /// Number of retained-message deliveries scheduled for fresh
+    /// subscriptions and resumed sessions.
+    pub fn retained_delivered(&self) -> u64 {
+        self.retained_delivered
+    }
+
+    /// Number of messages currently parked for the client's persistent
+    /// session. `None` for unknown clients.
+    pub fn session_queue_len(&self, id: ClientId) -> Option<usize> {
+        self.clients.get(&id).map(|c| c.session_queue.len())
+    }
+
+    /// The current retained payload of a topic, if any.
+    pub fn retained_payload(&self, topic: &str) -> Option<&Bytes> {
+        self.retained.get(topic).map(|msg| &msg.payload)
+    }
+
+    /// Number of topics currently holding a retained message.
+    pub fn retained_topics(&self) -> usize {
+        self.retained.len()
+    }
+
+    /// PUBREC/PUBREL/PUBCOMP frames (plus DUP PUBLISH retransmissions)
+    /// sent for QoS-2 handshakes.
+    pub fn qos2_handshake_frames(&self) -> u64 {
+        self.qos2_handshake_frames
+    }
+
+    /// Bytes of QoS-2 handshake traffic — the wire cost of exactly-once
+    /// over at-least-once.
+    pub fn qos2_handshake_bytes(&self) -> u64 {
+        self.qos2_handshake_bytes
+    }
+
+    /// Duplicate QoS-2 PUBLISHes forced by lost PUBRECs and suppressed by
+    /// packet id on the subscriber side.
+    pub fn qos2_dup_suppressed(&self) -> u64 {
+        self.qos2_dup_suppressed
     }
 }
 
@@ -711,7 +1042,7 @@ mod tests {
         };
         b.reconfigure_link(ClientId(2), slow);
         b.disconnect(ClientId(2));
-        assert!(b.reconnect(ClientId(2)));
+        assert!(b.reconnect(ClientId(2), SimTime::ZERO));
         assert!(b.is_connected(ClientId(2)));
         // Subscription and the degraded link both survived the bounce.
         b.publish(
@@ -723,7 +1054,233 @@ mod tests {
         )
         .unwrap();
         assert_eq!(b.next_delivery_at(), Some(SimTime::from_millis(25)));
-        assert!(!b.reconnect(ClientId(9)));
+        assert!(!b.reconnect(ClientId(9), SimTime::ZERO));
+    }
+
+    #[test]
+    fn qos1_publish_while_disconnected_is_queued_and_replayed_once() {
+        let mut b = broker();
+        b.connect(ClientId(1), LinkConfig::ideal());
+        b.connect(ClientId(2), LinkConfig::ideal());
+        b.subscribe(ClientId(2), "cfg/dev-2").unwrap();
+        b.disconnect(ClientId(2));
+        // Published into the disconnected persistent session: not scheduled,
+        // not dropped — parked.
+        let n = b
+            .publish(
+                ClientId(1),
+                "cfg/dev-2",
+                Bytes::from_static(b"interval=200"),
+                QoS::AtLeastOnce,
+                SimTime::from_secs(1),
+            )
+            .unwrap();
+        assert_eq!(n, 0);
+        assert_eq!(b.session_queue_len(ClientId(2)), Some(1));
+        assert_eq!(b.dropped(), 0);
+        assert!(b.drain_due(SimTime::from_secs(5)).is_empty());
+        // Resume: the parked message is replayed exactly once.
+        assert!(b.reconnect(ClientId(2), SimTime::from_secs(6)));
+        assert_eq!(b.session_queue_len(ClientId(2)), Some(0));
+        let due = b.drain_due(SimTime::from_secs(10));
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].payload.as_ref(), b"interval=200");
+        assert!(due[0].at >= SimTime::from_secs(6));
+        assert_eq!(b.resumed(), 1);
+        // No second copy ever appears.
+        assert!(b.drain_due(SimTime::from_secs(1000)).is_empty());
+    }
+
+    #[test]
+    fn qos0_publish_while_disconnected_stays_dropped() {
+        let mut b = broker();
+        b.connect(ClientId(1), LinkConfig::ideal());
+        b.connect(ClientId(2), LinkConfig::ideal());
+        b.subscribe(ClientId(2), "t").unwrap();
+        b.disconnect(ClientId(2));
+        b.publish(
+            ClientId(1),
+            "t",
+            Bytes::new(),
+            QoS::AtMostOnce,
+            SimTime::ZERO,
+        )
+        .unwrap();
+        assert_eq!(b.session_queue_len(ClientId(2)), Some(0));
+        b.reconnect(ClientId(2), SimTime::from_secs(1));
+        assert!(b.drain_due(SimTime::from_secs(100)).is_empty());
+    }
+
+    #[test]
+    fn qos2_always_delivers_exactly_once_on_a_lossy_link() {
+        let lossy = LinkConfig {
+            base_latency: SimDuration::from_millis(1),
+            jitter: SimDuration::ZERO,
+            loss_probability: 0.6,
+            bandwidth_bps: None,
+        };
+        let mut b = broker();
+        b.connect(ClientId(1), LinkConfig::ideal());
+        b.connect(ClientId(2), lossy);
+        b.subscribe(ClientId(2), "#").unwrap();
+        let mut scheduled = 0;
+        for i in 0..200 {
+            scheduled += b
+                .publish(
+                    ClientId(1),
+                    "cmd",
+                    Bytes::from_static(b"go"),
+                    QoS::ExactlyOnce,
+                    SimTime::from_secs(i),
+                )
+                .unwrap();
+        }
+        // Exactly once per publish: never dropped, never duplicated.
+        assert_eq!(scheduled, 200);
+        assert_eq!(b.dropped(), 0);
+        let due = b.drain_due(SimTime::from_secs(10_000));
+        assert_eq!(due.len(), 200);
+        // The four-way handshake ran and lost PUBRECs forced suppressed
+        // duplicates at this loss rate.
+        assert!(b.qos2_handshake_frames() >= 600);
+        assert!(b.qos2_handshake_bytes() > 0);
+        assert!(b.qos2_dup_suppressed() > 0);
+    }
+
+    #[test]
+    fn qos2_on_a_dead_link_parks_for_session_resume() {
+        let dead = LinkConfig {
+            loss_probability: 1.0,
+            ..LinkConfig::ideal()
+        };
+        let mut b = broker();
+        b.connect(ClientId(1), LinkConfig::ideal());
+        b.connect(ClientId(2), dead);
+        b.subscribe(ClientId(2), "cmd").unwrap();
+        let n = b
+            .publish(
+                ClientId(1),
+                "cmd",
+                Bytes::from_static(b"go"),
+                QoS::ExactlyOnce,
+                SimTime::ZERO,
+            )
+            .unwrap();
+        assert_eq!(n, 0);
+        assert_eq!(b.dropped(), 0, "QoS 2 is never silently abandoned");
+        assert_eq!(b.session_queue_len(ClientId(2)), Some(1));
+        // The link heals and the session bounces: the command arrives.
+        b.reconfigure_link(ClientId(2), LinkConfig::ideal());
+        b.disconnect(ClientId(2));
+        b.reconnect(ClientId(2), SimTime::from_secs(30));
+        let due = b.drain_due(SimTime::from_secs(60));
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].payload.as_ref(), b"go");
+    }
+
+    #[test]
+    fn retained_message_reaches_later_subscribers_and_resumed_sessions() {
+        let mut b = broker();
+        b.connect(ClientId(1), LinkConfig::ideal());
+        b.connect(ClientId(2), LinkConfig::ideal());
+        b.connect(ClientId(3), LinkConfig::ideal());
+        b.subscribe(ClientId(2), "cfg/fleet").unwrap();
+        // Retained config published: the live subscriber gets it normally.
+        b.publish_with(
+            ClientId(1),
+            "cfg/fleet",
+            Bytes::from_static(b"baud=1200"),
+            QoS::AtLeastOnce,
+            true,
+            SimTime::ZERO,
+        )
+        .unwrap();
+        assert_eq!(b.drain_due(SimTime::from_secs(1)).len(), 1);
+        assert_eq!(
+            b.retained_payload("cfg/fleet").map(|p| p.as_ref()),
+            Some(&b"baud=1200"[..])
+        );
+        // A later subscriber receives the retained copy, flagged as such.
+        b.subscribe_at(ClientId(3), "cfg/fleet", SimTime::from_secs(2))
+            .unwrap();
+        let due = b.drain_due(SimTime::from_secs(3));
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].to, ClientId(3));
+        assert!(due[0].retained);
+        assert_eq!(due[0].payload.as_ref(), b"baud=1200");
+        // A bounced session re-receives it on resume.
+        b.disconnect(ClientId(2));
+        b.reconnect(ClientId(2), SimTime::from_secs(4));
+        let due = b.drain_due(SimTime::from_secs(5));
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].to, ClientId(2));
+        assert!(due[0].retained);
+        assert_eq!(b.retained_delivered(), 2);
+    }
+
+    #[test]
+    fn retained_last_writer_wins_and_empty_payload_clears() {
+        let mut b = broker();
+        b.connect(ClientId(1), LinkConfig::ideal());
+        b.connect(ClientId(2), LinkConfig::ideal());
+        for payload in [&b"v1"[..], &b"v2"[..], &b"v3"[..]] {
+            b.publish_with(
+                ClientId(1),
+                "cfg",
+                Bytes::from(payload.to_vec()),
+                QoS::AtLeastOnce,
+                true,
+                SimTime::ZERO,
+            )
+            .unwrap();
+        }
+        b.subscribe_at(ClientId(2), "cfg", SimTime::from_secs(1))
+            .unwrap();
+        let due = b.drain_due(SimTime::from_secs(2));
+        assert_eq!(due.len(), 1, "only the last retained payload survives");
+        assert_eq!(due[0].payload.as_ref(), b"v3");
+        // An empty retained publish clears the slot.
+        b.publish_with(
+            ClientId(1),
+            "cfg",
+            Bytes::new(),
+            QoS::AtLeastOnce,
+            true,
+            SimTime::from_secs(3),
+        )
+        .unwrap();
+        assert_eq!(b.retained_payload("cfg"), None);
+        assert_eq!(b.retained_topics(), 0);
+        b.disconnect(ClientId(2));
+        b.reconnect(ClientId(2), SimTime::from_secs(4));
+        // Only the queued live copy of the clearing publish replays; no
+        // retained copy exists any more.
+        let due = b.drain_due(SimTime::from_secs(1000));
+        assert!(due.iter().all(|d| !d.retained));
+    }
+
+    #[test]
+    fn queue_replay_supersedes_the_retained_copy_of_the_same_topic() {
+        let mut b = broker();
+        b.connect(ClientId(1), LinkConfig::ideal());
+        b.connect(ClientId(2), LinkConfig::ideal());
+        b.subscribe(ClientId(2), "cfg").unwrap();
+        b.disconnect(ClientId(2));
+        b.publish_with(
+            ClientId(1),
+            "cfg",
+            Bytes::from_static(b"new"),
+            QoS::AtLeastOnce,
+            true,
+            SimTime::from_secs(1),
+        )
+        .unwrap();
+        b.reconnect(ClientId(2), SimTime::from_secs(2));
+        let due = b.drain_due(SimTime::from_secs(10));
+        // One copy, not two: the queued live publish already carries the
+        // retained topic's latest payload.
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].payload.as_ref(), b"new");
     }
 
     #[test]

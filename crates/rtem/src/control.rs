@@ -1,0 +1,186 @@
+//! Fleet command-and-control accounting — the facade over `rtem-control`.
+//!
+//! Build a [`ControlPlan`] (Tmeasure changes, tariff hints, meter-protocol
+//! switches, reporting mute/resume, crash-recovery configuration — targeted
+//! at the whole fleet, one device, one site or a seeded rollout cohort),
+//! attach it to a [`ScenarioSpec`](crate::spec::ScenarioSpec) with
+//! [`with_control_plan`](crate::spec::ScenarioSpec::with_control_plan), and
+//! run the experiment as usual. The commands travel over the same simulated
+//! MQTT broker as the metering traffic — per-device command topics, QoS 1/2,
+//! optional retained publishes — and the run's
+//! [`RunReport`](crate::report::RunReport) then carries a [`ControlReport`]:
+//! per-command delivery/application/acknowledgment records, rollout
+//! completion rate and latency, and the wire bytes the control plane cost.
+//!
+//! ```
+//! use rtem::prelude::*;
+//!
+//! let plan = ControlPlan::new().set_measure_interval(
+//!     SimTime::from_secs(20),
+//!     CommandTarget::AllDevices,
+//!     SimDuration::from_millis(500),
+//! );
+//! let spec = ScenarioSpec::paper_testbed(42)
+//!     .with_horizon(SimDuration::from_secs(40))
+//!     .with_control_plan(plan);
+//! let report = Experiment::new(spec).run().unwrap();
+//! let control = report.control.as_ref().unwrap();
+//! assert_eq!(control.applied(), 4, "every device executed the command");
+//! assert_eq!(control.completion_rate(), Some(1.0));
+//! ```
+
+use rtem_sim::time::{SimDuration, SimTime};
+
+pub use rtem_control::command::{
+    command_topic, status_topic, CommandAck, CommandFrame, ControlDecodeError, FleetCommand,
+    TariffHint,
+};
+pub use rtem_control::plan::{CommandTarget, ControlError, ControlEvent, ControlPlan};
+pub use rtem_core::simulation::CommandRecord;
+
+/// Control-plane accounting of one commanded run.
+///
+/// Attached to [`RunReport::control`](crate::report::RunReport::control)
+/// whenever the spec's control plan is non-empty. Deterministic: the same
+/// spec (plan included) and seed produce an identical report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ControlReport {
+    /// Lifecycle record of every scheduled command, in plan order (the
+    /// record's `seq` is the event's index in the plan).
+    pub commands: Vec<CommandRecord>,
+}
+
+impl ControlReport {
+    /// Number of commands the plan scheduled.
+    pub fn commands(&self) -> usize {
+        self.commands.len()
+    }
+
+    /// Device targets across all commands (a device targeted by two
+    /// commands counts twice).
+    pub fn targets(&self) -> usize {
+        self.commands.iter().map(|c| c.targets).sum()
+    }
+
+    /// Command executions accepted by device firmware.
+    pub fn applied(&self) -> usize {
+        self.commands.iter().map(|c| c.applied).sum()
+    }
+
+    /// Command executions rejected by device firmware (bad parameter).
+    pub fn rejected(&self) -> usize {
+        self.commands.iter().map(|c| c.rejected).sum()
+    }
+
+    /// Acknowledgments that made it back to the fleet manager.
+    pub fn acked(&self) -> usize {
+        self.commands.iter().map(|c| c.acked).sum()
+    }
+
+    /// `acked / targets` over the whole plan, `None` when nothing was
+    /// targeted. `Some(1.0)` means every addressed device executed its
+    /// command *and* the acknowledgment round-trip completed.
+    pub fn completion_rate(&self) -> Option<f64> {
+        let targets = self.targets();
+        (targets > 0).then(|| self.acked() as f64 / targets as f64)
+    }
+
+    /// The record of one command by sequence number.
+    pub fn command(&self, seq: u32) -> Option<&CommandRecord> {
+        self.commands.iter().find(|c| c.seq == seq)
+    }
+
+    /// When the first command was published, `None` before anything fired.
+    pub fn first_publish(&self) -> Option<SimTime> {
+        self.commands.iter().filter_map(|c| c.published_at).min()
+    }
+
+    /// When the last acknowledgment reached the manager.
+    pub fn last_ack(&self) -> Option<SimTime> {
+        self.commands.iter().filter_map(|c| c.last_ack_at).max()
+    }
+
+    /// End-to-end rollout latency: first publish to last acknowledgment
+    /// across the whole plan. For a staged rollout this is the makespan of
+    /// the rollout, stagger included.
+    pub fn rollout_latency(&self) -> Option<SimDuration> {
+        match (self.first_publish(), self.last_ack()) {
+            (Some(first), Some(last)) => Some(last.saturating_duration_since(first)),
+            _ => None,
+        }
+    }
+
+    /// Acknowledgment latency of one command: its publish to its last ack.
+    pub fn ack_latency(&self, seq: u32) -> Option<SimDuration> {
+        let record = self.command(seq)?;
+        match (record.published_at, record.last_ack_at) {
+            (Some(published), Some(acked)) => Some(acked.saturating_duration_since(published)),
+            _ => None,
+        }
+    }
+
+    /// `true` when every command's acknowledgments match its targets.
+    pub fn fully_acked(&self) -> bool {
+        self.commands.iter().all(|c| c.acked == c.targets)
+    }
+
+    /// Wire bytes the control plane cost: delivered command frames plus
+    /// delivered acknowledgments, under the broker's own size model.
+    pub fn wire_bytes(&self) -> u64 {
+        self.commands
+            .iter()
+            .map(|c| c.command_bytes + c.ack_bytes)
+            .sum()
+    }
+}
+
+/// Assembles the report from the world's command records.
+pub(crate) fn build_control(commands: Vec<CommandRecord>) -> ControlReport {
+    ControlReport { commands }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(seq: u32, published: u64, targets: usize, acked: usize, last: u64) -> CommandRecord {
+        CommandRecord {
+            seq,
+            published_at: Some(SimTime::from_secs(published)),
+            targets,
+            delivered: acked,
+            applied: acked,
+            rejected: 0,
+            acked,
+            first_ack_at: Some(SimTime::from_secs(published)),
+            last_ack_at: Some(SimTime::from_secs(last)),
+            command_bytes: 100,
+            ack_bytes: 40,
+        }
+    }
+
+    #[test]
+    fn totals_and_rates_aggregate_over_commands() {
+        let report = build_control(vec![record(0, 10, 4, 4, 12), record(1, 20, 4, 2, 25)]);
+        assert_eq!(report.commands(), 2);
+        assert_eq!(report.targets(), 8);
+        assert_eq!(report.acked(), 6);
+        assert_eq!(report.completion_rate(), Some(0.75));
+        assert!(!report.fully_acked());
+        assert_eq!(report.wire_bytes(), 280);
+        assert_eq!(
+            report.rollout_latency(),
+            Some(SimDuration::from_secs(15)),
+            "first publish at 10 s, last ack at 25 s"
+        );
+        assert_eq!(report.ack_latency(1), Some(SimDuration::from_secs(5)));
+    }
+
+    #[test]
+    fn empty_report_yields_no_rates() {
+        let report = build_control(Vec::new());
+        assert_eq!(report.completion_rate(), None);
+        assert_eq!(report.rollout_latency(), None);
+        assert!(report.fully_acked(), "vacuously true");
+    }
+}

@@ -1,5 +1,6 @@
 //! The [`Experiment`] runner: spec in, [`RunReport`] out.
 
+use crate::control::build_control;
 use crate::faults::{build_resilience, FaultPlan};
 use crate::probe::{NullProbe, Probe};
 use crate::report::{BillLine, LedgerSummary, NetworkAccuracy, RunReport};
@@ -72,6 +73,9 @@ impl Experiment {
         }
         for event in &self.spec.fault_plan.events {
             world.schedule_fault(*event);
+        }
+        for event in &self.spec.control_plan.events {
+            world.schedule_control(*event);
         }
         Ok(world)
     }
@@ -167,6 +171,7 @@ pub(crate) fn collect_report(
         }
     }
 
+    let control = (!spec.control_plan.is_empty()).then(|| build_control(world.command_records()));
     let mut report = RunReport {
         metrics,
         accuracy,
@@ -174,6 +179,7 @@ pub(crate) fn collect_report(
         ledgers,
         bills,
         resilience: None,
+        control,
         world,
     };
     if faulted {

@@ -28,6 +28,12 @@
 //!   tamper, link, crash, outage, byzantine, telegram corruption) and the
 //!   [`ResilienceReport`](faults::ResilienceReport) accounting of injected
 //!   vs. detected faults, detection latency and accuracy-under-fault.
+//! * [`control`] — the fleet-command subsystem: a declarative
+//!   [`ControlPlan`](control::ControlPlan) of timed commands (Tmeasure,
+//!   tariff hints, meter protocols, reporting mute/resume, crash-recovery
+//!   config) published over the simulated MQTT broker with QoS 1/2 and
+//!   retained delivery, and the [`ControlReport`](control::ControlReport)
+//!   accounting of rollout completion and latency.
 //! * [`report`] — the [`RunReport`](report::RunReport) bundling world
 //!   metrics, Fig. 5 accuracy windows, Thandshake statistics, ledger audit
 //!   summaries and consolidated bills.
@@ -49,6 +55,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod control;
 pub mod experiment;
 pub mod faults;
 pub mod probe;
@@ -77,6 +84,10 @@ pub use rtem_workloads as workloads;
 /// metric types. Substrate detail stays behind the module re-exports
 /// (`rtem::chain`, `rtem::net`, …).
 pub mod prelude {
+    pub use crate::control::{
+        CommandRecord, CommandTarget, ControlError, ControlEvent, ControlPlan, ControlReport,
+        FleetCommand, TariffHint,
+    };
     pub use crate::experiment::Experiment;
     pub use crate::faults::{
         CorruptionMode, DetectionSignal, FamilyResilience, FaultEvent, FaultFamily, FaultPlan,
@@ -99,6 +110,7 @@ pub mod prelude {
     };
     pub use rtem_core::scenario::DeviceLoad;
     pub use rtem_core::simulation::World;
+    pub use rtem_net::broker::QoS;
     pub use rtem_net::packet::{AggregatorAddr, DeviceId, MembershipKind};
     pub use rtem_sensors::energy::{MilliampSeconds, Milliamps, Millivolts, MilliwattHours};
     pub use rtem_sim::rng::SimRng;

@@ -76,6 +76,18 @@ pub trait Probe {
                 family,
                 signal,
             } => self.on_fault_detected(*at, *id, *family, *signal),
+            RunEvent::CommandPublished {
+                at,
+                seq,
+                label,
+                targets,
+            } => self.on_command_published(*at, *seq, label, *targets),
+            RunEvent::CommandApplied {
+                at,
+                seq,
+                device,
+                applied,
+            } => self.on_command_applied(*at, *seq, *device, *applied),
         }
     }
 
@@ -136,6 +148,16 @@ pub trait Probe {
     ) {
         let _ = (at, id, family, signal);
     }
+
+    /// The fleet manager published a control-plane command.
+    fn on_command_published(&mut self, at: SimTime, seq: u32, label: &str, targets: usize) {
+        let _ = (at, seq, label, targets);
+    }
+
+    /// A device executed (or rejected) a delivered fleet command.
+    fn on_command_applied(&mut self, at: SimTime, seq: u32, device: DeviceId, applied: bool) {
+        let _ = (at, seq, device, applied);
+    }
 }
 
 /// The do-nothing observer used by unprobed runs.
@@ -189,6 +211,16 @@ impl RecordingProbe {
     /// Number of faults the system recognized.
     pub fn faults_detected(&self) -> usize {
         self.count(|e| matches!(e, RunEvent::FaultDetected { .. }))
+    }
+
+    /// Number of fleet commands published on the control plane.
+    pub fn commands_published(&self) -> usize {
+        self.count(|e| matches!(e, RunEvent::CommandPublished { .. }))
+    }
+
+    /// Number of per-device command executions (acceptances only).
+    pub fn commands_applied(&self) -> usize {
+        self.count(|e| matches!(e, RunEvent::CommandApplied { applied: true, .. }))
     }
 
     fn count(&self, f: impl Fn(&RunEvent) -> bool) -> usize {

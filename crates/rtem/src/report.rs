@@ -116,6 +116,9 @@ pub struct RunReport {
     pub bills: Vec<BillLine>,
     /// Resilience accounting — present when the spec scheduled a fault plan.
     pub resilience: Option<crate::faults::ResilienceReport>,
+    /// Control-plane accounting — present when the spec scheduled a control
+    /// plan.
+    pub control: Option<crate::control::ControlReport>,
     pub(crate) world: World,
 }
 

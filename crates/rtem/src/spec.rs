@@ -13,6 +13,7 @@
 use core::fmt;
 use rtem_aggregator::billing::{Tariff, TariffError};
 use rtem_codecs::MeterKind;
+use rtem_control::plan::{ControlError, ControlEvent, ControlPlan};
 use rtem_core::scenario::{DeviceLoad, ScenarioBuilder};
 use rtem_core::simulation::WorldConfig;
 use rtem_device::network_mgmt::HandshakeTiming;
@@ -128,6 +129,9 @@ pub enum SpecError {
     /// The spec's fault plan failed its own validation (unknown targets,
     /// inverted timelines, degenerate parameters).
     InvalidFaultPlan(FaultPlanError),
+    /// The spec's control plan failed its own validation (unknown targets,
+    /// events past the horizon, degenerate parameters).
+    InvalidControlPlan(ControlError),
     /// The spec's tariff failed its own validation (overlapping time-of-use
     /// windows, empty tier ladders, negative rates …).
     InvalidTariff(TariffError),
@@ -169,6 +173,7 @@ impl fmt::Display for SpecError {
                 write!(f, "script event at {at:?} is after the horizon")
             }
             SpecError::InvalidFaultPlan(error) => write!(f, "invalid fault plan: {error}"),
+            SpecError::InvalidControlPlan(error) => write!(f, "invalid control plan: {error}"),
             SpecError::InvalidTariff(error) => write!(f, "invalid tariff: {error}"),
             SpecError::InvalidWorkload(error) => write!(f, "invalid workload: {error}"),
         }
@@ -242,6 +247,11 @@ pub struct ScenarioSpec {
     /// [`RunReport`](crate::report::RunReport) carry a
     /// [`ResilienceReport`](crate::faults::ResilienceReport).
     pub fault_plan: FaultPlan,
+    /// Scheduled fleet commands published over the MQTT control plane (the
+    /// operations counterpart of `fault_plan`). A non-empty plan makes the
+    /// run's [`RunReport`](crate::report::RunReport) carry a
+    /// [`ControlReport`](crate::control::ControlReport).
+    pub control_plan: ControlPlan,
 }
 
 impl ScenarioSpec {
@@ -268,6 +278,7 @@ impl ScenarioSpec {
             sensor: Ina219Config::testbed(),
             script: Vec::new(),
             fault_plan: FaultPlan::new(),
+            control_plan: ControlPlan::new(),
         }
     }
 
@@ -430,6 +441,18 @@ impl ScenarioSpec {
         self
     }
 
+    /// Replaces the control plan.
+    pub fn with_control_plan(mut self, plan: ControlPlan) -> ScenarioSpec {
+        self.control_plan = plan;
+        self
+    }
+
+    /// Appends one fleet command to the control plan.
+    pub fn with_command(mut self, event: ControlEvent) -> ScenarioSpec {
+        self.control_plan.events.push(event);
+        self
+    }
+
     /// All device ids the spec generates, in network-major order.
     pub fn device_ids(&self) -> Vec<DeviceId> {
         (0..self.networks)
@@ -516,6 +539,9 @@ impl ScenarioSpec {
         self.fault_plan
             .validate(&devices, &networks, horizon)
             .map_err(SpecError::InvalidFaultPlan)?;
+        self.control_plan
+            .validate(&devices, &networks, horizon)
+            .map_err(SpecError::InvalidControlPlan)?;
         self.tariff.validate().map_err(SpecError::InvalidTariff)?;
         if let Some(workload) = &self.workload {
             workload.validate().map_err(SpecError::InvalidWorkload)?;
@@ -655,6 +681,33 @@ mod tests {
             .sensor_stuck_at(SimTime::from_secs(1), ScenarioSpec::device_id(0, 0), 10.0)
             .tamper_at(SimTime::from_secs(2), ScenarioSpec::network_addr(1));
         let spec = ScenarioSpec::paper_testbed(1).with_fault_plan(plan);
+        assert_eq!(spec.validate(), Ok(()));
+    }
+
+    #[test]
+    fn control_plan_targets_are_checked() {
+        use rtem_control::CommandTarget;
+        let plan = ControlPlan::new()
+            .stop_reporting(SimTime::from_secs(1), CommandTarget::Device(DeviceId(4242)));
+        let spec = ScenarioSpec::paper_testbed(1).with_control_plan(plan);
+        assert_eq!(
+            spec.validate(),
+            Err(SpecError::InvalidControlPlan(ControlError::UnknownDevice {
+                device: DeviceId(4242)
+            }))
+        );
+        // A valid plan against the generated population passes.
+        let plan = ControlPlan::new()
+            .set_measure_interval(
+                SimTime::from_secs(1),
+                CommandTarget::AllDevices,
+                SimDuration::from_millis(500),
+            )
+            .stop_reporting(
+                SimTime::from_secs(2),
+                CommandTarget::Device(ScenarioSpec::device_id(0, 0)),
+            );
+        let spec = ScenarioSpec::paper_testbed(1).with_control_plan(plan);
         assert_eq!(spec.validate(), Ok(()));
     }
 

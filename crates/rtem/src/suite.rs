@@ -21,6 +21,7 @@
 //! assert!(report.aggregates.cell_runtime_s.count == 4);
 //! ```
 
+use crate::control::ControlPlan;
 use crate::experiment::Experiment;
 use crate::faults::FaultPlan;
 use crate::report::RunReport;
@@ -35,13 +36,13 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-/// A declarative sweep: one base spec, up to eight axes, a worker pool.
+/// A declarative sweep: one base spec, up to nine axes, a worker pool.
 ///
 /// Axes left unset contribute the base spec's value as a single grid point.
 /// Cells are enumerated in a fixed order (seed-major, then devices, then
 /// link, then sensor, then workload, then meter kinds, then tariff, then
-/// fault plan), and the report lists them in that order regardless of how
-/// many threads executed them.
+/// fault plan, then control plan), and the report lists them in that order
+/// regardless of how many threads executed them.
 ///
 /// # Examples
 ///
@@ -68,6 +69,7 @@ pub struct Suite {
     meter_kinds: Vec<(String, Vec<MeterKind>)>,
     tariffs: Vec<(String, Tariff)>,
     fault_plans: Vec<(String, FaultPlan)>,
+    control_plans: Vec<(String, ControlPlan)>,
     threads: Option<usize>,
 }
 
@@ -92,6 +94,8 @@ pub struct CellKey {
     pub tariff: Option<String>,
     /// Label of the cell's fault plan, if the axis was swept.
     pub fault_plan: Option<String>,
+    /// Label of the cell's control plan, if the axis was swept.
+    pub control_plan: Option<String>,
 }
 
 impl fmt::Display for CellKey {
@@ -114,6 +118,9 @@ impl fmt::Display for CellKey {
         }
         if let Some(fault_plan) = &self.fault_plan {
             write!(f, " faults={fault_plan}")?;
+        }
+        if let Some(control_plan) = &self.control_plan {
+            write!(f, " control={control_plan}")?;
         }
         Ok(())
     }
@@ -222,6 +229,7 @@ impl Suite {
             meter_kinds: Vec::new(),
             tariffs: Vec::new(),
             fault_plans: Vec::new(),
+            control_plans: Vec::new(),
             threads: None,
         }
     }
@@ -321,6 +329,22 @@ impl Suite {
         self
     }
 
+    /// Sweeps the control-plan axis: labelled [`ControlPlan`]s, one
+    /// fleet-command scenario per label. Cells with a non-empty plan produce
+    /// a [`ControlReport`](crate::control::ControlReport) in their run
+    /// report; an empty plan is the usual way to keep an uncommanded
+    /// baseline cell in the same grid.
+    pub fn over_control_plans(
+        mut self,
+        plans: impl IntoIterator<Item = (impl Into<String>, ControlPlan)>,
+    ) -> Suite {
+        self.control_plans = plans
+            .into_iter()
+            .map(|(label, plan)| (label.into(), plan))
+            .collect();
+        self
+    }
+
     /// Fixes the worker-thread count. Unset, the suite uses the machine's
     /// available parallelism (capped at the cell count).
     pub fn with_threads(mut self, threads: usize) -> Suite {
@@ -338,6 +362,7 @@ impl Suite {
             * self.meter_kinds.len().max(1)
             * self.tariffs.len().max(1)
             * self.fault_plans.len().max(1)
+            * self.control_plans.len().max(1)
     }
 
     /// `true` when the grid is degenerate (never: every axis defaults to the
@@ -389,6 +414,11 @@ impl Suite {
         } else {
             self.fault_plans.iter().map(Some).collect()
         };
+        let control_plans: Vec<Option<&(String, ControlPlan)>> = if self.control_plans.is_empty() {
+            vec![None]
+        } else {
+            self.control_plans.iter().map(Some).collect()
+        };
 
         let mut cells = Vec::with_capacity(self.len());
         for &seed in &seeds {
@@ -399,45 +429,53 @@ impl Suite {
                             for meter_kind in &meter_kinds {
                                 for tariff in &tariffs {
                                     for fault_plan in &fault_plans {
-                                        let mut spec = self
-                                            .base
-                                            .clone()
-                                            .with_seed(seed)
-                                            .with_devices_per_network(devices_per_network);
-                                        if let Some((_, wifi, backhaul)) = link {
-                                            spec = spec.with_links(*wifi, *backhaul);
+                                        for control_plan in &control_plans {
+                                            let mut spec = self
+                                                .base
+                                                .clone()
+                                                .with_seed(seed)
+                                                .with_devices_per_network(devices_per_network);
+                                            if let Some((_, wifi, backhaul)) = link {
+                                                spec = spec.with_links(*wifi, *backhaul);
+                                            }
+                                            if let Some((_, sensor)) = sensor {
+                                                spec = spec.with_sensor(*sensor);
+                                            }
+                                            if let Some((_, model)) = workload {
+                                                spec = spec.with_workload(model.clone());
+                                            }
+                                            if let Some((_, kinds)) = meter_kind {
+                                                spec = spec.with_meter_kinds(kinds.clone());
+                                            }
+                                            if let Some((_, tariff)) = tariff {
+                                                spec = spec.with_tariff(tariff.clone());
+                                            }
+                                            if let Some((_, plan)) = fault_plan {
+                                                spec = spec.with_fault_plan(plan.clone());
+                                            }
+                                            if let Some((_, plan)) = control_plan {
+                                                spec = spec.with_control_plan(plan.clone());
+                                            }
+                                            cells.push((
+                                                CellKey {
+                                                    index: cells.len(),
+                                                    seed,
+                                                    devices_per_network,
+                                                    link: link.map(|(label, _, _)| label.clone()),
+                                                    sensor: sensor.map(|(label, _)| label.clone()),
+                                                    workload: workload
+                                                        .map(|(label, _)| label.clone()),
+                                                    meter_kinds: meter_kind
+                                                        .map(|(label, _)| label.clone()),
+                                                    tariff: tariff.map(|(label, _)| label.clone()),
+                                                    fault_plan: fault_plan
+                                                        .map(|(label, _)| label.clone()),
+                                                    control_plan: control_plan
+                                                        .map(|(label, _)| label.clone()),
+                                                },
+                                                spec,
+                                            ));
                                         }
-                                        if let Some((_, sensor)) = sensor {
-                                            spec = spec.with_sensor(*sensor);
-                                        }
-                                        if let Some((_, model)) = workload {
-                                            spec = spec.with_workload(model.clone());
-                                        }
-                                        if let Some((_, kinds)) = meter_kind {
-                                            spec = spec.with_meter_kinds(kinds.clone());
-                                        }
-                                        if let Some((_, tariff)) = tariff {
-                                            spec = spec.with_tariff(tariff.clone());
-                                        }
-                                        if let Some((_, plan)) = fault_plan {
-                                            spec = spec.with_fault_plan(plan.clone());
-                                        }
-                                        cells.push((
-                                            CellKey {
-                                                index: cells.len(),
-                                                seed,
-                                                devices_per_network,
-                                                link: link.map(|(label, _, _)| label.clone()),
-                                                sensor: sensor.map(|(label, _)| label.clone()),
-                                                workload: workload.map(|(label, _)| label.clone()),
-                                                meter_kinds: meter_kind
-                                                    .map(|(label, _)| label.clone()),
-                                                tariff: tariff.map(|(label, _)| label.clone()),
-                                                fault_plan: fault_plan
-                                                    .map(|(label, _)| label.clone()),
-                                            },
-                                            spec,
-                                        ));
                                     }
                                 }
                             }
@@ -653,11 +691,12 @@ mod tests {
             meter_kinds: Some("mixed".into()),
             tariff: Some("tou-2w".into()),
             fault_plan: Some("tamper-x2".into()),
+            control_plan: Some("rollout-50".into()),
         };
         assert_eq!(
             key.to_string(),
             "seed=9 devices=3 link=lossy workload=residential meters=mixed tariff=tou-2w \
-             faults=tamper-x2"
+             faults=tamper-x2 control=rollout-50"
         );
     }
 
@@ -734,5 +773,30 @@ mod tests {
         assert_eq!(cells[1].0.fault_plan.as_deref(), Some("tamper"));
         assert!(cells[0].1.fault_plan.is_empty());
         assert_eq!(cells[1].1.fault_plan.len(), 1);
+    }
+
+    #[test]
+    fn control_plan_axis_expands_the_grid() {
+        use crate::control::{CommandTarget, ControlPlan};
+        use rtem_sim::time::SimTime;
+        let suite = Suite::new(ScenarioSpec::paper_testbed(0))
+            .over_seeds([1, 2])
+            .over_control_plans([
+                ("uncommanded", ControlPlan::new()),
+                (
+                    "slowdown",
+                    ControlPlan::new().set_measure_interval(
+                        SimTime::from_secs(20),
+                        CommandTarget::AllDevices,
+                        SimDuration::from_millis(500),
+                    ),
+                ),
+            ]);
+        assert_eq!(suite.len(), 4);
+        let cells = suite.cells();
+        assert_eq!(cells[0].0.control_plan.as_deref(), Some("uncommanded"));
+        assert_eq!(cells[1].0.control_plan.as_deref(), Some("slowdown"));
+        assert!(cells[0].1.control_plan.is_empty());
+        assert_eq!(cells[1].1.control_plan.len(), 1);
     }
 }

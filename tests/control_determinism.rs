@@ -1,0 +1,197 @@
+//! Golden-snapshot determinism for the fleet-command control plane.
+//!
+//! Two guarantees, locked as SHA-256 digests against committed fixtures:
+//!
+//! 1. A run that reconfigures the fleet mid-flight (a staged Tmeasure
+//!    rollout plus a retained QoS 2 site command) is bit-for-bit
+//!    reproducible — the whole [`RunReport`] *including* the
+//!    [`ControlReport`] command accounting hashes to the committed value.
+//! 2. A spec whose control plan is *empty* is indistinguishable from one
+//!    that predates the control plane entirely: it reproduces the committed
+//!    `scale_golden.txt` fixture of `tests/scale_determinism.rs` verbatim.
+//!    The control subsystem must be pay-for-what-you-use — no manager
+//!    session, no extra RNG draws, no event-order perturbation.
+//!
+//! Regenerate the control fixture deliberately (after an *intentional*
+//! behavior change) with:
+//!
+//! ```bash
+//! RTEM_UPDATE_GOLDEN=1 cargo test --test control_determinism
+//! ```
+//!
+//! On mismatch, set `RTEM_DUMP_GOLDEN=1` to write the full rendering next
+//! to the fixture for diffing.
+
+use rtem::chain::sha256::Sha256;
+use rtem::net::link::LinkConfig;
+use rtem::prelude::*;
+use std::path::PathBuf;
+
+// Relative to this test's owning crate (`crates/rtem`), which declares the
+// workspace-level tests via explicit `[[test]]` paths.
+const FIXTURE: &str = "../../tests/fixtures/control_golden.txt";
+const SCALE_FIXTURE: &str = "../../tests/fixtures/scale_golden.txt";
+
+/// Canonical text rendering; identical to `scale_determinism::render` plus
+/// the control-plane accounting, so an empty-plan report (whose `control`
+/// is `None`... and is rendered by the scale fixture) stays comparable.
+fn render(report: &RunReport) -> String {
+    format!(
+        "metrics: {:#?}\naccuracy: {:#?}\nhandshakes: {:#?}\nledgers: {:#?}\nbills: {:#?}\nresilience: {:#?}\nfault_records: {:#?}\n",
+        report.metrics,
+        report.accuracy,
+        report.handshakes,
+        report.ledgers,
+        report.bills,
+        report.resilience,
+        report.world().fault_records(),
+    )
+}
+
+fn render_with_control(report: &RunReport) -> String {
+    format!(
+        "{}control: {:#?}\n",
+        render(report),
+        report.control.as_ref().expect("spec carries a plan")
+    )
+}
+
+fn fixture_path(relative: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(relative)
+}
+
+/// The golden control scenario: the paper testbed commanded mid-run — a
+/// two-stage Tmeasure slowdown over QoS 1, a retained QoS 2 tariff hint to
+/// one site, and a mute/resume round-trip on a single device.
+fn commanded_spec() -> ScenarioSpec {
+    let t = SimTime::from_secs;
+    let site = ScenarioSpec::network_addr(1);
+    let dev = ScenarioSpec::device_id(0, 1);
+    let plan = ControlPlan::new()
+        .staged_rollout(
+            t(20),
+            SimDuration::from_secs(5),
+            &[50, 100],
+            FleetCommand::SetMeasureInterval {
+                interval: SimDuration::from_millis(500),
+            },
+            QoS::AtLeastOnce,
+            false,
+        )
+        .command_with(
+            t(28),
+            CommandTarget::Site(site),
+            FleetCommand::SetTariffHint(TariffHint::flat(2.5)),
+            QoS::ExactlyOnce,
+            true,
+        )
+        .stop_reporting(t(32), CommandTarget::Device(dev))
+        .start_reporting(t(40), CommandTarget::Device(dev));
+    ScenarioSpec::paper_testbed(4242)
+        .with_horizon(SimDuration::from_secs(55))
+        .with_control_plan(plan)
+}
+
+#[test]
+fn commanded_run_matches_committed_fixture() {
+    let report = Experiment::new(commanded_spec())
+        .run()
+        .expect("golden spec is valid");
+    let rendering = render_with_control(&report);
+    let produced = format!(
+        "commanded_testbed {}\n",
+        Sha256::digest(rendering.as_bytes()).to_hex()
+    );
+
+    let path = fixture_path(FIXTURE);
+    if std::env::var("RTEM_UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &produced).unwrap();
+        return;
+    }
+    let committed = std::fs::read_to_string(&path)
+        .expect("tests/fixtures/control_golden.txt committed (RTEM_UPDATE_GOLDEN=1 to create)");
+    if produced != committed {
+        if std::env::var("RTEM_DUMP_GOLDEN").is_ok() {
+            let dump = path.with_file_name("control_golden.dump");
+            std::fs::write(&dump, &rendering).unwrap();
+            eprintln!("dumped {}", dump.display());
+        }
+        panic!(
+            "commanded RunReport diverged from the committed golden snapshot.\n\
+             produced:\n{produced}\ncommitted:\n{committed}\n\
+             If the change is intentional, regenerate with RTEM_UPDATE_GOLDEN=1; \
+             set RTEM_DUMP_GOLDEN=1 to write the full rendering for diffing."
+        );
+    }
+}
+
+#[test]
+fn commanded_run_is_reproducible() {
+    let a = Experiment::new(commanded_spec()).run().expect("valid spec");
+    let b = Experiment::new(commanded_spec()).run().expect("valid spec");
+    assert_eq!(
+        render_with_control(&a),
+        render_with_control(&b),
+        "two runs of the commanded spec must be bit-identical"
+    );
+    let control = a.control.as_ref().expect("plan is non-empty");
+    assert!(control.fully_acked(), "every command round-trip closes");
+    assert_eq!(control.rejected(), 0);
+}
+
+/// The pay-for-what-you-use gate: re-runs `tests/scale_determinism.rs`'s
+/// exact golden scenarios with an explicitly-attached *empty* control plan
+/// and requires the committed `scale_golden.txt` digests verbatim — proof
+/// that growing the control plane changed nothing for uncommanded runs.
+#[test]
+fn empty_control_plan_reproduces_committed_scale_goldens() {
+    let fleet = ScenarioSpec::single_network(200, 4242)
+        .with_horizon(SimDuration::from_secs(60))
+        .with_control_plan(ControlPlan::new());
+    let mobile = ScenarioSpec::device_id(0, 0);
+    let dest = ScenarioSpec::network_addr(3);
+    let faults = FaultPlan::new()
+        .sensor_stuck_at(SimTime::from_secs(20), ScenarioSpec::device_id(1, 2), 5.0)
+        .tamper_at(SimTime::from_secs(25), ScenarioSpec::network_addr(1))
+        .link_burst(
+            SimTime::from_secs(30),
+            SimTime::from_secs(40),
+            LinkTarget::Wifi {
+                network: Some(ScenarioSpec::network_addr(2)),
+            },
+            LinkConfig {
+                loss_probability: 0.6,
+                ..LinkConfig::wifi()
+            },
+        );
+    let kitchen_sink = ScenarioSpec::paper_testbed(777)
+        .with_networks(3)
+        .with_devices_per_network(8)
+        .with_empty_networks(1)
+        .with_horizon(SimDuration::from_secs(60))
+        .unplug_at(SimTime::from_secs(22), mobile)
+        .plug_in_at(SimTime::from_secs(32), mobile, dest)
+        .with_fault_plan(faults)
+        .with_control_plan(ControlPlan::new());
+
+    let mut lines = Vec::new();
+    for (name, spec) in [("fleet_200x60s", fleet), ("kitchen_sink_3x8", kitchen_sink)] {
+        let report = Experiment::new(spec).run().expect("golden specs are valid");
+        assert!(
+            report.control.is_none(),
+            "an empty plan must not produce a ControlReport"
+        );
+        lines.push(format!(
+            "{name} {}",
+            Sha256::digest(render(&report).as_bytes()).to_hex()
+        ));
+    }
+    let produced = lines.join("\n") + "\n";
+    let committed = std::fs::read_to_string(fixture_path(SCALE_FIXTURE))
+        .expect("tests/fixtures/scale_golden.txt is committed");
+    assert_eq!(
+        produced, committed,
+        "attaching an empty control plan perturbed the pre-control goldens"
+    );
+}

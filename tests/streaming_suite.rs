@@ -11,6 +11,7 @@ fn assert_reports_identical(a: &RunReport, b: &RunReport, context: &str) {
     assert_eq!(a.handshakes, b.handshakes, "{context}: handshakes diverged");
     assert_eq!(a.ledgers, b.ledgers, "{context}: ledgers diverged");
     assert_eq!(a.bills, b.bills, "{context}: bills diverged");
+    assert_eq!(a.control, b.control, "{context}: control diverged");
 }
 
 fn mobility_spec(seed: u64) -> ScenarioSpec {
@@ -117,13 +118,26 @@ fn probe_events_match_the_scripted_mobility() {
 
 #[test]
 fn suite_report_is_invariant_under_thread_count() {
-    // Acceptance: a 4-cell suite on ≥2 worker threads produces the same
-    // report as on 1 thread (wall-clock measurements aside).
+    // Acceptance: an 8-cell suite on ≥2 worker threads produces the same
+    // report as on 1 thread (wall-clock measurements aside). The grid spans
+    // the control-plan axis too: commanded cells carry a ControlReport that
+    // must be equally thread-count invariant.
     let base = ScenarioSpec::paper_testbed(0).with_horizon(SimDuration::from_secs(25));
+    let slowdown = ControlPlan::new().command_at(
+        SimTime::from_secs(12),
+        CommandTarget::AllDevices,
+        FleetCommand::SetMeasureInterval {
+            interval: SimDuration::from_millis(400),
+        },
+    );
     let grid = |threads: usize| {
         Suite::new(base.clone())
             .over_seeds([601, 602])
             .over_devices_per_network([1, 2])
+            .over_control_plans([
+                ("uncommanded", ControlPlan::new()),
+                ("slowdown", slowdown.clone()),
+            ])
             .with_threads(threads)
             .run()
             .unwrap()
@@ -132,8 +146,16 @@ fn suite_report_is_invariant_under_thread_count() {
     let parallel = grid(3);
     assert_eq!(serial.threads_used, 1);
     assert_eq!(parallel.threads_used, 3);
-    assert_eq!(serial.cells.len(), 4);
-    assert_eq!(parallel.cells.len(), 4);
+    assert_eq!(serial.cells.len(), 8);
+    assert_eq!(parallel.cells.len(), 8);
+    assert!(
+        serial
+            .cells
+            .iter()
+            .any(|c| c.key.control_plan.as_deref() == Some("slowdown")
+                && c.report.control.as_ref().is_some_and(|r| r.fully_acked())),
+        "the commanded cells completed their rollout"
+    );
     for (a, b) in serial.cells.iter().zip(&parallel.cells) {
         assert_eq!(a.key, b.key, "grid order must not depend on threads");
         assert_eq!(a.spec, b.spec);
