@@ -101,6 +101,8 @@ pub struct Aggregator {
     verdicts: Vec<WindowVerdict>,
     nacks_sent: u64,
     reports_accepted: u64,
+    records_accepted: u64,
+    records_duplicate_filtered: u64,
 }
 
 impl core::fmt::Debug for Aggregator {
@@ -137,6 +139,8 @@ impl Aggregator {
             verdicts: Vec::new(),
             nacks_sent: 0,
             reports_accepted: 0,
+            records_accepted: 0,
+            records_duplicate_filtered: 0,
         }
     }
 
@@ -201,6 +205,20 @@ impl Aggregator {
     /// Number of consumption reports accepted.
     pub fn reports_accepted(&self) -> u64 {
         self.reports_accepted
+    }
+
+    /// Number of individual measurement records accepted (staged, billed or
+    /// forwarded), after duplicate filtering, including roaming forwards
+    /// billed here as the home network.
+    pub fn records_accepted(&self) -> u64 {
+        self.records_accepted
+    }
+
+    /// Number of individual measurement records discarded as duplicates
+    /// (retransmissions below the ack watermark or the processed-through
+    /// mark, locally or in a roaming forward).
+    pub fn records_duplicate_filtered(&self) -> u64 {
+        self.records_duplicate_filtered
     }
 
     /// Registers a device administratively (e.g. pre-provisioned at
@@ -327,6 +345,7 @@ impl Aggregator {
         for record in records {
             // Ignore duplicates the device retransmitted before seeing our ack.
             if already_acked.is_some_and(|acked| record.sequence <= acked) {
+                self.records_duplicate_filtered += 1;
                 continue;
             }
             // Ignore records this aggregator already processed under an
@@ -338,11 +357,13 @@ impl Aggregator {
                 .get(&device)
                 .is_some_and(|&mark| record.sequence <= mark)
             {
+                self.records_duplicate_filtered += 1;
                 continue;
             }
             if membership.kind == MembershipKind::Temporary {
                 fresh_for_home.push(*record);
             }
+            self.records_accepted += 1;
             report_sum_ma += record.mean_current_ma();
             self.entropy.observe(device, record.mean_current_ma());
             self.stage_entry(device, billed_by, record);
@@ -479,8 +500,10 @@ impl Aggregator {
                         .get(device)
                         .is_some_and(|&mark| record.sequence <= mark)
                     {
+                        self.records_duplicate_filtered += 1;
                         continue;
                     }
+                    self.records_accepted += 1;
                     self.billing.bill_record(
                         *device,
                         record.charge_uas,

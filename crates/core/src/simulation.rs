@@ -32,6 +32,10 @@ use rtem_net::rssi::{PathLossModel, Position, RadioEnvironment};
 use rtem_sensors::fault::SensorFault;
 use rtem_sensors::grid::{Branch, BranchId, GridNetwork};
 use rtem_sim::prelude::*;
+use rtem_telemetry::{
+    CodecFailureTable, DispatchProfiler, MetricId, MetricsRegistry, TelemetryConfig,
+    TelemetryReport, TraceLog,
+};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Events driving the world.
@@ -66,6 +70,44 @@ enum WorldEvent {
     /// Scheduled: a fleet command is published (index into the control
     /// table).
     ControlCommand(usize),
+}
+
+impl WorldEvent {
+    /// Number of event kinds (one slot per variant).
+    const KIND_COUNT: usize = 11;
+
+    /// Stable per-kind labels, in [`kind_index`](Self::kind_index) order —
+    /// the names the trace spans and the dispatch profiler report under.
+    const KIND_LABELS: [&'static str; WorldEvent::KIND_COUNT] = [
+        "MeasureTick",
+        "UpstreamSample",
+        "WindowEnd",
+        "BrokerPoll",
+        "BackhaulPoll",
+        "PlugIn",
+        "Unplug",
+        "RemoveDevice",
+        "FaultStart",
+        "FaultEnd",
+        "ControlCommand",
+    ];
+
+    /// Dense index of this event's kind into [`KIND_LABELS`](Self::KIND_LABELS).
+    fn kind_index(&self) -> usize {
+        match self {
+            WorldEvent::MeasureTick(_) => 0,
+            WorldEvent::UpstreamSample(_) => 1,
+            WorldEvent::WindowEnd(_) => 2,
+            WorldEvent::BrokerPoll => 3,
+            WorldEvent::BackhaulPoll => 4,
+            WorldEvent::PlugIn { .. } => 5,
+            WorldEvent::Unplug(_) => 6,
+            WorldEvent::RemoveDevice { .. } => 7,
+            WorldEvent::FaultStart(_) => 8,
+            WorldEvent::FaultEnd(_) => 9,
+            WorldEvent::ControlCommand(_) => 10,
+        }
+    }
 }
 
 /// Observable milestone emitted while the world advances.
@@ -182,6 +224,16 @@ pub enum WorldNotification {
         /// The evidence that triggered detection.
         signal: DetectionSignal,
     },
+    /// A periodic telemetry snapshot was stamped on the snapshot grid (see
+    /// [`World::enable_telemetry`]). Only emitted while telemetry is
+    /// enabled; never part of golden comparisons.
+    MetricsSnapshot {
+        /// The grid time the snapshot covers (every event dispatched at or
+        /// before `at` is reflected).
+        at: SimTime,
+        /// The snapshot (boxed to keep the notification enum small).
+        snapshot: Box<rtem_telemetry::MetricsSnapshot>,
+    },
 }
 
 impl WorldNotification {
@@ -197,7 +249,26 @@ impl WorldNotification {
             | WorldNotification::FaultCleared { at, .. }
             | WorldNotification::CommandPublished { at, .. }
             | WorldNotification::CommandApplied { at, .. }
-            | WorldNotification::FaultDetected { at, .. } => at,
+            | WorldNotification::FaultDetected { at, .. }
+            | WorldNotification::MetricsSnapshot { at, .. } => at,
+        }
+    }
+
+    /// A stable, payload-free name for the milestone kind — what the
+    /// telemetry trace records each notification instant under.
+    pub fn label(&self) -> &'static str {
+        match self {
+            WorldNotification::BlockSealed { .. } => "BlockSealed",
+            WorldNotification::AnomalousWindow { .. } => "AnomalousWindow",
+            WorldNotification::HandshakeCompleted { .. } => "HandshakeCompleted",
+            WorldNotification::PluggedIn { .. } => "PluggedIn",
+            WorldNotification::Unplugged { .. } => "Unplugged",
+            WorldNotification::FaultInjected { .. } => "FaultInjected",
+            WorldNotification::FaultCleared { .. } => "FaultCleared",
+            WorldNotification::CommandPublished { .. } => "CommandPublished",
+            WorldNotification::CommandApplied { .. } => "CommandApplied",
+            WorldNotification::FaultDetected { .. } => "FaultDetected",
+            WorldNotification::MetricsSnapshot { .. } => "MetricsSnapshot",
         }
     }
 }
@@ -439,6 +510,47 @@ pub struct World {
     /// commands. Empty in uncommanded runs, so the measurement cadence is
     /// bit-identical with earlier revisions.
     measure_overrides: BTreeMap<DeviceId, SimDuration>,
+    /// Always-on dispatch tally by [`WorldEvent`] kind — two array writes
+    /// per event, read back at telemetry snapshot time.
+    events_by_kind: [u64; WorldEvent::KIND_COUNT],
+    /// High-water mark of the scheduler queue length, sampled at the top of
+    /// the event loop.
+    queue_high_water: usize,
+    /// Always-on telegram parse-failure tally by protocol family × error
+    /// kind (two array indexes per failed parse — failures are rare).
+    codec_failures: CodecFailureTable,
+    /// Optional telemetry collection (see [`World::enable_telemetry`]).
+    /// `None` costs nothing beyond the always-on taps above; enabled, it
+    /// reads — never writes — deterministic state, so results stay
+    /// bit-identical whatever the configuration.
+    telemetry: Option<Box<TelemetryRuntime>>,
+    /// How many `notifications` entries the telemetry trace has already
+    /// recorded — a watermark, so tracing needs no hook at push sites.
+    traced_notifications: usize,
+}
+
+/// The live telemetry state hanging off a [`World`] when enabled.
+struct TelemetryRuntime {
+    config: TelemetryConfig,
+    /// Next grid time to stamp. The grid is anchored at [`SimTime::ZERO`];
+    /// when telemetry is enabled mid-run, points at or before "now" are
+    /// skipped without emitting.
+    next_snapshot_at: SimTime,
+    /// Sequence number of the next snapshot.
+    seq: u64,
+    /// Reusable pull-model sink, reset and refilled at each grid point.
+    registry: MetricsRegistry,
+    /// Every snapshot stamped so far, for the end-of-run report.
+    snapshots: Vec<rtem_telemetry::MetricsSnapshot>,
+    /// The structured trace, when configured.
+    trace: Option<TraceLog>,
+    /// The wall-clock dispatch profiler, when configured. Strictly outside
+    /// deterministic state: it only ever observes elapsed host time.
+    profiler: Option<DispatchProfiler>,
+    /// Dispatch ordinal driving the profiler's sampling stride. Advances
+    /// deterministically with the event stream, so *which* dispatches get
+    /// timed never depends on the clock.
+    profile_tick: u64,
 }
 
 impl core::fmt::Debug for World {
@@ -576,6 +688,11 @@ impl World {
             control_ready: false,
             cohort_order: Vec::new(),
             measure_overrides: BTreeMap::new(),
+            events_by_kind: [0; WorldEvent::KIND_COUNT],
+            queue_high_water: 0,
+            codec_failures: CodecFailureTable::new(),
+            telemetry: None,
+            traced_notifications: 0,
         }
     }
 
@@ -584,6 +701,8 @@ impl World {
     /// deterministic for a given seed regardless of how `run_until` calls
     /// are sliced.
     pub fn take_notifications(&mut self) -> Vec<WorldNotification> {
+        self.trace_new_notifications();
+        self.traced_notifications = 0;
         std::mem::take(&mut self.notifications)
     }
 
@@ -847,6 +966,334 @@ impl World {
             .unwrap_or_default()
     }
 
+    /// Turns on telemetry collection: periodic
+    /// [`MetricsSnapshot`](rtem_telemetry::MetricsSnapshot)s on a grid
+    /// anchored at [`SimTime::ZERO`] (emitted both as
+    /// [`WorldNotification::MetricsSnapshot`] and into the end-of-run
+    /// [`TelemetryReport`]), plus the optional structured trace and
+    /// wall-clock dispatch profiler. Telemetry only *reads* deterministic
+    /// state, so simulation results are bit-identical with telemetry on,
+    /// off, or at any snapshot interval. When enabled mid-run, grid points
+    /// at or before "now" are skipped without emitting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (zero snapshot interval or
+    /// zero profiler sampling stride).
+    pub fn enable_telemetry(&mut self, config: TelemetryConfig) {
+        assert!(
+            config.is_valid(),
+            "telemetry snapshot interval and profile sample stride must be non-zero"
+        );
+        let trace = config
+            .trace
+            .then(|| TraceLog::with_capacity(config.trace_capacity));
+        let profiler = config
+            .profile
+            .then(|| DispatchProfiler::new(&WorldEvent::KIND_LABELS));
+        let mut next_snapshot_at = SimTime::ZERO + config.snapshot_interval;
+        while next_snapshot_at <= self.now() {
+            next_snapshot_at += config.snapshot_interval;
+        }
+        // Notifications buffered before enablement predate the trace.
+        self.traced_notifications = self.notifications.len();
+        self.telemetry = Some(Box::new(TelemetryRuntime {
+            config,
+            next_snapshot_at,
+            seq: 0,
+            registry: MetricsRegistry::new(),
+            snapshots: Vec::new(),
+            trace,
+            profiler,
+            profile_tick: 0,
+        }));
+    }
+
+    /// Whether telemetry collection is currently enabled.
+    pub fn telemetry_enabled(&self) -> bool {
+        self.telemetry.is_some()
+    }
+
+    /// Tears down telemetry and returns everything it recorded, with one
+    /// final snapshot stamped at `at` (normally the run horizon). `None`
+    /// when telemetry was never enabled.
+    pub fn take_telemetry(&mut self, at: SimTime) -> Option<TelemetryReport> {
+        self.trace_new_notifications();
+        let mut runtime = self.telemetry.take()?;
+        runtime.registry.reset();
+        self.fill_registry(&mut runtime.registry);
+        let final_snapshot = runtime.registry.snapshot(at, runtime.seq);
+        Some(TelemetryReport {
+            config: runtime.config,
+            snapshots: runtime.snapshots,
+            final_snapshot,
+            trace: runtime.trace,
+            profile: runtime.profiler.map(DispatchProfiler::finish),
+        })
+    }
+
+    /// Emits every due snapshot with grid time strictly before `before`
+    /// (the timestamp of the event about to dispatch).
+    fn emit_due_snapshots(&mut self, before: SimTime) {
+        while self
+            .telemetry
+            .as_ref()
+            .is_some_and(|runtime| runtime.next_snapshot_at < before)
+        {
+            let at = self
+                .telemetry
+                .as_ref()
+                .expect("checked above")
+                .next_snapshot_at;
+            self.emit_snapshot(at);
+        }
+    }
+
+    /// Emits every remaining snapshot with grid time at or before `horizon`
+    /// (all still-queued events are strictly later).
+    fn emit_snapshots_through(&mut self, horizon: SimTime) {
+        while self
+            .telemetry
+            .as_ref()
+            .is_some_and(|runtime| runtime.next_snapshot_at <= horizon)
+        {
+            let at = self
+                .telemetry
+                .as_ref()
+                .expect("checked above")
+                .next_snapshot_at;
+            self.emit_snapshot(at);
+        }
+    }
+
+    /// Stamps one snapshot at grid time `at`: resets the registry, refills
+    /// it from the subsystems' cumulative counters, stores the copy for the
+    /// report and publishes it as a notification.
+    fn emit_snapshot(&mut self, at: SimTime) {
+        // Take the runtime out so the fill can borrow the rest of the world.
+        let Some(mut runtime) = self.telemetry.take() else {
+            return;
+        };
+        runtime.registry.reset();
+        self.fill_registry(&mut runtime.registry);
+        let snapshot = runtime.registry.snapshot(at, runtime.seq);
+        runtime.seq += 1;
+        runtime.next_snapshot_at = at + runtime.config.snapshot_interval;
+        runtime.snapshots.push(snapshot.clone());
+        self.telemetry = Some(runtime);
+        self.notifications.push(WorldNotification::MetricsSnapshot {
+            at,
+            snapshot: Box::new(snapshot),
+        });
+        self.trace_new_notifications();
+    }
+
+    /// Copies any still-untraced notifications into the telemetry trace as
+    /// instants. Called after each dispatch and whenever the notification
+    /// buffer is about to be drained; a watermark (rather than hooks at the
+    /// ~10 push sites) keeps the hot paths and borrow structure untouched.
+    fn trace_new_notifications(&mut self) {
+        let Some(runtime) = self.telemetry.as_mut() else {
+            return;
+        };
+        let Some(trace) = runtime.trace.as_mut() else {
+            return;
+        };
+        for notification in &self.notifications[self.traced_notifications..] {
+            trace.push_instant(notification.label(), notification.at().as_micros());
+        }
+        self.traced_notifications = self.notifications.len();
+    }
+
+    /// The pull sync: fills a freshly reset registry from the cumulative
+    /// counters every subsystem already maintains. Reads only — this is the
+    /// one place telemetry touches the deterministic state.
+    fn fill_registry(&self, registry: &mut MetricsRegistry) {
+        // Broker, fleet-wide.
+        let fleet = registry.fleet_mut();
+        fleet.set(MetricId::BrokerPublishes, self.broker.published());
+        fleet.set(MetricId::BrokerDelivered, self.broker.delivered());
+        fleet.set(MetricId::BrokerDropped, self.broker.dropped());
+        fleet.set(
+            MetricId::BrokerQueuedForResume,
+            self.broker.queued_for_resume(),
+        );
+        fleet.set(MetricId::BrokerResumed, self.broker.resumed());
+        fleet.set(
+            MetricId::BrokerRetainedReplays,
+            self.broker.retained_delivered(),
+        );
+        fleet.set(
+            MetricId::BrokerQos2HandshakeFrames,
+            self.broker.qos2_handshake_frames(),
+        );
+        fleet.set(
+            MetricId::BrokerQos2DupSuppressed,
+            self.broker.qos2_dup_suppressed(),
+        );
+        fleet.set(
+            MetricId::BrokerSessionQueueDepth,
+            self.broker.session_queue_total() as u64,
+        );
+        // Links: every broker client link plus the backhaul mesh.
+        let mut links = self.broker.link_totals();
+        links += self.backhaul.link_totals();
+        fleet.set(MetricId::LinkPacketsOffered, links.offered);
+        fleet.set(MetricId::LinkPacketsLost, links.lost);
+        fleet.set(MetricId::LinkBytesDelivered, links.delivered_bytes());
+        fleet.set(MetricId::LinkBytesLost, links.lost_bytes);
+        fleet.set(
+            MetricId::LinkFaultsActive,
+            self.faults
+                .iter()
+                .filter(|fault| {
+                    fault.record.family == FaultFamily::Link
+                        && fault.record.injected_at.is_some()
+                        && fault.record.cleared_at.is_none()
+                })
+                .count() as u64,
+        );
+        // Scheduler.
+        fleet.set(
+            MetricId::SchedulerEventsDispatched,
+            self.events_by_kind.iter().sum(),
+        );
+        fleet.set(
+            MetricId::SchedulerQueueHighWater,
+            self.queue_high_water as u64,
+        );
+        fleet.set(MetricId::DeviceMeasureTicks, self.events_by_kind[0]);
+        // Devices, fleet-wide (unplugged devices count here even while they
+        // belong to no network).
+        let mut buffered = 0u64;
+        let mut reboots = 0u64;
+        let mut crashed = 0u64;
+        let mut lost_to_crashes = 0u64;
+        for device in self.devices.values() {
+            buffered += device.buffered_records() as u64;
+            reboots += u64::from(device.counters().reboots);
+            crashed += u64::from(device.is_crashed());
+            lost_to_crashes += device.records_lost_to_crashes();
+        }
+        fleet.set(MetricId::DeviceBufferedRecords, buffered);
+        fleet.set(MetricId::DeviceReboots, reboots);
+        fleet.set(MetricId::DeviceCrashedNow, crashed);
+        fleet.set(MetricId::DeviceRecordsLostToCrashes, lost_to_crashes);
+        fleet.set(
+            MetricId::NetworkMembers,
+            self.sites
+                .values()
+                .map(|site| site.members.len() as u64)
+                .sum(),
+        );
+        // Aggregators, fleet-wide.
+        let mut reports_accepted = 0u64;
+        let mut reports_nacked = 0u64;
+        let mut records_accepted = 0u64;
+        let mut dup_filtered = 0u64;
+        let mut verdicts = 0u64;
+        let mut anomalous = 0u64;
+        for site in self.sites.values() {
+            reports_accepted += site.aggregator.reports_accepted();
+            reports_nacked += site.aggregator.nacks_sent();
+            records_accepted += site.aggregator.records_accepted();
+            dup_filtered += site.aggregator.records_duplicate_filtered();
+            verdicts += site.aggregator.verdicts().len() as u64;
+            anomalous += site
+                .aggregator
+                .verdicts()
+                .iter()
+                .filter(|v| v.anomalous)
+                .count() as u64;
+        }
+        fleet.set(MetricId::AggReportsAccepted, reports_accepted);
+        fleet.set(MetricId::AggReportsNacked, reports_nacked);
+        fleet.set(MetricId::AggRecordsAccepted, records_accepted);
+        fleet.set(MetricId::AggRecordsDuplicateFiltered, dup_filtered);
+        fleet.set(MetricId::AggVerdicts, verdicts);
+        fleet.set(MetricId::AggAnomalousWindows, anomalous);
+        // Codecs.
+        fleet.set(MetricId::CodecTelegramsSent, self.wire.telegrams_sent);
+        fleet.set(MetricId::CodecTelegramsParsed, self.wire.telegrams_parsed);
+        fleet.set(MetricId::CodecParseFailures, self.wire.parse_failures);
+        fleet.set(
+            MetricId::CodecCorruptedInjected,
+            self.wire.corrupted_injected,
+        );
+        // Control plane.
+        let mut cmds_published = 0u64;
+        let mut cmds_applied = 0u64;
+        let mut cmds_rejected = 0u64;
+        let mut cmds_acked = 0u64;
+        for control in &self.controls {
+            cmds_published += u64::from(control.record.published_at.is_some());
+            cmds_applied += control.record.applied as u64;
+            cmds_rejected += control.record.rejected as u64;
+            cmds_acked += control.record.acked as u64;
+        }
+        fleet.set(MetricId::ControlCommandsPublished, cmds_published);
+        fleet.set(MetricId::ControlCommandsApplied, cmds_applied);
+        fleet.set(MetricId::ControlCommandsRejected, cmds_rejected);
+        fleet.set(MetricId::ControlCommandsAcked, cmds_acked);
+        registry.set_codec_failures(self.codec_failures);
+        // Per-network scopes.
+        for (addr, site) in &self.sites {
+            let scope = registry.network_mut(addr.0);
+            scope.set(MetricId::NetworkMembers, site.members.len() as u64);
+            scope.set(
+                MetricId::AggReportsAccepted,
+                site.aggregator.reports_accepted(),
+            );
+            scope.set(MetricId::AggReportsNacked, site.aggregator.nacks_sent());
+            scope.set(
+                MetricId::AggRecordsAccepted,
+                site.aggregator.records_accepted(),
+            );
+            scope.set(
+                MetricId::AggRecordsDuplicateFiltered,
+                site.aggregator.records_duplicate_filtered(),
+            );
+            scope.set(
+                MetricId::AggVerdicts,
+                site.aggregator.verdicts().len() as u64,
+            );
+            scope.set(
+                MetricId::AggAnomalousWindows,
+                site.aggregator
+                    .verdicts()
+                    .iter()
+                    .filter(|v| v.anomalous)
+                    .count() as u64,
+            );
+            let mut queue_depth = 0u64;
+            let mut links = rtem_net::link::LinkTotals::default();
+            let mut buffered = 0u64;
+            let mut reboots = 0u64;
+            let mut crashed = 0u64;
+            for device_id in site.members.keys() {
+                let client = device_client(*device_id);
+                queue_depth += self.broker.session_queue_len(client).unwrap_or(0) as u64;
+                if let Some(totals) = self.broker.client_link_totals(client) {
+                    links += totals;
+                }
+                if let Some(device) = self.devices.get(device_id) {
+                    buffered += device.buffered_records() as u64;
+                    reboots += u64::from(device.counters().reboots);
+                    crashed += u64::from(device.is_crashed());
+                }
+            }
+            let scope = registry.network_mut(addr.0);
+            scope.set(MetricId::BrokerSessionQueueDepth, queue_depth);
+            scope.set(MetricId::LinkPacketsOffered, links.offered);
+            scope.set(MetricId::LinkPacketsLost, links.lost);
+            scope.set(MetricId::LinkBytesDelivered, links.delivered_bytes());
+            scope.set(MetricId::LinkBytesLost, links.lost_bytes);
+            scope.set(MetricId::DeviceBufferedRecords, buffered);
+            scope.set(MetricId::DeviceReboots, reboots);
+            scope.set(MetricId::DeviceCrashedNow, crashed);
+        }
+    }
+
     /// Runs the world until `horizon`.
     pub fn run_until(&mut self, horizon: SimTime) {
         // The scheduler needs the world's maps, so the loop lives here rather
@@ -855,12 +1302,62 @@ impl World {
             if next > horizon {
                 break;
             }
+            // A snapshot at grid time t covers exactly the events with
+            // `at <= t`: everything earlier has dispatched, the event about
+            // to dispatch is strictly later. Emitting here (instead of via
+            // scheduled events) leaves the scheduler untouched, so the
+            // simulation is trivially bit-identical with telemetry off.
+            self.emit_due_snapshots(next);
+            let depth = self.scheduler.queue_mut().len();
+            if depth > self.queue_high_water {
+                self.queue_high_water = depth;
+            }
             let event = self.scheduler.queue_mut().pop().expect("peeked event");
             self.dispatch(event.payload, event.at);
         }
+        // Events beyond the horizon are still queued, so every remaining
+        // grid point up to the horizon is already fully covered.
+        self.emit_snapshots_through(horizon);
     }
 
+    /// Counts, traces and (when configured) wall-clock-profiles one event
+    /// dispatch. The profiler reads the host clock strictly *around* the
+    /// deterministic dispatch — it never feeds anything back into it.
     fn dispatch(&mut self, event: WorldEvent, now: SimTime) {
+        let kind = event.kind_index();
+        self.events_by_kind[kind] += 1;
+        if let Some(trace) = self
+            .telemetry
+            .as_mut()
+            .and_then(|runtime| runtime.trace.as_mut())
+        {
+            trace.push_span(WorldEvent::KIND_LABELS[kind], now.as_micros());
+        }
+        let started = self.telemetry.as_mut().and_then(|runtime| {
+            runtime.profiler.as_ref()?;
+            // Sample on the configured stride: the decision depends only on
+            // the dispatch ordinal, so the sampled subset is deterministic
+            // even though the measured wall times are not.
+            let tick = runtime.profile_tick;
+            runtime.profile_tick += 1;
+            (tick % u64::from(runtime.config.profile_sample_stride.max(1)) == 0)
+                .then(std::time::Instant::now)
+        });
+        self.dispatch_inner(event, now);
+        if let Some(started) = started {
+            let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            if let Some(profiler) = self
+                .telemetry
+                .as_mut()
+                .and_then(|runtime| runtime.profiler.as_mut())
+            {
+                profiler.record(kind, nanos);
+            }
+        }
+        self.trace_new_notifications();
+    }
+
+    fn dispatch_inner(&mut self, event: WorldEvent, now: SimTime) {
         match event {
             WorldEvent::MeasureTick(device_id) => {
                 self.handle_measure_tick(device_id, now);
@@ -1398,18 +1895,27 @@ impl World {
                 })
             }
             Ok(_) => {
-                self.note_parse_failure(device, codec, now);
+                // Parsed clean but for the wrong device: a semantic
+                // cross-frame identity failure.
+                self.note_parse_failure(device, codec, rtem_codecs::CodecErrorKind::Semantic, now);
                 None
             }
-            Err(_) => {
-                self.note_parse_failure(device, codec, now);
+            Err(error) => {
+                self.note_parse_failure(device, codec, error.kind(), now);
                 None
             }
         }
     }
 
-    fn note_parse_failure(&mut self, device: DeviceId, codec: u8, now: SimTime) {
+    fn note_parse_failure(
+        &mut self,
+        device: DeviceId,
+        codec: u8,
+        kind: rtem_codecs::CodecErrorKind,
+        now: SimTime,
+    ) {
         self.wire.parse_failures += 1;
+        self.codec_failures.record(codec, kind);
         let undetected: Vec<usize> = self
             .faults
             .iter()

@@ -7,7 +7,7 @@
 //! per-pair link quality, shortest-path (fewest hops) routing when two
 //! aggregators are not directly connected, and time-ordered delivery.
 
-use crate::link::{LinkConfig, LinkModel, Transit};
+use crate::link::{LinkConfig, LinkModel, LinkTotals, Transit};
 use crate::packet::{AggregatorAddr, Packet};
 use rtem_sim::rng::SimRng;
 use rtem_sim::time::SimTime;
@@ -395,6 +395,15 @@ impl BackhaulMesh {
     /// Messages dropped because a hop failed twice.
     pub fn lost(&self) -> u64 {
         self.lost
+    }
+
+    /// Merged traffic counters of every mesh link.
+    pub fn link_totals(&self) -> LinkTotals {
+        let mut totals = LinkTotals::default();
+        for link in self.links.values() {
+            totals += link.model.totals();
+        }
+        totals
     }
 }
 

@@ -29,7 +29,7 @@
 //!   when the session resumes. QoS 0 messages are dropped while
 //!   disconnected, exactly like a real broker.
 
-use crate::link::{LinkConfig, LinkModel, Transit};
+use crate::link::{LinkConfig, LinkModel, LinkTotals, Transit};
 use bytes::Bytes;
 use rtem_sim::rng::SimRng;
 use rtem_sim::time::SimTime;
@@ -811,6 +811,25 @@ impl MqttBroker {
     /// packet id on the subscriber side.
     pub fn qos2_dup_suppressed(&self) -> u64 {
         self.qos2_dup_suppressed
+    }
+
+    /// Merged traffic counters of every client link on this broker.
+    pub fn link_totals(&self) -> LinkTotals {
+        let mut totals = LinkTotals::default();
+        for client in self.clients.values() {
+            totals += client.link.totals();
+        }
+        totals
+    }
+
+    /// Traffic counters of one client's link. `None` for unknown clients.
+    pub fn client_link_totals(&self, id: ClientId) -> Option<LinkTotals> {
+        self.clients.get(&id).map(|c| c.link.totals())
+    }
+
+    /// Total messages currently parked across every persistent session.
+    pub fn session_queue_total(&self) -> usize {
+        self.clients.values().map(|c| c.session_queue.len()).sum()
     }
 }
 

@@ -41,7 +41,7 @@ pub mod tdma;
 
 pub use backhaul::{BackhaulDelivery, BackhaulError, BackhaulMesh};
 pub use broker::{BrokerError, ClientId, Delivery, MqttBroker, QoS};
-pub use link::{LinkConfig, LinkModel, Transit};
+pub use link::{LinkConfig, LinkModel, LinkTotals, Transit};
 pub use packet::{
     AggregatorAddr, DecodeError, DeviceId, MeasurementRecord, MembershipKind, Packet, RejectReason,
 };

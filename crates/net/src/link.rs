@@ -119,6 +119,8 @@ pub struct LinkModel {
     rng: SimRng,
     offered: u64,
     lost: u64,
+    offered_bytes: u64,
+    lost_bytes: u64,
 }
 
 impl LinkModel {
@@ -134,6 +136,8 @@ impl LinkModel {
             rng,
             offered: 0,
             lost: 0,
+            offered_bytes: 0,
+            lost_bytes: 0,
         }
     }
 
@@ -159,8 +163,10 @@ impl LinkModel {
     /// Offers a packet of `size_bytes` to the link and returns its fate.
     pub fn offer(&mut self, size_bytes: usize) -> Transit {
         self.offered += 1;
+        self.offered_bytes += size_bytes as u64;
         if self.config.loss_probability > 0.0 && self.rng.chance(self.config.loss_probability) {
             self.lost += 1;
+            self.lost_bytes += size_bytes as u64;
             return Transit::Lost;
         }
         let mut delay = self.config.base_latency;
@@ -192,6 +198,50 @@ impl LinkModel {
         } else {
             self.lost as f64 / self.offered as f64
         }
+    }
+
+    /// This link's cumulative traffic counters as one mergeable value.
+    pub fn totals(&self) -> LinkTotals {
+        LinkTotals {
+            offered: self.offered,
+            lost: self.lost,
+            offered_bytes: self.offered_bytes,
+            lost_bytes: self.lost_bytes,
+        }
+    }
+}
+
+/// Cumulative traffic counters of one link (or a merged set of links).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LinkTotals {
+    /// Packets offered to the link.
+    pub offered: u64,
+    /// Packets lost.
+    pub lost: u64,
+    /// Bytes offered to the link.
+    pub offered_bytes: u64,
+    /// Bytes on lost packets.
+    pub lost_bytes: u64,
+}
+
+impl LinkTotals {
+    /// Bytes that actually made it across.
+    pub fn delivered_bytes(&self) -> u64 {
+        self.offered_bytes - self.lost_bytes
+    }
+
+    /// Packets that actually made it across.
+    pub fn delivered(&self) -> u64 {
+        self.offered - self.lost
+    }
+}
+
+impl std::ops::AddAssign for LinkTotals {
+    fn add_assign(&mut self, rhs: LinkTotals) {
+        self.offered += rhs.offered;
+        self.lost += rhs.lost;
+        self.offered_bytes += rhs.offered_bytes;
+        self.lost_bytes += rhs.lost_bytes;
     }
 }
 
@@ -309,6 +359,34 @@ mod tests {
             loss_probability: -0.5,
             ..LinkConfig::ideal()
         });
+    }
+
+    #[test]
+    fn totals_track_bytes_and_merge() {
+        let lossy = LinkConfig {
+            base_latency: SimDuration::from_millis(1),
+            jitter: SimDuration::ZERO,
+            loss_probability: 1.0,
+            bandwidth_bps: None,
+        };
+        let mut a = LinkModel::new(LinkConfig::ideal(), rng());
+        let _ = a.offer(100);
+        let _ = a.offer(50);
+        let mut b = LinkModel::new(lossy, rng());
+        let _ = b.offer(30);
+        let mut merged = a.totals();
+        merged += b.totals();
+        assert_eq!(
+            merged,
+            LinkTotals {
+                offered: 3,
+                lost: 1,
+                offered_bytes: 180,
+                lost_bytes: 30,
+            }
+        );
+        assert_eq!(merged.delivered(), 2);
+        assert_eq!(merged.delivered_bytes(), 150);
     }
 
     #[test]

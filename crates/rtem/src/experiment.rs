@@ -77,6 +77,9 @@ impl Experiment {
         for event in &self.spec.control_plan.events {
             world.schedule_control(*event);
         }
+        if let Some(config) = self.spec.telemetry {
+            world.enable_telemetry(config);
+        }
         Ok(world)
     }
 
@@ -121,10 +124,13 @@ impl Experiment {
 /// had no settled window).
 pub(crate) fn collect_report(
     spec: &ScenarioSpec,
-    world: World,
+    mut world: World,
     horizon: SimTime,
     clean_baseline: Option<Option<f64>>,
 ) -> RunReport {
+    // Tear down telemetry first so the final snapshot is stamped at the
+    // horizon, before the world is frozen into the report.
+    let telemetry = world.take_telemetry(horizon);
     let metrics = WorldMetrics::collect(&world);
     let handshakes = metrics.handshake_stats();
     let faulted = !spec.fault_plan.is_empty();
@@ -180,18 +186,24 @@ pub(crate) fn collect_report(
         bills,
         resilience: None,
         control,
+        telemetry,
         world,
     };
     if faulted {
         // The accuracy-under-fault delta needs a clean twin: the identical
         // spec minus the fault plan. Simulated here unless the caller (a
-        // Suite sharing one baseline across cells) already ran it.
+        // Suite sharing one baseline across cells) already ran it. The twin
+        // does not collect telemetry — its report is discarded anyway.
         let clean_overhead = match clean_baseline {
             Some(precomputed) => precomputed,
-            None => Experiment::new(spec.clone().with_fault_plan(FaultPlan::new()))
-                .run()
-                .expect("a spec that validated with its plan validates without it")
-                .mean_overhead_percent(),
+            None => {
+                let mut twin = spec.clone().with_fault_plan(FaultPlan::new());
+                twin.telemetry = None;
+                Experiment::new(twin)
+                    .run()
+                    .expect("a spec that validated with its plan validates without it")
+                    .mean_overhead_percent()
+            }
         };
         report.resilience = Some(build_resilience(
             report.world.fault_records(),

@@ -37,6 +37,17 @@
 //! * [`report`] — the [`RunReport`](report::RunReport) bundling world
 //!   metrics, Fig. 5 accuracy windows, Thandshake statistics, ledger audit
 //!   summaries and consolidated bills.
+//! * [`telemetry`] — the observability subsystem: a typed
+//!   [`MetricsRegistry`](telemetry::MetricsRegistry) sampled on a
+//!   deterministic sim-time grid into
+//!   [`MetricsSnapshot`](telemetry::MetricsSnapshot)s, Chrome trace-event
+//!   export of the scheduler and notification streams, and a wall-clock
+//!   dispatch profiler — enabled per run via
+//!   [`ScenarioSpec::with_telemetry`](spec::ScenarioSpec::with_telemetry)
+//!   and returned as the
+//!   [`TelemetryReport`](telemetry::TelemetryReport) in
+//!   [`RunReport::telemetry`](report::RunReport::telemetry). Strictly
+//!   observational: simulation results are bit-identical with it on or off.
 //! * [`prelude`] — the curated one-line import.
 //!
 //! The substrate remains reachable under stable module paths
@@ -75,6 +86,7 @@ pub use rtem_device as device;
 pub use rtem_net as net;
 pub use rtem_sensors as sensors;
 pub use rtem_sim as sim;
+pub use rtem_telemetry as telemetry;
 pub use rtem_workloads as workloads;
 
 /// Convenient glob-import of the curated facade surface.
@@ -98,7 +110,7 @@ pub mod prelude {
     pub use crate::runner::{NetworkProgress, RunHandle, RunProgress};
     pub use crate::spec::{ScenarioSpec, ScriptEvent, SpecError};
     pub use crate::suite::{
-        AggregateStats, CellKey, Suite, SuiteAggregates, SuiteCell, SuiteReport,
+        AggregateStats, CellKey, Suite, SuiteAggregates, SuiteCell, SuiteConfig, SuiteReport,
     };
     pub use rtem_aggregator::billing::{CostBreakdown, Tariff, TariffError, TierRate, TouWindow};
     pub use rtem_codecs::{CodecError, MeterKind, Telegram};
@@ -115,5 +127,8 @@ pub mod prelude {
     pub use rtem_sensors::energy::{MilliampSeconds, Milliamps, Millivolts, MilliwattHours};
     pub use rtem_sim::rng::SimRng;
     pub use rtem_sim::time::{SimDuration, SimTime};
+    pub use rtem_telemetry::{
+        MetricId, MetricsSnapshot, TelemetryConfig, TelemetryReport, TraceLog,
+    };
     pub use rtem_workloads::{WorkloadError, WorkloadModel};
 }

@@ -21,12 +21,15 @@
 //! it cares about. For full-stream consumers, overriding [`Probe::on_event`]
 //! alone sees everything.
 
+use std::collections::VecDeque;
+
 use rtem_aggregator::verify::WindowVerdict;
 use rtem_core::simulation::WorldNotification;
 use rtem_device::network_mgmt::HandshakeBreakdown;
 use rtem_faults::event::{DetectionSignal, FaultFamily};
 use rtem_net::packet::{AggregatorAddr, DeviceId};
 use rtem_sim::time::SimTime;
+use rtem_telemetry::MetricsSnapshot;
 
 /// One milestone observed during a run.
 ///
@@ -88,6 +91,7 @@ pub trait Probe {
                 device,
                 applied,
             } => self.on_command_applied(*at, *seq, *device, *applied),
+            RunEvent::MetricsSnapshot { at, snapshot } => self.on_metrics(*at, snapshot),
         }
     }
 
@@ -158,6 +162,13 @@ pub trait Probe {
     fn on_command_applied(&mut self, at: SimTime, seq: u32, device: DeviceId, applied: bool) {
         let _ = (at, seq, device, applied);
     }
+
+    /// The telemetry runtime emitted a periodic metrics snapshot. Fires only
+    /// when the spec enabled telemetry
+    /// ([`with_telemetry`](crate::spec::ScenarioSpec::with_telemetry)).
+    fn on_metrics(&mut self, at: SimTime, snapshot: &MetricsSnapshot) {
+        let _ = (at, snapshot);
+    }
 }
 
 /// The do-nothing observer used by unprobed runs.
@@ -167,15 +178,60 @@ pub struct NullProbe;
 impl Probe for NullProbe {}
 
 /// A probe that records every event it sees, for inspection after the run.
+///
+/// By default it keeps everything. For long or large runs,
+/// [`with_capacity`](RecordingProbe::with_capacity) turns it into a bounded
+/// ring that keeps only the most recent events and counts what it sheds, so
+/// memory stays flat no matter how long the run is:
+///
+/// ```
+/// use rtem::prelude::*;
+///
+/// let spec = ScenarioSpec::paper_testbed(42).with_horizon(SimDuration::from_secs(30));
+/// let handle = Experiment::new(spec)
+///     .start_probed(RecordingProbe::with_capacity(8))
+///     .unwrap();
+/// let (_, probe) = handle.finish_probed();
+/// assert!(probe.events().len() <= 8);
+/// ```
+///
+/// Note that the count accessors ([`blocks_sealed`](RecordingProbe::blocks_sealed)
+/// etc.) count only the *retained* events; in ring mode they undercount once
+/// the ring has wrapped.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RecordingProbe {
-    events: Vec<RunEvent>,
+    events: VecDeque<RunEvent>,
+    capacity: Option<usize>,
+    dropped: u64,
 }
 
 impl RecordingProbe {
-    /// Every recorded event, in dispatch order.
-    pub fn events(&self) -> &[RunEvent] {
+    /// A bounded recorder that keeps only the most recent `capacity` events,
+    /// dropping the oldest and counting them in
+    /// [`dropped`](RecordingProbe::dropped).
+    pub fn with_capacity(capacity: usize) -> RecordingProbe {
+        RecordingProbe {
+            events: VecDeque::with_capacity(capacity),
+            capacity: Some(capacity),
+            dropped: 0,
+        }
+    }
+
+    /// The retained events, in dispatch order (oldest first). In ring mode
+    /// this is the most recent window of the stream.
+    pub fn events(&self) -> &VecDeque<RunEvent> {
         &self.events
+    }
+
+    /// The ring capacity, or `None` for the default unbounded recorder.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Events shed from the front of the ring to stay within capacity.
+    /// Always 0 for an unbounded recorder.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
     }
 
     /// Number of blocks sealed across all networks.
@@ -230,7 +286,17 @@ impl RecordingProbe {
 
 impl Probe for RecordingProbe {
     fn on_event(&mut self, event: &RunEvent) {
-        self.events.push(event.clone());
+        if let Some(capacity) = self.capacity {
+            if capacity == 0 {
+                self.dropped += 1;
+                return;
+            }
+            while self.events.len() >= capacity {
+                self.events.pop_front();
+                self.dropped += 1;
+            }
+        }
+        self.events.push_back(event.clone());
     }
 }
 
@@ -261,6 +327,42 @@ mod tests {
         assert_eq!(probe.unplugs(), 1);
         assert_eq!(probe.plug_ins(), 1);
         assert_eq!(probe.blocks_sealed(), 0);
+    }
+
+    #[test]
+    fn bounded_ring_keeps_last_n_and_counts_drops() {
+        let mut probe = RecordingProbe::with_capacity(3);
+        for second in 1..=5u64 {
+            probe.on_event(&RunEvent::Unplugged {
+                at: SimTime::from_secs(second),
+                device: DeviceId(second),
+            });
+        }
+        assert_eq!(probe.events().len(), 3);
+        assert_eq!(probe.dropped(), 2);
+        assert_eq!(probe.capacity(), Some(3));
+        // The retained window is the most recent one, oldest first.
+        let retained: Vec<SimTime> = probe.events().iter().map(|e| e.at()).collect();
+        assert_eq!(
+            retained,
+            vec![
+                SimTime::from_secs(3),
+                SimTime::from_secs(4),
+                SimTime::from_secs(5)
+            ]
+        );
+
+        // Capacity 0 records nothing but still counts.
+        let mut none = RecordingProbe::with_capacity(0);
+        none.on_event(&RunEvent::Unplugged {
+            at: SimTime::ZERO,
+            device: DeviceId(1),
+        });
+        assert!(none.events().is_empty());
+        assert_eq!(none.dropped(), 1);
+
+        // The default recorder stays unbounded.
+        assert_eq!(RecordingProbe::default().capacity(), None);
     }
 
     #[test]

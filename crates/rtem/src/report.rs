@@ -5,6 +5,8 @@ use rtem_core::metrics::{AccuracyWindow, HandshakeStats, WorldMetrics};
 use rtem_core::simulation::World;
 use rtem_net::packet::{AggregatorAddr, DeviceId};
 use rtem_sensors::energy::{Millivolts, MilliwattHours};
+use rtem_sim::trace::TimeSeries;
+use rtem_telemetry::{MetricId, TelemetryReport};
 
 /// The Fig. 5 accuracy windows of one network.
 #[derive(Debug, Clone, PartialEq)]
@@ -119,6 +121,9 @@ pub struct RunReport {
     /// Control-plane accounting — present when the spec scheduled a control
     /// plan.
     pub control: Option<crate::control::ControlReport>,
+    /// Telemetry collected during the run — present when the spec enabled it
+    /// via [`with_telemetry`](crate::spec::ScenarioSpec::with_telemetry).
+    pub telemetry: Option<TelemetryReport>,
     pub(crate) world: World,
 }
 
@@ -166,6 +171,39 @@ impl RunReport {
             .iter()
             .map(|l| l.blocks.saturating_sub(1))
             .sum()
+    }
+
+    /// The headline run series as CSV blocks, ready to pipe into a plotting
+    /// tool: the per-network broker queue depth sampled by telemetry, and
+    /// each network's accuracy-overhead trajectory across verification
+    /// windows. Returns `None` when the run collected no telemetry.
+    ///
+    /// Each block is `# <series name>` followed by
+    /// [`TimeSeries::to_csv`] output, blocks separated by blank lines.
+    pub fn telemetry_csv(&self) -> Option<String> {
+        let telemetry = self.telemetry.as_ref()?;
+        let mut out = String::new();
+        let mut push = |series: &TimeSeries| {
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            out.push_str("# ");
+            out.push_str(series.name());
+            out.push('\n');
+            out.push_str(&series.to_csv());
+        };
+        for network in telemetry.networks() {
+            push(&telemetry.network_series(network, MetricId::BrokerSessionQueueDepth));
+        }
+        for accuracy in &self.accuracy {
+            let mut series =
+                TimeSeries::new(format!("net-{} overhead_percent", accuracy.network.0));
+            for window in accuracy.settled_windows() {
+                series.push(window.start, window.overhead_percent());
+            }
+            push(&series);
+        }
+        Some(out)
     }
 
     /// Mean aggregator-over-devices overhead across every settled window of

@@ -330,7 +330,8 @@ mod tests {
         assert!(probe.blocks_sealed() > 0);
         assert_eq!(probe.handshakes_completed(), 4);
         assert_eq!(probe.plug_ins(), 4, "initial build-time plug-ins");
-        assert!(probe.events().windows(2).all(|w| w[0].at() <= w[1].at()));
+        let events: Vec<_> = probe.events().iter().collect();
+        assert!(events.windows(2).all(|w| w[0].at() <= w[1].at()));
         assert_eq!(report.metrics.networks.len(), 2);
     }
 }

@@ -23,6 +23,7 @@ use rtem_net::link::LinkConfig;
 use rtem_net::packet::{AggregatorAddr, DeviceId};
 use rtem_sensors::ina219::Ina219Config;
 use rtem_sim::time::{SimDuration, SimTime};
+use rtem_telemetry::TelemetryConfig;
 use rtem_workloads::{WorkloadError, WorkloadModel};
 
 /// One scripted topology change applied during a run.
@@ -138,6 +139,9 @@ pub enum SpecError {
     /// The spec's workload model failed its own validation (negative
     /// magnitudes, inverted business hours, empty mixes …).
     InvalidWorkload(WorkloadError),
+    /// The spec's telemetry configuration is incoherent (zero snapshot
+    /// interval or zero profiler sampling stride).
+    InvalidTelemetry,
 }
 
 impl fmt::Display for SpecError {
@@ -176,6 +180,13 @@ impl fmt::Display for SpecError {
             SpecError::InvalidControlPlan(error) => write!(f, "invalid control plan: {error}"),
             SpecError::InvalidTariff(error) => write!(f, "invalid tariff: {error}"),
             SpecError::InvalidWorkload(error) => write!(f, "invalid workload: {error}"),
+            SpecError::InvalidTelemetry => {
+                write!(
+                    f,
+                    "invalid telemetry config: snapshot interval and profiler \
+                     sampling stride must be non-zero"
+                )
+            }
         }
     }
 }
@@ -252,6 +263,13 @@ pub struct ScenarioSpec {
     /// run's [`RunReport`](crate::report::RunReport) carry a
     /// [`ControlReport`](crate::control::ControlReport).
     pub control_plan: ControlPlan,
+    /// Telemetry collection for the run (the observability counterpart of
+    /// `fault_plan` / `control_plan`). `Some` makes the run's
+    /// [`RunReport`](crate::report::RunReport) carry a
+    /// [`TelemetryReport`](rtem_telemetry::TelemetryReport); `None` (the
+    /// default) records nothing. Either way the simulation outcome is
+    /// bit-identical — telemetry only reads state the run already keeps.
+    pub telemetry: Option<TelemetryConfig>,
 }
 
 impl ScenarioSpec {
@@ -279,6 +297,7 @@ impl ScenarioSpec {
             script: Vec::new(),
             fault_plan: FaultPlan::new(),
             control_plan: ControlPlan::new(),
+            telemetry: None,
         }
     }
 
@@ -453,6 +472,20 @@ impl ScenarioSpec {
         self
     }
 
+    /// Enables telemetry collection for the run.
+    ///
+    /// ```
+    /// use rtem::prelude::*;
+    ///
+    /// let spec = ScenarioSpec::paper_testbed(1)
+    ///     .with_telemetry(TelemetryConfig::default());
+    /// assert_eq!(spec.validate(), Ok(()));
+    /// ```
+    pub fn with_telemetry(mut self, config: TelemetryConfig) -> ScenarioSpec {
+        self.telemetry = Some(config);
+        self
+    }
+
     /// All device ids the spec generates, in network-major order.
     pub fn device_ids(&self) -> Vec<DeviceId> {
         (0..self.networks)
@@ -545,6 +578,9 @@ impl ScenarioSpec {
         self.tariff.validate().map_err(SpecError::InvalidTariff)?;
         if let Some(workload) = &self.workload {
             workload.validate().map_err(SpecError::InvalidWorkload)?;
+        }
+        if self.telemetry.is_some_and(|config| !config.is_valid()) {
+            return Err(SpecError::InvalidTelemetry);
         }
         Ok(())
     }

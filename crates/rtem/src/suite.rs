@@ -71,6 +71,17 @@ pub struct Suite {
     fault_plans: Vec<(String, FaultPlan)>,
     control_plans: Vec<(String, ControlPlan)>,
     threads: Option<usize>,
+    config: SuiteConfig,
+}
+
+/// Knobs for *how* a [`Suite`] executes, never for *what* it computes: every
+/// report field is bit-identical whatever the configuration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SuiteConfig {
+    /// When `true`, the pool logs each cell's start and finish (with its
+    /// wall time) to stderr while the sweep runs — progress visibility for
+    /// long grids. Purely diagnostic.
+    pub verbose: bool,
 }
 
 /// Coordinates of one cell in a suite's grid.
@@ -188,6 +199,10 @@ pub struct SuiteAggregates {
     pub fault_detection_rate: Option<AggregateStats>,
     /// Wall-clock runtime (seconds) of the individual cells.
     pub cell_runtime_s: AggregateStats,
+    /// Scheduler events dispatched per cell (read from each cell's final
+    /// telemetry snapshot), over the cells that enabled telemetry; `None`
+    /// when no cell collected telemetry.
+    pub telemetry_events_dispatched: Option<AggregateStats>,
 }
 
 /// Everything a suite run produced.
@@ -231,6 +246,7 @@ impl Suite {
             fault_plans: Vec::new(),
             control_plans: Vec::new(),
             threads: None,
+            config: SuiteConfig::default(),
         }
     }
 
@@ -349,6 +365,20 @@ impl Suite {
     /// available parallelism (capped at the cell count).
     pub fn with_threads(mut self, threads: usize) -> Suite {
         self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Sets the execution knobs ([`SuiteConfig`]). Affects only how the
+    /// sweep runs, never the report.
+    pub fn with_config(mut self, config: SuiteConfig) -> Suite {
+        self.config = config;
+        self
+    }
+
+    /// Shorthand for toggling [`SuiteConfig::verbose`]: per-cell start /
+    /// finish progress lines on stderr.
+    pub fn verbose(mut self, verbose: bool) -> Suite {
+        self.config.verbose = verbose;
         self
     }
 
@@ -531,9 +561,12 @@ impl Suite {
             for _ in 0..threads {
                 scope.spawn(|| loop {
                     let index = next.fetch_add(1, Ordering::Relaxed);
-                    let Some((_, spec)) = cells.get(index) else {
+                    let Some((key, spec)) = cells.get(index) else {
                         break;
                     };
+                    if self.config.verbose {
+                        eprintln!("[suite] cell {}/{} start: {key}", index + 1, cells.len());
+                    }
                     let cell_started = Instant::now();
                     let baseline = (!spec.fault_plan.is_empty()).then(|| {
                         let clean = spec.clone().with_fault_plan(FaultPlan::new());
@@ -551,8 +584,16 @@ impl Suite {
                             .run()
                             .expect("cell specs were validated before the pool started"),
                     };
-                    *slots[index].lock().expect("result slot") =
-                        Some((report, cell_started.elapsed()));
+                    let cell_wall = cell_started.elapsed();
+                    if self.config.verbose {
+                        eprintln!(
+                            "[suite] cell {}/{} done in {:.3} s: {key}",
+                            index + 1,
+                            cells.len(),
+                            cell_wall.as_secs_f64()
+                        );
+                    }
+                    *slots[index].lock().expect("result slot") = Some((report, cell_wall));
                 });
             }
         });
@@ -590,6 +631,7 @@ fn aggregate(cells: &[SuiteCell]) -> SuiteAggregates {
     let mut handshakes = Vec::new();
     let mut detection_rates = Vec::new();
     let mut runtimes = Vec::new();
+    let mut dispatched = Vec::new();
     for cell in cells {
         for accuracy in &cell.report.accuracy {
             overheads.extend(accuracy.settled_windows().map(|w| w.overhead_percent()));
@@ -610,6 +652,13 @@ fn aggregate(cells: &[SuiteCell]) -> SuiteAggregates {
             detection_rates.push(rate);
         }
         runtimes.push(cell.wall.as_secs_f64());
+        if let Some(telemetry) = &cell.report.telemetry {
+            let events = telemetry
+                .final_snapshot
+                .fleet
+                .get(rtem_telemetry::MetricId::SchedulerEventsDispatched);
+            dispatched.push(events as f64);
+        }
     }
     SuiteAggregates {
         accuracy_overhead_percent: AggregateStats::from_values(&overheads),
@@ -617,6 +666,7 @@ fn aggregate(cells: &[SuiteCell]) -> SuiteAggregates {
         fault_detection_rate: AggregateStats::from_values(&detection_rates),
         cell_runtime_s: AggregateStats::from_values(&runtimes)
             .expect("a suite always has at least one cell"),
+        telemetry_events_dispatched: AggregateStats::from_values(&dispatched),
     }
 }
 
@@ -656,6 +706,24 @@ mod tests {
         assert_eq!(report.cells.len(), 1);
         assert_eq!(report.cells[0].spec, base);
         assert_eq!(report.aggregates.cell_runtime_s.count, 1);
+    }
+
+    #[test]
+    fn verbose_logging_leaves_the_report_unchanged() {
+        let base = ScenarioSpec::paper_testbed(4).with_horizon(SimDuration::from_secs(12));
+        let quiet = Suite::new(base.clone()).run().unwrap();
+        let verbose = Suite::new(base)
+            .with_config(SuiteConfig { verbose: true })
+            .run()
+            .unwrap();
+        assert_eq!(
+            format!("{:?}", quiet.cells[0].report.metrics),
+            format!("{:?}", verbose.cells[0].report.metrics)
+        );
+        assert_eq!(
+            quiet.aggregates.accuracy_overhead_percent,
+            verbose.aggregates.accuracy_overhead_percent
+        );
     }
 
     #[test]

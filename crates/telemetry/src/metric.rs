@@ -1,0 +1,262 @@
+//! The typed metric vocabulary: [`MetricId`] and the flat [`MetricScope`]
+//! it indexes.
+//!
+//! Every observable quantity the world exports has one stable id. A scope
+//! is a fixed `u64` array indexed by the id, so reading, writing and
+//! copying a whole scope is branch-free and allocation-free — the registry
+//! holds one scope for the fleet and one per network.
+
+/// Identifier of one metric the world exports.
+///
+/// Counters are cumulative over the run (monotone between snapshots);
+/// gauges are instantaneous at snapshot time. The per-network scopes carry
+/// the network-attributable subset (membership, aggregator accounting,
+/// member link and session-queue totals); everything is present in the
+/// fleet scope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MetricId {
+    /// Messages accepted for publication by the broker (counter).
+    BrokerPublishes,
+    /// Messages delivered to a subscriber session (counter).
+    BrokerDelivered,
+    /// Messages dropped by the access link's loss model (counter).
+    BrokerDropped,
+    /// Messages queued for a disconnected durable session (counter).
+    BrokerQueuedForResume,
+    /// Queued messages replayed on session resume (counter).
+    BrokerResumed,
+    /// Retained messages replayed to late subscribers (counter).
+    BrokerRetainedReplays,
+    /// QoS 2 handshake frames (PUBREC/PUBREL/PUBCOMP) exchanged (counter).
+    BrokerQos2HandshakeFrames,
+    /// Duplicate QoS 2 publishes suppressed by packet-id dedup (counter).
+    BrokerQos2DupSuppressed,
+    /// Messages sitting in session queues right now (gauge).
+    BrokerSessionQueueDepth,
+    /// Transmissions offered to access + backhaul links (counter).
+    LinkPacketsOffered,
+    /// Transmissions the loss models dropped (counter).
+    LinkPacketsLost,
+    /// Payload bytes that survived their link (counter).
+    LinkBytesDelivered,
+    /// Payload bytes lost in transit (counter).
+    LinkBytesLost,
+    /// Link-family faults currently degrading some link (gauge).
+    LinkFaultsActive,
+    /// World events dispatched by the scheduler loop (counter).
+    SchedulerEventsDispatched,
+    /// Deepest the event queue has been at a dispatch (gauge, high-water).
+    SchedulerQueueHighWater,
+    /// Device measurement-timer ticks dispatched (counter).
+    DeviceMeasureTicks,
+    /// Records sitting in device store-and-forward buffers (gauge).
+    DeviceBufferedRecords,
+    /// Device reboots, crash-recovery included (counter).
+    DeviceReboots,
+    /// Devices currently crashed (gauge).
+    DeviceCrashedNow,
+    /// Buffered records lost to device crashes (counter).
+    DeviceRecordsLostToCrashes,
+    /// Devices currently registered with the scope's network(s) (gauge).
+    NetworkMembers,
+    /// Consumption reports accepted by aggregators (counter).
+    AggReportsAccepted,
+    /// Reports from non-members negatively acknowledged (counter).
+    AggReportsNacked,
+    /// Individual measurement records accepted into a window (counter).
+    AggRecordsAccepted,
+    /// Records dropped by retransmit/replay duplicate filters (counter).
+    AggRecordsDuplicateFiltered,
+    /// Verification-window verdicts produced (counter).
+    AggVerdicts,
+    /// Verification windows that closed anomalous (counter).
+    AggAnomalousWindows,
+    /// Consumption reports framed as real-protocol telegrams (counter).
+    CodecTelegramsSent,
+    /// Telegrams the receiving aggregator parsed successfully (counter).
+    CodecTelegramsParsed,
+    /// Telegrams rejected with a codec error (counter; see
+    /// [`CodecFailureTable`](crate::CodecFailureTable) for the by-family ×
+    /// by-kind breakdown).
+    CodecParseFailures,
+    /// Reports mutated by an active corruption fault pre-transmit (counter).
+    CodecCorruptedInjected,
+    /// Fleet commands published by the manager session (counter).
+    ControlCommandsPublished,
+    /// Command deliveries a device firmware accepted and executed (counter).
+    ControlCommandsApplied,
+    /// Command deliveries a device firmware rejected (counter).
+    ControlCommandsRejected,
+    /// Acknowledgments delivered back to the manager (counter).
+    ControlCommandsAcked,
+}
+
+impl MetricId {
+    /// Number of metric ids (the length of a [`MetricScope`]).
+    pub const COUNT: usize = 36;
+
+    /// Every id, in declaration (= scope index) order.
+    pub const ALL: [MetricId; MetricId::COUNT] = [
+        MetricId::BrokerPublishes,
+        MetricId::BrokerDelivered,
+        MetricId::BrokerDropped,
+        MetricId::BrokerQueuedForResume,
+        MetricId::BrokerResumed,
+        MetricId::BrokerRetainedReplays,
+        MetricId::BrokerQos2HandshakeFrames,
+        MetricId::BrokerQos2DupSuppressed,
+        MetricId::BrokerSessionQueueDepth,
+        MetricId::LinkPacketsOffered,
+        MetricId::LinkPacketsLost,
+        MetricId::LinkBytesDelivered,
+        MetricId::LinkBytesLost,
+        MetricId::LinkFaultsActive,
+        MetricId::SchedulerEventsDispatched,
+        MetricId::SchedulerQueueHighWater,
+        MetricId::DeviceMeasureTicks,
+        MetricId::DeviceBufferedRecords,
+        MetricId::DeviceReboots,
+        MetricId::DeviceCrashedNow,
+        MetricId::DeviceRecordsLostToCrashes,
+        MetricId::NetworkMembers,
+        MetricId::AggReportsAccepted,
+        MetricId::AggReportsNacked,
+        MetricId::AggRecordsAccepted,
+        MetricId::AggRecordsDuplicateFiltered,
+        MetricId::AggVerdicts,
+        MetricId::AggAnomalousWindows,
+        MetricId::CodecTelegramsSent,
+        MetricId::CodecTelegramsParsed,
+        MetricId::CodecParseFailures,
+        MetricId::CodecCorruptedInjected,
+        MetricId::ControlCommandsPublished,
+        MetricId::ControlCommandsApplied,
+        MetricId::ControlCommandsRejected,
+        MetricId::ControlCommandsAcked,
+    ];
+
+    /// Position of this id in a [`MetricScope`].
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable snake_case label for CSV/JSON columns.
+    pub fn label(self) -> &'static str {
+        match self {
+            MetricId::BrokerPublishes => "broker_publishes",
+            MetricId::BrokerDelivered => "broker_delivered",
+            MetricId::BrokerDropped => "broker_dropped",
+            MetricId::BrokerQueuedForResume => "broker_queued_for_resume",
+            MetricId::BrokerResumed => "broker_resumed",
+            MetricId::BrokerRetainedReplays => "broker_retained_replays",
+            MetricId::BrokerQos2HandshakeFrames => "broker_qos2_handshake_frames",
+            MetricId::BrokerQos2DupSuppressed => "broker_qos2_dup_suppressed",
+            MetricId::BrokerSessionQueueDepth => "broker_session_queue_depth",
+            MetricId::LinkPacketsOffered => "link_packets_offered",
+            MetricId::LinkPacketsLost => "link_packets_lost",
+            MetricId::LinkBytesDelivered => "link_bytes_delivered",
+            MetricId::LinkBytesLost => "link_bytes_lost",
+            MetricId::LinkFaultsActive => "link_faults_active",
+            MetricId::SchedulerEventsDispatched => "scheduler_events_dispatched",
+            MetricId::SchedulerQueueHighWater => "scheduler_queue_high_water",
+            MetricId::DeviceMeasureTicks => "device_measure_ticks",
+            MetricId::DeviceBufferedRecords => "device_buffered_records",
+            MetricId::DeviceReboots => "device_reboots",
+            MetricId::DeviceCrashedNow => "device_crashed_now",
+            MetricId::DeviceRecordsLostToCrashes => "device_records_lost_to_crashes",
+            MetricId::NetworkMembers => "network_members",
+            MetricId::AggReportsAccepted => "agg_reports_accepted",
+            MetricId::AggReportsNacked => "agg_reports_nacked",
+            MetricId::AggRecordsAccepted => "agg_records_accepted",
+            MetricId::AggRecordsDuplicateFiltered => "agg_records_duplicate_filtered",
+            MetricId::AggVerdicts => "agg_verdicts",
+            MetricId::AggAnomalousWindows => "agg_anomalous_windows",
+            MetricId::CodecTelegramsSent => "codec_telegrams_sent",
+            MetricId::CodecTelegramsParsed => "codec_telegrams_parsed",
+            MetricId::CodecParseFailures => "codec_parse_failures",
+            MetricId::CodecCorruptedInjected => "codec_corrupted_injected",
+            MetricId::ControlCommandsPublished => "control_commands_published",
+            MetricId::ControlCommandsApplied => "control_commands_applied",
+            MetricId::ControlCommandsRejected => "control_commands_rejected",
+            MetricId::ControlCommandsAcked => "control_commands_acked",
+        }
+    }
+}
+
+/// One flat scope of metric values: a fixed array indexed by [`MetricId`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricScope {
+    values: [u64; MetricId::COUNT],
+}
+
+impl Default for MetricScope {
+    fn default() -> Self {
+        MetricScope {
+            values: [0; MetricId::COUNT],
+        }
+    }
+}
+
+impl MetricScope {
+    /// An all-zero scope.
+    pub fn new() -> MetricScope {
+        MetricScope::default()
+    }
+
+    /// Reads one metric.
+    pub fn get(&self, id: MetricId) -> u64 {
+        self.values[id.index()]
+    }
+
+    /// Overwrites one metric (the usual way to publish a pulled counter or
+    /// a gauge).
+    pub fn set(&mut self, id: MetricId, value: u64) {
+        self.values[id.index()] = value;
+    }
+
+    /// Adds to one metric (summing a quantity over several sources).
+    pub fn add(&mut self, id: MetricId, delta: u64) {
+        self.values[id.index()] += delta;
+    }
+
+    /// Zeroes every metric.
+    pub fn reset(&mut self) {
+        self.values = [0; MetricId::COUNT];
+    }
+
+    /// Iterates `(id, value)` pairs in scope-index order.
+    pub fn iter(&self) -> impl Iterator<Item = (MetricId, u64)> + '_ {
+        MetricId::ALL.into_iter().map(|id| (id, self.get(id)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_covers_every_index_in_order() {
+        assert_eq!(MetricId::ALL.len(), MetricId::COUNT);
+        for (i, id) in MetricId::ALL.into_iter().enumerate() {
+            assert_eq!(id.index(), i);
+        }
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::BTreeSet<&str> =
+            MetricId::ALL.iter().map(|id| id.label()).collect();
+        assert_eq!(labels.len(), MetricId::COUNT);
+    }
+
+    #[test]
+    fn scope_set_add_get_round_trip() {
+        let mut scope = MetricScope::new();
+        scope.set(MetricId::BrokerPublishes, 7);
+        scope.add(MetricId::BrokerPublishes, 3);
+        assert_eq!(scope.get(MetricId::BrokerPublishes), 10);
+        assert_eq!(scope.get(MetricId::BrokerDropped), 0);
+        scope.reset();
+        assert!(scope.iter().all(|(_, v)| v == 0));
+    }
+}

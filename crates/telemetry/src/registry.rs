@@ -1,0 +1,235 @@
+//! The [`MetricsRegistry`] and the [`MetricsSnapshot`]s it stamps out.
+//!
+//! The registry is a *pull* sink: the world resets it and re-fills it from
+//! the subsystems' own cumulative counters each time a snapshot is due, so
+//! the hot paths carry no per-event telemetry cost beyond the counters
+//! they already maintain. A snapshot is a plain copy of the filled scopes
+//! with a sim-time stamp — deterministic for a given seed, whatever the
+//! snapshot interval.
+
+use crate::metric::{MetricId, MetricScope};
+use rtem_codecs::{CodecErrorKind, MeterKind};
+use rtem_sim::time::SimTime;
+
+/// Telegram parse failures broken down by protocol family × error kind.
+///
+/// Rows follow [`MeterKind::ALL`] order (indexed by [`MeterKind::code`]),
+/// columns follow [`CodecErrorKind::ALL`] order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CodecFailureTable {
+    counts: [[u64; CodecErrorKind::COUNT]; MeterKind::ALL.len()],
+}
+
+impl CodecFailureTable {
+    /// An all-zero table.
+    pub fn new() -> CodecFailureTable {
+        CodecFailureTable::default()
+    }
+
+    /// Counts one parse failure of `kind` against the family whose
+    /// transport discriminant is `family_code` (unknown discriminants land
+    /// on the `Internal` row, which no real parse can otherwise reach).
+    pub fn record(&mut self, family_code: u8, kind: CodecErrorKind) {
+        let row = MeterKind::from_code(family_code)
+            .map(|k| k.code() as usize)
+            .unwrap_or(0);
+        self.counts[row][kind.index()] += 1;
+    }
+
+    /// Failures of one family × kind cell.
+    pub fn get(&self, family: MeterKind, kind: CodecErrorKind) -> u64 {
+        self.counts[family.code() as usize][kind.index()]
+    }
+
+    /// Failures of one family, all kinds.
+    pub fn family_total(&self, family: MeterKind) -> u64 {
+        self.counts[family.code() as usize].iter().sum()
+    }
+
+    /// Failures of one kind, all families.
+    pub fn kind_total(&self, kind: CodecErrorKind) -> u64 {
+        self.counts.iter().map(|row| row[kind.index()]).sum()
+    }
+
+    /// All failures.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().flatten().sum()
+    }
+
+    /// Iterates the non-zero cells as `(family, kind, count)`.
+    pub fn iter_nonzero(&self) -> impl Iterator<Item = (MeterKind, CodecErrorKind, u64)> + '_ {
+        MeterKind::ALL.into_iter().flat_map(move |family| {
+            CodecErrorKind::ALL.into_iter().filter_map(move |kind| {
+                let count = self.get(family, kind);
+                (count > 0).then_some((family, kind, count))
+            })
+        })
+    }
+}
+
+/// The pull-model metrics sink: one fleet-wide [`MetricScope`] plus one
+/// scope per network, keyed by the network's aggregator address.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MetricsRegistry {
+    fleet: MetricScope,
+    /// Per-network scopes, sorted by network id. A handful of entries at
+    /// most, so a sorted vec beats a map on both lookup and reuse.
+    networks: Vec<(u32, MetricScope)>,
+    codec_failures: CodecFailureTable,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// The fleet-wide scope.
+    pub fn fleet(&self) -> &MetricScope {
+        &self.fleet
+    }
+
+    /// Mutable fleet-wide scope.
+    pub fn fleet_mut(&mut self) -> &mut MetricScope {
+        &mut self.fleet
+    }
+
+    /// The scope of one network, if it has been written this fill.
+    pub fn network(&self, network: u32) -> Option<&MetricScope> {
+        self.networks
+            .binary_search_by_key(&network, |(id, _)| *id)
+            .ok()
+            .map(|i| &self.networks[i].1)
+    }
+
+    /// Mutable scope of one network, created zeroed on first touch.
+    pub fn network_mut(&mut self, network: u32) -> &mut MetricScope {
+        match self.networks.binary_search_by_key(&network, |(id, _)| *id) {
+            Ok(i) => &mut self.networks[i].1,
+            Err(i) => {
+                self.networks.insert(i, (network, MetricScope::new()));
+                &mut self.networks[i].1
+            }
+        }
+    }
+
+    /// The codec failure breakdown.
+    pub fn codec_failures(&self) -> &CodecFailureTable {
+        &self.codec_failures
+    }
+
+    /// Overwrites the codec failure breakdown (pulled from the world's
+    /// always-on table at fill time).
+    pub fn set_codec_failures(&mut self, table: CodecFailureTable) {
+        self.codec_failures = table;
+    }
+
+    /// Zeroes every scope, keeping the per-network allocations for reuse.
+    pub fn reset(&mut self) {
+        self.fleet.reset();
+        for (_, scope) in &mut self.networks {
+            scope.reset();
+        }
+        self.codec_failures = CodecFailureTable::new();
+    }
+
+    /// Stamps the current fill as an immutable [`MetricsSnapshot`].
+    pub fn snapshot(&self, at: SimTime, seq: u64) -> MetricsSnapshot {
+        MetricsSnapshot {
+            at,
+            seq,
+            fleet: self.fleet,
+            networks: self.networks.clone(),
+            codec_failures: self.codec_failures,
+        }
+    }
+}
+
+/// One immutable, timestamped copy of the registry.
+///
+/// Emitted periodically on the snapshot grid (and once more at collection
+/// time as the run's final snapshot). Contents are a pure function of the
+/// seed and the stamp time — bit-identical across runs and across
+/// differently-sliced `run_until` schedules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// The sim time the snapshot covers: every event dispatched at or
+    /// before `at` is reflected, nothing after is.
+    pub at: SimTime,
+    /// Position in the run's snapshot stream (0-based).
+    pub seq: u64,
+    /// Fleet-wide metric values.
+    pub fleet: MetricScope,
+    /// Per-network metric values, sorted by network id.
+    pub networks: Vec<(u32, MetricScope)>,
+    /// Telegram parse failures by protocol family × error kind.
+    pub codec_failures: CodecFailureTable,
+}
+
+impl MetricsSnapshot {
+    /// The scope of one network, if the network existed at stamp time.
+    pub fn network(&self, network: u32) -> Option<&MetricScope> {
+        self.networks
+            .binary_search_by_key(&network, |(id, _)| *id)
+            .ok()
+            .map(|i| &self.networks[i].1)
+    }
+
+    /// Reads one fleet-wide metric.
+    pub fn get(&self, id: MetricId) -> u64 {
+        self.fleet.get(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn network_scopes_are_created_sorted() {
+        let mut registry = MetricsRegistry::new();
+        registry.network_mut(3).set(MetricId::NetworkMembers, 3);
+        registry.network_mut(1).set(MetricId::NetworkMembers, 1);
+        registry.network_mut(2).set(MetricId::NetworkMembers, 2);
+        let snapshot = registry.snapshot(SimTime::from_secs(1), 0);
+        let ids: Vec<u32> = snapshot.networks.iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+        assert_eq!(
+            snapshot.network(2).unwrap().get(MetricId::NetworkMembers),
+            2
+        );
+        assert!(snapshot.network(9).is_none());
+    }
+
+    #[test]
+    fn reset_keeps_network_entries_but_zeroes_them() {
+        let mut registry = MetricsRegistry::new();
+        registry.fleet_mut().add(MetricId::BrokerPublishes, 5);
+        registry.network_mut(1).add(MetricId::AggReportsAccepted, 2);
+        registry.reset();
+        assert_eq!(registry.fleet().get(MetricId::BrokerPublishes), 0);
+        assert_eq!(
+            registry
+                .network(1)
+                .unwrap()
+                .get(MetricId::AggReportsAccepted),
+            0,
+            "the entry survives reset for allocation reuse"
+        );
+    }
+
+    #[test]
+    fn codec_failure_table_totals_line_up() {
+        let mut table = CodecFailureTable::new();
+        table.record(MeterKind::Sml.code(), CodecErrorKind::Checksum);
+        table.record(MeterKind::Sml.code(), CodecErrorKind::Checksum);
+        table.record(MeterKind::ModbusRtu.code(), CodecErrorKind::Framing);
+        table.record(99, CodecErrorKind::Semantic); // unknown discriminant
+        assert_eq!(table.get(MeterKind::Sml, CodecErrorKind::Checksum), 2);
+        assert_eq!(table.family_total(MeterKind::Sml), 2);
+        assert_eq!(table.kind_total(CodecErrorKind::Framing), 1);
+        assert_eq!(table.family_total(MeterKind::Internal), 1);
+        assert_eq!(table.total(), 4);
+        assert_eq!(table.iter_nonzero().count(), 3);
+    }
+}

@@ -1,0 +1,103 @@
+//! The [`TelemetryReport`]: everything one telemetry-enabled run recorded.
+
+use crate::config::TelemetryConfig;
+use crate::metric::MetricId;
+use crate::profiler::DispatchProfile;
+use crate::registry::MetricsSnapshot;
+use crate::trace::TraceLog;
+use rtem_sim::trace::TimeSeries;
+
+/// The telemetry side of a finished run.
+///
+/// `snapshots` and `final_snapshot` (and `trace`, when enabled) are
+/// deterministic for the seed; `profile` is wall-clock and varies run to
+/// run — keep that half out of any golden comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryReport {
+    /// The configuration the run recorded under.
+    pub config: TelemetryConfig,
+    /// The periodic snapshots, in strictly increasing grid-time order.
+    pub snapshots: Vec<MetricsSnapshot>,
+    /// One more snapshot stamped at collection time (the run horizon),
+    /// covering the whole run.
+    pub final_snapshot: MetricsSnapshot,
+    /// The structured trace, when [`TelemetryConfig::trace`] was set.
+    pub trace: Option<TraceLog>,
+    /// The wall-clock dispatch profile, when
+    /// [`TelemetryConfig::profile`] was set.
+    pub profile: Option<DispatchProfile>,
+}
+
+impl TelemetryReport {
+    /// One fleet-wide metric over the snapshot grid, as a [`TimeSeries`]
+    /// (the final snapshot is not included — it may share its stamp with
+    /// the last grid point).
+    pub fn fleet_series(&self, id: MetricId) -> TimeSeries {
+        let mut series = TimeSeries::new(format!("fleet {}", id.label()));
+        for snapshot in &self.snapshots {
+            series.push(snapshot.at, snapshot.fleet.get(id) as f64);
+        }
+        series
+    }
+
+    /// One network's metric over the snapshot grid, as a [`TimeSeries`].
+    /// Snapshots predating the network contribute no sample.
+    pub fn network_series(&self, network: u32, id: MetricId) -> TimeSeries {
+        let mut series = TimeSeries::new(format!("net-{network} {}", id.label()));
+        for snapshot in &self.snapshots {
+            if let Some(scope) = snapshot.network(network) {
+                series.push(snapshot.at, scope.get(id) as f64);
+            }
+        }
+        series
+    }
+
+    /// Network ids present in the final snapshot.
+    pub fn networks(&self) -> impl Iterator<Item = u32> + '_ {
+        self.final_snapshot.networks.iter().map(|(id, _)| *id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+    use rtem_sim::time::SimTime;
+
+    fn report_with_two_snapshots() -> TelemetryReport {
+        let mut registry = MetricsRegistry::new();
+        registry.fleet_mut().set(MetricId::BrokerPublishes, 5);
+        registry
+            .network_mut(1)
+            .set(MetricId::BrokerSessionQueueDepth, 2);
+        let first = registry.snapshot(SimTime::from_secs(10), 0);
+        registry.fleet_mut().set(MetricId::BrokerPublishes, 9);
+        registry
+            .network_mut(1)
+            .set(MetricId::BrokerSessionQueueDepth, 1);
+        let second = registry.snapshot(SimTime::from_secs(20), 1);
+        let final_snapshot = registry.snapshot(SimTime::from_secs(25), 2);
+        TelemetryReport {
+            config: TelemetryConfig::default(),
+            snapshots: vec![first, second],
+            final_snapshot,
+            trace: None,
+            profile: None,
+        }
+    }
+
+    #[test]
+    fn series_track_the_snapshot_grid() {
+        let report = report_with_two_snapshots();
+        let fleet = report.fleet_series(MetricId::BrokerPublishes);
+        assert_eq!(fleet.len(), 2);
+        assert_eq!(fleet.samples()[0].value, 5.0);
+        assert_eq!(fleet.samples()[1].value, 9.0);
+        let queue = report.network_series(1, MetricId::BrokerSessionQueueDepth);
+        assert_eq!(queue.samples()[1].value, 1.0);
+        assert!(report
+            .network_series(9, MetricId::BrokerSessionQueueDepth)
+            .is_empty());
+        assert_eq!(report.networks().collect::<Vec<_>>(), vec![1]);
+    }
+}

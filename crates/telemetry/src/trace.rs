@@ -1,0 +1,199 @@
+//! Structured trace capture and Chrome trace-event export.
+//!
+//! The log records two shapes: a *span* per dispatched scheduler event and
+//! an *instant* per world notification. Timestamps are **simulated**
+//! microseconds — never wall clock — so a trace of the same seed is
+//! byte-stable across runs and machines (wall-clock cost lives in the
+//! [`DispatchProfiler`](crate::DispatchProfiler) instead). Capacity is
+//! bounded keep-first: once full, later events are counted as dropped and
+//! the retained prefix stays deterministic.
+
+use std::fmt::Write as _;
+
+/// Chrome trace-event phase of one entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TracePhase {
+    /// A complete event (`"ph":"X"`): one dispatched scheduler event.
+    Complete,
+    /// An instant event (`"ph":"i"`): one world notification.
+    Instant,
+}
+
+impl TracePhase {
+    fn code(self) -> char {
+        match self {
+            TracePhase::Complete => 'X',
+            TracePhase::Instant => 'i',
+        }
+    }
+}
+
+/// One recorded trace entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Event name (a scheduler event kind or a notification label).
+    pub name: &'static str,
+    /// Category: `"scheduler"` for spans, `"notification"` for instants.
+    pub cat: &'static str,
+    /// Phase (span or instant).
+    pub ph: TracePhase,
+    /// Simulated timestamp, microseconds.
+    pub ts_us: u64,
+    /// Span duration in simulated microseconds (0: dispatch is
+    /// instantaneous in sim time; the span marks *when*, the profiler
+    /// measures *how long*).
+    pub dur_us: u64,
+}
+
+/// A bounded, deterministic trace log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceLog {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl TraceLog {
+    /// An empty log that keeps at most `capacity` events.
+    pub fn with_capacity(capacity: usize) -> TraceLog {
+        TraceLog {
+            events: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Records a scheduler-event span at simulated time `ts_us`.
+    pub fn push_span(&mut self, name: &'static str, ts_us: u64) {
+        self.push(TraceEvent {
+            name,
+            cat: "scheduler",
+            ph: TracePhase::Complete,
+            ts_us,
+            dur_us: 0,
+        });
+    }
+
+    /// Records a notification instant at simulated time `ts_us`.
+    pub fn push_instant(&mut self, name: &'static str, ts_us: u64) {
+        self.push(TraceEvent {
+            name,
+            cat: "notification",
+            ph: TracePhase::Instant,
+            ts_us,
+            dur_us: 0,
+        });
+    }
+
+    fn push(&mut self, event: TraceEvent) {
+        if self.events.len() >= self.capacity {
+            self.dropped += 1;
+            return;
+        }
+        self.events.push(event);
+    }
+
+    /// The retained events, in record order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events discarded after the log filled.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    fn write_event_json(out: &mut String, event: &TraceEvent) {
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"{}\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":1}}",
+            event.name,
+            event.cat,
+            event.ph.code(),
+            event.ts_us,
+            event.dur_us,
+        );
+    }
+
+    /// Renders the log in Chrome trace-event JSON object format — load the
+    /// string into `chrome://tracing` or Perfetto as-is. The
+    /// `droppedEvents` metadatum carries the overflow count.
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::with_capacity(self.events.len() * 96 + 64);
+        out.push_str("{\"traceEvents\":[");
+        for (i, event) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            TraceLog::write_event_json(&mut out, event);
+        }
+        let _ = write!(
+            out,
+            "],\"displayTimeUnit\":\"ms\",\"droppedEvents\":{}}}",
+            self.dropped
+        );
+        out
+    }
+
+    /// Renders the log as JSONL: one trace-event object per line.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(self.events.len() * 96);
+        for event in &self.events {
+            TraceLog::write_event_json(&mut out, event);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_bounds_the_log_and_counts_drops() {
+        let mut log = TraceLog::with_capacity(2);
+        log.push_span("a", 1);
+        log.push_instant("b", 2);
+        log.push_span("c", 3);
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.dropped(), 1);
+        assert_eq!(log.events()[0].name, "a");
+        assert_eq!(log.events()[1].ph, TracePhase::Instant);
+    }
+
+    #[test]
+    fn chrome_json_has_envelope_and_drop_count() {
+        let mut log = TraceLog::with_capacity(1);
+        log.push_span("MeasureTick", 1500);
+        log.push_span("overflow", 1501);
+        let json = log.to_chrome_json();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"name\":\"MeasureTick\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ts\":1500"));
+        assert!(json.ends_with("\"droppedEvents\":1}"));
+    }
+
+    #[test]
+    fn jsonl_is_one_object_per_line() {
+        let mut log = TraceLog::with_capacity(8);
+        log.push_span("a", 1);
+        log.push_instant("b", 2);
+        let jsonl = log.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines.iter().all(|l| l.starts_with('{') && l.ends_with('}')));
+        assert!(lines[1].contains("\"ph\":\"i\""));
+    }
+}

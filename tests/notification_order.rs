@@ -58,7 +58,8 @@ fn notifications_are_monotone_in_time_across_all_kinds() {
         .iter()
         .any(|e| matches!(e, RunEvent::FaultDetected { .. })));
     // The full stream is monotone in dispatch time.
-    for pair in events.windows(2) {
+    let ordered: Vec<_> = events.iter().collect();
+    for pair in ordered.windows(2) {
         assert!(
             pair[0].at() <= pair[1].at(),
             "out of order: {:?} then {:?}",

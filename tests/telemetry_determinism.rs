@@ -1,0 +1,365 @@
+//! Telemetry is strictly observational: enabling it — at any snapshot
+//! interval, with trace and profiler on or off — must not perturb a run's
+//! observable output by one bit. Every committed golden fixture
+//! (`scale_golden.txt`, `control_golden.txt`, `codec_golden.txt`) is
+//! re-verified here with telemetry enabled, and the telemetry artifacts
+//! themselves (snapshot grid, Chrome trace) are checked for determinism.
+//!
+//! The fixtures are owned by their original tests; this file never
+//! regenerates them, so a digest mismatch here means telemetry leaked into
+//! simulated state.
+
+use rtem::chain::sha256::Sha256;
+use rtem::net::link::LinkConfig;
+use rtem::prelude::*;
+use std::path::PathBuf;
+
+/// Reads `<case> <digest>` out of a committed fixture file.
+fn committed_digest(fixture: &str, case: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(fixture);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("{fixture} must be committed: {e}"));
+    text.lines()
+        .find_map(|line| line.strip_prefix(&format!("{case} ")))
+        .unwrap_or_else(|| panic!("{case} not found in {fixture}"))
+        .to_string()
+}
+
+/// Same rendering as tests/scale_determinism.rs — telemetry is deliberately
+/// absent: goldens lock the simulation outcome, not the observation of it.
+fn render(report: &RunReport) -> String {
+    format!(
+        "metrics: {:#?}\naccuracy: {:#?}\nhandshakes: {:#?}\nledgers: {:#?}\nbills: {:#?}\nresilience: {:#?}\nfault_records: {:#?}\n",
+        report.metrics,
+        report.accuracy,
+        report.handshakes,
+        report.ledgers,
+        report.bills,
+        report.resilience,
+        report.world().fault_records(),
+    )
+}
+
+fn digest(report: &RunReport) -> String {
+    Sha256::digest(render(report).as_bytes()).to_hex()
+}
+
+/// Verbatim copy of the scale golden's kitchen-sink scenario.
+fn kitchen_sink_spec() -> ScenarioSpec {
+    let mobile = ScenarioSpec::device_id(0, 0);
+    let dest = ScenarioSpec::network_addr(3);
+    let plan = FaultPlan::new()
+        .sensor_stuck_at(SimTime::from_secs(20), ScenarioSpec::device_id(1, 2), 5.0)
+        .tamper_at(SimTime::from_secs(25), ScenarioSpec::network_addr(1))
+        .link_burst(
+            SimTime::from_secs(30),
+            SimTime::from_secs(40),
+            LinkTarget::Wifi {
+                network: Some(ScenarioSpec::network_addr(2)),
+            },
+            LinkConfig {
+                loss_probability: 0.6,
+                ..LinkConfig::wifi()
+            },
+        );
+    ScenarioSpec::paper_testbed(777)
+        .with_networks(3)
+        .with_devices_per_network(8)
+        .with_empty_networks(1)
+        .with_horizon(SimDuration::from_secs(60))
+        .unplug_at(SimTime::from_secs(22), mobile)
+        .plug_in_at(SimTime::from_secs(32), mobile, dest)
+        .with_fault_plan(plan)
+}
+
+/// Verbatim copy of the control golden's commanded scenario.
+fn commanded_spec() -> ScenarioSpec {
+    let t = SimTime::from_secs;
+    let site = ScenarioSpec::network_addr(1);
+    let dev = ScenarioSpec::device_id(0, 1);
+    let plan = ControlPlan::new()
+        .staged_rollout(
+            t(20),
+            SimDuration::from_secs(5),
+            &[50, 100],
+            FleetCommand::SetMeasureInterval {
+                interval: SimDuration::from_millis(500),
+            },
+            QoS::AtLeastOnce,
+            false,
+        )
+        .command_with(
+            t(28),
+            CommandTarget::Site(site),
+            FleetCommand::SetTariffHint(TariffHint::flat(2.5)),
+            QoS::ExactlyOnce,
+            true,
+        )
+        .stop_reporting(t(32), CommandTarget::Device(dev))
+        .start_reporting(t(40), CommandTarget::Device(dev));
+    ScenarioSpec::paper_testbed(4242)
+        .with_horizon(SimDuration::from_secs(55))
+        .with_control_plan(plan)
+}
+
+#[test]
+fn scale_golden_is_bit_identical_under_telemetry_at_two_intervals() {
+    let committed = committed_digest("../../tests/fixtures/scale_golden.txt", "kitchen_sink_3x8");
+    for interval_s in [1, 7] {
+        let config =
+            TelemetryConfig::full().with_snapshot_interval(SimDuration::from_secs(interval_s));
+        let report = Experiment::new(kitchen_sink_spec().with_telemetry(config))
+            .run()
+            .expect("golden spec is valid");
+        assert_eq!(
+            digest(&report),
+            committed,
+            "telemetry at a {interval_s} s snapshot interval perturbed the scale golden"
+        );
+        let telemetry = report.telemetry.as_ref().expect("telemetry was enabled");
+        assert!(
+            !telemetry.snapshots.is_empty(),
+            "the run must actually have snapshotted"
+        );
+        assert!(telemetry.trace.is_some() && telemetry.profile.is_some());
+    }
+}
+
+#[test]
+fn control_golden_is_bit_identical_under_telemetry_at_two_intervals() {
+    let committed = committed_digest(
+        "../../tests/fixtures/control_golden.txt",
+        "commanded_testbed",
+    );
+    for interval_s in [3, 10] {
+        let config =
+            TelemetryConfig::default().with_snapshot_interval(SimDuration::from_secs(interval_s));
+        let report = Experiment::new(commanded_spec().with_telemetry(config))
+            .run()
+            .expect("golden spec is valid");
+        // Same rendering as tests/control_determinism.rs.
+        let rendering = format!(
+            "{}control: {:#?}\n",
+            render(&report),
+            report.control.as_ref().expect("spec carries a plan")
+        );
+        assert_eq!(
+            Sha256::digest(rendering.as_bytes()).to_hex(),
+            committed,
+            "telemetry at a {interval_s} s snapshot interval perturbed the control golden"
+        );
+    }
+}
+
+#[test]
+fn codec_golden_telegram_bytes_are_bit_identical_under_telemetry() {
+    // Same scenario and rendering as tests/codec_golden.rs, with full
+    // telemetry layered on top of the telegram log.
+    let spec = ScenarioSpec::paper_testbed(2026)
+        .with_horizon(SimDuration::from_secs(12))
+        .with_meter_kinds(MeterKind::REAL.to_vec())
+        .with_telemetry(TelemetryConfig::full().with_snapshot_interval(SimDuration::from_secs(2)));
+    let mut world = Experiment::new(spec)
+        .build_world()
+        .expect("golden spec is valid");
+    world.enable_telegram_log();
+    world.run_until(SimTime::from_secs(12));
+    let log = world.take_telegram_log();
+    let mut dump = String::new();
+    for entry in &log {
+        let hex: String = entry.bytes.iter().map(|b| format!("{b:02x}")).collect();
+        dump.push_str(&format!(
+            "{:?} dev={} {} {hex}\n",
+            entry.at, entry.device.0, entry.kind
+        ));
+    }
+    let committed = committed_digest(
+        "../../tests/fixtures/codec_golden.txt",
+        "mixed_fleet_2x2_12s all",
+    );
+    assert_eq!(
+        Sha256::digest(dump.as_bytes()).to_hex(),
+        committed,
+        "telemetry perturbed the telegram byte stream"
+    );
+}
+
+#[test]
+fn snapshots_land_on_the_interval_grid_in_order() {
+    let interval = SimDuration::from_secs(5);
+    let horizon = SimDuration::from_secs(32);
+    let spec = ScenarioSpec::paper_testbed(11)
+        .with_horizon(horizon)
+        .with_telemetry(TelemetryConfig::default().with_snapshot_interval(interval));
+    let report = Experiment::new(spec).run().expect("valid spec");
+    let telemetry = report.telemetry.as_ref().expect("telemetry was enabled");
+
+    // 32 s horizon / 5 s interval: snapshots at 5,10,...,30 — six of them.
+    assert_eq!(telemetry.snapshots.len(), 6);
+    for (i, snapshot) in telemetry.snapshots.iter().enumerate() {
+        assert_eq!(snapshot.seq, i as u64, "sequence numbers are dense");
+        assert_eq!(
+            snapshot.at,
+            SimTime::ZERO + SimDuration::from_secs(5 * (i as u64 + 1)),
+            "snapshot {i} is off the grid"
+        );
+    }
+    for pair in telemetry.snapshots.windows(2) {
+        assert!(pair[0].at < pair[1].at, "timestamps are strictly monotone");
+        for id in MetricId::ALL {
+            let cumulative_ok = pair[0].fleet.get(id) <= pair[1].fleet.get(id);
+            // Gauges may go down; cumulative counters never do. Spot-check
+            // the pure counters.
+            if matches!(
+                id,
+                MetricId::SchedulerEventsDispatched
+                    | MetricId::BrokerPublishes
+                    | MetricId::DeviceMeasureTicks
+            ) {
+                assert!(cumulative_ok, "{id:?} regressed between snapshots");
+            }
+        }
+    }
+    // The terminal snapshot is stamped at the horizon, after the last grid
+    // point.
+    assert_eq!(telemetry.final_snapshot.at, SimTime::ZERO + horizon);
+    assert!(telemetry.final_snapshot.seq >= telemetry.snapshots.len() as u64);
+}
+
+#[test]
+fn probe_streams_the_same_snapshots_the_report_keeps() {
+    #[derive(Default)]
+    struct SnapshotProbe {
+        seen: Vec<(SimTime, u64)>,
+    }
+    impl Probe for SnapshotProbe {
+        fn on_metrics(&mut self, at: SimTime, snapshot: &MetricsSnapshot) {
+            self.seen.push((at, snapshot.seq));
+        }
+    }
+    let spec = ScenarioSpec::paper_testbed(11)
+        .with_horizon(SimDuration::from_secs(25))
+        .with_telemetry(
+            TelemetryConfig::default().with_snapshot_interval(SimDuration::from_secs(5)),
+        );
+    let handle = Experiment::new(spec)
+        .start_probed(SnapshotProbe::default())
+        .unwrap();
+    let (report, probe) = handle.finish_probed();
+    let telemetry = report.telemetry.as_ref().expect("telemetry was enabled");
+    let kept: Vec<(SimTime, u64)> = telemetry.snapshots.iter().map(|s| (s.at, s.seq)).collect();
+    assert_eq!(probe.seen, kept, "probe stream and report disagree");
+}
+
+#[test]
+fn chrome_trace_is_valid_json_and_stable_across_same_seed_runs() {
+    let run = || {
+        let spec = ScenarioSpec::paper_testbed(99)
+            .with_horizon(SimDuration::from_secs(20))
+            .with_telemetry(
+                TelemetryConfig::full().with_snapshot_interval(SimDuration::from_secs(4)),
+            );
+        Experiment::new(spec).run().expect("valid spec")
+    };
+    let first = run();
+    let second = run();
+    let trace_a = first
+        .telemetry
+        .as_ref()
+        .and_then(|t| t.trace.as_ref())
+        .expect("trace was enabled");
+    let trace_b = second
+        .telemetry
+        .as_ref()
+        .and_then(|t| t.trace.as_ref())
+        .expect("trace was enabled");
+    assert!(!trace_a.is_empty(), "the run must have recorded spans");
+
+    let json = trace_a.to_chrome_json();
+    assert_eq!(
+        json,
+        trace_b.to_chrome_json(),
+        "same-seed traces must render byte-identically"
+    );
+    // Spans on simulated time, notification instants interleaved.
+    assert!(json.starts_with("{\"traceEvents\":["));
+    assert!(json.contains("\"ph\":\"X\""), "scheduler spans present");
+    assert!(
+        json.contains("\"ph\":\"i\""),
+        "notification instants present"
+    );
+    assert!(json.contains("\"cat\":\"scheduler\""));
+    assert!(json.contains("\"cat\":\"notification\""));
+    assert_valid_json(&json);
+
+    // JSONL export: every line is one object.
+    let jsonl = trace_a.to_jsonl();
+    assert_eq!(jsonl.lines().count(), trace_a.len());
+    for line in jsonl.lines() {
+        assert_valid_json(line);
+    }
+
+    // Timestamps never exceed the horizon (they are simulated time).
+    assert!(trace_a.events().iter().all(|e| e.ts_us <= 20_000_000));
+}
+
+/// A minimal structural JSON validator: brace/bracket balance outside
+/// strings, legal escapes, non-empty. Enough to guarantee the export loads
+/// in a real parser without vendoring one here.
+fn assert_valid_json(text: &str) {
+    let mut stack = Vec::new();
+    let mut in_string = false;
+    let mut escaped = false;
+    for c in text.chars() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            } else {
+                assert!(c >= ' ', "raw control character inside JSON string");
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '{' | '[' => stack.push(c),
+            '}' => assert_eq!(stack.pop(), Some('{'), "unbalanced brace"),
+            ']' => assert_eq!(stack.pop(), Some('['), "unbalanced bracket"),
+            _ => {}
+        }
+    }
+    assert!(!in_string, "unterminated string");
+    assert!(stack.is_empty(), "unclosed {stack:?}");
+    assert!(
+        text.starts_with('{') || text.starts_with('['),
+        "JSON document must be an object or array"
+    );
+}
+
+#[test]
+fn run_report_dumps_selected_series_as_csv() {
+    let spec = ScenarioSpec::paper_testbed(11)
+        .with_horizon(SimDuration::from_secs(30))
+        .with_telemetry(
+            TelemetryConfig::default().with_snapshot_interval(SimDuration::from_secs(5)),
+        );
+    let report = Experiment::new(spec).run().expect("valid spec");
+    let csv = report.telemetry_csv().expect("telemetry was enabled");
+    // One block per network queue-depth series plus one per network
+    // overhead series, each with the TimeSeries header.
+    assert!(csv.contains("broker_session_queue_depth"));
+    assert!(csv.contains("overhead_percent"));
+    assert!(csv.contains("time_s,value"));
+    let header_blocks = csv.lines().filter(|l| l.starts_with("# ")).count();
+    assert!(header_blocks >= 4, "2 networks x 2 series expected");
+
+    // Without telemetry there is nothing to dump.
+    let plain =
+        Experiment::new(ScenarioSpec::paper_testbed(11).with_horizon(SimDuration::from_secs(10)))
+            .run()
+            .expect("valid spec");
+    assert!(plain.telemetry_csv().is_none());
+}
