@@ -583,6 +583,43 @@ impl Aggregator {
     pub fn ledger_anchor(&self) -> Digest {
         self.ledger.chain().head_hash()
     }
+
+    /// Cross-checks a block's record bytes proposed by a *peer* network's
+    /// consensus group, returning how many records this aggregator refuses
+    /// to vouch for.
+    ///
+    /// A record is flagged when it is not a well-formed
+    /// [`LedgerEntry`] at all, or when it
+    /// names this aggregator as collector or billing authority without a
+    /// matching committed or staged entry in this aggregator's own ledger —
+    /// either way no honest site produced it. A colluding quorum can commit
+    /// a forgery inside its own network, but the cross-check at window seal
+    /// means the forgery cannot survive contact with any honest peer.
+    pub fn cross_check_records(&self, records: &[Vec<u8>]) -> usize {
+        records
+            .iter()
+            .filter(|bytes| match LedgerEntry::from_bytes(bytes) {
+                None => true,
+                Some(entry) => {
+                    let names_us =
+                        entry.collected_by == self.address.0 || entry.billed_by == self.address.0;
+                    names_us && !self.vouches_for(&entry)
+                }
+            })
+            .count()
+    }
+
+    /// `true` when this aggregator's own ledger (committed or staged)
+    /// contains an entry matching `(device, sequence, charge)`.
+    fn vouches_for(&self, entry: &LedgerEntry) -> bool {
+        let matches = |e: &LedgerEntry| {
+            e.device_id == entry.device_id
+                && e.sequence == entry.sequence
+                && e.charge_uas == entry.charge_uas
+        };
+        self.ledger.staged_entries().iter().any(matches)
+            || self.ledger.all_entries().iter().any(matches)
+    }
 }
 
 #[cfg(test)]

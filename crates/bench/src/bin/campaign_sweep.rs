@@ -1,0 +1,231 @@
+//! Randomized campaign grid: one generator stream per seed, every sampled
+//! campaign run with its auto clean twin and scored into a
+//! [`rtem_campaign::CampaignVerdict`], the whole grid written as machine-readable
+//! `BENCH_campaigns.json` — the detection-frontier snapshot that
+//! accumulates run over run.
+//!
+//! ```bash
+//! cargo run --release -p rtem-bench --bin campaign_sweep            # full grid
+//! cargo run --release -p rtem-bench --bin campaign_sweep -- --smoke # CI smoke
+//! ```
+//!
+//! Three hard gates, asserted after the grid:
+//!
+//! 1. every *expected-detectable* fault of every campaign lands detected
+//!    (the conservative predicate of `rtem_campaign::expected_detected`),
+//! 2. every bill of every campaign reconciles and every audit finding is
+//!    attributed — no campaign fails for any reason,
+//! 3. every committed reproducer in `tests/fixtures/campaigns/` replays
+//!    green — a fixture regressing to undetected fails the bench, and CI
+//!    with it, before anything else does.
+//!
+//! The seed-0 campaign additionally re-runs to pin digest determinism.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use rtem_campaign::{run_campaign, CampaignGenerator, CampaignSpec};
+
+fn json_num(value: Option<f64>) -> String {
+    match value {
+        Some(v) if v.is_finite() => format!("{v:.4}"),
+        _ => "null".to_string(),
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (seeds, out_path) = if smoke {
+        (5u64, "BENCH_campaigns_smoke.json")
+    } else {
+        (18u64, "BENCH_campaigns.json")
+    };
+
+    println!("# Randomized campaign grid ({seeds} seeds, clean twins included)");
+    println!("seed,label,faults,expected,missed,billing_ok,passed,accuracy_delta_pts,wall_ms");
+
+    let started = std::time::Instant::now();
+    let mut cells_json = Vec::new();
+    let mut family_totals: BTreeMap<String, (usize, usize, usize)> = BTreeMap::new();
+    let mut expected_total = 0usize;
+    let mut missed_total = 0usize;
+    let mut failed = 0usize;
+    let mut first_digest = String::new();
+
+    for seed in 0..seeds {
+        let campaign = CampaignGenerator::new(seed).next_campaign();
+        let cell_started = std::time::Instant::now();
+        let verdict = run_campaign(&campaign).expect("generated campaigns are valid");
+        let wall_ms = cell_started.elapsed().as_millis();
+        if seed == 0 {
+            first_digest = verdict.digest.clone();
+        }
+        expected_total += verdict.expected.len();
+        missed_total += verdict.missed.len();
+        if !verdict.passed() {
+            failed += 1;
+            for failure in &verdict.failures {
+                println!("# FAIL seed {seed}: {failure}");
+            }
+        }
+        let mut families_json = Vec::new();
+        for family in &verdict.families {
+            let entry = family_totals.entry(family.family.clone()).or_default();
+            entry.0 += family.injected;
+            entry.1 += family.detected;
+            entry.2 += family.undetected;
+            families_json.push(format!(
+                concat!(
+                    "{{\"family\": \"{}\", \"injected\": {}, \"detected\": {}, ",
+                    "\"undetected\": {}, \"mean_detection_latency_s\": {}}}"
+                ),
+                family.family,
+                family.injected,
+                family.detected,
+                family.undetected,
+                json_num(family.mean_detection_latency_s),
+            ));
+        }
+        println!(
+            "{seed},{},{},{},{},{},{},{},{wall_ms}",
+            verdict.label,
+            campaign.faults.len(),
+            verdict.expected.len(),
+            verdict.missed.len(),
+            verdict.billing_ok,
+            verdict.passed(),
+            json_num(verdict.accuracy_delta_percent),
+        );
+        cells_json.push(format!(
+            concat!(
+                "    {{\"seed\": {}, \"label\": \"{}\", \"networks\": {}, \"devices\": {}, ",
+                "\"horizon_s\": {}, \"workload\": \"{}\", \"meters\": \"{}\", \"tariff\": \"{}\", ",
+                "\"faults\": {}, \"controls\": {}, \"hops\": {}, \"expected\": {}, \"missed\": {}, ",
+                "\"billing_ok\": {}, \"passed\": {}, \"accuracy_delta_pts\": {}, ",
+                "\"digest\": \"{}\", \"families\": [{}], \"wall_ms\": {}}}"
+            ),
+            seed,
+            verdict.label,
+            campaign.networks,
+            campaign.devices_per_network,
+            campaign.horizon_s,
+            campaign.workload.name(),
+            campaign.meters.name(),
+            campaign.tariff.name(),
+            campaign.faults.len(),
+            campaign.controls.len(),
+            campaign.mobility.len(),
+            verdict.expected.len(),
+            verdict.missed.len(),
+            verdict.billing_ok,
+            verdict.passed(),
+            json_num(verdict.accuracy_delta_percent),
+            verdict.digest,
+            families_json.join(", "),
+            wall_ms,
+        ));
+    }
+
+    // Determinism pin: the seed-0 campaign re-run must reproduce its digest.
+    let rerun = run_campaign(&CampaignGenerator::new(0).next_campaign()).unwrap();
+    let deterministic = rerun.digest == first_digest;
+
+    // Regression gate: every committed shrunk reproducer must replay green.
+    let fixtures_dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures/campaigns");
+    let mut reproducers_json = Vec::new();
+    let mut reproducers_green = true;
+    let mut fixture_paths: Vec<_> = std::fs::read_dir(&fixtures_dir)
+        .expect("campaign fixture corpus exists")
+        .map(|entry| entry.unwrap().path())
+        .filter(|path| path.extension().is_some_and(|ext| ext == "txt"))
+        .collect();
+    fixture_paths.sort();
+    for path in fixture_paths {
+        let name = path.file_stem().unwrap().to_string_lossy().into_owned();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let spec = CampaignSpec::parse(&text).expect("committed fixtures parse");
+        let verdict = run_campaign(&spec).expect("committed fixtures run");
+        if !verdict.passed() {
+            reproducers_green = false;
+            println!("# REGRESSED reproducer {name}: {:?}", verdict.failures);
+        }
+        println!(
+            "reproducer,{name},{},{},{},{},{},{},-",
+            spec.faults.len(),
+            verdict.expected.len(),
+            verdict.missed.len(),
+            verdict.billing_ok,
+            verdict.passed(),
+            json_num(verdict.accuracy_delta_percent),
+        );
+        reproducers_json.push(format!(
+            "    {{\"name\": \"{}\", \"passed\": {}, \"expected\": {}, \"missed\": {}}}",
+            name,
+            verdict.passed(),
+            verdict.expected.len(),
+            verdict.missed.len(),
+        ));
+    }
+
+    let families_json: Vec<String> = family_totals
+        .iter()
+        .map(|(family, (injected, detected, undetected))| {
+            format!(
+                concat!(
+                    "    {{\"family\": \"{}\", \"injected\": {}, \"detected\": {}, ",
+                    "\"undetected\": {}, \"detection_rate\": {}}}"
+                ),
+                family,
+                injected,
+                detected,
+                undetected,
+                json_num((*injected > 0).then(|| *detected as f64 / *injected as f64)),
+            )
+        })
+        .collect();
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"campaign_sweep\",\n",
+            "  \"mode\": \"{}\",\n",
+            "  \"seeds\": {},\n",
+            "  \"campaigns\": [\n{}\n  ],\n",
+            "  \"family_totals\": [\n{}\n  ],\n",
+            "  \"reproducers\": [\n{}\n  ],\n",
+            "  \"summary\": {{\"campaigns\": {}, \"failed\": {}, \"expected_detections\": {}, ",
+            "\"missed_detections\": {}, \"deterministic\": {}, \"reproducers_green\": {}, ",
+            "\"total_wall_ms\": {}}}\n",
+            "}}\n"
+        ),
+        if smoke { "smoke" } else { "full" },
+        seeds,
+        cells_json.join(",\n"),
+        families_json.join(",\n"),
+        reproducers_json.join(",\n"),
+        seeds,
+        failed,
+        expected_total,
+        missed_total,
+        deterministic,
+        reproducers_green,
+        started.elapsed().as_millis(),
+    );
+    std::fs::write(out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+
+    println!(
+        "\n# {seeds} campaigns in {} ms; {expected_total} expected detections, {missed_total} missed, {failed} failed",
+        started.elapsed().as_millis(),
+    );
+    println!("# wrote {out_path}");
+    assert!(deterministic, "seed-0 campaign digest must be reproducible");
+    assert_eq!(
+        missed_total, 0,
+        "every expected-detectable fault must land detected"
+    );
+    assert_eq!(failed, 0, "no campaign may fail its verdict");
+    assert!(
+        reproducers_green,
+        "a committed reproducer regressed to undetected"
+    );
+}

@@ -10,11 +10,14 @@
 //! ```
 //!
 //! Reading the numbers: the tamper family must sit at detection rate 1.0 —
-//! the hash-chain audit catches every storage forgery. Mild link bursts, by
-//! contrast, legitimately go *undetected*: QoS-1 retries and device-local
-//! store-and-forward absorb them without a visible accuracy dent, which is
-//! resilience, not blindness. A byzantine quorum committing forgeries
-//! unnoticed is the protocol's documented failure mode.
+//! the hash-chain audit catches every storage forgery. Link bursts are
+//! caught by the per-link delivery-gap watch: the aggregator compares
+//! offered vs. lost transfers against the ambient loss floor at every
+//! verification-window seal, so even a 30 % burst that QoS-1 retries fully
+//! absorb (no accuracy dent) still raises `LinkDegraded`. A byzantine
+//! quorum committing forgeries is caught at window seal by the peer ledger
+//! cross-check (`LedgerCrossCheck`) — the lone remaining blind spot is a
+//! colluding quorum on a single-network fleet with no honest peer site.
 //!
 //! The sweep runs on a *mixed real-codec fleet* (IEC 62056-21, SML, Modbus
 //! RTU, wireless M-Bus round-robin), so the corruption family exercises the
@@ -236,7 +239,7 @@ fn main() {
         "# Resilience under injected faults ({} cells, 60 s each + clean twins)",
         suite.len()
     );
-    println!("family,intensity,injected,detected,detection_rate,mean_latency_s,accuracy_delta_pts,audit_attributed,wall_ms");
+    println!("family,intensity,injected,detected,undetected,detection_rate,mean_latency_s,accuracy_delta_pts,audit_attributed,wall_ms");
     let report = suite.run().expect("sweep plans are valid");
 
     let mut cells_json = Vec::new();
@@ -244,8 +247,14 @@ fn main() {
     let mut tamper_detected = 0usize;
     let mut corruption_injected = 0usize;
     let mut corruption_detected = 0usize;
+    let mut link_injected = 0usize;
+    let mut link_detected = 0usize;
+    let mut byzantine_injected = 0usize;
+    let mut byzantine_detected = 0usize;
+    let mut loss_burst_missed = Vec::new();
     let mut injected_total = 0usize;
     let mut detected_total = 0usize;
+    let mut undetected_total = 0usize;
     for cell in &report.cells {
         let label = cell.key.fault_plan.as_deref().unwrap_or("?");
         let (family, intensity) = label.split_once('/').unwrap_or((label, "-"));
@@ -256,8 +265,10 @@ fn main() {
             .expect("every cell carries a plan");
         let injected = resilience.injected();
         let detected = resilience.detected();
+        let undetected = resilience.undetected();
         injected_total += injected;
         detected_total += detected;
+        undetected_total += undetected;
         if family == "tamper" {
             tamper_injected += injected;
             tamper_detected += detected;
@@ -266,13 +277,26 @@ fn main() {
             corruption_injected += injected;
             corruption_detected += detected;
         }
+        if family == "link" {
+            link_injected += injected;
+            link_detected += detected;
+            // Every lossy burst in this grid must raise the delivery-gap
+            // alarm; a blackout on top of it loses the records outright.
+            if detected == 0 {
+                loss_burst_missed.push(label.to_string());
+            }
+        }
+        if family == "byzantine" {
+            byzantine_injected += injected;
+            byzantine_detected += detected;
+        }
         let latency = resilience
             .families
             .first()
             .and_then(|f| f.mean_detection_latency_s);
         let delta = resilience.accuracy_delta_percent();
         println!(
-            "{family},{intensity},{injected},{detected},{},{},{},{},{}",
+            "{family},{intensity},{injected},{detected},{undetected},{},{},{},{},{}",
             json_num(resilience.detection_rate()),
             json_num(latency),
             json_num(delta),
@@ -282,7 +306,8 @@ fn main() {
         cells_json.push(format!(
             concat!(
                 "    {{\"family\": \"{}\", \"intensity\": \"{}\", \"injected\": {}, ",
-                "\"detected\": {}, \"detection_rate\": {}, \"mean_detection_latency_s\": {}, ",
+                "\"detected\": {}, \"undetected\": {}, \"detection_rate\": {}, ",
+                "\"mean_detection_latency_s\": {}, ",
                 "\"accuracy_delta_pts\": {}, \"audit_findings\": {}, ",
                 "\"audit_findings_attributed\": {}, \"wall_ms\": {}}}"
             ),
@@ -290,6 +315,7 @@ fn main() {
             intensity,
             injected,
             detected,
+            undetected,
             json_num(resilience.detection_rate()),
             json_num(latency),
             json_num(delta),
@@ -331,6 +357,16 @@ fn main() {
     } else {
         0.0
     };
+    let link_rate = if link_injected > 0 {
+        link_detected as f64 / link_injected as f64
+    } else {
+        0.0
+    };
+    let byzantine_rate = if byzantine_injected > 0 {
+        byzantine_detected as f64 / byzantine_injected as f64
+    } else {
+        0.0
+    };
     let json = format!(
         concat!(
             "{{\n",
@@ -342,7 +378,9 @@ fn main() {
             "\"acked\": {}, \"completion_rate\": {}, \"rollout_latency_s\": {}, ",
             "\"accuracy_delta_pts\": {}, \"wall_ms\": {}}},\n",
             "  \"summary\": {{\"cells\": {}, \"injected\": {}, \"detected\": {}, ",
+            "\"undetected\": {}, ",
             "\"tamper_detection_rate\": {}, \"corruption_detection_rate\": {}, ",
+            "\"link_detection_rate\": {}, \"byzantine_detection_rate\": {}, ",
             "\"threads\": {}, \"total_wall_ms\": {}}}\n",
             "}}\n"
         ),
@@ -360,8 +398,11 @@ fn main() {
         report.cells.len(),
         injected_total,
         detected_total,
+        undetected_total,
         json_num(Some(tamper_rate)),
         json_num(Some(corruption_rate)),
+        json_num(Some(link_rate)),
+        json_num(Some(byzantine_rate)),
         report.threads_used,
         report.wall.as_millis(),
     );
@@ -377,6 +418,8 @@ fn main() {
     );
     println!("# tamper detection rate {tamper_rate:.2} (must be >= 0.99: the audit catches every forgery)");
     println!("# corruption detection rate {corruption_rate:.2} (telegram checksums reject mangled frames)");
+    println!("# link detection rate {link_rate:.2} (the delivery-gap watch flags every burst in this grid)");
+    println!("# byzantine detection rate {byzantine_rate:.2} (minority rejected at consensus, quorum caught by peer cross-check)");
     println!("# wrote BENCH_resilience.json");
     assert!(
         tamper_rate >= 0.99,
@@ -385,6 +428,15 @@ fn main() {
     assert!(
         corruption_rate > 0.5,
         "telegram-corruption detection regressed: {corruption_rate}"
+    );
+    assert!(
+        loss_burst_missed.is_empty(),
+        "link bursts regressed to undetected: {loss_burst_missed:?}"
+    );
+    assert!(
+        byzantine_rate >= 0.99,
+        "byzantine detection regressed: {byzantine_rate} — the quorum cell \
+         must be caught by the peer ledger cross-check"
     );
     assert_eq!(
         storm_completion,

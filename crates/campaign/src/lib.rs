@@ -1,0 +1,42 @@
+//! Randomized scenario campaigns for the rtem testbed: generate, run,
+//! score, shrink.
+//!
+//! The resilience suite and benches pin *hand-picked* fault scenarios; this
+//! crate closes the gap between those and the space of scenarios the
+//! simulator actually accepts. A [`CampaignGenerator`] samples random but
+//! valid-by-construction campaigns across every axis — topology, workload,
+//! meter-protocol mix, tariff, all seven fault families (overlapping where
+//! validation allows), fleet commands and mobility hops. Each campaign runs
+//! with its auto clean twin and is scored into a [`CampaignVerdict`]:
+//! per-family detection counts and latencies, the accuracy delta,
+//! billing-reconciliation invariants, audit-finding attribution and a
+//! SHA-256 determinism digest. A failing campaign is handed to [`shrink()`],
+//! which delta-debugs it down to a minimal still-failing reproducer whose
+//! exact text serialization ([`CampaignSpec::serialize`]) is committed as a
+//! replayable regression fixture.
+//!
+//! ```
+//! use rtem_campaign::{CampaignGenerator, CampaignSpec};
+//!
+//! let mut generator = CampaignGenerator::new(7);
+//! let campaign = generator.next_campaign();
+//! // Valid by construction, and the fixture format round-trips exactly.
+//! assert!(campaign.to_scenario().validate().is_ok());
+//! let replayed = CampaignSpec::parse(&campaign.serialize()).unwrap();
+//! assert_eq!(campaign, replayed);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod generator;
+pub mod shrink;
+pub mod spec;
+pub mod verdict;
+
+pub use generator::CampaignGenerator;
+pub use shrink::shrink;
+pub use spec::{
+    CampaignControl, CampaignFault, CampaignHop, CampaignParseError, CampaignSpec,
+    CommandTargetSpec, CorruptionModeSpec, MeterMix, TariffPreset, WorkloadPreset,
+};
+pub use verdict::{expected_detected, run_campaign, score, CampaignVerdict, FamilyScore};

@@ -1,0 +1,183 @@
+//! Delta-debugging shrinker for failing campaigns.
+//!
+//! Given a campaign and a failure predicate, [`shrink`] greedily applies
+//! single cuts — drop one fault / control / hop, halve the fleet, halve the
+//! network count, shorten the horizon — keeping a cut only when the cut
+//! campaign still validates *and* still fails. Every accepted cut strictly
+//! decreases [`CampaignSpec::size`], so the loop terminates at a local
+//! minimum: a reproducer where no single further cut preserves the failure.
+//! Serialized with [`CampaignSpec::serialize`], that minimum is exactly
+//! what lands in `tests/fixtures/campaigns/` as a regression fixture.
+
+use crate::spec::CampaignSpec;
+
+/// The shortest horizon the shrinker will try, seconds — long enough for
+/// any fault window the generator emits.
+const MIN_HORIZON_S: u64 = 45;
+
+/// Single-cut candidates of `spec`, in preference order (structural cuts
+/// first). Every candidate has a strictly smaller [`CampaignSpec::size`].
+fn candidates(spec: &CampaignSpec) -> Vec<CampaignSpec> {
+    let mut out = Vec::new();
+    for index in 0..spec.faults.len() {
+        let mut cut = spec.clone();
+        cut.faults.remove(index);
+        out.push(cut);
+    }
+    for index in 0..spec.controls.len() {
+        let mut cut = spec.clone();
+        cut.controls.remove(index);
+        out.push(cut);
+    }
+    for index in 0..spec.mobility.len() {
+        let mut cut = spec.clone();
+        cut.mobility.remove(index);
+        out.push(cut);
+    }
+    if spec.devices_per_network > 1 {
+        let mut cut = spec.clone();
+        cut.devices_per_network = spec.devices_per_network / 2;
+        out.push(cut);
+    }
+    if spec.networks > 1 {
+        let mut cut = spec.clone();
+        cut.networks = spec.networks / 2;
+        out.push(cut);
+    }
+    let shorter = (spec.horizon_s * 2 / 3).max(MIN_HORIZON_S);
+    if shorter < spec.horizon_s {
+        let mut cut = spec.clone();
+        cut.horizon_s = shorter;
+        out.push(cut);
+    }
+    out
+}
+
+/// Shrinks a failing campaign to a minimal still-failing reproducer.
+///
+/// `fails` must return `true` for `spec` itself (asserted); the result is
+/// the smallest campaign reachable by single cuts for which it still does.
+/// Candidates that no longer pass validation (a cut fleet dropping a
+/// referenced device, a shortened horizon orphaning an event) are skipped,
+/// so the result always validates.
+pub fn shrink<F>(spec: &CampaignSpec, fails: &mut F) -> CampaignSpec
+where
+    F: FnMut(&CampaignSpec) -> bool,
+{
+    assert!(
+        fails(spec),
+        "shrink needs a failing campaign to start from: {}",
+        spec.label()
+    );
+    let mut current = spec.clone();
+    'outer: loop {
+        for candidate in candidates(&current) {
+            debug_assert!(candidate.size() < current.size());
+            if candidate.validate().is_ok() && fails(&candidate) {
+                current = candidate;
+                continue 'outer;
+            }
+        }
+        return current;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{
+        CampaignControl, CampaignFault, CampaignHop, CommandTargetSpec, MeterMix, TariffPreset,
+        WorkloadPreset,
+    };
+
+    fn padded() -> CampaignSpec {
+        CampaignSpec {
+            seed: 3,
+            networks: 2,
+            devices_per_network: 4,
+            horizon_s: 90,
+            workload: WorkloadPreset::Residential,
+            meters: MeterMix::Internal,
+            tariff: TariffPreset::Flat,
+            faults: vec![
+                CampaignFault::Tamper { at_s: 20, net: 0 },
+                CampaignFault::SensorStuck {
+                    at_s: 25,
+                    net: 1,
+                    ord: 3,
+                    level_ma: 5,
+                },
+                CampaignFault::Crash {
+                    at_s: 30,
+                    restart_s: 40,
+                    net: 0,
+                    ord: 1,
+                },
+            ],
+            controls: vec![CampaignControl::MeasureInterval {
+                at_s: 15,
+                target: CommandTargetSpec::All,
+                interval_ms: 200,
+            }],
+            mobility: vec![CampaignHop {
+                unplug_s: 30,
+                replug_s: 40,
+                net: 0,
+                ord: 2,
+                dest: 1,
+            }],
+        }
+    }
+
+    #[test]
+    fn shrink_keeps_only_what_the_predicate_needs() {
+        // "Fails" whenever a tamper is present — the shrinker must strip
+        // everything else and shrink the fleet and horizon to the floor.
+        let spec = padded();
+        let mut fails = |candidate: &CampaignSpec| {
+            candidate
+                .faults
+                .iter()
+                .any(|f| matches!(f, CampaignFault::Tamper { .. }))
+        };
+        let shrunk = shrink(&spec, &mut fails);
+        assert!(fails(&shrunk), "still failing");
+        assert!(shrunk.size() < spec.size(), "strictly smaller");
+        assert_eq!(
+            shrunk.faults,
+            vec![CampaignFault::Tamper { at_s: 20, net: 0 }]
+        );
+        assert!(shrunk.controls.is_empty());
+        assert!(shrunk.mobility.is_empty());
+        assert_eq!(shrunk.networks, 1);
+        assert_eq!(shrunk.devices_per_network, 1);
+        assert_eq!(shrunk.horizon_s, MIN_HORIZON_S);
+        assert_eq!(shrunk.validate(), Ok(()));
+    }
+
+    #[test]
+    fn shrink_skips_cuts_that_invalidate_references() {
+        // The predicate pins the sensor fault on device (1, 3): halving the
+        // fleet or dropping network 1 would orphan the reference, so both
+        // cuts must be skipped and the coordinates survive.
+        let spec = padded();
+        let mut fails = |candidate: &CampaignSpec| {
+            candidate
+                .faults
+                .iter()
+                .any(|f| matches!(f, CampaignFault::SensorStuck { net: 1, ord: 3, .. }))
+        };
+        let shrunk = shrink(&spec, &mut fails);
+        assert_eq!(shrunk.networks, 2);
+        assert_eq!(shrunk.devices_per_network, 4);
+        assert_eq!(shrunk.faults.len(), 1);
+        assert_eq!(shrunk.validate(), Ok(()));
+    }
+
+    #[test]
+    #[should_panic(expected = "shrink needs a failing campaign")]
+    fn shrink_rejects_a_passing_campaign() {
+        let spec = padded();
+        shrink(&spec, &mut |_| false);
+    }
+}

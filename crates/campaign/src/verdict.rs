@@ -1,0 +1,412 @@
+//! Running and scoring a campaign into a [`CampaignVerdict`].
+//!
+//! [`run_campaign`] lowers the campaign, runs it through the facade
+//! [`Experiment`] (which already runs the auto clean twin for the accuracy
+//! delta), and scores the report: per-family detection counts, detection of
+//! every *expected-detectable* fault, billing-reconciliation invariants,
+//! audit-finding attribution, and a SHA-256 determinism digest over the
+//! canonical report render.
+//!
+//! Expected detectability is computed conservatively by
+//! [`expected_detected`]: a fault index lands on the list only when the
+//! detection machinery provably has the evidence — e.g. a tamper with
+//! enough seals left before the horizon, a strong long Wi-Fi loss burst
+//! with at least two reporting devices and no interfering outage, or a
+//! byzantine quorum with an honest peer network to cross-check the forged
+//! records. A campaign whose expected faults all land detected, whose bills
+//! reconcile and whose audit findings are all attributed **passes**;
+//! anything else fails with a reason list, which is exactly what the
+//! shrinker minimizes.
+
+use rtem::chain::sha256::Sha256;
+use rtem::prelude::*;
+
+use crate::spec::{CampaignControl, CampaignFault, CampaignSpec, MeterMix};
+
+/// Per-family detection score of one campaign run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FamilyScore {
+    /// Fault family label (`Debug` name of [`FaultFamily`]).
+    pub family: String,
+    /// Faults of the family that took effect.
+    pub injected: usize,
+    /// Of those, how many were recognized.
+    pub detected: usize,
+    /// Of those, how many were missed.
+    pub undetected: usize,
+    /// Mean injection-to-detection latency over the detected ones, seconds.
+    pub mean_detection_latency_s: Option<f64>,
+}
+
+/// The scored outcome of one campaign run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignVerdict {
+    /// The campaign's compact label.
+    pub label: String,
+    /// SHA-256 over the canonical report render — equal seeds and specs
+    /// must reproduce it byte-identically.
+    pub digest: String,
+    /// Per-family detection scores (empty for fault-free campaigns).
+    pub families: Vec<FamilyScore>,
+    /// Fault indices that were expected detectable.
+    pub expected: Vec<usize>,
+    /// Of those, the indices that went undetected.
+    pub missed: Vec<usize>,
+    /// Accuracy-under-fault delta vs. the clean twin, percentage points.
+    pub accuracy_delta_percent: Option<f64>,
+    /// Whether every bill's cost decomposition reconciled.
+    pub billing_ok: bool,
+    /// Chain-audit findings not explained by a scheduled tamper.
+    pub unattributed_findings: usize,
+    /// Human-readable failure reasons; empty means the campaign passed.
+    pub failures: Vec<String>,
+}
+
+impl CampaignVerdict {
+    /// Whether the campaign met every expectation.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// The score of one family, if the campaign injected it.
+    pub fn family(&self, family: FaultFamily) -> Option<&FamilyScore> {
+        let name = format!("{family:?}");
+        self.families.iter().find(|f| f.family == name)
+    }
+}
+
+/// Whether any outage overlaps `[from_s, to_s]`; `net: None` matches
+/// outages on every network.
+fn outage_overlaps(spec: &CampaignSpec, net: Option<u32>, from_s: u64, to_s: u64) -> bool {
+    spec.faults.iter().any(|fault| match *fault {
+        CampaignFault::Outage {
+            at_s,
+            until_s,
+            net: outage_net,
+            ..
+        } => net.map_or(true, |n| n == outage_net) && at_s <= to_s && until_s >= from_s,
+        _ => false,
+    })
+}
+
+/// Whether any crash overlaps `[from_s, to_s]`; optionally filtered to one
+/// device.
+fn crash_overlaps(spec: &CampaignSpec, device: Option<(u32, u32)>, from_s: u64, to_s: u64) -> bool {
+    spec.faults.iter().any(|fault| match *fault {
+        CampaignFault::Crash {
+            at_s,
+            restart_s,
+            net,
+            ord,
+        } => device.map_or(true, |d| d == (net, ord)) && at_s <= to_s && restart_s >= from_s,
+        _ => false,
+    })
+}
+
+/// Whether any stop-reporting command fires at or before `before_s`.
+fn reporting_stops_before(spec: &CampaignSpec, before_s: u64) -> bool {
+    spec.controls
+        .iter()
+        .any(|c| matches!(c, CampaignControl::StopReporting { .. }) && c.at_s() <= before_s)
+}
+
+/// Whether any mobility hop overlaps `[from_s, to_s]`.
+fn hops_overlap(spec: &CampaignSpec, from_s: u64, to_s: u64) -> bool {
+    spec.mobility
+        .iter()
+        .any(|hop| hop.unplug_s <= to_s && hop.replug_s >= from_s)
+}
+
+/// The quorum size of a `validators`-strong consensus round.
+fn quorum(validators: u32) -> u32 {
+    validators / 2 + 1
+}
+
+/// Fault indices the campaign is *expected* to detect — the conservative
+/// structural predicate behind the pass/fail verdict (see module docs).
+pub fn expected_detected(spec: &CampaignSpec) -> Vec<usize> {
+    let horizon = spec.horizon_s;
+    let devices = spec.devices_per_network;
+    spec.faults
+        .iter()
+        .enumerate()
+        .filter(|(_, fault)| match **fault {
+            // A tamper needs two more seals (apply + audit) before the
+            // horizon, and its site must stay up through both.
+            CampaignFault::Tamper { at_s, net } => {
+                at_s + 25 <= horizon && !outage_overlaps(spec, Some(net), at_s, at_s + 25)
+            }
+            // A Wi-Fi loss burst is only *expected* caught when it is
+            // strong and long, at least two devices feed the watched
+            // links, and nothing else (outage, crash, reporting pause,
+            // mobility) starves the delivery accounting.
+            CampaignFault::WifiBurst {
+                at_s,
+                until_s,
+                net,
+                loss_permille,
+            } => {
+                let covered = match net {
+                    Some(_) => devices,
+                    None => spec.networks * devices,
+                };
+                loss_permille >= 400
+                    && until_s - at_s >= 20
+                    && covered >= 2
+                    && !outage_overlaps(spec, None, at_s, until_s + 20)
+                    && !crash_overlaps(spec, None, at_s, until_s)
+                    && !reporting_stops_before(spec, until_s)
+                    && !hops_overlap(spec, at_s.saturating_sub(10), until_s)
+            }
+            // Backhaul bursts carry far sparser traffic; detection there
+            // is a bonus, never an expectation.
+            CampaignFault::BackhaulBurst { .. } => false,
+            // A byzantine window is expected detected when rounds actually
+            // run (>= 2 validators, a seal inside the window, no outage or
+            // crash interference, no validator hopping away) and either a
+            // minority gets rejected by the honest majority or a colluding
+            // quorum gets cross-checked by an honest peer network.
+            CampaignFault::Byzantine {
+                at_s,
+                until_s,
+                net,
+                voters,
+            } => {
+                devices >= 2
+                    && until_s - at_s >= 10
+                    && (spec.networks >= 2 || voters < quorum(devices))
+                    && !outage_overlaps(spec, None, at_s, until_s)
+                    && !crash_overlaps(spec, None, at_s, until_s)
+                    && !spec
+                        .mobility
+                        .iter()
+                        .any(|hop| hop.net == net && hop.unplug_s < until_s)
+            }
+            // Telegram corruption is expected caught when the whole fleet
+            // speaks checksummed protocols, the intensity and window leave
+            // no room for luck, and the victim keeps transmitting.
+            CampaignFault::Corruption {
+                at_s,
+                until_s,
+                net,
+                ord,
+                per_mille,
+                ..
+            } => {
+                spec.meters == MeterMix::Real
+                    && per_mille >= 500
+                    && until_s - at_s >= 20
+                    && !outage_overlaps(spec, Some(net), at_s, until_s)
+                    && !crash_overlaps(spec, Some((net, ord)), at_s, until_s)
+                    && !reporting_stops_before(spec, until_s)
+                    && !spec
+                        .mobility
+                        .iter()
+                        .any(|hop| (hop.net, hop.ord) == (net, ord) && hop.unplug_s < until_s)
+            }
+            // Sensor faults, crashes and outages may legitimately be
+            // absorbed (tolerances, retries, failover) — scored, never
+            // gated.
+            CampaignFault::SensorStuck { .. }
+            | CampaignFault::SensorDrift { .. }
+            | CampaignFault::Crash { .. }
+            | CampaignFault::Outage { .. } => false,
+        })
+        .map(|(index, _)| index)
+        .collect()
+}
+
+/// The canonical report render the determinism digest hashes.
+fn render(report: &RunReport) -> String {
+    format!(
+        "accuracy {:#?}\nhandshakes {:#?}\nledgers {:#?}\nbills {:#?}\nresilience {:#?}\n",
+        report.accuracy, report.handshakes, report.ledgers, report.bills, report.resilience,
+    )
+}
+
+/// Scores an already-run report against its campaign.
+pub fn score(spec: &CampaignSpec, report: &RunReport) -> CampaignVerdict {
+    let mut failures = Vec::new();
+
+    // Billing reconciliation: the cost decomposition must partition the
+    // bill, and roaming can never exceed its envelope.
+    let mut billing_ok = true;
+    for bill in &report.bills {
+        let breakdown_gap = (bill.cost - bill.breakdown.total()).abs();
+        if breakdown_gap > 1e-6 * bill.cost.abs().max(1.0) {
+            billing_ok = false;
+            failures.push(format!(
+                "bill for {:?} does not reconcile: cost {} vs breakdown {}",
+                bill.device,
+                bill.cost,
+                bill.breakdown.total()
+            ));
+        }
+        if bill.breakdown.roaming > bill.breakdown.energy + 1e-9
+            || bill.roaming_charge_uas > bill.charge_uas
+        {
+            billing_ok = false;
+            failures.push(format!(
+                "bill for {:?} books more roaming than total consumption",
+                bill.device
+            ));
+        }
+    }
+
+    let resilience = report.resilience.as_ref();
+    let families: Vec<FamilyScore> = resilience
+        .map(|r| {
+            r.families
+                .iter()
+                .map(|f| FamilyScore {
+                    family: format!("{:?}", f.family),
+                    injected: f.injected,
+                    detected: f.detected,
+                    undetected: f.undetected,
+                    mean_detection_latency_s: f.mean_detection_latency_s,
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+
+    let expected = expected_detected(spec);
+    let mut missed = Vec::new();
+    match resilience {
+        Some(r) => {
+            for &index in &expected {
+                let detected = r.faults.get(index).is_some_and(|record| record.detected());
+                if !detected {
+                    missed.push(index);
+                    failures.push(format!(
+                        "fault #{index} ({:?}) was expected detected but was missed",
+                        spec.faults[index].family()
+                    ));
+                }
+            }
+        }
+        None => {
+            if !expected.is_empty() {
+                failures.push("faulted campaign produced no resilience report".into());
+            }
+        }
+    }
+
+    let unattributed = resilience.map_or(0, |r| r.audit_findings_unattributed());
+    if unattributed > 0 {
+        failures.push(format!(
+            "{unattributed} chain-audit findings are not explained by any injected tamper"
+        ));
+    }
+    if resilience.is_none() && !report.all_ledgers_clean() {
+        failures.push("clean campaign corrupted a ledger".into());
+    }
+
+    CampaignVerdict {
+        label: spec.label(),
+        digest: Sha256::digest(render(report).as_bytes()).to_hex(),
+        families,
+        expected,
+        missed,
+        accuracy_delta_percent: resilience.and_then(|r| r.accuracy_delta_percent()),
+        billing_ok,
+        unattributed_findings: unattributed,
+        failures,
+    }
+}
+
+/// Lowers, validates, runs (with its auto clean twin) and scores a campaign.
+pub fn run_campaign(spec: &CampaignSpec) -> Result<CampaignVerdict, String> {
+    let scenario = spec.to_scenario();
+    scenario
+        .validate()
+        .map_err(|e| format!("invalid campaign {}: {e}", spec.label()))?;
+    let report = Experiment::new(scenario)
+        .run()
+        .map_err(|e| format!("campaign {} failed to run: {e}", spec.label()))?;
+    Ok(score(spec, &report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{TariffPreset, WorkloadPreset};
+
+    fn base(networks: u32, devices: u32) -> CampaignSpec {
+        CampaignSpec {
+            seed: 5,
+            networks,
+            devices_per_network: devices,
+            horizon_s: 60,
+            workload: WorkloadPreset::Default,
+            meters: MeterMix::Internal,
+            tariff: TariffPreset::Default,
+            faults: Vec::new(),
+            controls: Vec::new(),
+            mobility: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn tamper_and_quorum_are_expected_only_with_the_evidence() {
+        let mut spec = base(2, 2);
+        spec.faults.push(CampaignFault::Tamper { at_s: 20, net: 0 });
+        spec.faults.push(CampaignFault::Byzantine {
+            at_s: 20,
+            until_s: 45,
+            net: 0,
+            voters: 2,
+        });
+        assert_eq!(expected_detected(&spec), vec![0, 1]);
+        // A single-network world cannot cross-check a colluding quorum.
+        let mut lone = base(1, 2);
+        lone.faults.push(CampaignFault::Byzantine {
+            at_s: 20,
+            until_s: 45,
+            net: 0,
+            voters: 2,
+        });
+        assert_eq!(expected_detected(&lone), Vec::<usize>::new());
+        // ... but an honest majority still rejects a minority.
+        let mut minority = base(1, 3);
+        minority.faults.push(CampaignFault::Byzantine {
+            at_s: 20,
+            until_s: 45,
+            net: 0,
+            voters: 1,
+        });
+        assert_eq!(expected_detected(&minority), vec![0]);
+    }
+
+    #[test]
+    fn interference_cancels_link_expectations() {
+        let mut spec = base(2, 2);
+        spec.faults.push(CampaignFault::WifiBurst {
+            at_s: 14,
+            until_s: 36,
+            net: Some(0),
+            loss_permille: 700,
+        });
+        assert_eq!(expected_detected(&spec), vec![0]);
+        spec.faults.push(CampaignFault::Outage {
+            at_s: 38,
+            until_s: 48,
+            net: 1,
+            failover: None,
+        });
+        assert_eq!(
+            expected_detected(&spec),
+            Vec::<usize>::new(),
+            "an outage inside the grace window voids the expectation"
+        );
+    }
+
+    #[test]
+    fn running_a_clean_campaign_passes_and_is_deterministic() {
+        let spec = base(2, 2);
+        let a = run_campaign(&spec).unwrap();
+        let b = run_campaign(&spec).unwrap();
+        assert!(a.passed(), "failures: {:?}", a.failures);
+        assert_eq!(a.digest, b.digest);
+        assert!(a.families.is_empty());
+    }
+}

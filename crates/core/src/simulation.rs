@@ -26,7 +26,7 @@ use rtem_faults::event::{
 };
 use rtem_net::backhaul::{BackhaulDelivery, BackhaulMesh};
 use rtem_net::broker::{ClientId, MqttBroker, QoS};
-use rtem_net::link::LinkConfig;
+use rtem_net::link::{LinkConfig, LinkTotals};
 use rtem_net::packet::{AggregatorAddr, DeviceId, MeasurementRecord, Packet};
 use rtem_net::rssi::{PathLossModel, Position, RadioEnvironment};
 use rtem_sensors::fault::SensorFault;
@@ -372,6 +372,25 @@ pub struct TelegramLogEntry {
     pub bytes: Vec<u8>,
 }
 
+/// Traffic baseline of the links a degradation burst touched, captured at
+/// injection time so the window-seal monitor can compare in-burst loss
+/// against the medium's ambient expectation (see
+/// [`World::detect_link_degradation`]).
+struct LinkWatch {
+    /// Broker clients whose access links the burst degraded. Kept separately
+    /// from `saved_wifi` because the saved configs are consumed at clear
+    /// time while the watch must stay readable through the post-clear
+    /// attribution grace.
+    clients: Vec<ClientId>,
+    /// Whether the burst degraded the backhaul mesh instead.
+    backhaul: bool,
+    /// Sum of the watched links' cumulative counters at injection time.
+    baseline: LinkTotals,
+    /// Highest ambient loss probability among the replaced configurations —
+    /// the loss rate the monitor must not alarm on.
+    ambient_loss: f64,
+}
+
 /// Runtime state of one scheduled fault. The externally visible lifecycle
 /// lives in the embedded [`FaultRecord`]; the rest is what the world needs
 /// to apply, attribute and undo the fault.
@@ -384,6 +403,9 @@ struct FaultRuntime {
     saved_wifi: Vec<(ClientId, LinkConfig)>,
     /// Backhaul-link configs saved at burst start, restored at burst end.
     saved_backhaul: Vec<(AggregatorAddr, AggregatorAddr, LinkConfig)>,
+    /// Traffic baseline for link bursts, so window seals can flag abnormal
+    /// loss even when QoS retries absorb every drop.
+    link_watch: Option<LinkWatch>,
     /// Devices re-plugged into the failover network for an outage.
     failover_moved: Vec<DeviceId>,
     /// Backhaul traffic addressed to the down aggregator, replayed at
@@ -446,6 +468,7 @@ impl FaultRuntime {
             pending_tamper: false,
             saved_wifi: Vec::new(),
             saved_backhaul: Vec::new(),
+            link_watch: None,
             failover_moved: Vec::new(),
             queued_backhaul: Vec::new(),
             consensus: None,
@@ -1402,6 +1425,7 @@ impl World {
                     if anomalous {
                         self.attribute_anomaly_to_faults(addr, now);
                     }
+                    self.detect_link_degradation(addr, now);
                     self.attribute_recovery_backfill(addr, now);
                     self.run_byzantine_rounds(addr, now);
                 }
@@ -2165,20 +2189,40 @@ impl World {
                                 .filter(|(addr, _)| network.map_or(true, |n| **addr == n))
                                 .map(|(_, site)| site.client),
                         );
+                        let mut watch = LinkWatch {
+                            clients: Vec::new(),
+                            backhaul: false,
+                            baseline: LinkTotals::default(),
+                            ambient_loss: 0.0,
+                        };
                         for client in clients {
                             if let Some(old) = self.broker.link_config(client) {
                                 self.faults[id].saved_wifi.push((client, old));
                                 self.broker.reconfigure_link(client, degraded);
+                                watch.ambient_loss = watch.ambient_loss.max(old.loss_probability);
+                                if let Some(totals) = self.broker.client_link_totals(client) {
+                                    watch.baseline += totals;
+                                    watch.clients.push(client);
+                                }
                             }
                         }
+                        self.faults[id].link_watch = Some(watch);
                     }
                     LinkTarget::Backhaul => {
+                        let mut ambient_loss: f64 = 0.0;
                         for (a, b) in self.backhaul.link_pairs() {
                             if let Some(old) = self.backhaul.link_config(a, b) {
                                 self.faults[id].saved_backhaul.push((a, b, old));
                                 self.backhaul.reconfigure(a, b, degraded);
+                                ambient_loss = ambient_loss.max(old.loss_probability);
                             }
                         }
+                        self.faults[id].link_watch = Some(LinkWatch {
+                            clients: Vec::new(),
+                            backhaul: true,
+                            baseline: self.backhaul.link_totals(),
+                            ambient_loss,
+                        });
                     }
                 }
                 self.note_fault_injected(id, now);
@@ -2473,6 +2517,69 @@ impl World {
         }
     }
 
+    /// Checks the traffic baselines of active (or just-cleared) link bursts
+    /// against the watched links' current counters at window seal. A burst
+    /// whose cumulative loss since injection significantly exceeds the
+    /// medium's ambient expectation is marked detected with
+    /// [`DetectionSignal::LinkDegraded`] — this is the per-link
+    /// delivery-gap telemetry a real deployment gets from its broker, and it
+    /// catches the loss bursts whose drops QoS-1 retries absorb without
+    /// ever widening a verification window's residual.
+    ///
+    /// Scoped Wi-Fi bursts are only checked at the targeted network's own
+    /// seal; medium-wide bursts (all-Wi-Fi, backhaul) can be flagged by any
+    /// aggregator, since every site sees the shared medium's counters.
+    fn detect_link_degradation(&mut self, addr: AggregatorAddr, now: SimTime) {
+        let grace = self.config.verification_window * 2;
+        let mut detections = Vec::new();
+        for fault in &self.faults {
+            let FaultEvent::LinkDegrade { target, .. } = fault.event else {
+                continue;
+            };
+            let record = &fault.record;
+            if record.detected_at.is_some() || !record.injected_at.is_some_and(|t| t < now) {
+                continue;
+            }
+            if record.cleared_at.is_some_and(|c| now > c + grace) {
+                continue;
+            }
+            if let LinkTarget::Wifi {
+                network: Some(n), ..
+            } = target
+            {
+                if n != addr {
+                    continue;
+                }
+            }
+            let Some(watch) = fault.link_watch.as_ref() else {
+                continue;
+            };
+            let mut current = LinkTotals::default();
+            if watch.backhaul {
+                current = self.backhaul.link_totals();
+            } else {
+                for client in &watch.clients {
+                    if let Some(totals) = self.broker.client_link_totals(*client) {
+                        current += totals;
+                    }
+                }
+            }
+            let offered = current.offered.saturating_sub(watch.baseline.offered);
+            let lost = current.lost.saturating_sub(watch.baseline.lost);
+            // Alarm only on strong evidence: enough traffic to judge, and a
+            // loss count several times the ambient expectation plus a
+            // constant floor so quiet links never alarm on a handful of
+            // unlucky drops.
+            let expected_ambient = watch.ambient_loss * offered as f64;
+            if offered >= 20 && lost >= 8 && lost as f64 > expected_ambient * 3.0 + 5.0 {
+                detections.push((record.id, lost, offered));
+            }
+        }
+        for (id, lost, offered) in detections {
+            self.mark_detected(id, now, DetectionSignal::LinkDegraded { lost, offered });
+        }
+    }
+
     /// After an outage recovers, the first block sealed with backfilled
     /// records is the evidence that the data buffered through the outage
     /// survived — attribute it to the outage fault.
@@ -2517,10 +2624,14 @@ impl World {
     /// Runs one shadow consensus round per active byzantine fault on `addr`:
     /// a byzantine proposer broadcasts a forged block, its co-conspirators
     /// approve through [`QuorumConsensus::vote`] and the honest validators
-    /// reject. A rejected round is the detection signal; a committed forgery
-    /// means the byzantine share reached quorum.
+    /// reject. A rejected round is one detection signal; a *committed*
+    /// forgery — the byzantine share reached quorum — is handed to the peer
+    /// aggregators for a ledger cross-check at the same window seal, so a
+    /// colluding majority no longer goes unnoticed whenever an honest site
+    /// exists to disagree (a single-network world has no peer to ask).
     fn run_byzantine_rounds(&mut self, addr: AggregatorAddr, now: SimTime) {
         let mut detections = Vec::new();
+        let mut committed_forgeries = Vec::new();
         for fault in self.faults.iter_mut() {
             let FaultEvent::ByzantineVoters { network, .. } = fault.event else {
                 continue;
@@ -2536,7 +2647,7 @@ impl World {
             };
             let records = vec![b"forged-consensus-record".to_vec()];
             if consensus
-                .propose(validators[0], now.as_micros(), records)
+                .propose(validators[0], now.as_micros(), records.clone())
                 .is_err()
             {
                 continue;
@@ -2558,12 +2669,38 @@ impl World {
                     Err(_) => break,
                 }
             }
-            if let RoundOutcome::Rejected { rejections } = outcome {
-                detections.push((fault.record.id, rejections));
+            match outcome {
+                RoundOutcome::Rejected { rejections } => {
+                    detections.push((
+                        fault.record.id,
+                        DetectionSignal::ConsensusRejected { rejections },
+                    ));
+                }
+                RoundOutcome::Committed { .. } => {
+                    committed_forgeries.push((fault.record.id, records));
+                }
+                _ => {}
             }
         }
-        for (id, rejections) in detections {
-            self.mark_detected(id, now, DetectionSignal::ConsensusRejected { rejections });
+        // Cross-check committed forgeries against every honest peer's
+        // ledger: the quorum controls its own network, but a sealed block
+        // whose records no peer can vouch for is flagged from outside.
+        for (id, records) in committed_forgeries {
+            let peers = self
+                .sites
+                .iter()
+                .filter(|(peer, site)| {
+                    **peer != addr
+                        && !self.down_sites.contains_key(peer)
+                        && site.aggregator.cross_check_records(&records) > 0
+                })
+                .count();
+            if peers > 0 {
+                detections.push((id, DetectionSignal::LedgerCrossCheck { peers }));
+            }
+        }
+        for (id, signal) in detections {
+            self.mark_detected(id, now, signal);
         }
     }
 
@@ -2641,6 +2778,24 @@ mod tests {
         world.add_network(AggregatorAddr(1), Position::new(0.0, 0.0));
         world.add_network(AggregatorAddr(2), Position::new(200.0, 0.0));
         for i in 0..2u64 {
+            let device = MeteringDevice::testbed(
+                DeviceId(i + 1),
+                ConstantProfile::new(150.0),
+                SimRng::seed_from_u64(100 + i),
+            );
+            world.add_device(device);
+            world.plug_in_now(DeviceId(i + 1), AggregatorAddr(1));
+        }
+        world
+    }
+
+    fn single_network_world(devices: u64) -> World {
+        let mut world = World::new(WorldConfig {
+            verification_window: SimDuration::from_secs(5),
+            ..WorldConfig::default()
+        });
+        world.add_network(AggregatorAddr(1), Position::new(0.0, 0.0));
+        for i in 0..devices {
             let device = MeteringDevice::testbed(
                 DeviceId(i + 1),
                 ConstantProfile::new(150.0),
@@ -3039,7 +3194,9 @@ mod tests {
         ));
 
         // Majority: both validators collude -> the forgery reaches quorum
-        // and commits; nothing rejects, nothing is detected.
+        // and commits; nothing inside the network rejects it, but the peer
+        // aggregator's ledger cross-check refuses to vouch for the forged
+        // records at the same window seal.
         let mut world = two_network_world();
         let id = world.schedule_fault(FaultEvent::ByzantineVoters {
             at: SimTime::from_secs(20),
@@ -3050,7 +3207,35 @@ mod tests {
         world.run_until(SimTime::from_secs(60));
         let record = world.fault_records()[id];
         assert!(record.injected());
-        assert!(!record.detected(), "a colluding majority goes unnoticed");
+        assert!(
+            matches!(
+                record.signal,
+                Some(DetectionSignal::LedgerCrossCheck { peers: 1 })
+            ),
+            "the honest peer flags the committed forgery: {:?}",
+            record.signal
+        );
+    }
+
+    #[test]
+    fn colluding_quorum_goes_unnoticed_without_an_honest_peer() {
+        // A single-network world has no peer aggregator to cross-check the
+        // committed forgery against — the blind spot is structural, not a
+        // detection bug.
+        let mut world = single_network_world(3);
+        let id = world.schedule_fault(FaultEvent::ByzantineVoters {
+            at: SimTime::from_secs(20),
+            until: SimTime::from_secs(50),
+            network: AggregatorAddr(1),
+            voters: 3,
+        });
+        world.run_until(SimTime::from_secs(60));
+        let record = world.fault_records()[id];
+        assert!(record.injected());
+        assert!(
+            !record.detected(),
+            "no peer exists, so the quorum's forgery stands"
+        );
     }
 
     #[test]

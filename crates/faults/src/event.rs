@@ -295,6 +295,24 @@ pub enum DetectionSignal {
         /// Codec discriminant of the rejected telegram's meter protocol.
         codec: u8,
     },
+    /// Per-link delivery accounting flagged a loss rate far above the
+    /// medium's ambient expectation at window seal — the signature of a
+    /// degradation burst whose drops the QoS retries otherwise absorb
+    /// without ever producing an anomalous verification window.
+    LinkDegraded {
+        /// Packets lost on the watched links since the burst began.
+        lost: u64,
+        /// Packets offered to the watched links since the burst began.
+        offered: u64,
+    },
+    /// Peer aggregators cross-checked a quorum-committed block at window
+    /// seal and refused to vouch for its records — the signature of a
+    /// colluding byzantine quorum whose forgery no honest validator inside
+    /// the network could reject.
+    LedgerCrossCheck {
+        /// Peer aggregators that flagged the committed records as forged.
+        peers: usize,
+    },
 }
 
 /// Lifecycle record of one scheduled fault, maintained by the world.

@@ -44,6 +44,10 @@ pub struct FamilyResilience {
     pub injected: usize,
     /// Of those, how many the system recognized.
     pub detected: usize,
+    /// Of those, how many the system missed (`injected - detected`) — an
+    /// explicit count so gates can assert on blind spots directly instead
+    /// of inferring them from a `None` latency.
+    pub undetected: usize,
     /// Mean injection-to-detection latency over the detected ones, seconds.
     pub mean_detection_latency_s: Option<f64>,
     /// Worst detection latency, seconds.
@@ -87,6 +91,11 @@ impl ResilienceReport {
     /// Faults the system recognized.
     pub fn detected(&self) -> usize {
         self.faults.iter().filter(|f| f.detected()).count()
+    }
+
+    /// Faults that took effect but were never recognized.
+    pub fn undetected(&self) -> usize {
+        self.injected() - self.detected()
     }
 
     /// Overall `detected / injected`, `None` when nothing took effect.
@@ -148,10 +157,13 @@ pub(crate) fn build_resilience(
             .filter_map(|r| r.detection_latency())
             .map(|d| d.as_secs_f64())
             .collect();
+        let injected = of_family.iter().filter(|r| r.injected()).count();
+        let detected = of_family.iter().filter(|r| r.detected()).count();
         families.push(FamilyResilience {
             family,
-            injected: of_family.iter().filter(|r| r.injected()).count(),
-            detected: of_family.iter().filter(|r| r.detected()).count(),
+            injected,
+            detected,
+            undetected: injected - detected,
             mean_detection_latency_s: (!latencies.is_empty())
                 .then(|| latencies.iter().sum::<f64>() / latencies.len() as f64),
             max_detection_latency_s: latencies

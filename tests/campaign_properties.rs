@@ -1,0 +1,171 @@
+//! Property tests of the campaign subsystem: hundreds of generated
+//! campaigns validate by construction and round-trip exactly, short-horizon
+//! campaigns run end-to-end without panicking and meet every conservative
+//! detection expectation, shrinking always lands on a strictly smaller
+//! still-failing reproducer, and campaign results are independent of run
+//! repetition and `Suite` thread counts.
+
+use rtem::prelude::*;
+use rtem_campaign::{
+    run_campaign, shrink, CampaignControl, CampaignFault, CampaignGenerator, CampaignSpec,
+    CommandTargetSpec, MeterMix, TariffPreset, WorkloadPreset,
+};
+
+#[test]
+fn generated_campaigns_always_validate_and_round_trip() {
+    let mut checked = 0;
+    for seed in 0..10 {
+        let mut generator = CampaignGenerator::new(seed);
+        for _ in 0..22 {
+            let campaign = generator.next_campaign();
+            assert_eq!(
+                campaign.validate(),
+                Ok(()),
+                "campaign from generator seed {seed} must validate: {}",
+                campaign.serialize()
+            );
+            let replayed = CampaignSpec::parse(&campaign.serialize())
+                .expect("serialized campaign must parse back");
+            assert_eq!(campaign, replayed, "round trip must be exact");
+            assert_eq!(campaign.serialize(), replayed.serialize());
+            checked += 1;
+        }
+    }
+    assert!(checked >= 200, "the property must cover 200+ campaigns");
+}
+
+#[test]
+fn same_seed_generation_is_byte_identical_across_runs() {
+    let stream = |seed: u64| -> String {
+        CampaignGenerator::new(seed)
+            .take(50)
+            .map(|c| c.serialize())
+            .collect()
+    };
+    assert_eq!(stream(424242), stream(424242));
+    assert_ne!(stream(424242), stream(424243), "seeds must matter");
+}
+
+#[test]
+fn short_horizon_campaigns_run_clean_and_meet_expectations() {
+    // End-to-end: every sampled campaign (with its auto clean twin) must
+    // run without panicking, reconcile its bills, attribute every audit
+    // finding, and detect every fault the conservative expectation
+    // predicate marks as detectable.
+    let mut generator = CampaignGenerator::new(2026).with_horizon_range(45, 60);
+    for _ in 0..12 {
+        let campaign = generator.next_campaign();
+        let verdict = run_campaign(&campaign).expect("generated campaigns run");
+        assert!(
+            verdict.passed(),
+            "campaign {} failed: {:?}\n{}",
+            campaign.label(),
+            verdict.failures,
+            campaign.serialize()
+        );
+        assert_eq!(verdict.missed, Vec::<usize>::new());
+        assert!(verdict.billing_ok);
+    }
+}
+
+#[test]
+fn shrinking_yields_a_strictly_smaller_still_failing_reproducer() {
+    // Start from a deliberately padded campaign around the protocol's one
+    // structural blind spot — a colluding byzantine quorum with no honest
+    // peer network to cross-check it — and shrink on the *semantic*
+    // failure: the byzantine fault stays undetected when the campaign
+    // actually runs.
+    let padded = CampaignSpec {
+        seed: 99,
+        networks: 1,
+        devices_per_network: 3,
+        horizon_s: 60,
+        workload: WorkloadPreset::Residential,
+        meters: MeterMix::Internal,
+        tariff: TariffPreset::Default,
+        faults: vec![
+            CampaignFault::Byzantine {
+                at_s: 14,
+                until_s: 34,
+                net: 0,
+                voters: 3,
+            },
+            CampaignFault::SensorStuck {
+                at_s: 20,
+                net: 0,
+                ord: 1,
+                level_ma: 5,
+            },
+            CampaignFault::Tamper { at_s: 22, net: 0 },
+        ],
+        controls: vec![CampaignControl::MeasureInterval {
+            at_s: 16,
+            target: CommandTargetSpec::All,
+            interval_ms: 250,
+        }],
+        mobility: Vec::new(),
+    };
+    assert_eq!(padded.validate(), Ok(()));
+
+    let mut fails = |candidate: &CampaignSpec| {
+        run_campaign(candidate).is_ok_and(|verdict| {
+            verdict
+                .family(FaultFamily::Byzantine)
+                .is_some_and(|family| family.undetected > 0)
+        })
+    };
+    let shrunk = shrink(&padded, &mut fails);
+    assert!(fails(&shrunk), "the reproducer must still fail");
+    assert!(
+        shrunk.size() < padded.size(),
+        "shrinking must make the reproducer strictly smaller"
+    );
+    assert_eq!(
+        shrunk.faults.len(),
+        1,
+        "only the byzantine fault survives: {}",
+        shrunk.serialize()
+    );
+    assert!(shrunk.controls.is_empty());
+    assert_eq!(shrunk.networks, 1, "the blind spot needs the lone network");
+    assert_eq!(shrunk.validate(), Ok(()));
+    // And the reproducer replays from its own serialized fixture.
+    let replayed = CampaignSpec::parse(&shrunk.serialize()).unwrap();
+    assert!(fails(&replayed));
+}
+
+#[test]
+fn campaign_digests_are_stable_across_runs_and_suite_threads() {
+    let campaign = CampaignGenerator::new(5)
+        .with_horizon_range(45, 55)
+        .next_campaign();
+    let a = run_campaign(&campaign).unwrap();
+    let b = run_campaign(&campaign).unwrap();
+    assert_eq!(a.digest, b.digest, "same campaign, same digest");
+    assert_eq!(a, b);
+
+    // The same campaign scenario swept by a Suite must produce identical
+    // resilience regardless of worker thread count.
+    let sweep = |threads: usize| {
+        Suite::new(campaign.to_scenario())
+            .over_seeds([campaign.seed, campaign.seed + 1])
+            .with_threads(threads)
+            .run()
+            .expect("campaign scenario sweeps cleanly")
+    };
+    let one = sweep(1);
+    let three = sweep(3);
+    assert_eq!(one.cells.len(), three.cells.len());
+    for (a, b) in one.cells.iter().zip(three.cells.iter()) {
+        assert_eq!(a.key.to_string(), b.key.to_string());
+        assert_eq!(
+            format!("{:?}", a.report.resilience),
+            format!("{:?}", b.report.resilience),
+            "thread count must not leak into results"
+        );
+        assert_eq!(
+            format!("{:?}", a.report.bills),
+            format!("{:?}", b.report.bills)
+        );
+    }
+}

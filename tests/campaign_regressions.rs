@@ -1,0 +1,183 @@
+//! Replays the committed campaign reproducers in
+//! `tests/fixtures/campaigns/` — minimal shrunk campaigns the generator
+//! found for the two historic detection blind spots (Wi-Fi loss bursts
+//! absorbed by QoS-1 retries, colluding byzantine quorums committing
+//! forgeries) — and asserts each now lands detected with the right signal.
+//! Any regression back to undetected fails here first.
+//!
+//! Regenerate the corpus from the generator + shrinker with
+//! `RTEM_UPDATE_CAMPAIGN_FIXTURES=1 cargo test -p rtem-campaign --test
+//! campaign_regressions` — the scan and shrink are fully deterministic, so
+//! the files only change when generation or detection semantics change.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Once;
+
+use rtem::prelude::*;
+use rtem_campaign::{
+    expected_detected, run_campaign, shrink, CampaignFault, CampaignGenerator, CampaignSpec,
+};
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures/campaigns")
+}
+
+/// Whether the campaign still *reproduces*: it carries at least one
+/// expected-detectable fault matching `wanted`, and running it confirms
+/// every such fault detected.
+fn reproduces(spec: &CampaignSpec, wanted: &dyn Fn(&CampaignSpec, &CampaignFault) -> bool) -> bool {
+    let wanted_indices: Vec<usize> = expected_detected(spec)
+        .into_iter()
+        .filter(|&i| wanted(spec, &spec.faults[i]))
+        .collect();
+    !wanted_indices.is_empty()
+        && run_campaign(spec)
+            .is_ok_and(|verdict| wanted_indices.iter().all(|i| !verdict.missed.contains(i)))
+}
+
+/// Scans generator seeds for the first campaign that reproduces, then
+/// shrinks it while it keeps reproducing — the committed minimal fixture.
+fn find_and_shrink(wanted: &dyn Fn(&CampaignSpec, &CampaignFault) -> bool) -> CampaignSpec {
+    for seed in 0..500u64 {
+        let mut generator = CampaignGenerator::new(seed).with_horizon_range(45, 70);
+        for _ in 0..4 {
+            let campaign = generator.next_campaign();
+            if !reproduces(&campaign, wanted) {
+                continue;
+            }
+            let mut fails = |candidate: &CampaignSpec| reproduces(candidate, wanted);
+            return shrink(&campaign, &mut fails);
+        }
+    }
+    panic!("no generator campaign matched the reproducer criteria");
+}
+
+fn maybe_regenerate() {
+    static REGEN: Once = Once::new();
+    REGEN.call_once(|| {
+        if std::env::var_os("RTEM_UPDATE_CAMPAIGN_FIXTURES").is_none() {
+            return;
+        }
+        let dir = fixtures_dir();
+        fs::create_dir_all(&dir).expect("create fixtures dir");
+
+        let loss_burst = find_and_shrink(&|_, fault| {
+            matches!(
+                fault,
+                CampaignFault::WifiBurst {
+                    loss_permille: 400..,
+                    ..
+                }
+            )
+        });
+        fs::write(dir.join("loss_burst.txt"), loss_burst.serialize()).unwrap();
+
+        let quorum = find_and_shrink(&|spec, fault| match *fault {
+            CampaignFault::Byzantine { voters, .. } => {
+                spec.networks >= 2 && voters > spec.devices_per_network / 2
+            }
+            _ => false,
+        });
+        fs::write(dir.join("quorum_collusion.txt"), quorum.serialize()).unwrap();
+    });
+}
+
+fn committed_fixtures() -> Vec<(String, CampaignSpec)> {
+    maybe_regenerate();
+    let dir = fixtures_dir();
+    let mut fixtures = Vec::new();
+    let entries = fs::read_dir(&dir).unwrap_or_else(|e| {
+        panic!(
+            "missing campaign fixture corpus at {} ({e}); regenerate with \
+             RTEM_UPDATE_CAMPAIGN_FIXTURES=1",
+            dir.display()
+        )
+    });
+    for entry in entries {
+        let path = entry.unwrap().path();
+        if path.extension().map_or(true, |ext| ext != "txt") {
+            continue;
+        }
+        let name = path.file_stem().unwrap().to_string_lossy().into_owned();
+        let text = fs::read_to_string(&path).unwrap();
+        let spec = CampaignSpec::parse(&text)
+            .unwrap_or_else(|e| panic!("fixture {name} does not parse: {e}"));
+        assert_eq!(
+            text,
+            spec.serialize(),
+            "fixture {name} must be in canonical serialized form"
+        );
+        fixtures.push((name, spec));
+    }
+    fixtures.sort_by(|a, b| a.0.cmp(&b.0));
+    fixtures
+}
+
+#[test]
+fn committed_reproducers_replay_green() {
+    let fixtures = committed_fixtures();
+    assert!(
+        fixtures.len() >= 2,
+        "the corpus must hold at least the loss-burst and quorum reproducers"
+    );
+    for (name, spec) in &fixtures {
+        assert_eq!(spec.validate(), Ok(()), "fixture {name} must validate");
+        let verdict = run_campaign(spec).unwrap();
+        assert!(
+            verdict.passed(),
+            "reproducer {name} regressed: {:?}",
+            verdict.failures
+        );
+        // Replays are deterministic: the digest pins the whole report.
+        let again = run_campaign(spec).unwrap();
+        assert_eq!(
+            verdict.digest, again.digest,
+            "fixture {name} digest drifted"
+        );
+    }
+}
+
+#[test]
+fn loss_burst_reproducer_is_caught_by_link_telemetry() {
+    let (_, spec) = committed_fixtures()
+        .into_iter()
+        .find(|(name, _)| name == "loss_burst")
+        .expect("loss_burst fixture is committed");
+    let report = Experiment::new(spec.to_scenario()).run().unwrap();
+    let resilience = report.resilience.as_ref().unwrap();
+    let link = resilience.family(FaultFamily::Link).unwrap();
+    assert!(link.detected >= 1, "the loss burst must stay detected");
+    assert_eq!(link.undetected, 0);
+    assert!(
+        resilience.faults.iter().any(|record| matches!(
+            record.signal,
+            Some(DetectionSignal::LinkDegraded { lost, offered })
+                if offered >= 20 && lost >= 8
+        )),
+        "detection must come from the per-link delivery-gap watch"
+    );
+}
+
+#[test]
+fn quorum_collusion_reproducer_is_caught_by_peer_cross_check() {
+    let (_, spec) = committed_fixtures()
+        .into_iter()
+        .find(|(name, _)| name == "quorum_collusion")
+        .expect("quorum_collusion fixture is committed");
+    assert!(
+        spec.networks >= 2,
+        "the reproducer needs an honest peer network"
+    );
+    let report = Experiment::new(spec.to_scenario()).run().unwrap();
+    let resilience = report.resilience.as_ref().unwrap();
+    let byz = resilience.family(FaultFamily::Byzantine).unwrap();
+    assert_eq!(byz.undetected, 0, "the quorum forgery must stay detected");
+    assert!(
+        resilience.faults.iter().any(|record| matches!(
+            record.signal,
+            Some(DetectionSignal::LedgerCrossCheck { peers }) if peers >= 1
+        )),
+        "detection must come from the peer ledger cross-check"
+    );
+}
