@@ -19,7 +19,7 @@ use rtem_net::tdma::SlotTable;
 use rtem_sensors::energy::{Milliamps, Millivolts};
 use rtem_sensors::ina219::{Ina219Config, Ina219Model};
 use rtem_sim::rng::SimRng;
-use rtem_sim::time::SimTime;
+use rtem_sim::time::{SimDuration, SimTime};
 use rtem_sim::trace::TimeSeries;
 use std::collections::BTreeMap;
 
@@ -37,6 +37,28 @@ impl AggregatorOutput {
         self.to_devices.extend(other.to_devices);
         self.to_aggregators.extend(other.to_aggregators);
     }
+}
+
+/// How much run history an aggregator keeps resident.
+///
+/// The default keeps everything, which is what post-hoc analysis at
+/// arbitrary granularity needs and what every result before streaming
+/// compaction implicitly assumed. Bounded mode caps resident state at the
+/// active verification windows: older ledger blocks are sealed behind the
+/// chain's [`EvictedPrefix`](rtem_chain::chain::EvictedPrefix) digest and
+/// evicted, their accuracy contributions fold into sealed per-window
+/// summaries, and the measurement series prune to the same horizon — all in
+/// the exact float-accumulation order of a full-history scan, so the run
+/// report stays bit-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RetentionPolicy {
+    /// Keep the whole run resident (the default).
+    #[default]
+    KeepAll,
+    /// Keep the last `n` verification windows resident; seal and evict
+    /// everything older. `n` is clamped to at least 2 so the previous
+    /// window stays available to backfill attribution and cross-checks.
+    ActiveWindows(usize),
 }
 
 /// Configuration of an aggregator.
@@ -99,6 +121,17 @@ pub struct Aggregator {
     window_measured: Vec<f64>,
     window_started_at: SimTime,
     verdicts: Vec<WindowVerdict>,
+    // Streaming-compaction summaries (empty under RetentionPolicy::KeepAll).
+    /// Per accuracy-window, per-device charge folded out of evicted ledger
+    /// entries, in commit order — the seed the accuracy computation starts
+    /// from so bounded runs reproduce full-history windows bit-exactly.
+    sealed_per_device: BTreeMap<u64, BTreeMap<u64, f64>>,
+    /// Pre-integrated own-measurement charge (mA·s) of fully-pruned
+    /// accuracy windows, computed before the series samples were dropped.
+    sealed_window_mas: BTreeMap<u64, f64>,
+    /// Accuracy windows whose series samples are already sealed (next
+    /// window index to pre-integrate).
+    series_sealed_windows: u64,
     nacks_sent: u64,
     reports_accepted: u64,
     records_accepted: u64,
@@ -137,6 +170,9 @@ impl Aggregator {
             window_measured: Vec::new(),
             window_started_at: SimTime::ZERO,
             verdicts: Vec::new(),
+            sealed_per_device: BTreeMap::new(),
+            sealed_window_mas: BTreeMap::new(),
+            series_sealed_windows: 0,
             nacks_sent: 0,
             reports_accepted: 0,
             records_accepted: 0,
@@ -582,6 +618,83 @@ impl Aggregator {
     /// Head digest of the aggregator's ledger (published as the audit anchor).
     pub fn ledger_anchor(&self) -> Digest {
         self.ledger.chain().head_hash()
+    }
+
+    /// Applies a [`RetentionPolicy`] after a window seal: evicts ledger
+    /// blocks, seals their accuracy contributions and prunes the
+    /// measurement series down to the policy's active horizon. `window` is
+    /// the verification-window length the run seals on (accuracy windows
+    /// share its grid). A [`RetentionPolicy::KeepAll`] call is free.
+    ///
+    /// Everything folded here happens in the same order a full-history scan
+    /// would visit it, so bounded and keep-all runs produce bit-identical
+    /// reports (see the sealed-summary fields and
+    /// [`TimeSeries::prune_before`]).
+    pub fn compact(&mut self, policy: RetentionPolicy, now: SimTime, window: SimDuration) {
+        let RetentionPolicy::ActiveWindows(keep) = policy else {
+            return;
+        };
+        let window_us = window.as_micros().max(1);
+        let keep_us = window_us.saturating_mul(keep.max(2) as u64);
+        let Some(cutoff_us) = now.as_micros().checked_sub(keep_us) else {
+            return;
+        };
+        if cutoff_us == 0 {
+            return;
+        }
+        // Ledger: evict sealed blocks, folding each evicted entry into its
+        // accuracy window's sealed per-device accumulator in commit order.
+        let sealed = &mut self.sealed_per_device;
+        self.ledger.evict_before(cutoff_us, |entry| {
+            let bucket = entry.interval_end_us / window_us;
+            *sealed
+                .entry(bucket)
+                .or_default()
+                .entry(entry.device_id)
+                .or_default() += entry.charge_mas();
+        });
+        // Series: pre-integrate the accuracy windows that fall entirely
+        // below the cutoff, then drop their samples.
+        let cutoff = SimTime::from_micros(cutoff_us);
+        for w in self.series_sealed_windows..cutoff_us / window_us {
+            let start = SimTime::from_micros(w * window_us);
+            let end = SimTime::from_micros((w + 1) * window_us);
+            let mas = self.network_series.window(start, end).integrate();
+            self.sealed_window_mas.insert(w, mas);
+        }
+        self.series_sealed_windows = cutoff_us / window_us;
+        self.network_series.prune_before(cutoff);
+        self.reported_series.prune_before(cutoff);
+        for series in self.device_series.values_mut() {
+            series.prune_before(cutoff);
+        }
+    }
+
+    /// The sealed per-device accuracy contributions of window `index`
+    /// (charge in mA·s), when compaction evicted entries belonging to it.
+    pub fn sealed_accuracy_per_device(&self, index: u64) -> Option<&BTreeMap<u64, f64>> {
+        self.sealed_per_device.get(&index)
+    }
+
+    /// The pre-integrated own-measurement charge (mA·s) of accuracy window
+    /// `index`, when compaction pruned its series samples.
+    pub fn sealed_window_mas(&self, index: u64) -> Option<f64> {
+        self.sealed_window_mas.get(&index).copied()
+    }
+
+    /// Resident-state footprint: ledger blocks and series samples still in
+    /// memory. The scale bench's bounded-memory cells assert this stays
+    /// O(active window) while [`MeteringLedger::chain`]'s `len()` keeps
+    /// counting the full history.
+    pub fn resident_footprint(&self) -> (usize, usize) {
+        let samples = self.network_series.retained_len()
+            + self.reported_series.retained_len()
+            + self
+                .device_series
+                .values()
+                .map(rtem_sim::trace::TimeSeries::retained_len)
+                .sum::<usize>();
+        (self.ledger.chain().retained_len(), samples)
     }
 
     /// Cross-checks a block's record bytes proposed by a *peer* network's

@@ -42,7 +42,7 @@ pub mod billing;
 pub mod membership;
 pub mod verify;
 
-pub use aggregator::{Aggregator, AggregatorConfig, AggregatorOutput};
+pub use aggregator::{Aggregator, AggregatorConfig, AggregatorOutput, RetentionPolicy};
 pub use billing::{
     BillingEngine, CollectionOrigin, CostBreakdown, DeviceBill, Tariff, TariffError, TierRate,
     TouWindow,

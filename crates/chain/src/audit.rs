@@ -74,45 +74,56 @@ impl AuditReport {
 /// (`anchor`). Unlike [`HashChain::verify`], which stops at the first error,
 /// the audit continues and localizes every inconsistency, which is what an
 /// operator investigating a tampering incident needs.
+///
+/// When the chain evicted a sealed prefix (streaming compaction), the audit
+/// walks the retained suffix and checks the first retained block's linkage
+/// against the sealed [`EvictedPrefix`](crate::chain::EvictedPrefix)
+/// summary, exactly as a verifier holding the published prefix digest would.
 pub fn audit_chain(chain: &HashChain, anchor: Option<Digest>) -> AuditReport {
     let mut findings = Vec::new();
     let mut records = 0usize;
-    let mut previous: Option<(&crate::block::Block, u64)> = None;
+    // Linkage baseline for the oldest examined block: the sealed eviction
+    // summary when a prefix was evicted, nothing for a full chain (genesis
+    // has no predecessor).
+    let first = chain.first_retained_index();
+    let mut previous: Option<(Digest, u64)> =
+        chain.evicted().map(|e| (e.last_hash, e.last_timestamp_us));
 
     for (i, block) in chain.iter().enumerate() {
+        let height = first + i as u64;
         records += block.record_count();
         let timestamp_us = block.header().timestamp_us;
-        if block.header().index != i as u64 {
+        if block.header().index != height {
             findings.push(Finding {
-                block_index: i as u64,
+                block_index: height,
                 kind: FindingKind::IndexGap,
                 timestamp_us,
             });
         }
         if !block.is_internally_consistent() {
             findings.push(Finding {
-                block_index: i as u64,
+                block_index: height,
                 kind: FindingKind::RecordMismatch,
                 timestamp_us,
             });
         }
-        if let Some((prev_block, _)) = previous {
-            if block.header().previous != prev_block.hash() {
+        if let Some((prev_hash, prev_time)) = previous {
+            if block.header().previous != prev_hash {
                 findings.push(Finding {
-                    block_index: i as u64,
+                    block_index: height,
                     kind: FindingKind::LinkBroken,
                     timestamp_us,
                 });
             }
-            if block.header().timestamp_us < prev_block.header().timestamp_us {
+            if block.header().timestamp_us < prev_time {
                 findings.push(Finding {
-                    block_index: i as u64,
+                    block_index: height,
                     kind: FindingKind::TimeRegression,
                     timestamp_us,
                 });
             }
         }
-        previous = Some((block, i as u64));
+        previous = Some((block.hash(), block.header().timestamp_us));
     }
 
     if let Some(anchor) = anchor {
@@ -126,7 +137,7 @@ pub fn audit_chain(chain: &HashChain, anchor: Option<Digest>) -> AuditReport {
     }
 
     AuditReport {
-        blocks_examined: chain.len(),
+        blocks_examined: chain.retained_len(),
         records_examined: records,
         findings,
     }
@@ -225,6 +236,46 @@ mod tests {
         let report = audit_chain(&truncated, Some(anchor));
         assert!(!report.is_clean());
         assert_eq!(report.count_of(FindingKind::AnchorMismatch), 1);
+    }
+
+    #[test]
+    fn evicted_chain_audits_clean_and_localizes_suffix_tampering() {
+        let mut chain = chain_with_blocks(6);
+        let anchor = chain.head_hash();
+        chain.evict_before(4_000); // genesis + blocks 1..=3 evicted
+        let report = audit_chain(&chain, Some(anchor));
+        assert!(report.is_clean());
+        assert_eq!(report.blocks_examined, 3);
+        assert_eq!(report.records_examined, 12);
+
+        chain
+            .block_mut_for_experiment(5)
+            .unwrap()
+            .tamper_record_for_experiment(1, b"fraud".to_vec());
+        let report = audit_chain(&chain, Some(anchor));
+        assert_eq!(report.first_bad_block(), Some(5));
+        assert_eq!(report.count_of(FindingKind::RecordMismatch), 1);
+    }
+
+    #[test]
+    fn evicted_prefix_anchors_the_first_retained_block() {
+        let mut chain = chain_with_blocks(4);
+        // Evict genesis + blocks 1..=2, then re-seal the first retained
+        // block; it can no longer link to the sealed prefix summary.
+        chain.evict_before(3_000);
+        let forged = Block::new(
+            3,
+            crate::sha256::Digest::ZERO,
+            1,
+            3_000,
+            vec![b"x".to_vec()],
+        );
+        *chain.block_mut_for_experiment(3).unwrap() = forged;
+        let report = audit_chain(&chain, None);
+        // Both the summary link (at the forged block) and the forged block's
+        // successor link break.
+        assert_eq!(report.count_of(FindingKind::LinkBroken), 2);
+        assert_eq!(report.first_bad_block(), Some(3));
     }
 
     #[test]

@@ -67,6 +67,25 @@ impl fmt::Display for ChainError {
 
 impl Error for ChainError {}
 
+/// Summary of a sealed-and-evicted chain prefix.
+///
+/// Streaming compaction drops old blocks from memory but must keep the
+/// chain verifiable and its counters exact: the retained suffix still links
+/// to `last_hash`, and `len`/`total_records` still cover the whole history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EvictedPrefix {
+    /// Number of blocks evicted (including genesis once it is evicted).
+    pub blocks: usize,
+    /// Number of records the evicted blocks carried.
+    pub records: usize,
+    /// Height of the last evicted block.
+    pub last_index: u64,
+    /// Hash of the last evicted block — the retained suffix must link here.
+    pub last_hash: Digest,
+    /// Sealing timestamp of the last evicted block.
+    pub last_timestamp_us: u64,
+}
+
 /// A permissioned, consensus-free hash chain of measurement blocks.
 ///
 /// # Examples
@@ -84,6 +103,9 @@ impl Error for ChainError {}
 pub struct HashChain {
     blocks: Vec<Block>,
     writers: BTreeSet<WriterId>,
+    /// Sealed summary of the evicted prefix; `None` until the first
+    /// eviction, so an uncompacted chain is bit-identical with before.
+    evicted: Option<EvictedPrefix>,
 }
 
 impl HashChain {
@@ -95,6 +117,7 @@ impl HashChain {
         HashChain {
             blocks: vec![Block::genesis(genesis_writer, timestamp_us)],
             writers,
+            evicted: None,
         }
     }
 
@@ -114,14 +137,31 @@ impl HashChain {
         self.writers.contains(&writer)
     }
 
-    /// Number of blocks, including genesis.
+    /// Number of blocks ever committed, including genesis and any evicted
+    /// prefix — eviction never changes this count.
     pub fn len(&self) -> usize {
+        self.evicted.map_or(0, |e| e.blocks) + self.blocks.len()
+    }
+
+    /// Number of blocks still resident in memory.
+    pub fn retained_len(&self) -> usize {
         self.blocks.len()
     }
 
     /// A chain always has at least a genesis block.
     pub fn is_empty(&self) -> bool {
         false
+    }
+
+    /// The sealed summary of the evicted prefix, if any blocks were evicted.
+    pub fn evicted(&self) -> Option<&EvictedPrefix> {
+        self.evicted.as_ref()
+    }
+
+    /// Height of the oldest block still resident (0 when nothing was
+    /// evicted).
+    pub fn first_retained_index(&self) -> u64 {
+        self.evicted.map_or(0, |e| e.last_index + 1)
     }
 
     /// The most recent block.
@@ -134,19 +174,57 @@ impl HashChain {
         self.head().hash()
     }
 
-    /// The block at `index`, if present.
+    /// The block at height `index`, if still resident.
     pub fn block(&self, index: u64) -> Option<&Block> {
-        self.blocks.get(index as usize)
+        let offset = index.checked_sub(self.first_retained_index())?;
+        self.blocks.get(offset as usize)
     }
 
-    /// Iterates over all blocks in height order.
+    /// Iterates over the resident blocks in height order (all blocks unless
+    /// a prefix was evicted).
     pub fn iter(&self) -> impl Iterator<Item = &Block> {
         self.blocks.iter()
     }
 
-    /// Total number of records committed across all blocks.
+    /// Total number of records ever committed, including records in evicted
+    /// blocks — eviction never changes this count.
     pub fn total_records(&self) -> usize {
-        self.blocks.iter().map(Block::record_count).sum()
+        self.evicted.map_or(0, |e| e.records)
+            + self.blocks.iter().map(Block::record_count).sum::<usize>()
+    }
+
+    /// Evicts every resident block sealed strictly before `timestamp_us`,
+    /// always retaining at least the head block. The evicted blocks fold
+    /// into the [`EvictedPrefix`] summary, so `len`, `total_records`,
+    /// [`verify`](Self::verify) and audits stay exact over the retained
+    /// suffix. Returns the evicted blocks in height order so callers can
+    /// fold their records into their own sealed summaries before the
+    /// storage is dropped.
+    pub fn evict_before(&mut self, timestamp_us: u64) -> Vec<Block> {
+        let cut = self
+            .blocks
+            .iter()
+            .take(self.blocks.len() - 1)
+            .take_while(|b| b.header().timestamp_us < timestamp_us)
+            .count();
+        if cut == 0 {
+            return Vec::new();
+        }
+        let evicted: Vec<Block> = self.blocks.drain(..cut).collect();
+        let last = evicted.last().expect("cut > 0");
+        let summary = self.evicted.get_or_insert(EvictedPrefix {
+            blocks: 0,
+            records: 0,
+            last_index: 0,
+            last_hash: Digest::ZERO,
+            last_timestamp_us: 0,
+        });
+        summary.blocks += evicted.len();
+        summary.records += evicted.iter().map(Block::record_count).sum::<usize>();
+        summary.last_index = last.header().index;
+        summary.last_hash = last.hash();
+        summary.last_timestamp_us = last.header().timestamp_us;
+        evicted
     }
 
     /// Seals a new block over `records` and appends it.
@@ -221,30 +299,40 @@ impl HashChain {
         Ok(hash)
     }
 
-    /// Verifies the whole chain: internal consistency of every block,
-    /// hash linkage, index continuity and timestamp monotonicity.
+    /// Verifies the resident chain: internal consistency of every block,
+    /// hash linkage, index continuity and timestamp monotonicity. When a
+    /// prefix was evicted, the first retained block is checked against the
+    /// sealed [`EvictedPrefix`] summary instead of a resident predecessor.
     ///
     /// # Errors
     ///
-    /// Returns the first violation found, scanning from genesis.
+    /// Returns the first violation found, scanning from the oldest resident
+    /// block.
     pub fn verify(&self) -> Result<(), ChainError> {
+        let first = self.first_retained_index();
         for (i, block) in self.blocks.iter().enumerate() {
-            if block.header().index != i as u64 {
+            let height = first + i as u64;
+            if block.header().index != height {
                 return Err(ChainError::BadIndex {
-                    expected: i as u64,
+                    expected: height,
                     found: block.header().index,
                 });
             }
             if !block.is_internally_consistent() {
-                return Err(ChainError::InconsistentBlock { at_index: i as u64 });
+                return Err(ChainError::InconsistentBlock { at_index: height });
             }
-            if i > 0 {
+            let prev = if i > 0 {
                 let prev = &self.blocks[i - 1];
-                if block.header().previous != prev.hash() {
-                    return Err(ChainError::BrokenLink { at_index: i as u64 });
+                Some((prev.hash(), prev.header().timestamp_us))
+            } else {
+                self.evicted.map(|e| (e.last_hash, e.last_timestamp_us))
+            };
+            if let Some((prev_hash, prev_time)) = prev {
+                if block.header().previous != prev_hash {
+                    return Err(ChainError::BrokenLink { at_index: height });
                 }
-                if block.header().timestamp_us < prev.header().timestamp_us {
-                    return Err(ChainError::NonMonotonicTime { at_index: i as u64 });
+                if block.header().timestamp_us < prev_time {
+                    return Err(ChainError::NonMonotonicTime { at_index: height });
                 }
             }
         }
@@ -255,7 +343,8 @@ impl HashChain {
     /// a block so a storage-level attacker can be simulated. Not part of the
     /// normal API surface.
     pub fn block_mut_for_experiment(&mut self, index: u64) -> Option<&mut Block> {
-        self.blocks.get_mut(index as usize)
+        let offset = index.checked_sub(self.first_retained_index())?;
+        self.blocks.get_mut(offset as usize)
     }
 }
 
@@ -370,6 +459,83 @@ mod tests {
         assert_eq!(chain.head().header().index, 1);
         assert_eq!(chain.block(1).unwrap().hash(), h1);
         assert!(chain.block(99).is_none());
+    }
+
+    #[test]
+    fn eviction_preserves_counts_and_verification() {
+        let mut chain = small_chain();
+        let (len, records, head) = (chain.len(), chain.total_records(), chain.head_hash());
+        // Evict everything sealed before t=300 (genesis + two blocks).
+        let evicted = chain.evict_before(300);
+        assert_eq!(evicted.len(), 3);
+        assert_eq!(chain.retained_len(), 1);
+        assert_eq!(chain.first_retained_index(), 3);
+        assert_eq!(chain.len(), len, "eviction never changes len");
+        assert_eq!(chain.total_records(), records);
+        assert_eq!(chain.head_hash(), head);
+        assert!(chain.verify().is_ok());
+        let summary = chain.evicted().unwrap();
+        assert_eq!(summary.blocks, 3);
+        assert_eq!(summary.records, 5);
+        assert_eq!(summary.last_index, 2);
+        assert_eq!(summary.last_timestamp_us, 200);
+        // Height-addressed access still works on the retained suffix.
+        assert!(chain.block(2).is_none());
+        assert_eq!(chain.block(3).unwrap().header().index, 3);
+    }
+
+    #[test]
+    fn eviction_always_retains_the_head() {
+        let mut chain = small_chain();
+        assert_eq!(chain.evict_before(u64::MAX).len(), 3);
+        assert_eq!(chain.retained_len(), 1);
+        // A second sweep has nothing left to evict.
+        assert!(chain.evict_before(u64::MAX).is_empty());
+        assert!(chain.verify().is_ok());
+    }
+
+    #[test]
+    fn evicted_chain_keeps_growing_and_verifying() {
+        let mut chain = small_chain();
+        chain.evict_before(250);
+        chain.seal_block(1, 400, records("d", 2)).unwrap();
+        chain.seal_block(2, 500, records("e", 1)).unwrap();
+        assert_eq!(chain.len(), 6);
+        assert_eq!(chain.total_records(), 12);
+        assert!(chain.verify().is_ok());
+        // Incremental eviction folds into the same summary.
+        chain.evict_before(450);
+        assert_eq!(chain.evicted().unwrap().blocks, 5);
+        assert_eq!(chain.len(), 6);
+        assert!(chain.verify().is_ok());
+    }
+
+    #[test]
+    fn tampering_in_the_retained_suffix_is_still_caught() {
+        let mut chain = small_chain();
+        chain.evict_before(200); // genesis + block 1 evicted
+        chain
+            .block_mut_for_experiment(2)
+            .unwrap()
+            .tamper_record_for_experiment(0, b"fraud".to_vec());
+        assert_eq!(
+            chain.verify(),
+            Err(ChainError::InconsistentBlock { at_index: 2 })
+        );
+    }
+
+    #[test]
+    fn first_retained_block_must_link_to_the_evicted_summary() {
+        let mut chain = small_chain();
+        chain.evict_before(200);
+        // Replace the first retained block with a re-sealed forgery that
+        // does not link to the sealed prefix.
+        let forged = Block::new(2, Digest::ZERO, 1, 200, vec![b"forged".to_vec()]);
+        *chain.block_mut_for_experiment(2).unwrap() = forged;
+        assert!(matches!(
+            chain.verify(),
+            Err(ChainError::BrokenLink { at_index: 2 })
+        ));
     }
 
     #[test]

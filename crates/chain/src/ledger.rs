@@ -115,6 +115,10 @@ pub struct MeteringLedger {
     chain: HashChain,
     staged: Vec<LedgerEntry>,
     accounts: BTreeMap<u64, DeviceAccount>,
+    /// Per-device charge folded out of evicted blocks, so
+    /// [`accounts_match_chain`](Self::accounts_match_chain) stays exact
+    /// when the chain no longer holds the full entry history.
+    evicted_charge_uas: BTreeMap<u64, u64>,
 }
 
 impl MeteringLedger {
@@ -124,6 +128,7 @@ impl MeteringLedger {
             chain: HashChain::new(genesis_writer, timestamp_us),
             staged: Vec::new(),
             accounts: BTreeMap::new(),
+            evicted_charge_uas: BTreeMap::new(),
         }
     }
 
@@ -202,8 +207,9 @@ impl MeteringLedger {
         self.accounts.values().map(|a| a.total_charge_uas).sum()
     }
 
-    /// Decodes and returns every committed entry, in commit order. Intended
-    /// for audits and offline analysis, not the hot path.
+    /// Decodes and returns every resident committed entry, in commit order
+    /// (all entries unless a prefix was evicted). Intended for audits and
+    /// offline analysis, not the hot path.
     pub fn all_entries(&self) -> Vec<LedgerEntry> {
         self.chain
             .iter()
@@ -212,11 +218,32 @@ impl MeteringLedger {
             .collect()
     }
 
-    /// Recomputes per-device totals from the chain and compares them with the
-    /// maintained accounts; returns `true` when they agree. A mismatch means
-    /// the chain or the account cache was corrupted.
+    /// Evicts every committed block sealed strictly before `timestamp_us`
+    /// (always retaining the chain head), folding the evicted entries into
+    /// the per-device eviction totals so
+    /// [`accounts_match_chain`](Self::accounts_match_chain) stays exact.
+    /// Each evicted entry is handed to `on_evict` in commit order before its
+    /// storage is dropped, so callers can fold their own sealed summaries
+    /// (e.g. per-window accuracy accumulators) in exactly the order a
+    /// full-history scan would have visited them.
+    pub fn evict_before(&mut self, timestamp_us: u64, mut on_evict: impl FnMut(&LedgerEntry)) {
+        for block in self.chain.evict_before(timestamp_us) {
+            for record in block.records() {
+                let Some(entry) = LedgerEntry::from_bytes(record) else {
+                    continue;
+                };
+                *self.evicted_charge_uas.entry(entry.device_id).or_default() += entry.charge_uas;
+                on_evict(&entry);
+            }
+        }
+    }
+
+    /// Recomputes per-device totals from the resident chain (on top of the
+    /// sealed eviction totals) and compares them with the maintained
+    /// accounts; returns `true` when they agree. A mismatch means the chain
+    /// or the account cache was corrupted.
     pub fn accounts_match_chain(&self) -> bool {
-        let mut recomputed: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut recomputed: BTreeMap<u64, u64> = self.evicted_charge_uas.clone();
         for entry in self.all_entries() {
             *recomputed.entry(entry.device_id).or_default() += entry.charge_uas;
         }
@@ -330,6 +357,55 @@ mod tests {
             .tamper_record_for_experiment(2, forged.to_bytes());
         assert!(!ledger.accounts_match_chain());
         // And the chain itself no longer verifies.
+        assert!(ledger.chain().verify().is_err());
+    }
+
+    #[test]
+    fn eviction_keeps_accounts_matching_the_chain() {
+        let mut ledger = MeteringLedger::new(1, 0);
+        ledger.stage(entry(1, 0, 100));
+        ledger.stage(entry(2, 0, 40));
+        ledger.commit_block(1, 1_000).unwrap();
+        ledger.stage(entry(1, 1, 200));
+        ledger.commit_block(1, 2_000).unwrap();
+        ledger.stage(entry(2, 1, 60));
+        ledger.commit_block(1, 3_000).unwrap();
+
+        let mut evicted = Vec::new();
+        ledger.evict_before(2_500, |e| evicted.push((e.device_id, e.charge_uas)));
+        // Genesis (empty) + the first two record blocks are gone.
+        assert_eq!(ledger.chain().retained_len(), 1);
+        assert_eq!(evicted, vec![(1, 100), (2, 40), (1, 200)]);
+        // Full-history counters and account reconciliation survive.
+        assert_eq!(ledger.chain().len(), 4);
+        assert_eq!(ledger.chain().total_records(), 4);
+        assert_eq!(ledger.account(1).unwrap().total_charge_uas, 300);
+        assert!(ledger.accounts_match_chain());
+        assert!(ledger.chain().verify().is_ok());
+
+        // The ledger keeps working after eviction.
+        ledger.stage(entry(1, 2, 50));
+        ledger.commit_block(1, 4_000).unwrap();
+        assert_eq!(ledger.account(1).unwrap().total_charge_uas, 350);
+        assert!(ledger.accounts_match_chain());
+    }
+
+    #[test]
+    fn tampering_after_eviction_is_still_detected() {
+        let mut ledger = MeteringLedger::new(1, 0);
+        for i in 0..4 {
+            ledger.stage(entry(1, i, 100));
+            ledger.commit_block(1, (i + 1) * 1_000).unwrap();
+        }
+        ledger.evict_before(2_500, |_| {});
+        let mut forged = entry(1, 3, 1);
+        forged.charge_uas = 1;
+        ledger
+            .chain_mut_for_experiment()
+            .block_mut_for_experiment(4)
+            .unwrap()
+            .tamper_record_for_experiment(0, forged.to_bytes());
+        assert!(!ledger.accounts_match_chain());
         assert!(ledger.chain().verify().is_err());
     }
 

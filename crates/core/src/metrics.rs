@@ -82,8 +82,21 @@ pub fn accuracy_windows_from(
     // the run, so the rescan was quadratic in the horizon). Entry order —
     // and therefore floating-point accumulation order — per (window,
     // device) bucket is unchanged.
+    //
+    // Under a bounded retention policy the aggregator evicted old ledger
+    // blocks, folding their entries into sealed per-window accumulators in
+    // the same commit order a full scan would have used — seed each bucket
+    // from those, then fold the resident entries on top. Keep-all runs have
+    // no sealed state and start from empty buckets as before.
     let window_us = window.as_micros();
-    let mut per_window: Vec<BTreeMap<u64, f64>> = vec![BTreeMap::new(); count];
+    let mut per_window: Vec<BTreeMap<u64, f64>> = (0..count)
+        .map(|bucket| {
+            aggregator
+                .sealed_accuracy_per_device((first_index + bucket) as u64)
+                .cloned()
+                .unwrap_or_default()
+        })
+        .collect();
     for entry in &entries {
         if entry.interval_end_us < first_start.as_micros() {
             continue;
@@ -99,7 +112,12 @@ pub fn accuracy_windows_from(
     for (offset, per_device) in per_window.into_iter().enumerate() {
         let end = start + window;
         let devices_total: f64 = per_device.values().sum();
-        let aggregator_mas = series.window(start, end).integrate();
+        // Windows whose series samples were pruned carry a pre-integrated
+        // charge sealed before the samples were dropped; live windows
+        // integrate the resident samples exactly as before.
+        let aggregator_mas = aggregator
+            .sealed_window_mas((first_index + offset) as u64)
+            .unwrap_or_else(|| series.window(start, end).integrate());
         windows.push(AccuracyWindow {
             index: first_index + offset,
             start,

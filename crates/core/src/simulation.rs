@@ -9,7 +9,7 @@
 
 use crate::consensus::{QuorumConsensus, RoundOutcome, Vote};
 use crate::metrics::WorldMetrics;
-use rtem_aggregator::aggregator::{Aggregator, AggregatorConfig};
+use rtem_aggregator::aggregator::{Aggregator, AggregatorConfig, RetentionPolicy};
 use rtem_aggregator::billing::Tariff;
 use rtem_aggregator::verify::WindowVerdict;
 use rtem_chain::ledger::LedgerEntry;
@@ -231,8 +231,10 @@ pub enum WorldNotification {
         /// The grid time the snapshot covers (every event dispatched at or
         /// before `at` is reflected).
         at: SimTime,
-        /// The snapshot (boxed to keep the notification enum small).
-        snapshot: Box<rtem_telemetry::MetricsSnapshot>,
+        /// The snapshot. Shared ([`Arc`](std::sync::Arc)) with the
+        /// end-of-run [`TelemetryReport`]: one snapshot is stamped per grid
+        /// point, never copied.
+        snapshot: std::sync::Arc<rtem_telemetry::MetricsSnapshot>,
     },
 }
 
@@ -273,6 +275,11 @@ impl WorldNotification {
     }
 }
 
+/// Telegram-log tail kept resident under a bounded retention policy. The
+/// capture exists for codec-fixture tests and wire debugging, so a bounded
+/// run keeps a recent window rather than the whole run's wire traffic.
+const TELEGRAM_LOG_BOUNDED_CAP: usize = 4096;
+
 /// Static parameters of the world.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WorldConfig {
@@ -290,6 +297,17 @@ pub struct WorldConfig {
     pub tariff: Tariff,
     /// Random seed for the whole world.
     pub seed: u64,
+    /// How much run history stays resident (see [`RetentionPolicy`]).
+    /// Bounded mode seals-and-evicts old ledger windows and prunes the
+    /// measurement series at every window end; the run report stays
+    /// bit-identical with keep-all.
+    pub retention: RetentionPolicy,
+    /// Worker lanes for the sharded tick executor (see
+    /// [`World::run_until`]). 1 keeps the classic sequential loop; N > 1
+    /// partitions each barrier-delimited batch of device ticks across N
+    /// scoped threads, with outputs applied in queue order so results are
+    /// bit-identical for every shard count.
+    pub shards: usize,
 }
 
 impl Default for WorldConfig {
@@ -302,6 +320,8 @@ impl Default for WorldConfig {
             backhaul: LinkConfig::backhaul(),
             tariff: Tariff::default(),
             seed: 42,
+            retention: RetentionPolicy::KeepAll,
+            shards: 1,
         }
     }
 }
@@ -368,8 +388,10 @@ pub struct TelegramLogEntry {
     pub device: DeviceId,
     /// The protocol family the device speaks.
     pub kind: MeterKind,
-    /// The raw telegram bytes as transmitted.
-    pub bytes: Vec<u8>,
+    /// The raw telegram bytes as transmitted. Shares the allocation of the
+    /// in-flight [`Packet::Telegram`] payload — logging a telegram costs a
+    /// reference-count bump, not a copy.
+    pub bytes: bytes::Bytes,
 }
 
 /// Traffic baseline of the links a degradation burst touched, captured at
@@ -509,6 +531,15 @@ pub struct World {
     outbound_scratch: Vec<rtem_device::device::Outbound>,
     /// Scratch buffer for per-branch loads during upstream sampling.
     loads_scratch: Vec<(BranchId, rtem_sensors::energy::Milliamps)>,
+    /// Scratch id list of the tick batch being dispatched, in pop order.
+    tick_batch_scratch: Vec<DeviceId>,
+    /// Scratch set guarding the batch against duplicate device ids (a
+    /// device has exactly one pending tick, so this never fires today —
+    /// it keeps the batcher safe against future extra schedulings).
+    tick_seen_scratch: BTreeSet<DeviceId>,
+    /// Scratch per-device outcomes of the batch compute phase, reused so
+    /// steady-state batching allocates nothing per batch.
+    tick_outcomes_scratch: Vec<TickOutcome>,
     /// Which meter protocol each device speaks. Absent means
     /// [`MeterKind::Internal`] — the native packet encoding, byte-identical
     /// with every earlier revision of the testbed.
@@ -564,7 +595,7 @@ struct TelemetryRuntime {
     /// Reusable pull-model sink, reset and refilled at each grid point.
     registry: MetricsRegistry,
     /// Every snapshot stamped so far, for the end-of-run report.
-    snapshots: Vec<rtem_telemetry::MetricsSnapshot>,
+    snapshots: Vec<std::sync::Arc<rtem_telemetry::MetricsSnapshot>>,
     /// The structured trace, when configured.
     trace: Option<TraceLog>,
     /// The wall-clock dispatch profiler, when configured. Strictly outside
@@ -584,6 +615,112 @@ impl core::fmt::Debug for World {
             .field("networks", &self.sites.len())
             .finish()
     }
+}
+
+/// Smallest number of devices worth handing to one worker lane. Batches
+/// shorter than two chunks run inline on the dispatcher thread — spawning
+/// for a handful of ticks costs more than it saves.
+const PARALLEL_MIN_CHUNK: usize = 16;
+
+/// Per-device result of the parallel compute phase of one tick batch.
+/// Everything a sequential `handle_measure_tick` would have produced before
+/// touching shared state, staged so the apply phase can replay it in exact
+/// pop order.
+#[derive(Default)]
+struct TickOutcome {
+    /// Whether the device existed when the batch was computed. Absent
+    /// devices get the same treatment as the sequential path's early
+    /// return: dispatch bookkeeping only, no reschedule.
+    present: bool,
+    /// The device's last handshake before the tick, for completion
+    /// detection in the apply phase.
+    handshake_before: Option<HandshakeBreakdown>,
+    /// Packets the device wants published, in emission order.
+    outbound: Vec<rtem_device::device::Outbound>,
+}
+
+/// Collects disjoint mutable borrows of `ids`' devices, in `ids` order.
+/// Devices missing from the map (removed mid-run) yield `None`; callers
+/// treat those exactly like the sequential path treats an unknown device.
+fn device_slots<'a>(
+    devices: &'a mut BTreeMap<DeviceId, MeteringDevice>,
+    ids: &[DeviceId],
+) -> Vec<Option<&'a mut MeteringDevice>> {
+    let wanted: BTreeSet<DeviceId> = ids.iter().copied().collect();
+    let mut by_id: BTreeMap<DeviceId, &'a mut MeteringDevice> = devices
+        .iter_mut()
+        .filter(|(id, _)| wanted.contains(id))
+        .map(|(&id, device)| (id, device))
+        .collect();
+    ids.iter().map(|id| by_id.remove(id)).collect()
+}
+
+/// Fans `f` over the slot/result pairs on up to `shards` scoped worker
+/// lanes, returning `(lane, wall_nanos)` per lane that ran on its own
+/// thread (empty when the whole batch ran inline). Each lane owns a
+/// contiguous chunk, so results land in their slots no matter how the OS
+/// schedules the threads — the caller's apply order alone decides the
+/// simulation outcome.
+fn fan_out<R, F>(
+    slots: &mut [Option<&mut MeteringDevice>],
+    results: &mut [R],
+    shards: usize,
+    f: F,
+) -> Vec<(usize, u64)>
+where
+    R: Send,
+    F: Fn(&mut MeteringDevice, &mut R) + Sync,
+{
+    let total = slots.len();
+    let workers = shards.min(total / PARALLEL_MIN_CHUNK).max(1);
+    if workers == 1 {
+        for (slot, result) in slots.iter_mut().zip(results.iter_mut()) {
+            if let Some(device) = slot.as_deref_mut() {
+                f(device, result);
+            }
+        }
+        return Vec::new();
+    }
+    let chunk = total.div_ceil(workers);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        let mut slots_rest = slots;
+        let mut results_rest = results;
+        let mut lane = 1usize;
+        while slots_rest.len() > chunk {
+            let (slot_chunk, tail) = slots_rest.split_at_mut(chunk);
+            slots_rest = tail;
+            let (result_chunk, tail) = results_rest.split_at_mut(chunk);
+            results_rest = tail;
+            let this_lane = lane;
+            lane += 1;
+            handles.push(scope.spawn(move || {
+                let started = std::time::Instant::now();
+                for (slot, result) in slot_chunk.iter_mut().zip(result_chunk.iter_mut()) {
+                    if let Some(device) = slot.as_deref_mut() {
+                        f(device, result);
+                    }
+                }
+                let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                (this_lane, nanos)
+            }));
+        }
+        // Lane 0 is the dispatcher thread itself, working the tail chunk
+        // while the spawned lanes run.
+        let started = std::time::Instant::now();
+        for (slot, result) in slots_rest.iter_mut().zip(results_rest.iter_mut()) {
+            if let Some(device) = slot.as_deref_mut() {
+                f(device, result);
+            }
+        }
+        let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let mut lanes = vec![(0usize, nanos)];
+        for handle in handles {
+            lanes.push(handle.join().expect("worker lane panicked"));
+        }
+        lanes
+    })
 }
 
 /// Mangles raw telegram bytes per the fault's declared mode. A `None` rng
@@ -704,6 +841,9 @@ impl World {
             armed_backhaul_polls: BTreeSet::new(),
             outbound_scratch: Vec::new(),
             loads_scratch: Vec::new(),
+            tick_batch_scratch: Vec::new(),
+            tick_seen_scratch: BTreeSet::new(),
+            tick_outcomes_scratch: Vec::new(),
             device_meter_kinds: BTreeMap::new(),
             wire: WireStats::default(),
             telegram_log: None,
@@ -1099,15 +1239,13 @@ impl World {
         };
         runtime.registry.reset();
         self.fill_registry(&mut runtime.registry);
-        let snapshot = runtime.registry.snapshot(at, runtime.seq);
+        let snapshot = std::sync::Arc::new(runtime.registry.snapshot(at, runtime.seq));
         runtime.seq += 1;
         runtime.next_snapshot_at = at + runtime.config.snapshot_interval;
-        runtime.snapshots.push(snapshot.clone());
+        runtime.snapshots.push(std::sync::Arc::clone(&snapshot));
         self.telemetry = Some(runtime);
-        self.notifications.push(WorldNotification::MetricsSnapshot {
-            at,
-            snapshot: Box::new(snapshot),
-        });
+        self.notifications
+            .push(WorldNotification::MetricsSnapshot { at, snapshot });
         self.trace_new_notifications();
     }
 
@@ -1331,6 +1469,14 @@ impl World {
             // scheduled events) leaves the scheduler untouched, so the
             // simulation is trivially bit-identical with telemetry off.
             self.emit_due_snapshots(next);
+            // Sharded runs peel maximal runs of simultaneous device ticks
+            // off the queue front and fan their compute across worker
+            // lanes; everything else (and every single-shard run) takes
+            // the plain sequential path below.
+            if self.config.shards > 1 && self.collect_tick_batch(next) {
+                self.dispatch_tick_batch(next);
+                continue;
+            }
             let depth = self.scheduler.queue_mut().len();
             if depth > self.queue_high_water {
                 self.queue_high_water = depth;
@@ -1341,6 +1487,137 @@ impl World {
         // Events beyond the horizon are still queued, so every remaining
         // grid point up to the horizon is already fully covered.
         self.emit_snapshots_through(horizon);
+    }
+
+    /// Pops the maximal run of simultaneous `MeasureTick` events for
+    /// distinct devices at the queue front into `tick_batch_scratch`.
+    /// Returns `false` — leaving the queue untouched — when the front event
+    /// is anything else.
+    ///
+    /// Only *equal-time* ticks batch: an event scheduled while the batch
+    /// applies (a broker poll armed at `now`, a rescheduled tick) always
+    /// carries a higher sequence number than every already-queued tick at
+    /// `now`, so it sorts after the whole batch exactly as it would have
+    /// sorted after the remaining ticks sequentially. A tick at a *later*
+    /// time offers no such guarantee (an apply could schedule ahead of it),
+    /// so the batch cuts there.
+    fn collect_tick_batch(&mut self, at: SimTime) -> bool {
+        let queue = self.scheduler.queue_mut();
+        if !matches!(queue.peek(), Some((t, WorldEvent::MeasureTick(_))) if t == at) {
+            return false;
+        }
+        self.tick_batch_scratch.clear();
+        self.tick_seen_scratch.clear();
+        while let Some((t, &WorldEvent::MeasureTick(device))) = queue.peek() {
+            if t != at || !self.tick_seen_scratch.insert(device) {
+                break;
+            }
+            queue.pop();
+            self.tick_batch_scratch.push(device);
+        }
+        true
+    }
+
+    /// Dispatches the batch collected by
+    /// [`collect_tick_batch`](Self::collect_tick_batch) in two phases:
+    /// device-local tick compute fanned across the configured worker
+    /// lanes, then a sequential apply replaying every shared-state effect
+    /// (handshake notifications, broker publishes, reschedules, telemetry
+    /// bookkeeping) in exact pop order. The apply order alone touches
+    /// shared state, so any shard count reproduces the sequential run
+    /// bit for bit.
+    fn dispatch_tick_batch(&mut self, now: SimTime) {
+        let batch = std::mem::take(&mut self.tick_batch_scratch);
+        let total = batch.len();
+        let mut results = std::mem::take(&mut self.tick_outcomes_scratch);
+        if results.len() < total {
+            results.resize_with(total, TickOutcome::default);
+        }
+        for outcome in &mut results[..total] {
+            outcome.present = false;
+            outcome.handshake_before = None;
+            outcome.outbound.clear();
+        }
+        // Compute phase: each lane works its own devices against the
+        // shared read-only radio environment.
+        let lanes = {
+            let mut slots = device_slots(&mut self.devices, &batch);
+            let radio = &self.radio;
+            fan_out(
+                &mut slots,
+                &mut results[..total],
+                self.config.shards,
+                |device, outcome: &mut TickOutcome| {
+                    outcome.handshake_before = device.last_handshake();
+                    device.on_measure_tick_into(now, radio, &mut outcome.outbound);
+                    outcome.present = true;
+                },
+            )
+        };
+        if !lanes.is_empty() {
+            if let Some(profiler) = self
+                .telemetry
+                .as_mut()
+                .and_then(|runtime| runtime.profiler.as_mut())
+            {
+                for (lane, nanos) in lanes {
+                    profiler.record_lane(lane, nanos);
+                }
+            }
+        }
+        // Apply phase, in exact pop order. The queue-depth sample the
+        // sequential loop takes before popping tick `i` is reconstructed
+        // as the live length plus the batch ticks not yet applied.
+        for (i, &device_id) in batch.iter().enumerate() {
+            let depth = self.scheduler.queue_mut().len() + (total - i);
+            if depth > self.queue_high_water {
+                self.queue_high_water = depth;
+            }
+            let kind = WorldEvent::MeasureTick(device_id).kind_index();
+            self.events_by_kind[kind] += 1;
+            if let Some(trace) = self
+                .telemetry
+                .as_mut()
+                .and_then(|runtime| runtime.trace.as_mut())
+            {
+                trace.push_span(WorldEvent::KIND_LABELS[kind], now.as_micros());
+            }
+            let started = self.telemetry.as_mut().and_then(|runtime| {
+                runtime.profiler.as_ref()?;
+                let tick = runtime.profile_tick;
+                runtime.profile_tick += 1;
+                (tick % u64::from(runtime.config.profile_sample_stride.max(1)) == 0)
+                    .then(std::time::Instant::now)
+            });
+            let outcome = &mut results[i];
+            if outcome.present {
+                self.note_handshake(device_id, outcome.handshake_before, now);
+                for out in outcome.outbound.drain(..) {
+                    self.publish_uplink(device_id, out.to, out.packet, now);
+                }
+                let interval = self
+                    .measure_overrides
+                    .get(&device_id)
+                    .copied()
+                    .unwrap_or(self.config.t_measure);
+                self.scheduler
+                    .schedule(now + interval, WorldEvent::MeasureTick(device_id));
+                self.arm_broker_poll(now);
+            }
+            if let Some(started) = started {
+                let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                if let Some(profiler) = self
+                    .telemetry
+                    .as_mut()
+                    .and_then(|runtime| runtime.profiler.as_mut())
+                {
+                    profiler.record(kind, nanos);
+                }
+            }
+            self.trace_new_notifications();
+        }
+        self.tick_batch_scratch = batch;
+        self.tick_outcomes_scratch = results;
     }
 
     /// Counts, traces and (when configured) wall-clock-profiles one event
@@ -1428,6 +1705,18 @@ impl World {
                     self.detect_link_degradation(addr, now);
                     self.attribute_recovery_backfill(addr, now);
                     self.run_byzantine_rounds(addr, now);
+                    // Streaming compaction runs after every hook that reads
+                    // the resident window: under a bounded retention policy
+                    // the sealed blocks older than the active horizon are
+                    // folded into summaries and evicted. Free under the
+                    // default keep-all policy.
+                    if let Some(site) = self.sites.get_mut(&addr) {
+                        site.aggregator.compact(
+                            self.config.retention,
+                            now,
+                            self.config.verification_window,
+                        );
+                    }
                 }
                 self.scheduler.schedule(
                     now + self.config.verification_window,
@@ -1722,13 +2011,50 @@ impl World {
         // Ground truth: sum the true currents of devices plugged into this
         // network's grid, evaluate the grid (losses) and let the aggregator's
         // own sensor observe the upstream total. The site's member index
-        // makes this one batch over the network's own population.
+        // makes this one batch over the network's own population; sharded
+        // runs fan the per-device draws across worker lanes and splice the
+        // results back in member order, so the grid evaluation sees the
+        // same load vector either way.
         let mut loads = std::mem::take(&mut self.loads_scratch);
         loads.clear();
         if let Some(site) = self.sites.get(&addr) {
-            for (&device_id, &branch) in &site.members {
-                if let Some(device) = self.devices.get_mut(&device_id) {
-                    loads.push((branch, device.true_grid_current(now)));
+            if self.config.shards > 1 && site.members.len() >= 2 * PARALLEL_MIN_CHUNK {
+                let ids: Vec<DeviceId> = site.members.keys().copied().collect();
+                let branches: Vec<BranchId> = site.members.values().copied().collect();
+                let mut currents: Vec<Option<rtem_sensors::energy::Milliamps>> =
+                    vec![None; ids.len()];
+                let lanes = {
+                    let mut slots = device_slots(&mut self.devices, &ids);
+                    fan_out(
+                        &mut slots,
+                        &mut currents,
+                        self.config.shards,
+                        |device, current: &mut Option<rtem_sensors::energy::Milliamps>| {
+                            *current = Some(device.true_grid_current(now));
+                        },
+                    )
+                };
+                if !lanes.is_empty() {
+                    if let Some(profiler) = self
+                        .telemetry
+                        .as_mut()
+                        .and_then(|runtime| runtime.profiler.as_mut())
+                    {
+                        for (lane, nanos) in lanes {
+                            profiler.record_lane(lane, nanos);
+                        }
+                    }
+                }
+                for (branch, current) in branches.into_iter().zip(currents) {
+                    if let Some(current) = current {
+                        loads.push((branch, current));
+                    }
+                }
+            } else {
+                for (&device_id, &branch) in &site.members {
+                    if let Some(device) = self.devices.get_mut(&device_id) {
+                        loads.push((branch, device.true_grid_current(now)));
+                    }
                 }
             }
         }
@@ -1848,6 +2174,8 @@ impl World {
         }
         self.wire.telegrams_sent += 1;
         self.wire.telegram_bytes += bytes.len() as u64;
+        // Freeze once; the wire log and the packet share the allocation.
+        let bytes = bytes::Bytes::from(bytes);
         if let Some(log) = self.telegram_log.as_mut() {
             log.push(TelegramLogEntry {
                 at: _now,
@@ -1855,6 +2183,13 @@ impl World {
                 kind,
                 bytes: bytes.clone(),
             });
+            // Under bounded retention the wire log is a tail window too;
+            // keep-all (every golden fixture) captures everything.
+            if self.config.retention != RetentionPolicy::KeepAll
+                && log.len() > TELEGRAM_LOG_BOUNDED_CAP
+            {
+                log.drain(..log.len() - TELEGRAM_LOG_BOUNDED_CAP);
+            }
         }
         Packet::Telegram {
             device: device_id,
@@ -2272,7 +2607,7 @@ impl World {
                 if validators.len() >= 2 {
                     let byzantine = (voters as usize).min(validators.len());
                     self.faults[id].consensus = Some((
-                        QuorumConsensus::majority(validators.clone()),
+                        QuorumConsensus::majority(validators.iter().copied()),
                         validators,
                         byzantine,
                     ));
@@ -2632,7 +2967,7 @@ impl World {
     fn run_byzantine_rounds(&mut self, addr: AggregatorAddr, now: SimTime) {
         let mut detections = Vec::new();
         let mut committed_forgeries = Vec::new();
-        for fault in self.faults.iter_mut() {
+        for (fault_idx, fault) in self.faults.iter_mut().enumerate() {
             let FaultEvent::ByzantineVoters { network, .. } = fault.event else {
                 continue;
             };
@@ -2647,7 +2982,7 @@ impl World {
             };
             let records = vec![b"forged-consensus-record".to_vec()];
             if consensus
-                .propose(validators[0], now.as_micros(), records.clone())
+                .propose(validators[0], now.as_micros(), records)
                 .is_err()
             {
                 continue;
@@ -2677,22 +3012,28 @@ impl World {
                     ));
                 }
                 RoundOutcome::Committed { .. } => {
-                    committed_forgeries.push((fault.record.id, records));
+                    committed_forgeries.push((fault.record.id, fault_idx));
                 }
                 _ => {}
             }
         }
         // Cross-check committed forgeries against every honest peer's
         // ledger: the quorum controls its own network, but a sealed block
-        // whose records no peer can vouch for is flagged from outside.
-        for (id, records) in committed_forgeries {
+        // whose records no peer can vouch for is flagged from outside. The
+        // forged records are read back from the consensus chain head (the
+        // block just committed), so the round never copies them.
+        for (id, fault_idx) in committed_forgeries {
+            let Some((consensus, _, _)) = self.faults[fault_idx].consensus.as_ref() else {
+                continue;
+            };
+            let records = consensus.chain().head().records();
             let peers = self
                 .sites
                 .iter()
                 .filter(|(peer, site)| {
                     **peer != addr
                         && !self.down_sites.contains_key(peer)
-                        && site.aggregator.cross_check_records(&records) > 0
+                        && site.aggregator.cross_check_records(records) > 0
                 })
                 .count();
             if peers > 0 {

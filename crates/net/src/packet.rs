@@ -268,7 +268,9 @@ pub enum Packet {
         /// Codec discriminant (`rtem_codecs::MeterKind::code`).
         codec: u8,
         /// Raw telegram bytes as produced by the device's meter codec.
-        payload: Vec<u8>,
+        /// Shared ([`Bytes`]) so the world's wire log and the in-flight
+        /// packet reference one allocation instead of cloning per delivery.
+        payload: Bytes,
     },
 }
 
@@ -593,8 +595,9 @@ impl Packet {
                         remaining: buf.remaining(),
                     });
                 }
-                let mut payload = vec![0u8; declared];
-                buf.copy_to_slice(&mut payload);
+                // Zero-copy: the payload view shares the receive buffer.
+                let payload = buf.slice(..declared);
+                buf.advance(declared);
                 Ok(Packet::Telegram {
                     device,
                     codec,
@@ -716,12 +719,12 @@ mod tests {
             Packet::Telegram {
                 device: DeviceId(7),
                 codec: 2,
-                payload: vec![0x1B, 0x1B, 0x1B, 0x1B, 0x01, 0x01, 0x01, 0x01],
+                payload: Bytes::from(vec![0x1B, 0x1B, 0x1B, 0x1B, 0x01, 0x01, 0x01, 0x01]),
             },
             Packet::Telegram {
                 device: DeviceId(7),
                 codec: 1,
-                payload: Vec::new(),
+                payload: Bytes::new(),
             },
         ]
     }

@@ -112,6 +112,7 @@ pub mod prelude {
     pub use crate::suite::{
         AggregateStats, CellKey, Suite, SuiteAggregates, SuiteCell, SuiteConfig, SuiteReport,
     };
+    pub use rtem_aggregator::aggregator::RetentionPolicy;
     pub use rtem_aggregator::billing::{CostBreakdown, Tariff, TariffError, TierRate, TouWindow};
     pub use rtem_codecs::{CodecError, MeterKind, Telegram};
     pub use rtem_core::metrics::{

@@ -11,6 +11,7 @@
 //! [`Experiment`]: crate::experiment::Experiment
 
 use core::fmt;
+use rtem_aggregator::aggregator::RetentionPolicy;
 use rtem_aggregator::billing::{Tariff, TariffError};
 use rtem_codecs::MeterKind;
 use rtem_control::plan::{ControlError, ControlEvent, ControlPlan};
@@ -142,6 +143,9 @@ pub enum SpecError {
     /// The spec's telemetry configuration is incoherent (zero snapshot
     /// interval or zero profiler sampling stride).
     InvalidTelemetry,
+    /// The spec declares zero shards — the event loop needs at least one
+    /// worker lane to execute on.
+    ZeroShards,
 }
 
 impl fmt::Display for SpecError {
@@ -187,6 +191,7 @@ impl fmt::Display for SpecError {
                      sampling stride must be non-zero"
                 )
             }
+            SpecError::ZeroShards => write!(f, "scenario declares zero shards"),
         }
     }
 }
@@ -270,6 +275,16 @@ pub struct ScenarioSpec {
     /// default) records nothing. Either way the simulation outcome is
     /// bit-identical — telemetry only reads state the run already keeps.
     pub telemetry: Option<TelemetryConfig>,
+    /// Worker lanes the event loop may fan device ticks across. `1` (the
+    /// default) runs fully sequentially; any value produces bit-identical
+    /// reports — sharding only changes wall-clock time, never outcomes.
+    pub shards: usize,
+    /// Ledger / series retention policy. `KeepAll` (the default) retains
+    /// the complete run history in memory; `ActiveWindows(n)` seals and
+    /// evicts everything older than `n` verification windows behind a
+    /// digest chain, bounding resident state to the active window while
+    /// keeping audits, bills and accuracy metrics bit-identical.
+    pub retention: RetentionPolicy,
 }
 
 impl ScenarioSpec {
@@ -298,6 +313,8 @@ impl ScenarioSpec {
             fault_plan: FaultPlan::new(),
             control_plan: ControlPlan::new(),
             telemetry: None,
+            shards: 1,
+            retention: RetentionPolicy::KeepAll,
         }
     }
 
@@ -486,6 +503,43 @@ impl ScenarioSpec {
         self
     }
 
+    /// Sets the number of worker lanes the event loop fans device ticks
+    /// across. Any shard count produces bit-identical reports; pick the
+    /// core count for the fastest wall clock on large fleets.
+    ///
+    /// ```
+    /// use rtem::prelude::*;
+    ///
+    /// let spec = ScenarioSpec::paper_testbed(1).with_shards(4);
+    /// assert_eq!(spec.validate(), Ok(()));
+    /// ```
+    pub fn with_shards(mut self, shards: usize) -> ScenarioSpec {
+        self.shards = shards;
+        self
+    }
+
+    /// Bounds resident memory to roughly `windows` verification windows:
+    /// older ledger blocks are sealed behind a digest chain and older
+    /// series samples are folded into per-window summaries, keeping
+    /// audits, bills and accuracy metrics bit-identical to a keep-all run.
+    ///
+    /// ```
+    /// use rtem::prelude::*;
+    ///
+    /// let spec = ScenarioSpec::paper_testbed(1).with_bounded_memory(8);
+    /// assert_eq!(spec.validate(), Ok(()));
+    /// ```
+    pub fn with_bounded_memory(mut self, windows: usize) -> ScenarioSpec {
+        self.retention = RetentionPolicy::ActiveWindows(windows);
+        self
+    }
+
+    /// Sets the retention policy directly (see [`RetentionPolicy`]).
+    pub fn with_retention(mut self, retention: RetentionPolicy) -> ScenarioSpec {
+        self.retention = retention;
+        self
+    }
+
     /// All device ids the spec generates, in network-major order.
     pub fn device_ids(&self) -> Vec<DeviceId> {
         (0..self.networks)
@@ -543,6 +597,9 @@ impl ScenarioSpec {
         }
         if self.verification_window.is_zero() {
             return Err(SpecError::ZeroVerificationWindow);
+        }
+        if self.shards == 0 {
+            return Err(SpecError::ZeroShards);
         }
         let devices = self.device_ids();
         let networks = self.network_addrs();
@@ -603,6 +660,8 @@ impl ScenarioSpec {
                 backhaul: self.backhaul,
                 tariff: self.tariff.clone(),
                 seed: self.seed,
+                retention: self.retention,
+                shards: self.shards.max(1),
             },
             handshake: self.handshake,
             sensor: self.sensor,

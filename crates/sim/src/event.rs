@@ -172,6 +172,16 @@ impl<E> EventQueue<E> {
         self.heap.peek().map(|e| e.at)
     }
 
+    /// Time and payload of the next pending event without popping it —
+    /// the look-ahead batching dispatchers use to recognize runs of
+    /// homogeneous simultaneous events.
+    pub fn peek(&mut self) -> Option<(SimTime, &E)> {
+        self.drop_cancelled_head();
+        self.heap
+            .peek()
+            .map(|e| (e.at, e.payload.as_ref().expect("pending payload")))
+    }
+
     /// Pops the next event and advances the simulation clock to it.
     pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
         self.drop_cancelled_head();

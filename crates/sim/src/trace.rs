@@ -37,7 +37,20 @@ pub struct SeriesStats {
     pub sum: f64,
 }
 
-/// An append-only named time series.
+/// Accumulators over a pruned sample prefix. The folds happen in sample
+/// order, so [`TimeSeries::sum`] and [`TimeSeries::stats`] on a pruned
+/// series reproduce the unpruned results bit-for-bit (same float operations
+/// in the same order) for `count`, `sum`, `mean`, `min` and `max`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct PrunedPrefix {
+    count: usize,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+/// An append-only named time series, optionally pruned to a bounded
+/// resident window via [`prune_before`](TimeSeries::prune_before).
 ///
 /// # Examples
 ///
@@ -55,6 +68,9 @@ pub struct SeriesStats {
 pub struct TimeSeries {
     name: String,
     samples: Vec<Sample>,
+    /// Sealed summary of pruned samples; `None` until the first prune, so
+    /// an unpruned series is unchanged.
+    pruned: Option<PrunedPrefix>,
 }
 
 impl TimeSeries {
@@ -63,6 +79,7 @@ impl TimeSeries {
         TimeSeries {
             name: name.into(),
             samples: Vec::new(),
+            pruned: None,
         }
     }
 
@@ -71,14 +88,20 @@ impl TimeSeries {
         &self.name
     }
 
-    /// Number of samples recorded.
+    /// Number of samples ever recorded, including pruned ones — pruning
+    /// never changes this count.
     pub fn len(&self) -> usize {
+        self.pruned.map_or(0, |p| p.count) + self.samples.len()
+    }
+
+    /// Number of samples still resident in memory.
+    pub fn retained_len(&self) -> usize {
         self.samples.len()
     }
 
-    /// Returns `true` if the series holds no samples.
+    /// Returns `true` if the series never recorded a sample.
     pub fn is_empty(&self) -> bool {
-        self.samples.is_empty()
+        self.len() == 0
     }
 
     /// Appends a sample.
@@ -92,9 +115,36 @@ impl TimeSeries {
         self.samples.push(Sample { at, value });
     }
 
-    /// All samples in insertion order.
+    /// The resident samples in insertion order (all samples unless the
+    /// series was pruned).
     pub fn samples(&self) -> &[Sample] {
         &self.samples
+    }
+
+    /// Drops resident samples with `at < cutoff`, folding them into sealed
+    /// accumulators so [`len`](Self::len), [`sum`](Self::sum) and the
+    /// `count`/`sum`/`mean`/`min`/`max` of [`stats`](Self::stats) keep
+    /// their full-history values bit-exactly. Windowed helpers and
+    /// [`integrate`](Self::integrate) see only the retained suffix
+    /// afterwards. Samples are time-ordered in every producer, so this
+    /// prunes a prefix.
+    pub fn prune_before(&mut self, cutoff: SimTime) {
+        let cut = self.samples.iter().take_while(|s| s.at < cutoff).count();
+        if cut == 0 {
+            return;
+        }
+        let pruned = self.pruned.get_or_insert(PrunedPrefix {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        });
+        for s in self.samples.drain(..cut) {
+            pruned.count += 1;
+            pruned.sum += s.value;
+            pruned.min = pruned.min.min(s.value);
+            pruned.max = pruned.max.max(s.value);
+        }
     }
 
     /// Iterates over `(time, value)` pairs.
@@ -112,14 +162,22 @@ impl TimeSeries {
         self.samples.last().map(|s| s.at)
     }
 
-    /// Sum of all sample values.
+    /// Sum of every sample value ever recorded. The fold continues from the
+    /// sealed pruned-prefix sum, so the result is bit-identical with the
+    /// unpruned series.
     pub fn sum(&self) -> f64 {
-        self.samples.iter().map(|s| s.value).sum()
+        self.samples
+            .iter()
+            .fold(self.pruned.map_or(0.0, |p| p.sum), |acc, s| acc + s.value)
     }
 
-    /// Summary statistics over all samples.
+    /// Summary statistics over every sample ever recorded. On a pruned
+    /// series, `count`, `sum`, `mean`, `min` and `max` keep their exact
+    /// full-history values; `std_dev` is computed over the retained
+    /// suffix only (the two-pass deviation fold needs the samples).
     pub fn stats(&self) -> SeriesStats {
-        if self.samples.is_empty() {
+        let count = self.len();
+        if count == 0 {
             return SeriesStats {
                 count: 0,
                 min: 0.0,
@@ -129,11 +187,10 @@ impl TimeSeries {
                 sum: 0.0,
             };
         }
-        let count = self.samples.len();
         let sum = self.sum();
         let mean = sum / count as f64;
-        let mut min = f64::INFINITY;
-        let mut max = f64::NEG_INFINITY;
+        let mut min = self.pruned.map_or(f64::INFINITY, |p| p.min);
+        let mut max = self.pruned.map_or(f64::NEG_INFINITY, |p| p.max);
         let mut var_acc = 0.0;
         for s in &self.samples {
             min = min.min(s.value);
@@ -141,17 +198,22 @@ impl TimeSeries {
             let d = s.value - mean;
             var_acc += d * d;
         }
+        let var_count = if self.samples.is_empty() {
+            count
+        } else {
+            self.samples.len()
+        };
         SeriesStats {
             count,
             min,
             max,
             mean,
-            std_dev: (var_acc / count as f64).sqrt(),
+            std_dev: (var_acc / var_count as f64).sqrt(),
             sum,
         }
     }
 
-    /// Samples whose timestamp falls in `[from, to)`.
+    /// Resident samples whose timestamp falls in `[from, to)`.
     pub fn window(&self, from: SimTime, to: SimTime) -> TimeSeries {
         TimeSeries {
             name: self.name.clone(),
@@ -161,6 +223,7 @@ impl TimeSeries {
                 .filter(|s| s.at >= from && s.at < to)
                 .copied()
                 .collect(),
+            pruned: None,
         }
     }
 
@@ -349,6 +412,40 @@ mod tests {
         assert_eq!(lines[0], "time_s,value");
         assert_eq!(lines.len(), 3);
         assert!(lines[2].starts_with("0.5"));
+    }
+
+    #[test]
+    fn pruning_preserves_exact_count_sum_mean_min_max() {
+        let mut full = series(&[(0, 1.5), (100, 2.25), (200, 0.5), (300, 4.0), (400, 3.125)]);
+        let mut pruned = full.clone();
+        pruned.prune_before(SimTime::from_millis(150));
+        pruned.prune_before(SimTime::from_millis(350)); // incremental prune folds on
+        assert_eq!(pruned.retained_len(), 1);
+        assert_eq!(pruned.len(), full.len());
+        let (a, b) = (full.stats(), pruned.stats());
+        assert_eq!(a.count, b.count);
+        assert_eq!(a.sum.to_bits(), b.sum.to_bits(), "sum is bit-exact");
+        assert_eq!(a.mean.to_bits(), b.mean.to_bits(), "mean is bit-exact");
+        assert_eq!(a.min, b.min);
+        assert_eq!(a.max, b.max);
+        // Growth after pruning keeps folding in recording order.
+        full.push(SimTime::from_millis(500), 7.75);
+        pruned.push(SimTime::from_millis(500), 7.75);
+        assert_eq!(full.sum().to_bits(), pruned.sum().to_bits());
+        assert!(!pruned.is_empty());
+    }
+
+    #[test]
+    fn pruning_everything_keeps_totals() {
+        let mut s = series(&[(0, 2.0), (100, 4.0)]);
+        s.prune_before(SimTime::from_secs(10));
+        assert_eq!(s.retained_len(), 0);
+        assert_eq!(s.len(), 2);
+        let st = s.stats();
+        assert_eq!(st.count, 2);
+        assert_eq!(st.mean, 3.0);
+        assert_eq!(st.min, 2.0);
+        assert_eq!(st.max, 4.0);
     }
 
     #[test]

@@ -6,6 +6,7 @@ use crate::profiler::DispatchProfile;
 use crate::registry::MetricsSnapshot;
 use crate::trace::TraceLog;
 use rtem_sim::trace::TimeSeries;
+use std::sync::Arc;
 
 /// The telemetry side of a finished run.
 ///
@@ -17,7 +18,9 @@ pub struct TelemetryReport {
     /// The configuration the run recorded under.
     pub config: TelemetryConfig,
     /// The periodic snapshots, in strictly increasing grid-time order.
-    pub snapshots: Vec<MetricsSnapshot>,
+    /// Shared ([`Arc`]) with the `MetricsSnapshot` notifications the run
+    /// emitted, so each grid point is stamped once and never copied.
+    pub snapshots: Vec<Arc<MetricsSnapshot>>,
     /// One more snapshot stamped at collection time (the run horizon),
     /// covering the whole run.
     pub final_snapshot: MetricsSnapshot,
@@ -79,7 +82,7 @@ mod tests {
         let final_snapshot = registry.snapshot(SimTime::from_secs(25), 2);
         TelemetryReport {
             config: TelemetryConfig::default(),
-            snapshots: vec![first, second],
+            snapshots: vec![Arc::new(first), Arc::new(second)],
             final_snapshot,
             trace: None,
             profile: None,

@@ -1,0 +1,306 @@
+//! Shard-count and retention invariance: the sharded event loop and the
+//! streaming-compaction retention policy are pure performance knobs. Any
+//! shard count must reproduce the single-shard run bit for bit — including
+//! against the *committed* golden fixtures — and a bounded-memory run must
+//! reproduce the keep-all digests while actually shrinking resident state.
+
+use rtem::chain::sha256::Sha256;
+use rtem::net::link::LinkConfig;
+use rtem::prelude::*;
+use std::path::PathBuf;
+
+// Relative to this test's owning crate (`crates/rtem`), which declares the
+// workspace-level tests via explicit `[[test]]` paths.
+const SCALE_FIXTURE: &str = "../../tests/fixtures/scale_golden.txt";
+const CONTROL_FIXTURE: &str = "../../tests/fixtures/control_golden.txt";
+
+/// Canonical text rendering, identical to `scale_determinism::render` so
+/// digests are comparable against the committed scale fixture.
+fn render(report: &RunReport) -> String {
+    format!(
+        "metrics: {:#?}\naccuracy: {:#?}\nhandshakes: {:#?}\nledgers: {:#?}\nbills: {:#?}\nresilience: {:#?}\nfault_records: {:#?}\n",
+        report.metrics,
+        report.accuracy,
+        report.handshakes,
+        report.ledgers,
+        report.bills,
+        report.resilience,
+        report.world().fault_records(),
+    )
+}
+
+fn digest(report: &RunReport) -> String {
+    Sha256::digest(render(report).as_bytes()).to_hex()
+}
+
+/// Rendering with the control-plane accounting appended, identical to
+/// `control_determinism::render_with_control`.
+fn digest_with_control(report: &RunReport) -> String {
+    let rendering = format!(
+        "{}control: {:#?}\n",
+        render(report),
+        report.control.as_ref().expect("spec carries a plan")
+    );
+    Sha256::digest(rendering.as_bytes()).to_hex()
+}
+
+fn committed_digest(relative: &str, name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(relative);
+    let committed = std::fs::read_to_string(&path).expect("golden fixture committed");
+    committed
+        .lines()
+        .find_map(|line| line.strip_prefix(&format!("{name} ")))
+        .unwrap_or_else(|| panic!("{name} listed in {relative}"))
+        .to_string()
+}
+
+/// The committed 200-device scale golden (`scale_determinism::fleet_spec`).
+fn fleet_spec() -> ScenarioSpec {
+    ScenarioSpec::single_network(200, 4242).with_horizon(SimDuration::from_secs(60))
+}
+
+/// The committed everything-at-once golden
+/// (`scale_determinism::kitchen_sink_spec`): multi-network topology,
+/// scripted roaming into an empty network, sensor/tamper/link faults.
+fn kitchen_sink_spec() -> ScenarioSpec {
+    let mobile = ScenarioSpec::device_id(0, 0);
+    let dest = ScenarioSpec::network_addr(3);
+    let plan = FaultPlan::new()
+        .sensor_stuck_at(SimTime::from_secs(20), ScenarioSpec::device_id(1, 2), 5.0)
+        .tamper_at(SimTime::from_secs(25), ScenarioSpec::network_addr(1))
+        .link_burst(
+            SimTime::from_secs(30),
+            SimTime::from_secs(40),
+            LinkTarget::Wifi {
+                network: Some(ScenarioSpec::network_addr(2)),
+            },
+            LinkConfig {
+                loss_probability: 0.6,
+                ..LinkConfig::wifi()
+            },
+        );
+    ScenarioSpec::paper_testbed(777)
+        .with_networks(3)
+        .with_devices_per_network(8)
+        .with_empty_networks(1)
+        .with_horizon(SimDuration::from_secs(60))
+        .unplug_at(SimTime::from_secs(22), mobile)
+        .plug_in_at(SimTime::from_secs(32), mobile, dest)
+        .with_fault_plan(plan)
+}
+
+/// The committed control-plane golden
+/// (`control_determinism::commanded_spec`): a staged Tmeasure rollout, a
+/// retained QoS 2 site command and a mute/resume round-trip.
+fn commanded_spec() -> ScenarioSpec {
+    let t = SimTime::from_secs;
+    let site = ScenarioSpec::network_addr(1);
+    let dev = ScenarioSpec::device_id(0, 1);
+    let plan = ControlPlan::new()
+        .staged_rollout(
+            t(20),
+            SimDuration::from_secs(5),
+            &[50, 100],
+            FleetCommand::SetMeasureInterval {
+                interval: SimDuration::from_millis(500),
+            },
+            QoS::AtLeastOnce,
+            false,
+        )
+        .command_with(
+            t(28),
+            CommandTarget::Site(site),
+            FleetCommand::SetTariffHint(TariffHint::flat(2.5)),
+            QoS::ExactlyOnce,
+            true,
+        )
+        .stop_reporting(t(32), CommandTarget::Device(dev))
+        .start_reporting(t(40), CommandTarget::Device(dev));
+    ScenarioSpec::paper_testbed(4242)
+        .with_horizon(SimDuration::from_secs(55))
+        .with_control_plan(plan)
+}
+
+/// A heterogeneous meter-protocol fleet: every real codec on the wire.
+fn codec_spec() -> ScenarioSpec {
+    ScenarioSpec::single_network(100, 9001)
+        .with_horizon(SimDuration::from_secs(30))
+        .with_meter_kinds(MeterKind::REAL.to_vec())
+}
+
+#[test]
+fn scale_goldens_are_shard_count_invariant() {
+    // 2- and 4-shard runs of the committed golden scenarios must hash to
+    // the exact digests in the committed fixture — not merely match each
+    // other, but match the sequential history bit for bit.
+    for (name, spec) in [
+        ("fleet_200x60s", fleet_spec()),
+        ("kitchen_sink_3x8", kitchen_sink_spec()),
+    ] {
+        let committed = committed_digest(SCALE_FIXTURE, name);
+        for shards in [2, 4] {
+            let report = Experiment::new(spec.clone().with_shards(shards))
+                .run()
+                .expect("golden specs are valid");
+            assert_eq!(
+                digest(&report),
+                committed,
+                "{name} diverged from the committed golden at {shards} shards"
+            );
+        }
+    }
+}
+
+#[test]
+fn control_golden_is_shard_count_invariant() {
+    let committed = committed_digest(CONTROL_FIXTURE, "commanded_testbed");
+    for shards in [2, 4] {
+        let report = Experiment::new(commanded_spec().with_shards(shards))
+            .run()
+            .expect("golden spec is valid");
+        assert_eq!(
+            digest_with_control(&report),
+            committed,
+            "commanded run diverged from the committed golden at {shards} shards"
+        );
+    }
+}
+
+#[test]
+fn codec_fleet_is_shard_count_invariant() {
+    let single = Experiment::new(codec_spec()).run().expect("valid spec");
+    let reference = digest(&single);
+    for shards in [2, 4] {
+        let sharded = Experiment::new(codec_spec().with_shards(shards))
+            .run()
+            .expect("valid spec");
+        assert_eq!(
+            digest(&sharded),
+            reference,
+            "mixed-codec fleet diverged at {shards} shards"
+        );
+    }
+}
+
+#[test]
+fn bounded_memory_reproduces_keep_all_digests() {
+    // Streaming compaction must change nothing the report can see: the
+    // sealed-summary chain stands in for the evicted blocks and samples
+    // exactly. Checked on the fleet cell and on a roaming multi-network
+    // scenario (no fault plan: scheduled tampers address blocks by index,
+    // which a bounded run may have evicted — that pairing is unsupported).
+    let roaming = {
+        let mobile = ScenarioSpec::device_id(0, 0);
+        let dest = ScenarioSpec::network_addr(3);
+        ScenarioSpec::paper_testbed(777)
+            .with_networks(3)
+            .with_devices_per_network(8)
+            .with_empty_networks(1)
+            .with_horizon(SimDuration::from_secs(60))
+            .unplug_at(SimTime::from_secs(22), mobile)
+            .plug_in_at(SimTime::from_secs(32), mobile, dest)
+    };
+    for (name, spec) in [("fleet", fleet_spec()), ("roaming", roaming)] {
+        let keep_all = Experiment::new(spec.clone()).run().expect("valid spec");
+        let bounded = Experiment::new(spec.clone().with_bounded_memory(2))
+            .run()
+            .expect("valid spec");
+        assert_eq!(
+            digest(&keep_all),
+            digest(&bounded),
+            "{name}: bounded-memory run diverged from keep-all"
+        );
+        // And the bound must be real: fewer resident blocks and samples
+        // than the keep-all run, with the evicted prefix accounted for.
+        let addr = ScenarioSpec::network_addr(0);
+        let full = keep_all.world().aggregator(addr).expect("network exists");
+        let compact = bounded.world().aggregator(addr).expect("network exists");
+        let (full_blocks, full_samples) = full.resident_footprint();
+        let (kept_blocks, kept_samples) = compact.resident_footprint();
+        assert!(
+            kept_blocks < full_blocks,
+            "{name}: eviction retained all {full_blocks} blocks"
+        );
+        assert!(
+            kept_samples < full_samples,
+            "{name}: pruning retained all {full_samples} samples"
+        );
+        assert_eq!(
+            full.ledger().chain().len(),
+            compact.ledger().chain().len(),
+            "{name}: logical chain length must include the evicted prefix"
+        );
+    }
+}
+
+#[test]
+fn bounded_memory_is_shard_count_invariant() {
+    // The two tentpole halves compose: a sharded bounded-memory run still
+    // reproduces the sequential keep-all digest.
+    let reference = digest(&Experiment::new(fleet_spec()).run().expect("valid spec"));
+    let report = Experiment::new(fleet_spec().with_bounded_memory(2).with_shards(4))
+        .run()
+        .expect("valid spec");
+    assert_eq!(
+        digest(&report),
+        reference,
+        "sharded bounded-memory run diverged from the sequential keep-all run"
+    );
+}
+
+#[test]
+fn cross_shard_delivery_order_is_deterministic() {
+    // Property: over several seeds of a roaming two-network scenario, the
+    // full telemetry trace — every dispatch span and every notification
+    // instant (handshakes, roaming plug-ins, block seals, consensus
+    // milestones), in dispatch order — is identical at 1, 2 and 4 shards.
+    // Cross-shard traffic (uplinks staged through the broker, backhaul
+    // roaming handoffs) must drain in one deterministic order however the
+    // compute was fanned out.
+    for seed in [11, 23, 47] {
+        let mobile = ScenarioSpec::device_id(0, 0);
+        let dest = ScenarioSpec::network_addr(1);
+        let spec = ScenarioSpec::paper_testbed(seed)
+            .with_networks(2)
+            .with_devices_per_network(20)
+            .with_horizon(SimDuration::from_secs(30))
+            .unplug_at(SimTime::from_secs(12), mobile)
+            .plug_in_at(SimTime::from_secs(15), mobile, dest)
+            .with_telemetry(TelemetryConfig::default().with_trace(true));
+        let runs: Vec<RunReport> = [1usize, 2, 4]
+            .into_iter()
+            .map(|shards| {
+                Experiment::new(spec.clone().with_shards(shards))
+                    .run()
+                    .expect("valid spec")
+            })
+            .collect();
+        let reference = runs[0]
+            .telemetry
+            .as_ref()
+            .and_then(|t| t.trace.as_ref())
+            .expect("trace enabled");
+        assert!(!reference.is_empty(), "seed {seed}: trace recorded events");
+        for (report, shards) in runs[1..].iter().zip([2, 4]) {
+            let trace = report
+                .telemetry
+                .as_ref()
+                .and_then(|t| t.trace.as_ref())
+                .expect("trace enabled");
+            assert_eq!(
+                reference, trace,
+                "seed {seed}: event/notification order diverged at {shards} shards"
+            );
+        }
+        // The deterministic snapshot stream (queue depths, per-kind
+        // dispatch tallies) must agree too.
+        let snapshots = |r: &RunReport| {
+            r.telemetry
+                .as_ref()
+                .map(|t| t.snapshots.clone())
+                .expect("telemetry enabled")
+        };
+        assert_eq!(snapshots(&runs[0]), snapshots(&runs[1]), "seed {seed}");
+        assert_eq!(snapshots(&runs[0]), snapshots(&runs[2]), "seed {seed}");
+    }
+}
